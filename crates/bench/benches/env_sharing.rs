@@ -1,0 +1,58 @@
+//! E5 / Sect. 6.1.2: the functional-map ablation. Joining environments that
+//! share structure must cost time proportional to the number of *differing*
+//! cells; joining structurally equal but physically unshared maps costs the
+//! full linear scan the paper measured a ×7 slowdown from.
+
+use astree_pmap::PMap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn mk_pair(n: u32, touched: u32, shared: bool) -> (PMap<u32, i64>, PMap<u32, i64>) {
+    let base: PMap<u32, i64> = (0..n).map(|k| (k, 0)).collect();
+    let mut left = base.clone();
+    let mut right = base.clone();
+    for i in 0..touched {
+        left = left.insert(i * 7 % n, 1);
+        right = right.insert(i * 13 % n, 2);
+    }
+    if shared {
+        (left, right)
+    } else {
+        // Rebuild both sides so no subtree is physically shared.
+        (
+            left.iter().map(|(k, v)| (*k, *v)).collect(),
+            right.iter().map(|(k, v)| (*k, *v)).collect(),
+        )
+    }
+}
+
+fn bench_env_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_join");
+    for &n in &[1_000u32, 10_000, 50_000] {
+        for shared in [true, false] {
+            let (l, r) = mk_pair(n, 16, shared);
+            let label = if shared { "shared" } else { "unshared" };
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(l, r),
+                |b, (l, r)| b.iter(|| black_box(l.union_with(r, |_, a, b| *a.max(b)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_env_leq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_leq");
+    for shared in [true, false] {
+        let (l, r) = mk_pair(20_000, 16, shared);
+        let label = if shared { "shared" } else { "unshared" };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(l.all2(&r, |_, _| true, |_, _| true, |_, a, b| a <= b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_join, bench_env_leq);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for E1 / Fig. 2: full-analysis time at increasing
+//! program sizes. The absolute numbers regenerate the scaling *shape* of
+//! the paper's Fig. 2 (time vs kLOC); use `repro --experiment fig2` for the
+//! full-size sweep.
+
+use astree_bench::family_program;
+use astree_core::{AnalysisConfig, Analyzer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_scaling");
+    group.sample_size(10);
+    for channels in [2usize, 8, 32] {
+        let program = family_program(channels, 7);
+        group.bench_with_input(
+            BenchmarkId::new("full_analysis", channels),
+            &program,
+            |b, p| {
+                b.iter(|| {
+                    let r = Analyzer::new(p, AnalysisConfig::default()).run();
+                    assert!(r.alarms.is_empty());
+                    r.stats.cells
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3 / Sect. 7.2.2: analysis cost with all octagon packs vs only the packs
+//! a previous run proved useful ("generate at night … work the following
+//! day using this list").
+
+use astree_bench::family_program;
+use astree_core::{AnalysisConfig, Analyzer};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_packing(c: &mut Criterion) {
+    let program = family_program(16, 7);
+    // Discover the useful packs once.
+    let full_result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let useful = full_result.stats.useful_octagon_packs.clone();
+    assert!(!useful.is_empty());
+    assert!(useful.len() < full_result.stats.octagon_packs);
+
+    let mut group = c.benchmark_group("packing_opt");
+    group.sample_size(10);
+    group.bench_function("all_packs", |b| {
+        b.iter(|| {
+            let r = Analyzer::new(&program, AnalysisConfig::default()).run();
+            assert!(r.alarms.is_empty());
+        })
+    });
+    group.bench_function("useful_packs_only", |b| {
+        let mut cfg = AnalysisConfig::default();
+        cfg.octagon_pack_filter = Some(useful.clone());
+        b.iter(|| {
+            let r = Analyzer::new(&program, cfg.clone()).run();
+            assert!(r.alarms.is_empty());
+        })
+    });
+    group.bench_function("no_octagons", |b| {
+        let mut cfg = AnalysisConfig::default();
+        cfg.enable_octagons = false;
+        b.iter(|| {
+            let r = Analyzer::new(&program, cfg.clone()).run();
+            // Octagons are load-bearing for the drift monitors.
+            assert!(!r.alarms.is_empty());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Standalone scaling probe: one full analysis per size, printed as a
+//! table (a lighter-weight alternative to `repro --experiment fig2`).
+//!
+//! Run with `cargo run --release -p astree-bench --example scale_probe`.
+
+fn main() {
+    println!("{:>8} {:>10} {:>10} {:>8} {:>12}", "channels", "kLOC", "cells", "alarms", "time");
+    for channels in [2usize, 8, 32, 128, 512] {
+        let src = astree_gen::generate(&astree_gen::GenConfig { channels, seed: 7, bug: None });
+        let kloc = astree_gen::line_count(&src) as f64 / 1000.0;
+        let p = astree_frontend::Frontend::new().compile_str(&src).unwrap();
+        let t0 = std::time::Instant::now();
+        let r = astree_core::Analyzer::new(&p, astree_core::AnalysisConfig::default()).run();
+        println!(
+            "{channels:>8} {kloc:>10.2} {:>10} {:>8} {:>12.2?}",
+            r.stats.cells,
+            r.alarms.len(),
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared infrastructure for the benchmark harness and the `repro` binary:
+//! workload construction, configuration ladders, and small measurement
+//! helpers used by both the Criterion benches and the experiment driver.
+
+use astree_core::{AnalysisConfig, AnalysisResult, Analyzer};
+use astree_frontend::Frontend;
+use astree_gen::{generate, GenConfig};
+use astree_ir::Program;
+use std::time::{Duration, Instant};
+
+/// Compiles a family member with the given channel count.
+pub fn family_program(channels: usize, seed: u64) -> Program {
+    let src = generate(&GenConfig { channels, seed, bug: None });
+    Frontend::new().compile_str(&src).expect("generated programs compile")
+}
+
+/// Generated source size in kLOC for a channel count.
+pub fn family_kloc(channels: usize, seed: u64) -> f64 {
+    let src = generate(&GenConfig { channels, seed, bug: None });
+    astree_gen::line_count(&src) as f64 / 1000.0
+}
+
+/// Runs an analysis and returns (result, wall time).
+pub fn timed_analysis(program: &Program, config: AnalysisConfig) -> (AnalysisResult, Duration) {
+    let t0 = Instant::now();
+    let result = Analyzer::new(program, config).run();
+    (result, t0.elapsed())
+}
+
+/// The refinement ladder of paper Sect. 3.1: each rung adds one of the
+/// refinements the paper introduced, starting from the baseline analyzer
+/// \[5\]. Alarm counts along the ladder reproduce the "1,200 → 11" collapse.
+pub fn refinement_ladder() -> Vec<(&'static str, AnalysisConfig)> {
+    let baseline = AnalysisConfig::baseline();
+    let mut with_lin = baseline.clone();
+    with_lin.enable_linearization = true;
+    let mut with_oct = with_lin.clone();
+    with_oct.enable_octagons = true;
+    let mut with_dtree = with_oct.clone();
+    with_dtree.enable_dtrees = true;
+    let mut with_ell = with_dtree.clone();
+    with_ell.enable_ellipsoids = true;
+    let mut full = with_ell.clone();
+    full.loop_unroll = 1;
+    vec![
+        ("baseline [5] (intervals + clock)", baseline),
+        ("+ linearization (Sect. 6.3)", with_lin),
+        ("+ octagons (Sect. 6.2.2)", with_oct),
+        ("+ decision trees (Sect. 6.2.4)", with_dtree),
+        ("+ ellipsoids (Sect. 6.2.3)", with_ell),
+        ("+ loop unrolling (Sect. 7.1.1) = full", full),
+    ]
+}
+
+/// A markdown-ish table printer for experiment outputs.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:width$} |", c, width = widths[i]));
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "|{}",
+        widths.iter().map(|w| format!("{:-<width$}|", "", width = w + 2)).collect::<String>()
+    );
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_refinements() {
+        let rungs = refinement_ladder();
+        assert_eq!(rungs.len(), 6);
+        assert!(!rungs[0].1.enable_octagons);
+        assert!(rungs.last().unwrap().1.enable_ellipsoids);
+    }
+
+    #[test]
+    fn family_program_compiles() {
+        let p = family_program(2, 1);
+        assert!(p.validate().is_empty());
+        assert!(family_kloc(2, 1) > 0.05);
+    }
+}

@@ -1,0 +1,160 @@
+//! Alarm collection and reporting (paper Sect. 5.3: "when in checking mode,
+//! the iterator issues a warning for each operator application that may give
+//! an error on the concrete level").
+
+use astree_domains::ErrFlags;
+use astree_ir::{Loc, StmtId};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The class of a potential run-time error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AlarmKind {
+    /// Division or remainder by zero.
+    DivByZero,
+    /// Integer arithmetic overflow (wrap-around would occur).
+    IntOverflow,
+    /// Float overflow to ±∞.
+    FloatOverflow,
+    /// Invalid float operation producing NaN.
+    InvalidFloatOp,
+    /// Shift amount out of range.
+    ShiftRange,
+    /// Out-of-bounds array access.
+    OutOfBounds,
+    /// Invalid (out-of-range) conversion.
+    InvalidCast,
+}
+
+impl AlarmKind {
+    /// Expands an error-flag set into alarm kinds.
+    pub fn from_flags(flags: ErrFlags) -> Vec<AlarmKind> {
+        let mut out = Vec::new();
+        let table = [
+            (ErrFlags::DIV_BY_ZERO, AlarmKind::DivByZero),
+            (ErrFlags::INT_OVERFLOW, AlarmKind::IntOverflow),
+            (ErrFlags::FLOAT_OVERFLOW, AlarmKind::FloatOverflow),
+            (ErrFlags::NAN, AlarmKind::InvalidFloatOp),
+            (ErrFlags::SHIFT_RANGE, AlarmKind::ShiftRange),
+            (ErrFlags::OUT_OF_BOUNDS, AlarmKind::OutOfBounds),
+            (ErrFlags::INVALID_CAST, AlarmKind::InvalidCast),
+        ];
+        for (f, k) in table {
+            if flags.contains(f) {
+                out.push(k);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AlarmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AlarmKind::DivByZero => "division by zero",
+            AlarmKind::IntOverflow => "integer overflow",
+            AlarmKind::FloatOverflow => "float overflow",
+            AlarmKind::InvalidFloatOp => "invalid float operation",
+            AlarmKind::ShiftRange => "shift out of range",
+            AlarmKind::OutOfBounds => "out-of-bounds array access",
+            AlarmKind::InvalidCast => "invalid conversion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One reported alarm: a program point and an error class it may exhibit.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Alarm {
+    /// The statement where the operator application occurs.
+    pub stmt: StmtId,
+    /// Source location.
+    pub loc: Loc,
+    /// The error class.
+    pub kind: AlarmKind,
+    /// Short description of the statement context.
+    pub context: String,
+}
+
+impl fmt::Display for Alarm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: possible {} in `{}`", self.loc.line, self.kind, self.context)
+    }
+}
+
+/// Deduplicating alarm sink: one alarm per (statement, kind) pair, mirroring
+/// the paper's per-operation warning count.
+#[derive(Debug, Default)]
+pub struct AlarmSink {
+    seen: BTreeSet<(StmtId, AlarmKind)>,
+    alarms: Vec<Alarm>,
+}
+
+impl AlarmSink {
+    /// Creates an empty sink.
+    pub fn new() -> AlarmSink {
+        AlarmSink::default()
+    }
+
+    /// Records the alarms implied by `flags` at a statement.
+    pub fn report(&mut self, stmt: StmtId, loc: Loc, flags: ErrFlags, context: &str) {
+        for kind in AlarmKind::from_flags(flags) {
+            if self.seen.insert((stmt, kind)) {
+                self.alarms.push(Alarm { stmt, loc, kind, context: context.to_string() });
+            }
+        }
+    }
+
+    /// All alarms, sorted by program point.
+    pub fn into_sorted(mut self) -> Vec<Alarm> {
+        self.alarms.sort();
+        self.alarms
+    }
+
+    /// Number of distinct alarms so far.
+    pub fn len(&self) -> usize {
+        self.alarms.len()
+    }
+
+    /// `true` when no alarm was reported.
+    pub fn is_empty(&self) -> bool {
+        self.alarms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_expand_to_kinds() {
+        let ks = AlarmKind::from_flags(ErrFlags::DIV_BY_ZERO | ErrFlags::OUT_OF_BOUNDS);
+        assert_eq!(ks, vec![AlarmKind::DivByZero, AlarmKind::OutOfBounds]);
+        assert!(AlarmKind::from_flags(ErrFlags::NONE).is_empty());
+    }
+
+    #[test]
+    fn sink_deduplicates_per_stmt_and_kind() {
+        let mut sink = AlarmSink::new();
+        sink.report(StmtId(1), Loc::line(10), ErrFlags::DIV_BY_ZERO, "x / y");
+        sink.report(StmtId(1), Loc::line(10), ErrFlags::DIV_BY_ZERO, "x / y");
+        sink.report(StmtId(1), Loc::line(10), ErrFlags::INT_OVERFLOW, "x / y");
+        sink.report(StmtId(2), Loc::line(11), ErrFlags::DIV_BY_ZERO, "a / b");
+        assert_eq!(sink.len(), 3);
+        let alarms = sink.into_sorted();
+        assert_eq!(alarms[0].stmt, StmtId(1));
+        assert_eq!(alarms[2].stmt, StmtId(2));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let a = Alarm {
+            stmt: StmtId(1),
+            loc: Loc::line(12),
+            kind: AlarmKind::DivByZero,
+            context: "y = 1 / x".into(),
+        };
+        let s = a.to_string();
+        assert!(s.contains("line 12") && s.contains("division by zero") && s.contains("1 / x"));
+    }
+}

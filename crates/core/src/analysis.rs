@@ -1,0 +1,287 @@
+//! The public analysis entry point: run both phases and assemble the
+//! result (alarms, statistics, invariant census, packing report).
+
+use crate::alarms::Alarm;
+use crate::census::Census;
+use crate::config::AnalysisConfig;
+use crate::iterator::{Iter, Mode};
+use crate::packs::Packs;
+use crate::state::AbsState;
+use astree_ir::Program;
+use astree_memory::{CellLayout, LayoutConfig};
+use std::time::{Duration, Instant};
+
+/// Aggregated statistics of one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisStats {
+    /// Wall time of the invariant-generation phase.
+    pub time_iterate: Duration,
+    /// Wall time of the checking phase.
+    pub time_check: Duration,
+    /// Number of abstract cells after array expansion/shrinking.
+    pub cells: usize,
+    /// Octagon packs used.
+    pub octagon_packs: usize,
+    /// Octagon packs that actually improved the analysis (Sect. 7.2.2).
+    pub useful_octagon_packs: Vec<usize>,
+    /// Decision-tree packs used.
+    pub dtree_packs: usize,
+    /// Ellipsoid filter instances detected.
+    pub ellipse_packs: usize,
+    /// Total widening/union loop iterations.
+    pub loop_iterations: u64,
+    /// Total abstract statement interpretations.
+    pub stmts_interpreted: u64,
+    /// Peak trace partitions.
+    pub peak_partitions: usize,
+    /// A proxy for analyzer memory: peak live abstract-environment entries
+    /// touched (cells × loop invariants kept).
+    pub invariant_cells: usize,
+}
+
+/// The result of an analysis.
+#[derive(Debug)]
+pub struct AnalysisResult {
+    /// All alarms (empty means the program is proven free of run-time
+    /// errors under the environment assumptions).
+    pub alarms: Vec<Alarm>,
+    /// Statistics.
+    pub stats: AnalysisStats,
+    /// Census of the main loop invariant (the first top-level loop of the
+    /// entry function), when the program has one.
+    pub main_census: Option<Census>,
+    /// The invariant at the main loop head.
+    pub main_invariant: Option<AbsState>,
+}
+
+/// The analyzer: couples a program with a configuration.
+///
+/// See the [crate root](crate) for an end-to-end example.
+pub struct Analyzer<'a> {
+    program: &'a Program,
+    config: AnalysisConfig,
+}
+
+impl<'a> Analyzer<'a> {
+    /// Creates an analyzer.
+    pub fn new(program: &'a Program, config: AnalysisConfig) -> Self {
+        Analyzer { program, config }
+    }
+
+    /// Runs both phases (iteration, then checking) and assembles the result.
+    pub fn run(&self) -> AnalysisResult {
+        let layout = CellLayout::new(
+            self.program,
+            &LayoutConfig { shrink_threshold: self.config.shrink_threshold },
+        );
+        let packs = Packs::discover(self.program, &layout, &self.config);
+        let mut iter = Iter::new(self.program, &layout, &packs, &self.config);
+
+        let t0 = Instant::now();
+        let _final_state = iter.run_mode(Mode::Iterate);
+        let time_iterate = t0.elapsed();
+
+        let t1 = Instant::now();
+        let _ = iter.run_mode(Mode::Check);
+        let time_check = t1.elapsed();
+
+        // The main loop: the first loop of the entry function.
+        let main_loop = first_loop_id(self.program);
+        let main_invariant = main_loop.and_then(|id| iter.invariants.get(&id).cloned());
+        let main_census =
+            main_invariant.as_ref().map(|s| Census::of_state(s, &layout, &packs));
+
+        let useful: Vec<usize> = iter
+            .oct_useful
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, _)| i)
+            .collect();
+        let invariant_cells: usize =
+            iter.invariants.values().map(|s| s.env.len()).sum::<usize>();
+
+        let stats = AnalysisStats {
+            time_iterate,
+            time_check,
+            cells: layout.num_cells(),
+            octagon_packs: packs.octagons.len(),
+            useful_octagon_packs: useful,
+            dtree_packs: packs.dtrees.len(),
+            ellipse_packs: packs.ellipses.len(),
+            loop_iterations: iter.stats.loop_iterations,
+            stmts_interpreted: iter.stats.stmts_interpreted,
+            peak_partitions: iter.stats.peak_partitions,
+            invariant_cells,
+        };
+        AnalysisResult {
+            alarms: std::mem::take(&mut iter.sink).into_sorted(),
+            stats,
+            main_census,
+            main_invariant,
+        }
+    }
+}
+
+/// The id of the entry function's main loop: the first top-level
+/// constant-true (reactive) loop, else the first top-level loop.
+fn first_loop_id(program: &Program) -> Option<astree_ir::LoopId> {
+    let entry = program.func(program.entry);
+    for s in &entry.body {
+        if let astree_ir::StmtKind::While(id, c, _) = &s.kind {
+            if matches!(c, astree_ir::Expr::Int(v, _) if *v != 0) {
+                return Some(*id);
+            }
+        }
+    }
+    for s in &entry.body {
+        if let astree_ir::StmtKind::While(id, _, _) = &s.kind {
+            return Some(*id);
+        }
+    }
+    // Fall back to the first loop anywhere.
+    let mut found = None;
+    for f in &program.funcs {
+        astree_ir::stmt::for_each_stmt(&f.body, &mut |s| {
+            if found.is_none() {
+                if let astree_ir::StmtKind::While(id, _, _) = &s.kind {
+                    found = Some(*id);
+                }
+            }
+        });
+        if found.is_some() {
+            break;
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astree_frontend::Frontend;
+
+    fn analyze(src: &str) -> AnalysisResult {
+        let p = Frontend::new().compile_str(src).expect("compiles");
+        Analyzer::new(&p, AnalysisConfig::default()).run()
+    }
+
+    #[test]
+    fn clean_straightline_program() {
+        let r = analyze("int x; void main(void) { x = 1 + 2; }");
+        assert!(r.alarms.is_empty(), "{:?}", r.alarms);
+    }
+
+    #[test]
+    fn certain_division_by_zero_is_reported() {
+        let r = analyze("int x; int d; void main(void) { d = 0; x = 10 / d; }");
+        assert_eq!(r.alarms.len(), 1, "{:?}", r.alarms);
+        assert_eq!(r.alarms[0].kind, crate::alarms::AlarmKind::DivByZero);
+    }
+
+    #[test]
+    fn guarded_division_is_clean() {
+        let r = analyze(
+            r#"
+            volatile int in; int x;
+            void main(void) {
+                __astree_input_int(in, -100, 100);
+                int d = in;
+                if (d > 0) { x = 10 / d; }
+            }
+        "#,
+        );
+        assert!(r.alarms.is_empty(), "{:?}", r.alarms);
+    }
+
+    #[test]
+    fn guarded_accumulator_is_clean() {
+        // An accumulator guarded against growth: intervals + thresholds
+        // prove it bounded.
+        let r = analyze(
+            r#"
+            int i; int sum;
+            void main(void) {
+                sum = 0;
+                for (i = 0; i < 100; i++) {
+                    if (sum < 10000) { sum = sum + i; }
+                }
+            }
+        "#,
+        );
+        assert!(r.alarms.is_empty(), "{:?}", r.alarms);
+    }
+
+    #[test]
+    fn unrolling_proves_small_accumulators() {
+        // An unguarded accumulator needs full semantic unrolling
+        // (Sect. 7.1.1): with the default factor it alarms, fully unrolled
+        // it is proven exact.
+        let src = r#"
+            int i; int sum;
+            void main(void) {
+                sum = 0;
+                for (i = 0; i < 5; i++) { sum = sum + i; }
+            }
+        "#;
+        let p = Frontend::new().compile_str(src).unwrap();
+        let default = Analyzer::new(&p, AnalysisConfig::default()).run();
+        assert_eq!(default.alarms.len(), 1, "{:?}", default.alarms);
+        let mut cfg = AnalysisConfig::default();
+        cfg.loop_unroll = 6;
+        let unrolled = Analyzer::new(&p, cfg).run();
+        assert!(unrolled.alarms.is_empty(), "{:?}", unrolled.alarms);
+    }
+
+    #[test]
+    fn reactive_loop_with_inputs() {
+        let r = analyze(
+            r#"
+            volatile int in; int x;
+            void main(void) {
+                __astree_input_int(in, 0, 10);
+                while (1) {
+                    x = in;
+                    __astree_wait();
+                }
+            }
+        "#,
+        );
+        assert!(r.alarms.is_empty(), "{:?}", r.alarms);
+        assert!(r.main_census.is_some());
+    }
+
+    #[test]
+    fn unbounded_counter_overflows_without_clock() {
+        // A counter incremented every cycle: bounded only thanks to the
+        // clocked domain and the max operating time.
+        let src = r#"
+            int ticks;
+            void main(void) {
+                ticks = 0;
+                while (1) {
+                    ticks = ticks + 1;
+                    __astree_wait();
+                }
+            }
+        "#;
+        let p = Frontend::new().compile_str(src).unwrap();
+        let with_clock = Analyzer::new(&p, AnalysisConfig::default()).run();
+        assert!(with_clock.alarms.is_empty(), "{:?}", with_clock.alarms);
+        let mut cfg = AnalysisConfig::default();
+        cfg.enable_clocked = false;
+        let without = Analyzer::new(&p, cfg).run();
+        assert_eq!(without.alarms.len(), 1, "{:?}", without.alarms);
+        assert_eq!(without.alarms[0].kind, crate::alarms::AlarmKind::IntOverflow);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let r = analyze(
+            "int x; int y; void main(void) { x = y + 1; while (x < 10) { x = x + 1; } }",
+        );
+        assert!(r.stats.cells >= 2);
+        assert!(r.stats.loop_iterations > 0);
+        assert!(r.stats.stmts_interpreted > 0);
+    }
+}

@@ -1,0 +1,973 @@
+//! The iterator: abstract execution by induction on the abstract syntax
+//! (paper Sect. 5.3–5.5 and 7.1).
+//!
+//! Two modes share the same transfer functions:
+//!
+//! - **iteration mode** computes loop invariants by unrolled first
+//!   iterations (Sect. 7.1.1), plain unions for the first iterations
+//!   (delayed widening, Sect. 7.1.3), widening with thresholds
+//!   (Sect. 7.1.2), optional float-bound perturbation (Sect. 7.1.4), and
+//!   narrowing; no warnings are emitted;
+//! - **checking mode** replays the program from the stored invariants and
+//!   issues one alarm per operator application that may err.
+//!
+//! Calls are analyzed by abstract inlining (context-sensitive polyvariant
+//! analysis, Sect. 5.4); by-reference parameters are substituted by the
+//! actual l-values. Trace partitioning (Sect. 7.1.5) delays branch merging
+//! inside user-selected functions until the function's return point.
+
+use crate::alarms::AlarmSink;
+use crate::config::AnalysisConfig;
+use crate::packs::Packs;
+use crate::state::{float_view, meet_cell_with_float, AbsState, PackEnv};
+use crate::substitute::substitute_block;
+use astree_domains::dtree::Lattice;
+use astree_domains::{Ellipsoid, ErrFlags, FloatItv, Thresholds};
+use astree_ir::{
+    Binop, Block, CallArg, Expr, FuncId, LoopId, Lvalue, Program, ScalarType, Stmt, StmtKind,
+    Unop, VarId,
+};
+use astree_memory::{CellId, CellLayout, CellVal, Evaluator};
+use std::collections::HashMap;
+
+/// Analysis mode (paper Sect. 5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Generate invariants; no warnings.
+    Iterate,
+    /// Replay from invariants; collect alarms.
+    Check,
+}
+
+/// Running counters exposed in the final statistics.
+#[derive(Debug, Default, Clone)]
+pub struct IterStats {
+    /// Total widening/union iterations across all loops.
+    pub loop_iterations: u64,
+    /// Total statements interpreted (both modes).
+    pub stmts_interpreted: u64,
+    /// Peak number of simultaneously live trace partitions.
+    pub peak_partitions: usize,
+}
+
+/// The iterator.
+pub struct Iter<'a> {
+    program: &'a Program,
+    layout: &'a CellLayout,
+    packs: &'a Packs,
+    config: &'a AnalysisConfig,
+    eval: Evaluator<'a>,
+    mode: Mode,
+    /// Loop-head invariants, filled in iteration mode, replayed in checking
+    /// mode.
+    pub invariants: HashMap<LoopId, AbsState>,
+    /// The alarm sink (checking mode).
+    pub sink: AlarmSink,
+    /// Per-octagon-pack usefulness counters (Sect. 7.2.2).
+    pub oct_useful: Vec<usize>,
+    /// Counters.
+    pub stats: IterStats,
+}
+
+/// The set of partitions flowing through a block, plus the accumulated
+/// return state of the enclosing function.
+struct Flow {
+    parts: Vec<AbsState>,
+    returned: AbsState,
+}
+
+impl<'a> Iter<'a> {
+    /// Creates an iterator over the given program and configuration.
+    pub fn new(
+        program: &'a Program,
+        layout: &'a CellLayout,
+        packs: &'a Packs,
+        config: &'a AnalysisConfig,
+    ) -> Self {
+        let mut eval = Evaluator::new(program, layout, config.max_clock);
+        eval.linearize = config.enable_linearization;
+        eval.clocked = config.enable_clocked;
+        Iter {
+            program,
+            layout,
+            packs,
+            config,
+            eval,
+            mode: Mode::Iterate,
+            invariants: HashMap::new(),
+            sink: AlarmSink::new(),
+            oct_useful: vec![0; packs.octagons.len()],
+            stats: IterStats::default(),
+        }
+    }
+
+    /// Runs one full pass from the entry point in the given mode and returns
+    /// the final state.
+    pub fn run_mode(&mut self, mode: Mode) -> AbsState {
+        self.mode = mode;
+        let state = AbsState::initial(self.layout, self.packs);
+        self.exec_function(state, self.program.entry, None, 0)
+    }
+
+    // ----- functions -------------------------------------------------------
+
+    fn exec_function(
+        &mut self,
+        state: AbsState,
+        func: FuncId,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) -> AbsState {
+        assert!(depth < 128, "call depth exceeded (recursion should be rejected)");
+        let f = self.program.func(func);
+        let partitioning = self.config.partitioned_functions.contains(&f.name);
+        let body = f.body.clone();
+        let bot = state.bottom_like();
+        let mut flow = Flow { parts: vec![state], returned: bot };
+        self.exec_block(&mut flow, &body, ret_target, partitioning, depth);
+        let mut out = flow.returned;
+        for p in flow.parts {
+            out = out.join(&p, self.layout, self.packs);
+        }
+        out
+    }
+
+    fn exec_block(
+        &mut self,
+        flow: &mut Flow,
+        block: &Block,
+        ret_target: Option<&Lvalue>,
+        partitioning: bool,
+        depth: u32,
+    ) {
+        for s in block {
+            self.exec_stmt(flow, s, ret_target, partitioning, depth);
+            flow.parts.retain(|p| !p.is_bottom());
+            if flow.parts.is_empty() {
+                return;
+            }
+        }
+    }
+
+    fn exec_stmt(
+        &mut self,
+        flow: &mut Flow,
+        s: &Stmt,
+        ret_target: Option<&Lvalue>,
+        partitioning: bool,
+        depth: u32,
+    ) {
+        self.stats.stmts_interpreted += flow.parts.len() as u64;
+        self.stats.peak_partitions = self.stats.peak_partitions.max(flow.parts.len());
+        match &s.kind {
+            StmtKind::Assign(lv, e) => {
+                for p in &mut flow.parts {
+                    *p = self.transfer_assign(p, lv, e, s);
+                }
+            }
+            StmtKind::If(c, then_b, else_b) => {
+                if self.mode == Mode::Check {
+                    // Check the condition against every live partition (the
+                    // alarm sink deduplicates per statement and kind).
+                    let parts = std::mem::take(&mut flow.parts);
+                    for p in &parts {
+                        self.check_expr(Some(p), c, s);
+                    }
+                    flow.parts = parts;
+                }
+                let parts = std::mem::take(&mut flow.parts);
+                let mut merged: Vec<AbsState> = Vec::new();
+                for p in parts {
+                    let t_in = self.state_guard(&p, c, true);
+                    let f_in = self.state_guard(&p, c, false);
+                    let mut tf = Flow { parts: vec![t_in], returned: p.bottom_like() };
+                    self.exec_block(&mut tf, then_b, ret_target, partitioning, depth);
+                    let mut ff = Flow { parts: vec![f_in], returned: p.bottom_like() };
+                    self.exec_block(&mut ff, else_b, ret_target, partitioning, depth);
+                    flow.returned = flow.returned.join(&tf.returned, self.layout, self.packs);
+                    flow.returned = flow.returned.join(&ff.returned, self.layout, self.packs);
+                    if partitioning {
+                        merged.extend(tf.parts);
+                        merged.extend(ff.parts);
+                    } else {
+                        let mut j = p.bottom_like();
+                        for q in tf.parts.into_iter().chain(ff.parts) {
+                            j = j.join(&q, self.layout, self.packs);
+                        }
+                        merged.push(j);
+                    }
+                }
+                // Cap the number of live partitions.
+                if merged.len() > self.config.max_partitions {
+                    let mut j = merged[0].bottom_like();
+                    for q in merged {
+                        j = j.join(&q, self.layout, self.packs);
+                    }
+                    merged = vec![j];
+                }
+                flow.parts = merged;
+            }
+            StmtKind::While(id, c, body) => {
+                // Loops merge partitions (partitioning applies to acyclic
+                // code; the invariant is one abstract element).
+                let mut entry = flow.parts[0].bottom_like();
+                for p in std::mem::take(&mut flow.parts) {
+                    entry = entry.join(&p, self.layout, self.packs);
+                }
+                let exit = match self.mode {
+                    Mode::Iterate => self.solve_loop(entry, *id, c, body, ret_target, depth),
+                    Mode::Check => self.check_loop(entry, *id, c, body, s, ret_target, depth),
+                };
+                flow.parts = vec![exit];
+            }
+            StmtKind::Call(ret, callee, args) => {
+                let parts = std::mem::take(&mut flow.parts);
+                for p in parts {
+                    let out = self.transfer_call(p, *callee, args, ret.as_ref(), s, depth);
+                    flow.parts.push(out);
+                }
+            }
+            StmtKind::Return(e) => {
+                let parts = std::mem::take(&mut flow.parts);
+                for p in parts {
+                    let p = match (e, ret_target) {
+                        (Some(e), Some(target)) => self.transfer_assign(&p, target, e, s),
+                        (Some(e), None) => {
+                            if self.mode == Mode::Check {
+                                self.check_expr(Some(&p), e, s);
+                            }
+                            p
+                        }
+                        _ => p,
+                    };
+                    flow.returned = flow.returned.join(&p, self.layout, self.packs);
+                }
+            }
+            StmtKind::Wait => {
+                for p in &mut flow.parts {
+                    p.env = self.eval.tick(&p.env);
+                    if self.config.enable_clocked {
+                        p.tick_relational();
+                    }
+                }
+            }
+            StmtKind::Assume(c) => {
+                for p in flow.parts.iter_mut() {
+                    *p = self.state_guard(p, c, true);
+                }
+            }
+            StmtKind::ReadVolatile(v) => {
+                for p in &mut flow.parts {
+                    *p = self.transfer_read_volatile(p, *v);
+                }
+            }
+        }
+    }
+
+    // ----- loops (Sect. 5.5, 7.1) ------------------------------------------
+
+    fn solve_loop(
+        &mut self,
+        entry: AbsState,
+        id: LoopId,
+        cond: &Expr,
+        body: &Block,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) -> AbsState {
+        let mut exits = entry.bottom_like();
+        let mut cur = entry;
+        // Semantic loop unrolling (Sect. 7.1.1).
+        for _ in 0..self.config.unroll_for(id) {
+            exits = exits.join(&self.state_guard(&cur, cond, false), self.layout, self.packs);
+            let body_in = self.state_guard(&cur, cond, true);
+            if body_in.is_bottom() {
+                self.invariants.insert(id, body_in.bottom_like());
+                return exits;
+            }
+            cur = self.exec_loop_body(body_in, body, ret_target, depth);
+        }
+        // Widening iterations for the residual loop.
+        let base = cur.clone();
+        let mut inv = cur;
+        let mut iter = 0u32;
+        let mut grace = self.config.stabilization_grace;
+        let mut prev_unstable = usize::MAX;
+        let no_thresholds = Thresholds::none();
+        loop {
+            iter += 1;
+            self.stats.loop_iterations += 1;
+            let body_in = self.state_guard(&inv, cond, true);
+            let mut body_out = self.exec_loop_body(body_in, body, ret_target, depth);
+            self.perturb(&mut body_out);
+            let fval = base.join(&body_out, self.layout, self.packs);
+            if fval.leq(&inv) {
+                break;
+            }
+            let unstable = inv.env.count_diff(&fval.env);
+            let stabilizing = unstable < prev_unstable && grace > 0;
+            prev_unstable = unstable;
+            if iter <= self.config.widening_delay || stabilizing {
+                if stabilizing && iter > self.config.widening_delay {
+                    grace -= 1;
+                }
+                inv = inv.join(&fval, self.layout, self.packs);
+            } else if iter <= self.config.max_iterations {
+                inv = inv.widen(&fval, self.layout, self.packs, &self.config.thresholds);
+            } else {
+                // Hard cap: finish with threshold-free widening.
+                inv = inv.widen(&fval, self.layout, self.packs, &no_thresholds);
+            }
+        }
+        // Narrowing iterations (Sect. 5.5).
+        for _ in 0..self.config.narrowing_iterations {
+            let body_in = self.state_guard(&inv, cond, true);
+            let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
+            let fval = base.join(&body_out, self.layout, self.packs);
+            inv = inv.narrow(&fval);
+        }
+        let mut inv = inv;
+        inv.reduce_counting(self.layout, self.packs, Some(&mut self.oct_useful));
+        self.invariants.insert(id, inv.clone());
+        exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_loop(
+        &mut self,
+        entry: AbsState,
+        id: LoopId,
+        cond: &Expr,
+        body: &Block,
+        s: &Stmt,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) -> AbsState {
+        let mut exits = entry.bottom_like();
+        let mut cur = entry;
+        for _ in 0..self.config.unroll_for(id) {
+            self.check_expr(Some(&cur), cond, s);
+            exits = exits.join(&self.state_guard(&cur, cond, false), self.layout, self.packs);
+            let body_in = self.state_guard(&cur, cond, true);
+            if body_in.is_bottom() {
+                return exits;
+            }
+            cur = self.exec_loop_body(body_in, body, ret_target, depth);
+        }
+        let inv = self.invariants.get(&id).cloned().unwrap_or(cur);
+        // One extra pass in checking mode from the invariant (Sect. 5.4).
+        self.check_expr(Some(&inv), cond, s);
+        let body_in = self.state_guard(&inv, cond, true);
+        if !body_in.is_bottom() {
+            let _ = self.exec_loop_body(body_in, body, ret_target, depth);
+        }
+        exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
+    }
+
+    fn exec_loop_body(
+        &mut self,
+        state: AbsState,
+        body: &Block,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) -> AbsState {
+        let mut flow = Flow { parts: vec![state.clone()], returned: state.bottom_like() };
+        self.exec_block(&mut flow, body, ret_target, false, depth);
+        // `return` inside a loop leaves the function, not the loop; the
+        // returned state is handled by the caller via `flow.returned`, which
+        // we conservatively fold into the enclosing function by re-joining.
+        // (The family's reactive main loops do not return.)
+        let mut out = state.bottom_like();
+        for p in flow.parts {
+            out = out.join(&p, self.layout, self.packs);
+        }
+        if !flow.returned.is_bottom() {
+            out = out.join(&flow.returned, self.layout, self.packs);
+        }
+        out
+    }
+
+    /// Floating iteration perturbation (Sect. 7.1.4): inflate float bounds
+    /// by a relative ε so near-stable iterates are recognized as stable.
+    fn perturb(&self, state: &mut AbsState) {
+        let eps = self.config.float_perturbation;
+        if eps <= 0.0 || state.is_bottom() {
+            return;
+        }
+        let updates: Vec<(CellId, CellVal)> = state
+            .env
+            .iter()
+            .filter_map(|(id, v)| match v {
+                CellVal::Float(f) if !f.is_bottom() => {
+                    let lo = f.lo - eps * f.lo.abs();
+                    let hi = f.hi + eps * f.hi.abs();
+                    Some((*id, CellVal::Float(FloatItv::new(lo, hi))))
+                }
+                _ => None,
+            })
+            .collect();
+        for (id, v) in updates {
+            state.env = state.env.set(id, v);
+        }
+    }
+
+    // ----- transfers ---------------------------------------------------------
+
+    fn transfer_assign(&mut self, state: &AbsState, lv: &Lvalue, e: &Expr, s: &Stmt) -> AbsState {
+        if state.is_bottom() {
+            return state.clone();
+        }
+        let mut out = state.clone();
+        // Ellipsoid pending computation at the filter group's first stmt.
+        if let Some(&pi) = self.packs.ellipse_starts.get(&s.id) {
+            let d = self.ellipse_delta(&out, pi);
+            out.set_pending(pi, d);
+        }
+        let (env, flags) = self.eval.assign(&state.env, lv, e);
+        if self.mode == Mode::Check && !flags.is_empty() {
+            self.report(s, flags, lv, Some(e));
+        }
+        out.env = env;
+        if out.is_bottom() {
+            return out;
+        }
+        // Relational updates.
+        let r = self.eval.resolve(&state.env, lv);
+        if r.strong && r.cells.len() == 1 {
+            let cell = r.cells[0];
+            self.oct_assign(&mut out, state, cell, e);
+            self.dtree_assign(&mut out, state, cell, e);
+            self.ellipse_assign(&mut out, cell, s);
+        } else {
+            for c in &r.cells {
+                out.forget_cell(*c, self.packs);
+            }
+        }
+        out
+    }
+
+    /// The `δ` update for filter pack `pi`, evaluated in the pre-state.
+    fn ellipse_delta(&self, state: &AbsState, pi: usize) -> f64 {
+        let pack = &self.packs.ellipses[pi];
+        let x = float_view(state.env.get(pack.x, self.layout));
+        let y = float_view(state.env.get(pack.y, self.layout));
+        let ell = Ellipsoid { a: pack.a, b: pack.b, k: state.ell(pi) }.reduce_from_box(x, y);
+        let t_max = match &pack.t {
+            None => 0.0,
+            Some(t) => {
+                let (v, f) = self.eval.eval(&state.env, t);
+                if !f.is_empty() {
+                    return f64::INFINITY;
+                }
+                let fv = v.as_float();
+                if fv.is_bottom() || !fv.lo.is_finite() || !fv.hi.is_finite() {
+                    return f64::INFINITY;
+                }
+                fv.lo.abs().max(fv.hi.abs())
+            }
+        };
+        ell.delta(t_max)
+    }
+
+    /// Octagon transfer for a strong scalar assignment.
+    fn oct_assign(&mut self, out: &mut AbsState, pre: &AbsState, cell: CellId, e: &Expr) {
+        let Some(pids) = self.packs.oct_index.get(&cell) else { return };
+        for &pi in pids {
+            let slot = self.packs.oct_slot(pi, cell).expect("cell in pack");
+            // Try the exact affine shapes x := ±y + [lo, hi].
+            if let Some((src, neg, lo, hi)) = self.affine_shape(pre, e) {
+                if let Some(src_slot) = self.packs.oct_slot(pi, src) {
+                    let mut oct = out.oct(pi).clone();
+                    if neg {
+                        oct.assign_neg_var_plus_const(slot, src_slot, lo, hi);
+                    } else {
+                        oct.assign_var_plus_const(slot, src_slot, lo, hi);
+                    }
+                    out.set_oct(pi, oct);
+                    continue;
+                }
+            }
+            // Fallback: interval assignment.
+            let v = float_view(out.env.get(cell, self.layout));
+            let mut oct = out.oct(pi).clone();
+            oct.assign_interval(slot, v);
+            out.set_oct(pi, oct);
+        }
+    }
+
+    /// Matches `±y + [lo, hi]` against `e` (evaluating the non-variable part
+    /// in the pre-state); the paper's "smart" octagon assignment. For float
+    /// expressions the constant range is widened by the operation's rounding
+    /// error, making the real-field octagon constraint sound for the
+    /// floating-point semantics (the per-operator error absorption of
+    /// Sect. 6.3).
+    fn affine_shape(&self, pre: &AbsState, e: &Expr) -> Option<(CellId, bool, f64, f64)> {
+        let plain = |lv: &Lvalue| -> Option<CellId> {
+            let r = self.eval.resolve(&pre.env, lv);
+            (r.strong && r.cells.len() == 1).then(|| r.cells[0])
+        };
+        let eval_itv = |e: &Expr| -> Option<(f64, f64)> {
+            let (v, f) = self.eval.eval(&pre.env, e);
+            if !f.is_empty() {
+                return None;
+            }
+            let itv = match v {
+                astree_memory::AbsVal::Float(fv) => fv,
+                astree_memory::AbsVal::Int(iv) => {
+                    if iv.is_bottom() || iv.lo == i64::MIN || iv.hi == i64::MAX {
+                        return None;
+                    }
+                    FloatItv::new(iv.lo as f64, iv.hi as f64)
+                }
+            };
+            (itv.lo.is_finite() && itv.hi.is_finite()).then_some((itv.lo, itv.hi))
+        };
+        // Absolute rounding-error bound of one float operation whose result
+        // is `e`'s value (zero for exact integer arithmetic).
+        let round_err = |e: &Expr| -> Option<f64> {
+            match e.ty() {
+                ScalarType::Int(_) => Some(0.0),
+                ScalarType::Float(_) => {
+                    let (lo, hi) = eval_itv(e)?;
+                    let m = lo.abs().max(hi.abs());
+                    Some(m * (4.0 * astree_float::UNIT_ROUNDOFF) + astree_float::MIN_SUBNORMAL)
+                }
+            }
+        };
+        match e {
+            Expr::Load(lv, _) => plain(lv).map(|c| (c, false, 0.0, 0.0)),
+            Expr::Unop(Unop::Neg, _, a) => match &**a {
+                Expr::Load(lv, _) => plain(lv).map(|c| (c, true, 0.0, 0.0)),
+                _ => None,
+            },
+            Expr::Binop(Binop::Add, _, a, b) => {
+                let err = round_err(e)?;
+                match (&**a, &**b) {
+                    (Expr::Load(lv, _), rest) | (rest, Expr::Load(lv, _)) => {
+                        let c = plain(lv)?;
+                        let (lo, hi) = eval_itv(rest)?;
+                        Some((c, false, lo - err, hi + err))
+                    }
+                    _ => None,
+                }
+            }
+            Expr::Binop(Binop::Sub, _, a, b) => {
+                let err = round_err(e)?;
+                match (&**a, &**b) {
+                    (Expr::Load(lv, _), rest) => {
+                        let c = plain(lv)?;
+                        let (lo, hi) = eval_itv(rest)?;
+                        Some((c, false, -hi - err, -lo + err))
+                    }
+                    (rest, Expr::Load(lv, _)) => {
+                        let c = plain(lv)?;
+                        let (lo, hi) = eval_itv(rest)?;
+                        Some((c, true, lo - err, hi + err))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Decision-tree transfer for a strong scalar assignment.
+    fn dtree_assign(&mut self, out: &mut AbsState, pre: &AbsState, cell: CellId, e: &Expr) {
+        let Some(pids) = self.packs.dtree_index.get(&cell) else { return };
+        for &pi in pids {
+            let pack = &self.packs.dtrees[pi];
+            let tree = pre.dtree(pi).clone();
+            if pack.bools.contains(&cell) {
+                // b := e — split each context on the truth of e.
+                let eval = &self.eval;
+                let layout = self.layout;
+                let env = &pre.env;
+                let restrict = |value: bool| {
+                    move |leaf: &PackEnv| -> PackEnv {
+                        if leaf.is_bottom() {
+                            return PackEnv { cells: leaf.cells.clone(), unreachable: true };
+                        }
+                        // Refine env with the leaf context, then guard on e.
+                        let mut ctx = env.clone();
+                        for (c, v) in &leaf.cells {
+                            let m = ctx.get(*c, layout).meet(v);
+                            if m.is_bottom() {
+                                return PackEnv { cells: leaf.cells.clone(), unreachable: true };
+                            }
+                            ctx = ctx.set(*c, m);
+                        }
+                        let guarded = eval.guard(&ctx, e, value);
+                        if guarded.is_bottom() {
+                            PackEnv { cells: leaf.cells.clone(), unreachable: true }
+                        } else {
+                            PackEnv::from_env(&guarded, layout, &cells_of(leaf))
+                        }
+                    }
+                };
+                let new = tree.assign_bool(cell, &restrict(false), &restrict(true));
+                out.set_dtree(pi, new);
+            } else {
+                // numeric := e — update the member in every context.
+                let eval = &self.eval;
+                let layout = self.layout;
+                let env = &pre.env;
+                let new = tree.map(&|leaf: &PackEnv| {
+                    if leaf.is_bottom() {
+                        return leaf.clone();
+                    }
+                    let mut ctx = env.clone();
+                    for (c, v) in &leaf.cells {
+                        let m = ctx.get(*c, layout).meet(v);
+                        if m.is_bottom() {
+                            return PackEnv { cells: leaf.cells.clone(), unreachable: true };
+                        }
+                        ctx = ctx.set(*c, m);
+                    }
+                    let (val, flags) = eval.eval(&ctx, e);
+                    let new_val = if flags.is_empty() {
+                        match val {
+                            astree_memory::AbsVal::Int(i) => {
+                                CellVal::Int(astree_domains::Clocked::of_val(i, ctx.clock))
+                            }
+                            astree_memory::AbsVal::Float(f) => CellVal::Float(f),
+                        }
+                    } else {
+                        // Errors possible: fall back to the post-env value.
+                        env.get(cell, layout)
+                    };
+                    leaf.set(cell, new_val)
+                });
+                out.set_dtree(pi, new);
+            }
+        }
+    }
+
+    /// Ellipsoid commit at the filter group's final statement.
+    fn ellipse_assign(&mut self, out: &mut AbsState, cell: CellId, s: &Stmt) {
+        // Default forgetting already happened via oct/dtree paths; ellipses
+        // forget through `forget_cell` only on weak updates, so clear any
+        // pack whose x/y was strongly overwritten, then commit pendings.
+        if let Some(pids) = self.packs.ellipse_index.get(&cell) {
+            for &pi in pids {
+                out.set_ell(pi, f64::INFINITY);
+            }
+        }
+        if let Some(&pi) = self.packs.ellipse_commits.get(&s.id) {
+            let committed = out.pending(pi);
+            out.set_ell(pi, committed);
+            out.set_pending(pi, f64::INFINITY);
+            // Reduce X's interval from the committed constraint
+            // (the paper's post-assignment interval tightening).
+            let pack = &self.packs.ellipses[pi];
+            let e = Ellipsoid { a: pack.a, b: pack.b, k: committed };
+            let xb = e.x_bound();
+            if xb.is_finite() {
+                meet_cell_with_float(&mut out.env, self.layout, pack.x, FloatItv::new(-xb, xb));
+            }
+            let yb = e.y_bound();
+            if yb.is_finite() {
+                meet_cell_with_float(&mut out.env, self.layout, pack.y, FloatItv::new(-yb, yb));
+            }
+        }
+    }
+
+    fn transfer_call(
+        &mut self,
+        state: AbsState,
+        callee: FuncId,
+        args: &[CallArg],
+        ret: Option<&Lvalue>,
+        s: &Stmt,
+        depth: u32,
+    ) -> AbsState {
+        if state.is_bottom() {
+            return state;
+        }
+        let f = self.program.func(callee);
+        let mut cur = state;
+        let mut ref_map: HashMap<VarId, Lvalue> = HashMap::new();
+        for (param, arg) in f.params.iter().zip(args) {
+            match arg {
+                CallArg::Value(e) => {
+                    let target = Lvalue::var(param.var);
+                    cur = self.transfer_assign(&cur, &target, e, s);
+                }
+                CallArg::Ref(lv) => {
+                    ref_map.insert(param.var, lv.clone());
+                }
+            }
+        }
+        if cur.is_bottom() {
+            return cur;
+        }
+        // Abstract inlining with by-ref substitution.
+        let body = if ref_map.is_empty() {
+            f.body.clone()
+        } else {
+            substitute_block(&f.body, &ref_map)
+        };
+        let partitioning = self.config.partitioned_functions.contains(&f.name);
+        let mut flow = Flow { parts: vec![cur.clone()], returned: cur.bottom_like() };
+        self.exec_block(&mut flow, &body, ret, partitioning, depth + 1);
+        let mut out = flow.returned;
+        for p in flow.parts {
+            out = out.join(&p, self.layout, self.packs);
+        }
+        out
+    }
+
+    fn transfer_read_volatile(&mut self, state: &AbsState, var: VarId) -> AbsState {
+        let mut out = state.clone();
+        out.env = self.eval.read_volatile(&state.env, var);
+        let cell = self.layout.scalar_cell(var);
+        out.forget_cell(cell, self.packs);
+        // The octagon can keep the fresh interval.
+        if let Some(pids) = self.packs.oct_index.get(&cell) {
+            for &pi in pids.iter() {
+                if let Some(slot) = self.packs.oct_slot(pi, cell) {
+                    let v = float_view(out.env.get(cell, self.layout));
+                    let mut oct = out.oct(pi).clone();
+                    oct.assign_interval(slot, v);
+                    out.set_oct(pi, oct);
+                }
+            }
+        }
+        out
+    }
+
+    // ----- guards ------------------------------------------------------------
+
+    /// Full-state guard: environment refinement plus relational constraints.
+    pub fn state_guard(&mut self, state: &AbsState, cond: &Expr, positive: bool) -> AbsState {
+        if state.is_bottom() {
+            return state.clone();
+        }
+        if !positive {
+            return self.state_guard(state, &cond.negate_condition(), true);
+        }
+        match cond {
+            Expr::Binop(Binop::LAnd, _, a, b) => {
+                let s1 = self.state_guard(state, a, true);
+                self.state_guard(&s1, b, true)
+            }
+            Expr::Binop(Binop::LOr, _, a, b) => {
+                let s1 = self.state_guard(state, a, true);
+                let s2 = self.state_guard(state, b, true);
+                s1.join(&s2, self.layout, self.packs)
+            }
+            Expr::Unop(Unop::LNot, _, a)
+                if matches!(&**a,
+                    Expr::Unop(Unop::LNot, _, _) | Expr::Int(..))
+                    || matches!(&**a, Expr::Binop(op, _, _, _)
+                        if op.is_comparison() || op.is_logical()) =>
+            {
+                self.state_guard(state, &a.negate_condition(), true)
+            }
+            _ => {
+                let mut out = state.clone();
+                out.env = self.eval.guard(&state.env, cond, true);
+                if out.is_bottom() {
+                    return out;
+                }
+                self.oct_guard(&mut out, cond);
+                self.dtree_guard(&mut out, cond, true);
+                // Localized reduction: only the packs the condition touches.
+                let mut cells = Vec::new();
+                cond.for_each_lvalue(&mut |lv| {
+                    let r = self.eval.resolve(&state.env, lv);
+                    cells.extend(r.cells);
+                });
+                out.reduce_local(self.layout, self.packs, &cells, Some(&mut self.oct_useful));
+                out
+            }
+        }
+    }
+
+    /// Adds octagon constraints for atomic comparisons between pack members.
+    fn oct_guard(&mut self, state: &mut AbsState, cond: &Expr) {
+        let Expr::Binop(op, t, a, b) = cond else { return };
+        if !op.is_comparison() {
+            return;
+        }
+        let cell_of = |e: &Expr, st: &AbsState| -> Option<CellId> {
+            match e {
+                Expr::Load(lv, _) => {
+                    let r = self.eval.resolve(&st.env, lv);
+                    (r.strong && r.cells.len() == 1).then(|| r.cells[0])
+                }
+                _ => None,
+            }
+        };
+        let (ca, cb) = (cell_of(a, state), cell_of(b, state));
+        let is_int = matches!(t, ScalarType::Int(_));
+        // Strictness margin: integers gain 1, floats use the closed bound.
+        let margin = if is_int { 1.0 } else { 0.0 };
+        match (ca, cb) {
+            (Some(x), Some(y)) => {
+                for (pi, (sx, sy)) in self.pack_pairs(x, y) {
+                    let mut oct = state.oct(pi).clone();
+                    match op {
+                        Binop::Lt => oct.add_diff_le(sx, sy, -margin),
+                        Binop::Le => oct.add_diff_le(sx, sy, 0.0),
+                        Binop::Gt => oct.add_diff_le(sy, sx, -margin),
+                        Binop::Ge => oct.add_diff_le(sy, sx, 0.0),
+                        Binop::Eq => {
+                            oct.add_diff_le(sx, sy, 0.0);
+                            oct.add_diff_le(sy, sx, 0.0);
+                        }
+                        _ => {}
+                    }
+                    state.set_oct(pi, oct);
+                }
+            }
+            (Some(x), None) => {
+                // x op const-expr.
+                if let Some((lo, hi)) = self.const_bounds(state, b) {
+                    self.oct_unary_guard(state, x, *op, lo, hi, margin);
+                }
+            }
+            (None, Some(y)) => {
+                if let Some((lo, hi)) = self.const_bounds(state, a) {
+                    self.oct_unary_guard(state, y, op.swap(), lo, hi, margin);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Pack and slot pairs shared by two cells.
+    fn pack_pairs(&self, x: CellId, y: CellId) -> HashMap<usize, (usize, usize)> {
+        let mut out = HashMap::new();
+        if let (Some(pxs), Some(pys)) = (self.packs.oct_index.get(&x), self.packs.oct_index.get(&y))
+        {
+            for pi in pxs {
+                if pys.contains(pi) {
+                    let sx = self.packs.oct_slot(*pi, x).expect("in pack");
+                    let sy = self.packs.oct_slot(*pi, y).expect("in pack");
+                    out.insert(*pi, (sx, sy));
+                }
+            }
+        }
+        out
+    }
+
+    fn const_bounds(&self, state: &AbsState, e: &Expr) -> Option<(f64, f64)> {
+        let (v, f) = self.eval.eval(&state.env, e);
+        if !f.is_empty() {
+            return None;
+        }
+        match v {
+            astree_memory::AbsVal::Int(i) => {
+                (!i.is_bottom() && i.lo != i64::MIN && i.hi != i64::MAX)
+                    .then(|| (i.lo as f64, i.hi as f64))
+            }
+            astree_memory::AbsVal::Float(fv) => {
+                (!fv.is_bottom() && fv.lo.is_finite() && fv.hi.is_finite())
+                    .then_some((fv.lo, fv.hi))
+            }
+        }
+    }
+
+    fn oct_unary_guard(
+        &mut self,
+        state: &mut AbsState,
+        x: CellId,
+        op: Binop,
+        lo: f64,
+        hi: f64,
+        margin: f64,
+    ) {
+        let Some(pids) = self.packs.oct_index.get(&x) else { return };
+        for &pi in pids {
+            let slot = self.packs.oct_slot(pi, x).expect("in pack");
+            let mut oct = state.oct(pi).clone();
+            match op {
+                Binop::Lt => oct.add_upper(slot, hi - margin),
+                Binop::Le => oct.add_upper(slot, hi),
+                Binop::Gt => oct.add_lower(slot, lo + margin),
+                Binop::Ge => oct.add_lower(slot, lo),
+                Binop::Eq => {
+                    oct.add_upper(slot, hi);
+                    oct.add_lower(slot, lo);
+                }
+                _ => {}
+            }
+            state.set_oct(pi, oct);
+        }
+    }
+
+    /// Prunes decision-tree contexts on boolean guards (`b`, `!b`,
+    /// `b == 0/1`).
+    fn dtree_guard(&mut self, state: &mut AbsState, cond: &Expr, positive: bool) {
+        let (cell, value) = match cond {
+            Expr::Load(lv, ScalarType::Int(_)) => {
+                let r = self.eval.resolve(&state.env, lv);
+                if !(r.strong && r.cells.len() == 1) {
+                    return;
+                }
+                (r.cells[0], positive)
+            }
+            Expr::Unop(Unop::LNot, _, inner) => {
+                return self.dtree_guard(state, inner, !positive);
+            }
+            Expr::Binop(Binop::Eq, _, a, b) => match (&**a, &**b) {
+                (Expr::Load(lv, _), Expr::Int(v, _)) | (Expr::Int(v, _), Expr::Load(lv, _)) => {
+                    let r = self.eval.resolve(&state.env, lv);
+                    if !(r.strong && r.cells.len() == 1) {
+                        return;
+                    }
+                    (r.cells[0], if *v == 0 { !positive } else { positive })
+                }
+                _ => return,
+            },
+            Expr::Binop(Binop::Ne, _, a, b) => match (&**a, &**b) {
+                (Expr::Load(lv, _), Expr::Int(v, _)) | (Expr::Int(v, _), Expr::Load(lv, _)) => {
+                    let r = self.eval.resolve(&state.env, lv);
+                    if !(r.strong && r.cells.len() == 1) {
+                        return;
+                    }
+                    (r.cells[0], if *v == 0 { positive } else { !positive })
+                }
+                _ => return,
+            },
+            _ => return,
+        };
+        if let Some(pids) = self.packs.dtree_index.get(&cell) {
+            for &pi in pids {
+                if self.packs.dtrees[pi].bools.contains(&cell) {
+                    let g = state.dtree(pi).guard(cell, value);
+                    state.set_dtree(pi, g);
+                }
+            }
+        }
+    }
+
+    // ----- checking ----------------------------------------------------------
+
+    /// Evaluates an expression purely for its error flags (checking mode).
+    fn check_expr(&mut self, state: Option<&AbsState>, e: &Expr, s: &Stmt) {
+        let Some(state) = state else { return };
+        if state.is_bottom() {
+            return;
+        }
+        let (_, flags) = self.eval.eval(&state.env, e);
+        if !flags.is_empty() {
+            let ctx = astree_ir::pretty::expr_to_string(self.program, e);
+            self.sink.report(s.id, s.loc, flags, &ctx);
+        }
+    }
+
+    fn report(&mut self, s: &Stmt, flags: ErrFlags, lv: &Lvalue, e: Option<&Expr>) {
+        let mut ctx = astree_ir::pretty::lvalue_to_string(self.program, lv);
+        if let Some(e) = e {
+            ctx.push_str(" = ");
+            ctx.push_str(&astree_ir::pretty::expr_to_string(self.program, e));
+        }
+        self.sink.report(s.id, s.loc, flags, &ctx);
+    }
+}
+
+/// Cells listed in a leaf (helper for rebuilding a `PackEnv`).
+fn cells_of(leaf: &PackEnv) -> Vec<CellId> {
+    leaf.cells.iter().map(|(c, _)| *c).collect()
+}

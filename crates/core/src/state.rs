@@ -1,0 +1,749 @@
+//! The full abstract state: the interval/clocked environment in reduced
+//! product with the relational pack domains (paper Sect. 6.1: "an abstract
+//! value is … the reduction of the abstract values provided by each
+//! different basic abstract domain").
+//!
+//! All relational components live in persistent maps keyed by pack index,
+//! so cloning a state is O(1) and binary operations skip physically shared
+//! packs — the paper's "sub-linear time costs via sharing of unmodified
+//! octagons" (Sect. 7.2.1).
+
+use crate::packs::Packs;
+use astree_domains::dtree::Lattice;
+use astree_domains::{Clocked, DecisionTree, Ellipsoid, FloatItv, IntItv, Octagon, Thresholds};
+use astree_memory::{AbsEnv, CellId, CellLayout, CellVal};
+use astree_pmap::PMap;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The numeric sub-environment stored at decision-tree leaves: the values of
+/// the pack's numeric cells in one boolean context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackEnv {
+    /// `(cell, value)` pairs, ordered by cell; all leaves of one tree carry
+    /// the same cells.
+    pub cells: Vec<(CellId, CellVal)>,
+    /// `true` when this boolean context is unreachable.
+    pub unreachable: bool,
+}
+
+impl PackEnv {
+    /// Builds a leaf from the current environment for the given cells.
+    pub fn from_env(env: &AbsEnv, layout: &CellLayout, cells: &[CellId]) -> PackEnv {
+        PackEnv {
+            cells: cells.iter().map(|c| (*c, env.get(*c, layout))).collect(),
+            unreachable: env.is_bottom(),
+        }
+    }
+
+    /// The value of a cell in this context (None if not a member).
+    pub fn get(&self, cell: CellId) -> Option<CellVal> {
+        self.cells.iter().find(|(c, _)| *c == cell).map(|(_, v)| *v)
+    }
+
+    /// Replaces the value of a member cell.
+    #[must_use]
+    pub fn set(&self, cell: CellId, val: CellVal) -> PackEnv {
+        let mut out = self.clone();
+        for (c, v) in &mut out.cells {
+            if *c == cell {
+                *v = val;
+            }
+        }
+        if val.is_bottom() {
+            out.unreachable = true;
+        }
+        out
+    }
+
+    /// Meets a member cell with a value.
+    #[must_use]
+    pub fn meet_cell(&self, cell: CellId, val: CellVal) -> PackEnv {
+        match self.get(cell) {
+            Some(old) => {
+                let m = old.meet(&val);
+                let mut out = self.set(cell, m);
+                if m.is_bottom() {
+                    out.unreachable = true;
+                }
+                out
+            }
+            None => self.clone(),
+        }
+    }
+}
+
+impl Lattice for PackEnv {
+    fn join(&self, other: &Self) -> Self {
+        if self.unreachable {
+            return other.clone();
+        }
+        if other.unreachable {
+            return self.clone();
+        }
+        PackEnv {
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|((c, a), (_, b))| (*c, a.join(b)))
+                .collect(),
+            unreachable: false,
+        }
+    }
+
+    fn widen(&self, other: &Self, t: &Thresholds) -> Self {
+        if self.unreachable {
+            return other.clone();
+        }
+        if other.unreachable {
+            return self.clone();
+        }
+        PackEnv {
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|((c, a), (_, b))| (*c, a.widen(b, t)))
+                .collect(),
+            unreachable: false,
+        }
+    }
+
+    fn leq(&self, other: &Self) -> bool {
+        if self.unreachable {
+            return true;
+        }
+        if other.unreachable {
+            return false;
+        }
+        self.cells.iter().zip(&other.cells).all(|((_, a), (_, b))| a.leq(b))
+    }
+
+    fn bottom() -> Self {
+        PackEnv { cells: Vec::new(), unreachable: true }
+    }
+
+    fn is_bottom(&self) -> bool {
+        self.unreachable || self.cells.iter().any(|(_, v)| v.is_bottom())
+    }
+}
+
+/// One decision tree, as stored per pack.
+pub type DTree = DecisionTree<CellId, PackEnv>;
+
+/// The complete abstract state.
+#[derive(Debug, Clone)]
+pub struct AbsState {
+    /// The non-relational environment (intervals + clocked).
+    pub env: AbsEnv,
+    /// Octagons by pack index (persistent, shared).
+    octs: PMap<u32, Octagon>,
+    /// Decision trees by pack index.
+    dtrees: PMap<u32, DTree>,
+    /// Ellipsoid constraint bounds `k` by pack index (∞ = ⊤).
+    ellipses: PMap<u32, f64>,
+    /// Pending `δ(k)` values, computed at a filter group's first statement
+    /// and committed at its last.
+    pending: PMap<u32, f64>,
+}
+
+/// A non-NaN float ordered wrapper is unnecessary — `f64` values stored in
+/// the maps are never NaN (δ and reductions keep them in `[0, +∞]`).
+impl AbsState {
+    /// The initial state: zeroed environment, unconstrained packs.
+    pub fn initial(layout: &CellLayout, packs: &Packs) -> AbsState {
+        let env = AbsEnv::initial(layout);
+        AbsState {
+            octs: packs
+                .octagons
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as u32, Octagon::top(p.cells.len())))
+                .collect(),
+            dtrees: packs
+                .dtrees
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    (i as u32, DecisionTree::leaf(PackEnv::from_env(&env, layout, &p.nums)))
+                })
+                .collect(),
+            ellipses: (0..packs.ellipses.len()).map(|i| (i as u32, f64::INFINITY)).collect(),
+            pending: (0..packs.ellipses.len()).map(|i| (i as u32, f64::INFINITY)).collect(),
+            env,
+        }
+    }
+
+    /// The unreachable state (O(1): shares every pack).
+    pub fn bottom_like(&self) -> AbsState {
+        AbsState { env: AbsEnv::bottom(), ..self.clone() }
+    }
+
+    /// `true` when no execution reaches this point.
+    pub fn is_bottom(&self) -> bool {
+        self.env.is_bottom()
+    }
+
+    /// The octagon of pack `pi`.
+    pub fn oct(&self, pi: usize) -> &Octagon {
+        self.octs.get(&(pi as u32)).expect("pack index in range")
+    }
+
+    /// Replaces the octagon of pack `pi`.
+    pub fn set_oct(&mut self, pi: usize, o: Octagon) {
+        self.octs = self.octs.insert(pi as u32, o);
+    }
+
+    /// The decision tree of pack `pi`.
+    pub fn dtree(&self, pi: usize) -> &DTree {
+        self.dtrees.get(&(pi as u32)).expect("pack index in range")
+    }
+
+    /// Replaces the decision tree of pack `pi`.
+    pub fn set_dtree(&mut self, pi: usize, t: DTree) {
+        self.dtrees = self.dtrees.insert(pi as u32, t);
+    }
+
+    /// The ellipsoid bound of pack `pi`.
+    pub fn ell(&self, pi: usize) -> f64 {
+        *self.ellipses.get(&(pi as u32)).expect("pack index in range")
+    }
+
+    /// Replaces the ellipsoid bound of pack `pi`.
+    pub fn set_ell(&mut self, pi: usize, k: f64) {
+        self.ellipses = self.ellipses.insert(pi as u32, k);
+    }
+
+    /// The pending `δ(k)` of pack `pi`.
+    pub fn pending(&self, pi: usize) -> f64 {
+        *self.pending.get(&(pi as u32)).expect("pack index in range")
+    }
+
+    /// Replaces the pending `δ(k)` of pack `pi`.
+    pub fn set_pending(&mut self, pi: usize, k: f64) {
+        self.pending = self.pending.insert(pi as u32, k);
+    }
+
+    /// Iterates over decision trees.
+    pub fn dtrees_iter(&self) -> impl Iterator<Item = (usize, &DTree)> {
+        self.dtrees.iter().map(|(k, v)| (*k as usize, v))
+    }
+
+    /// Iterates over ellipse bounds.
+    pub fn ellipses_iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.ellipses.iter().map(|(k, v)| (*k as usize, *v))
+    }
+
+    /// Abstract union `⊔`, with the pre-join ellipsoid reduction of
+    /// Sect. 6.2.3 ("before computing the union … we reduce each constraint
+    /// rᵢ = +∞ such that r₃₋ᵢ ≠ +∞"). Physically shared packs are skipped.
+    #[must_use]
+    pub fn join(&self, other: &AbsState, layout: &CellLayout, packs: &Packs) -> AbsState {
+        if self.is_bottom() {
+            return other.clone();
+        }
+        if other.is_bottom() {
+            return self.clone();
+        }
+        let ellipses = self.ellipses.union_with(&other.ellipses, |k, a, b| {
+            let pi = *k as usize;
+            let a = reduce_if_infinite(*a, *b, pi, &self.env, layout, packs);
+            let b = reduce_if_infinite(*b, a, pi, &other.env, layout, packs);
+            a.max(b)
+        });
+        AbsState {
+            env: self.env.join(&other.env),
+            octs: self.octs.union_with(&other.octs, |_, a, b| a.join_ref(b)),
+            dtrees: self.dtrees.union_with(&other.dtrees, |_, a, b| a.join(b)),
+            ellipses,
+            pending: self.pending.union_with(&other.pending, |_, a, b| a.max(*b)),
+        }
+    }
+
+    /// Widening `∇` (with the same pre-widening ellipsoid reduction).
+    #[must_use]
+    pub fn widen(
+        &self,
+        other: &AbsState,
+        layout: &CellLayout,
+        packs: &Packs,
+        t: &Thresholds,
+    ) -> AbsState {
+        if self.is_bottom() {
+            return other.clone();
+        }
+        if other.is_bottom() {
+            return self.clone();
+        }
+        let ellipses = self.ellipses.union_with(&other.ellipses, |k, a, b| {
+            let pi = *k as usize;
+            let b = reduce_if_infinite(*b, *a, pi, &other.env, layout, packs);
+            let p = &packs.ellipses[pi];
+            Ellipsoid { a: p.a, b: p.b, k: *a }.widen(Ellipsoid { a: p.a, b: p.b, k: b }, t).k
+        });
+        AbsState {
+            env: self.env.widen(&other.env, t),
+            octs: self.octs.union_with(&other.octs, |_, a, b| a.widen_ref(b, t)),
+            dtrees: self.dtrees.union_with(&other.dtrees, |_, a, b| a.widen(b, t)),
+            ellipses,
+            pending: self.pending.union_with(&other.pending, |_, a, b| a.max(*b)),
+        }
+    }
+
+    /// Narrowing `Δ` (refines unbounded components; relational packs keep
+    /// their stabilized values).
+    #[must_use]
+    pub fn narrow(&self, other: &AbsState) -> AbsState {
+        if self.is_bottom() || other.is_bottom() {
+            return self.bottom_like();
+        }
+        AbsState {
+            env: self.env.narrow(&other.env),
+            octs: self.octs.clone(),
+            dtrees: self.dtrees.clone(),
+            ellipses: self
+                .ellipses
+                .union_with(&other.ellipses, |_, a, b| if a.is_infinite() { *b } else { *a }),
+            pending: self.pending.clone(),
+        }
+    }
+
+    /// Inclusion `⊑`.
+    pub fn leq(&self, other: &AbsState) -> bool {
+        if self.is_bottom() {
+            return true;
+        }
+        if other.is_bottom() {
+            return false;
+        }
+        self.env.leq(&other.env)
+            && self.octs.all2(&other.octs, |_, _| false, |_, _| true, |_, a, b| a.leq_ref(b))
+            && self.dtrees.all2(&other.dtrees, |_, _| false, |_, _| true, |_, a, b| a.leq(b))
+            && self.ellipses.all2(&other.ellipses, |_, _| false, |_, _| true, |_, a, b| a <= b)
+    }
+
+    /// Bidirectional reduction between the environment and every relational
+    /// pack (used at loop heads). Returns the cells improved.
+    pub fn reduce(&mut self, layout: &CellLayout, packs: &Packs) -> usize {
+        self.reduce_counting(layout, packs, None)
+    }
+
+    /// Full reduction with per-octagon usefulness credit (Sect. 7.2.2).
+    pub fn reduce_counting(
+        &mut self,
+        layout: &CellLayout,
+        packs: &Packs,
+        oct_counts: Option<&mut [usize]>,
+    ) -> usize {
+        let octs: Vec<usize> = (0..packs.octagons.len()).collect();
+        let dts: Vec<usize> = (0..packs.dtrees.len()).collect();
+        let ells: Vec<usize> = (0..packs.ellipses.len()).collect();
+        self.reduce_packs(layout, packs, &octs, &dts, &ells, oct_counts)
+    }
+
+    /// Localized reduction: only the packs containing one of `cells`
+    /// (used after guards/assignments so cost stays proportional to the
+    /// statement's footprint).
+    pub fn reduce_local(
+        &mut self,
+        layout: &CellLayout,
+        packs: &Packs,
+        cells: &[CellId],
+        oct_counts: Option<&mut [usize]>,
+    ) -> usize {
+        let mut octs = BTreeSet::new();
+        let mut dts = BTreeSet::new();
+        let mut ells = BTreeSet::new();
+        for c in cells {
+            if let Some(pids) = packs.oct_index.get(c) {
+                octs.extend(pids.iter().copied());
+            }
+            if let Some(pids) = packs.dtree_index.get(c) {
+                dts.extend(pids.iter().copied());
+            }
+            if let Some(pids) = packs.ellipse_index.get(c) {
+                ells.extend(pids.iter().copied());
+            }
+        }
+        let octs: Vec<usize> = octs.into_iter().collect();
+        let dts: Vec<usize> = dts.into_iter().collect();
+        let ells: Vec<usize> = ells.into_iter().collect();
+        self.reduce_packs(layout, packs, &octs, &dts, &ells, oct_counts)
+    }
+
+    fn reduce_packs(
+        &mut self,
+        layout: &CellLayout,
+        packs: &Packs,
+        oct_ids: &[usize],
+        dtree_ids: &[usize],
+        ell_ids: &[usize],
+        mut oct_counts: Option<&mut [usize]>,
+    ) -> usize {
+        if self.is_bottom() {
+            return 0;
+        }
+        let mut improved = 0;
+        // env → octagons, then octagons → env.
+        for &pi in oct_ids {
+            let pack = &packs.octagons[pi];
+            let mut oct = self.oct(pi).clone();
+            for (slot, cell) in pack.cells.iter().enumerate() {
+                let itv = float_view(self.env.get(*cell, layout));
+                if !itv.is_bottom() {
+                    oct.refine_with_interval(slot, itv);
+                }
+            }
+            oct.close();
+            if oct.is_bottom() {
+                self.env.set_bottom();
+                return improved;
+            }
+            for (slot, cell) in pack.cells.iter().enumerate() {
+                let bounds = oct.bounds(slot);
+                if meet_cell_with_float(&mut self.env, layout, *cell, bounds) {
+                    improved += 1;
+                    if let Some(counts) = oct_counts.as_deref_mut() {
+                        counts[pi] += 1;
+                    }
+                }
+                if self.env.is_bottom() {
+                    return improved;
+                }
+            }
+            self.set_oct(pi, oct);
+        }
+        // dtrees → env (collapse) and env → dtrees (context meet).
+        for &pi in dtree_ids {
+            let tree = self.dtree(pi).clone();
+            if tree.is_bottom() {
+                self.env.set_bottom();
+                return improved;
+            }
+            let collapsed = tree.collapse();
+            for (cell, val) in &collapsed.cells {
+                let old = self.env.get(*cell, layout);
+                let m = old.meet(val);
+                if m.is_bottom() {
+                    self.env.set_bottom();
+                    return improved;
+                }
+                if m != old {
+                    improved += 1;
+                    self.env = self.env.set(*cell, m);
+                }
+            }
+            let env = &self.env;
+            let refined = tree.map(&|leaf: &PackEnv| {
+                let mut out = leaf.clone();
+                for (c, v) in &mut out.cells {
+                    let ev = env.get(*c, layout);
+                    let m = v.meet(&ev);
+                    if m.is_bottom() {
+                        out.unreachable = true;
+                    }
+                    *v = m;
+                }
+                out
+            });
+            self.set_dtree(pi, refined);
+        }
+        // ellipses ↔ env.
+        for &pi in ell_ids {
+            let pack = &packs.ellipses[pi];
+            let k = self.ell(pi);
+            let ell = Ellipsoid { a: pack.a, b: pack.b, k };
+            let x = float_view(self.env.get(pack.x, layout));
+            let y = float_view(self.env.get(pack.y, layout));
+            let reduced = ell.reduce_from_box(x, y);
+            self.set_ell(pi, reduced.k);
+            let xb = reduced.x_bound();
+            let yb = reduced.y_bound();
+            if xb.is_finite()
+                && meet_cell_with_float(&mut self.env, layout, pack.x, FloatItv::new(-xb, xb))
+            {
+                improved += 1;
+            }
+            if yb.is_finite()
+                && meet_cell_with_float(&mut self.env, layout, pack.y, FloatItv::new(-yb, yb))
+            {
+                improved += 1;
+            }
+            if self.env.is_bottom() {
+                return improved;
+            }
+        }
+        improved
+    }
+
+    /// Clock-tick transfer for the relational components: decision-tree
+    /// leaves store clocked integer values whose `x − clock` / `x + clock`
+    /// bounds must shift with the hidden clock exactly like the
+    /// environment's (otherwise later reductions would meet stale bounds —
+    /// unsound).
+    pub fn tick_relational(&mut self) {
+        let updates: Vec<(usize, DTree)> = self
+            .dtrees_iter()
+            .map(|(pi, tree)| {
+                let ticked = tree.map(&|leaf: &PackEnv| {
+                    let mut out = leaf.clone();
+                    for (_, v) in &mut out.cells {
+                        if let CellVal::Int(c) = v {
+                            *v = CellVal::Int(c.tick());
+                        }
+                    }
+                    out
+                });
+                (pi, ticked)
+            })
+            .collect();
+        for (pi, t) in updates {
+            self.set_dtree(pi, t);
+        }
+    }
+
+    /// Drops relational information about a cell (after a weak or imprecise
+    /// update).
+    pub fn forget_cell(&mut self, cell: CellId, packs: &Packs) {
+        if let Some(pids) = packs.oct_index.get(&cell) {
+            for &pi in pids {
+                if let Some(slot) = packs.oct_slot(pi, cell) {
+                    let mut o = self.oct(pi).clone();
+                    o.forget(slot);
+                    self.set_oct(pi, o);
+                }
+            }
+        }
+        if let Some(pids) = packs.dtree_index.get(&cell) {
+            for &pi in pids {
+                let pack = &packs.dtrees[pi];
+                let tree = self.dtree(pi);
+                let new = if pack.bools.contains(&cell) {
+                    tree.forget(cell)
+                } else {
+                    tree.map(&|leaf: &PackEnv| match leaf.get(cell) {
+                        Some(CellVal::Int(_)) => leaf.set(cell, CellVal::Int(Clocked::TOP)),
+                        Some(CellVal::Float(_)) => leaf.set(
+                            cell,
+                            CellVal::Float(FloatItv::new(f64::NEG_INFINITY, f64::INFINITY)),
+                        ),
+                        None => leaf.clone(),
+                    })
+                };
+                self.set_dtree(pi, new);
+            }
+        }
+        if let Some(pids) = packs.ellipse_index.get(&cell) {
+            for &pi in pids {
+                self.set_ell(pi, f64::INFINITY);
+            }
+        }
+    }
+}
+
+/// Pre-join/widen reduction: replace an `∞` constraint by the box bound when
+/// the other side is finite, so a reinitialization branch does not wipe the
+/// filter invariant.
+fn reduce_if_infinite(
+    k: f64,
+    other_k: f64,
+    pi: usize,
+    env: &AbsEnv,
+    layout: &CellLayout,
+    packs: &Packs,
+) -> f64 {
+    if !k.is_infinite() || !other_k.is_finite() || env.is_bottom() {
+        return k;
+    }
+    let pack = &packs.ellipses[pi];
+    let x = float_view(env.get(pack.x, layout));
+    let y = float_view(env.get(pack.y, layout));
+    Ellipsoid { a: pack.a, b: pack.b, k: f64::INFINITY }.reduce_from_box(x, y).k
+}
+
+/// A cell value viewed as a float interval (for octagons/ellipses, which
+/// work in the real field).
+pub fn float_view(v: CellVal) -> FloatItv {
+    match v {
+        CellVal::Float(f) => f,
+        CellVal::Int(c) => {
+            if c.val.is_bottom() {
+                FloatItv::BOTTOM
+            } else {
+                let lo = if c.val.lo == i64::MIN { f64::NEG_INFINITY } else { c.val.lo as f64 };
+                let hi = if c.val.hi == i64::MAX { f64::INFINITY } else { c.val.hi as f64 };
+                FloatItv::new(lo, hi)
+            }
+        }
+    }
+}
+
+/// Meets a cell with a float interval (converting for int cells); returns
+/// `true` when the environment actually improved.
+pub fn meet_cell_with_float(
+    env: &mut AbsEnv,
+    layout: &CellLayout,
+    cell: CellId,
+    itv: FloatItv,
+) -> bool {
+    if itv.is_bottom() {
+        env.set_bottom();
+        return true;
+    }
+    let old = env.get(cell, layout);
+    let new = match old {
+        CellVal::Float(f) => CellVal::Float(f.meet(itv)),
+        CellVal::Int(mut c) => {
+            let lo = if itv.lo == f64::NEG_INFINITY { i64::MIN } else { itv.lo.ceil() as i64 };
+            let hi = if itv.hi == f64::INFINITY { i64::MAX } else { itv.hi.floor() as i64 };
+            c.val = c.val.meet(IntItv::new(lo, hi));
+            CellVal::Int(c)
+        }
+    };
+    if new.is_bottom() {
+        env.set_bottom();
+        return true;
+    }
+    if new != old {
+        *env = env.set(cell, new);
+        true
+    } else {
+        false
+    }
+}
+
+impl fmt::Display for AbsState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            return write!(f, "⊥");
+        }
+        write!(f, "{}", self.env)?;
+        writeln!(
+            f,
+            "  + {} octagons, {} dtrees, {} ellipses",
+            self.octs.len(),
+            self.dtrees.len(),
+            self.ellipses.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use astree_frontend::Frontend;
+    use astree_memory::LayoutConfig;
+
+    fn setup(src: &str) -> (astree_ir::Program, CellLayout, Packs) {
+        let p = Frontend::new().compile_str(src).expect("compiles");
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        let packs = Packs::discover(&p, &l, &AnalysisConfig::default());
+        (p, l, packs)
+    }
+
+    #[test]
+    fn initial_state_shape() {
+        let (_, l, packs) =
+            setup("int x; int y; void main(void) { x = y + 1; if (x < y) { x = 0; } }");
+        let s = AbsState::initial(&l, &packs);
+        assert!(!s.is_bottom());
+        assert_eq!(s.octs.len(), packs.octagons.len());
+    }
+
+    #[test]
+    fn join_with_bottom() {
+        let (_, l, packs) = setup("int x; int y; void main(void) { x = y + 1; }");
+        let s = AbsState::initial(&l, &packs);
+        let b = s.bottom_like();
+        assert!(!b.join(&s, &l, &packs).is_bottom());
+        assert!(!s.join(&b, &l, &packs).is_bottom());
+    }
+
+    #[test]
+    fn clone_is_cheap_and_shared() {
+        let (_, l, packs) =
+            setup("int x; int y; void main(void) { x = y + 1; if (x < y) { x = 0; } }");
+        let s = AbsState::initial(&l, &packs);
+        let t = s.clone();
+        // Physically shared: a join must shortcut.
+        assert!(s.octs.ptr_eq(&t.octs));
+    }
+
+    #[test]
+    fn reduce_octagon_refines_env() {
+        let (_, l, packs) =
+            setup("int x; int y; void main(void) { x = y + 1; if (x < y) { x = 0; } }");
+        let mut s = AbsState::initial(&l, &packs);
+        let xc = l.scalar_cell(astree_ir::VarId(0));
+        let slot_x = packs.oct_slot(0, xc).expect("x in pack");
+        let pack = &packs.octagons[0];
+        let slot_y = (0..pack.cells.len()).find(|i| *i != slot_x).expect("y slot");
+        let mut oct = s.oct(0).clone();
+        oct.add_diff_le(slot_x, slot_y, -3.0);
+        oct.add_upper(slot_y, 10.0);
+        s.set_oct(0, oct);
+        s.env = AbsEnv::top(&l);
+        let improved = s.reduce(&l, &packs);
+        assert!(improved > 0);
+        let x_after = float_view(s.env.get(xc, &l));
+        assert!(x_after.hi <= 7.0 + 1e-9, "x ≤ y − 3 ≤ 7 expected, got {x_after}");
+    }
+
+    #[test]
+    fn local_reduce_touches_only_relevant_packs() {
+        let (_, l, packs) = setup(
+            "int a; int b; int c; int d;
+             void main(void) {
+                 a = b + 1;
+                 if (a < b) { c = d + 2; if (c < d) { a = 0; } }
+             }",
+        );
+        assert!(packs.octagons.len() >= 2);
+        let mut s = AbsState::initial(&l, &packs);
+        s.env = AbsEnv::top(&l);
+        let ac = l.scalar_cell(astree_ir::VarId(0));
+        // Constrain both packs' octagons, then reduce only around `a`.
+        for pi in 0..packs.octagons.len() {
+            let mut o = s.oct(pi).clone();
+            o.add_upper(0, 5.0);
+            s.set_oct(pi, o);
+        }
+        let improved = s.reduce_local(&l, &packs, &[ac], None);
+        assert!(improved >= 1);
+        // The pack not containing `a` was untouched: its cells stay ⊤.
+        let dc = l.scalar_cell(astree_ir::VarId(3));
+        let d_itv = float_view(s.env.get(dc, &l));
+        assert_eq!(d_itv.hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn pack_env_lattice_laws() {
+        let (_, l, _packs) = setup("int x; void main(void) { x = 1; }");
+        let env = AbsEnv::initial(&l);
+        let cells = vec![l.scalar_cell(astree_ir::VarId(0))];
+        let a = PackEnv::from_env(&env, &l, &cells);
+        let bot = PackEnv::bottom();
+        assert!(bot.leq(&a));
+        assert!(a.leq(&a.join(&bot)));
+        assert!(!a.is_bottom());
+        assert!(bot.is_bottom());
+    }
+
+    #[test]
+    fn forget_cell_clears_relations() {
+        let (_, l, packs) =
+            setup("int x; int y; void main(void) { x = y + 1; if (x < y) { x = 0; } }");
+        let mut s = AbsState::initial(&l, &packs);
+        let xc = l.scalar_cell(astree_ir::VarId(0));
+        let slot = packs.oct_slot(0, xc).expect("in pack");
+        let mut o = s.oct(0).clone();
+        o.add_upper(slot, 5.0);
+        s.set_oct(0, o);
+        s.forget_cell(xc, &packs);
+        let mut o = s.oct(0).clone();
+        o.close();
+        assert_eq!(o.bounds(slot).hi, f64::INFINITY);
+    }
+}

@@ -1,0 +1,133 @@
+//! L-value substitution for abstract inlining of by-reference parameters.
+//!
+//! Function calls are analyzed "by abstract execution of the function body
+//! in the context of the point of call" (paper Sect. 5.4). By-reference
+//! parameters alias caller l-values, which the analyzer realizes by cloning
+//! the callee body with each by-ref parameter's base variable replaced by
+//! the actual l-value (prefixing its access path).
+
+use astree_ir::{Access, Block, CallArg, Expr, Lvalue, Stmt, StmtKind, VarId};
+use std::collections::HashMap;
+
+/// Substitutes by-ref parameter roots in a block, returning a fresh block.
+pub fn substitute_block(block: &Block, map: &HashMap<VarId, Lvalue>) -> Block {
+    block.iter().map(|s| substitute_stmt(s, map)).collect()
+}
+
+fn substitute_stmt(s: &Stmt, map: &HashMap<VarId, Lvalue>) -> Stmt {
+    let kind = match &s.kind {
+        StmtKind::Assign(lv, e) => {
+            StmtKind::Assign(substitute_lvalue(lv, map), substitute_expr(e, map))
+        }
+        StmtKind::If(c, a, b) => StmtKind::If(
+            substitute_expr(c, map),
+            substitute_block(a, map),
+            substitute_block(b, map),
+        ),
+        StmtKind::While(id, c, body) => {
+            StmtKind::While(*id, substitute_expr(c, map), substitute_block(body, map))
+        }
+        StmtKind::Call(ret, f, args) => StmtKind::Call(
+            ret.as_ref().map(|lv| substitute_lvalue(lv, map)),
+            *f,
+            args.iter()
+                .map(|a| match a {
+                    CallArg::Value(e) => CallArg::Value(substitute_expr(e, map)),
+                    CallArg::Ref(lv) => CallArg::Ref(substitute_lvalue(lv, map)),
+                })
+                .collect(),
+        ),
+        StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| substitute_expr(e, map))),
+        StmtKind::Assume(e) => StmtKind::Assume(substitute_expr(e, map)),
+        StmtKind::Wait => StmtKind::Wait,
+        StmtKind::ReadVolatile(v) => StmtKind::ReadVolatile(*v),
+    };
+    Stmt { kind, id: s.id, loc: s.loc }
+}
+
+/// Substitutes the base of an l-value (and recursively its index
+/// expressions).
+pub fn substitute_lvalue(lv: &Lvalue, map: &HashMap<VarId, Lvalue>) -> Lvalue {
+    let path: Vec<Access> = lv
+        .path
+        .iter()
+        .map(|a| match a {
+            Access::Field(f) => Access::Field(*f),
+            Access::Index(e) => Access::Index(Box::new(substitute_expr(e, map))),
+        })
+        .collect();
+    match map.get(&lv.base) {
+        None => Lvalue { base: lv.base, path },
+        Some(target) => {
+            let mut full = target.path.clone();
+            full.extend(path);
+            Lvalue { base: target.base, path: full }
+        }
+    }
+}
+
+/// Substitutes l-value roots inside an expression.
+pub fn substitute_expr(e: &Expr, map: &HashMap<VarId, Lvalue>) -> Expr {
+    match e {
+        Expr::Int(..) | Expr::Float(..) => e.clone(),
+        Expr::Load(lv, t) => Expr::Load(substitute_lvalue(lv, map), *t),
+        Expr::Unop(op, t, a) => Expr::Unop(*op, *t, Box::new(substitute_expr(a, map))),
+        Expr::Binop(op, t, a, b) => Expr::Binop(
+            *op,
+            *t,
+            Box::new(substitute_expr(a, map)),
+            Box::new(substitute_expr(b, map)),
+        ),
+        Expr::Cast(t, a) => Expr::Cast(*t, Box::new(substitute_expr(a, map))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astree_ir::{IntType, ScalarType};
+
+    #[test]
+    fn substitutes_base_and_prefixes_path() {
+        let mut map = HashMap::new();
+        // param p ↦ g[2]
+        map.insert(VarId(10), Lvalue::index(VarId(0), Expr::int(2)));
+        let lv = Lvalue { base: VarId(10), path: vec![Access::Field(1)] };
+        let out = substitute_lvalue(&lv, &map);
+        assert_eq!(out.base, VarId(0));
+        assert_eq!(out.path.len(), 2);
+        assert!(matches!(out.path[0], Access::Index(_)));
+        assert_eq!(out.path[1], Access::Field(1));
+    }
+
+    #[test]
+    fn substitutes_inside_expressions_and_stmts() {
+        let mut map = HashMap::new();
+        map.insert(VarId(5), Lvalue::var(VarId(1)));
+        let t = ScalarType::Int(IntType::INT);
+        let s = Stmt::new(StmtKind::Assign(
+            Lvalue::var(VarId(5)),
+            Expr::Binop(
+                astree_ir::Binop::Add,
+                t,
+                Box::new(Expr::var(VarId(5))),
+                Box::new(Expr::int(1)),
+            ),
+        ));
+        let out = substitute_stmt(&s, &map);
+        match &out.kind {
+            StmtKind::Assign(lv, Expr::Binop(_, _, a, _)) => {
+                assert_eq!(lv.base, VarId(1));
+                assert!(matches!(&**a, Expr::Load(l, _) if l.base == VarId(1)));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn untouched_vars_pass_through() {
+        let map = HashMap::new();
+        let e = Expr::var(VarId(3));
+        assert_eq!(substitute_expr(&e, &map), e);
+    }
+}

@@ -1,0 +1,177 @@
+//! Tests of the end-user parametrization surface (paper Sect. 3.2):
+//! user-supplied packs, per-loop unrolling, threshold choice, pack caps.
+
+use astree_core::{AnalysisConfig, Analyzer};
+use astree_frontend::Frontend;
+use astree_ir::LoopId;
+
+fn compile(src: &str) -> astree_ir::Program {
+    Frontend::new().compile_str(src).expect("compiles")
+}
+
+/// A relation octagon packing misses syntactically (the variables never
+/// interact in one linear statement at the same block level) can be
+/// restored by a user-supplied pack.
+#[test]
+fn user_pack_restores_missed_relation() {
+    let src = r#"
+        volatile int in;
+        int a; int b; int out;
+        void set_a(void) { a = in; }
+        void set_b(void) { b = a; }      /* b = a, but via another block */
+        void main(void) {
+            __astree_input_int(in, 0, 1000);
+            while (1) {
+                set_a();
+                set_b();
+                if (a < 100) {
+                    /* b == a < 100 here, but only a relational domain
+                       covering {a, b} can know it. */
+                    out = b * 2200000;
+                }
+                __astree_wait();
+            }
+        }
+    "#;
+    let p = compile(src);
+    // The b=a assignment is linear in {a, b} in its own block, so automatic
+    // packing does find it; the point of this test is that the *user* pack
+    // alone also suffices when automatic packs are filtered away.
+    let mut only_user = AnalysisConfig::default();
+    only_user.octagon_packs_extra = vec![vec!["a".into(), "b".into()]];
+    only_user.octagon_pack_filter = Some(vec![0]); // keep only the user pack
+    let r = Analyzer::new(&p, only_user).run();
+    assert!(r.alarms.is_empty(), "{:?}", r.alarms);
+
+    // With octagons disabled entirely the overflow alarm appears.
+    let mut no_oct = AnalysisConfig::default();
+    no_oct.enable_octagons = false;
+    let r = Analyzer::new(&p, no_oct).run();
+    assert!(!r.alarms.is_empty());
+}
+
+/// Per-loop unrolling applies only to the chosen loop.
+#[test]
+fn per_loop_unrolling_targets_one_loop() {
+    let src = r#"
+        int i; int j; int s1; int s2;
+        void main(void) {
+            s1 = 0;
+            for (i = 0; i < 3; i++) { s1 = s1 + i; }
+            s2 = 0;
+            for (j = 0; j < 3; j++) { s2 = s2 + j; }
+        }
+    "#;
+    let p = compile(src);
+    // Unroll only the first loop: the second still alarms.
+    let mut cfg = AnalysisConfig::default();
+    cfg.loop_unroll = 0;
+    cfg.per_loop_unroll.insert(LoopId(0), 4);
+    let r = Analyzer::new(&p, cfg).run();
+    let lines: Vec<u32> = r.alarms.iter().map(|a| a.loc.line).collect();
+    assert!(!lines.contains(&5), "first loop proven: {:?}", r.alarms);
+    assert!(lines.contains(&7), "second loop still alarms: {:?}", r.alarms);
+}
+
+/// Smaller threshold ramps lose programs bigger ones prove (the αλᴺ
+/// discussion of Sect. 7.1.2).
+#[test]
+fn threshold_ceiling_matters() {
+    let src = r#"
+        volatile double in;
+        double x; int out;
+        void main(void) {
+            __astree_input_float(in, -50.0, 50.0);
+            while (1) {
+                x = 0.5 * x + in;          /* |x| <= 100 is invariant */
+                out = (int)(x * 1000.0);
+                __astree_wait();
+            }
+        }
+    "#;
+    let p = compile(src);
+    // Ramp topping out below the needed bound: false alarms.
+    let mut small = AnalysisConfig::default();
+    small.thresholds = astree_domains::Thresholds::geometric(1.0, 10.0, 1); // max 10
+    let r = Analyzer::new(&p, small).run();
+    assert!(!r.alarms.is_empty(), "ramp to 10 cannot hold |x| ≤ 100");
+    // Ramp above it: clean.
+    let mut big = AnalysisConfig::default();
+    big.thresholds = astree_domains::Thresholds::geometric(1.0, 10.0, 4); // max 10^4
+    let r = Analyzer::new(&p, big).run();
+    assert!(r.alarms.is_empty(), "{:?}", r.alarms);
+}
+
+/// The decision-tree boolean cap keeps packs small even when many booleans
+/// relate to one numeric variable.
+#[test]
+fn dtree_bool_cap_is_respected() {
+    let src = r#"
+        volatile int in;
+        _Bool b0; _Bool b1; _Bool b2; _Bool b3; _Bool b4;
+        int x; int y;
+        void main(void) {
+            __astree_input_int(in, 0, 100);
+            while (1) {
+                x = in;
+                b0 = (_Bool)(x > 0);
+                b1 = (_Bool)(x > 10);
+                b2 = (_Bool)(x > 20);
+                b3 = (_Bool)(x > 30);
+                b4 = (_Bool)(x > 40);
+                if (b0) { y = 1000 / x; }
+                if (b1) { y = y + x; }
+                if (b2) { y = y + x; }
+                if (b3) { y = y + x; }
+                if (b4) { y = y + x; }
+                __astree_wait();
+            }
+        }
+    "#;
+    let p = compile(src);
+    let layout = astree_memory::CellLayout::new(&p, &astree_memory::LayoutConfig::default());
+    let cfg = AnalysisConfig::default();
+    let packs = astree_core::Packs::discover(&p, &layout, &cfg);
+    for pack in &packs.dtrees {
+        assert!(
+            pack.bools.len() <= cfg.dtree_pack_bool_cap,
+            "pack exceeds cap: {pack:?}"
+        );
+    }
+    // The division through b0 is still proven safe.
+    let r = Analyzer::new(&p, cfg).run();
+    assert!(
+        !r.alarms.iter().any(|a| a.kind == astree_core::AlarmKind::DivByZero),
+        "{:?}",
+        r.alarms
+    );
+}
+
+/// Octagon pack caps split oversized blocks instead of truncating away the
+/// needed relation.
+#[test]
+fn oversized_blocks_split_into_clusters() {
+    // 12 interacting variables in one block with cap 8: two packs, each
+    // keeping its own relations.
+    let mut decls = String::new();
+    let mut stmts = String::new();
+    for i in 0..6 {
+        decls.push_str(&format!("int a{i}; int b{i};\n"));
+        stmts.push_str(&format!("a{i} = b{i} + {i};\n"));
+    }
+    let src = format!("{decls}\nvoid main(void) {{ {stmts} }}");
+    let p = compile(&src);
+    let layout = astree_memory::CellLayout::new(&p, &astree_memory::LayoutConfig::default());
+    let cfg = AnalysisConfig::default();
+    let packs = astree_core::Packs::discover(&p, &layout, &cfg);
+    for pack in &packs.octagons {
+        assert!(pack.cells.len() <= cfg.octagon_pack_cap, "{pack:?}");
+    }
+    // Every pair (a_i, b_i) must share a pack.
+    for i in 0..6 {
+        let a = layout.scalar_cell(p.var_by_name(&format!("a{i}")).unwrap());
+        let b = layout.scalar_cell(p.var_by_name(&format!("b{i}")).unwrap());
+        let shared = packs.octagons.iter().any(|pk| pk.cells.contains(&a) && pk.cells.contains(&b));
+        assert!(shared, "pair {i} split across packs");
+    }
+}

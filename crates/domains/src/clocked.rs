@@ -1,0 +1,190 @@
+//! The clocked abstract domain (paper Sect. 6.2.1).
+//!
+//! A triple `(v, v⁻, v⁺)` abstracts the values `x` with `x ∈ γ(v)`,
+//! `x − clock ∈ γ(v⁻)` and `x + clock ∈ γ(v⁺)`, where `clock` is the hidden
+//! variable counting `wait` ticks. Event counters incremented at most once
+//! per cycle have a stable `v⁻` (e.g. `x − clock ≤ 0`), so even when plain
+//! interval widening loses the counter's upper bound, reduction against the
+//! bounded clock (`clock ∈ [0, T]`, `T` the maximal continuous operating
+//! time) recovers `x ≤ T`.
+
+use crate::int_interval::IntItv;
+use crate::thresholds::Thresholds;
+use std::fmt;
+
+/// A clocked integer value: interval plus clock-relative bounds.
+///
+/// # Examples
+///
+/// ```
+/// use astree_domains::{Clocked, IntItv};
+/// // A counter starting at 0 with clock 0.
+/// let clock0 = IntItv::singleton(0);
+/// let c = Clocked::of_val(IntItv::singleton(0), clock0);
+/// // One increment per tick keeps x - clock <= 0 stable.
+/// let bumped = c.add_const(1).tick();
+/// assert!(bumped.minus.hi <= 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Clocked {
+    /// Bounds on `x`.
+    pub val: IntItv,
+    /// Bounds on `x − clock`.
+    pub minus: IntItv,
+    /// Bounds on `x + clock`.
+    pub plus: IntItv,
+}
+
+impl Clocked {
+    /// Bottom (unreachable).
+    pub const BOTTOM: Clocked =
+        Clocked { val: IntItv::BOTTOM, minus: IntItv::BOTTOM, plus: IntItv::BOTTOM };
+
+    /// Top (no information).
+    pub const TOP: Clocked = Clocked { val: IntItv::TOP, minus: IntItv::TOP, plus: IntItv::TOP };
+
+    /// Builds the triple for a value known only as `val`, given the current
+    /// clock bounds.
+    pub fn of_val(val: IntItv, clock: IntItv) -> Clocked {
+        Clocked { val, minus: val.sub(clock), plus: val.add(clock) }
+    }
+
+    /// `true` when any component is empty.
+    pub fn is_bottom(self) -> bool {
+        self.val.is_bottom()
+    }
+
+    /// Pointwise inclusion.
+    pub fn leq(self, other: Clocked) -> bool {
+        self.val.leq(other.val) && self.minus.leq(other.minus) && self.plus.leq(other.plus)
+    }
+
+    /// Pointwise join.
+    #[must_use]
+    pub fn join(self, other: Clocked) -> Clocked {
+        Clocked {
+            val: self.val.join(other.val),
+            minus: self.minus.join(other.minus),
+            plus: self.plus.join(other.plus),
+        }
+    }
+
+    /// Pointwise meet.
+    #[must_use]
+    pub fn meet(self, other: Clocked) -> Clocked {
+        Clocked {
+            val: self.val.meet(other.val),
+            minus: self.minus.meet(other.minus),
+            plus: self.plus.meet(other.plus),
+        }
+    }
+
+    /// Pointwise widening with thresholds.
+    #[must_use]
+    pub fn widen(self, other: Clocked, t: &Thresholds) -> Clocked {
+        Clocked {
+            val: self.val.widen(other.val, t),
+            minus: self.minus.widen(other.minus, t),
+            plus: self.plus.widen(other.plus, t),
+        }
+    }
+
+    /// Pointwise narrowing.
+    #[must_use]
+    pub fn narrow(self, other: Clocked) -> Clocked {
+        Clocked {
+            val: self.val.narrow(other.val),
+            minus: self.minus.narrow(other.minus),
+            plus: self.plus.narrow(other.plus),
+        }
+    }
+
+    /// Transfer for `x := x + c`: all three components shift.
+    #[must_use]
+    pub fn add_const(self, c: i64) -> Clocked {
+        let k = IntItv::singleton(c);
+        Clocked { val: self.val.add(k), minus: self.minus.add(k), plus: self.plus.add(k) }
+    }
+
+    /// Transfer for the clock tick (`wait`): `clock` grows by one, so
+    /// `x − clock` shrinks by one and `x + clock` grows by one.
+    #[must_use]
+    pub fn tick(self) -> Clocked {
+        let one = IntItv::singleton(1);
+        Clocked { val: self.val, minus: self.minus.sub(one), plus: self.plus.add(one) }
+    }
+
+    /// Reduction: refine `val` using the clock bounds
+    /// (`x = (x − clock) + clock = (x + clock) − clock`).
+    #[must_use]
+    pub fn reduce(self, clock: IntItv) -> Clocked {
+        if self.is_bottom() {
+            return Clocked::BOTTOM;
+        }
+        let from_minus = self.minus.add(clock);
+        let from_plus = self.plus.sub(clock);
+        let val = self.val.meet(from_minus).meet(from_plus);
+        // And the reverse reductions keep the triple coherent.
+        let minus = self.minus.meet(val.sub(clock));
+        let plus = self.plus.meet(val.add(clock));
+        Clocked { val, minus, plus }
+    }
+}
+
+impl fmt::Display for Clocked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(v={}, v-clk={}, v+clk={})", self.val, self.minus, self.plus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_stays_bounded_by_clock() {
+        // Simulate: x := 0; loop { if (event) x := x + 1; wait }
+        // with widening on val but a stable minus component.
+        let clock_max = 1000;
+        let mut x = Clocked::of_val(IntItv::singleton(0), IntItv::singleton(0));
+        let t = Thresholds::none();
+        // Abstract loop: join of (x) and (x+1), then tick, widened.
+        for _ in 0..5 {
+            let body = x.join(x.add_const(1)).tick();
+            x = x.widen(body, &t);
+        }
+        // val has been widened away…
+        assert_eq!(x.val.hi, i64::MAX);
+        // …but reduction against clock ∈ [0, 1000] recovers the bound.
+        let reduced = x.reduce(IntItv::new(0, clock_max));
+        assert!(reduced.val.hi <= clock_max + 1, "{}", reduced.val);
+        assert!(reduced.val.lo >= 0);
+    }
+
+    #[test]
+    fn of_val_is_coherent() {
+        let c = Clocked::of_val(IntItv::new(3, 5), IntItv::new(0, 10));
+        assert_eq!(c.minus, IntItv::new(-7, 5));
+        assert_eq!(c.plus, IntItv::new(3, 15));
+        // Reduction of a coherent triple is the identity on val.
+        assert_eq!(c.reduce(IntItv::new(0, 10)).val, c.val);
+    }
+
+    #[test]
+    fn lattice_ops_pointwise() {
+        let a = Clocked::of_val(IntItv::new(0, 1), IntItv::singleton(0));
+        let b = Clocked::of_val(IntItv::new(2, 3), IntItv::singleton(0));
+        let j = a.join(b);
+        assert_eq!(j.val, IntItv::new(0, 3));
+        assert!(a.leq(j) && b.leq(j));
+        assert!(a.meet(b).is_bottom());
+    }
+
+    #[test]
+    fn narrow_recovers_from_top() {
+        let w = Clocked::TOP;
+        let f = Clocked::of_val(IntItv::new(0, 7), IntItv::new(0, 3));
+        let n = w.narrow(f);
+        assert_eq!(n.val, f.val);
+    }
+}

@@ -1,0 +1,112 @@
+//! Potential run-time error flags produced by abstract transfer functions.
+//!
+//! When the iterator runs in checking mode (paper Sect. 5.3), each operator
+//! application reports the classes of concrete errors it *may* exhibit; the
+//! analysis then continues with the non-erroneous results only ("overflowing
+//! integers are wiped out and not considered modulo").
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// A set of potential run-time error classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ErrFlags(u8);
+
+impl ErrFlags {
+    /// No potential error.
+    pub const NONE: ErrFlags = ErrFlags(0);
+    /// Integer or float division (or remainder) by zero.
+    pub const DIV_BY_ZERO: ErrFlags = ErrFlags(1);
+    /// Integer arithmetic may exceed the operation type's range.
+    pub const INT_OVERFLOW: ErrFlags = ErrFlags(2);
+    /// Float arithmetic may overflow to ±∞.
+    pub const FLOAT_OVERFLOW: ErrFlags = ErrFlags(4);
+    /// A float operation may produce NaN.
+    pub const NAN: ErrFlags = ErrFlags(8);
+    /// Shift amount may fall outside `[0, width)`.
+    pub const SHIFT_RANGE: ErrFlags = ErrFlags(16);
+    /// Array subscript may be out of bounds.
+    pub const OUT_OF_BOUNDS: ErrFlags = ErrFlags(32);
+    /// Float-to-integer conversion may be out of range.
+    pub const INVALID_CAST: ErrFlags = ErrFlags(64);
+
+    /// `true` if no error class is present.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` if every class in `other` is present in `self`.
+    pub fn contains(self, other: ErrFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Iterates over the individual flags present.
+    pub fn iter(self) -> impl Iterator<Item = ErrFlags> {
+        (0..7).map(|b| ErrFlags(1 << b)).filter(move |f| self.contains(*f))
+    }
+}
+
+impl BitOr for ErrFlags {
+    type Output = ErrFlags;
+    fn bitor(self, rhs: ErrFlags) -> ErrFlags {
+        ErrFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for ErrFlags {
+    fn bitor_assign(&mut self, rhs: ErrFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for ErrFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "none");
+        }
+        let mut first = true;
+        let names = [
+            (ErrFlags::DIV_BY_ZERO, "division-by-zero"),
+            (ErrFlags::INT_OVERFLOW, "integer-overflow"),
+            (ErrFlags::FLOAT_OVERFLOW, "float-overflow"),
+            (ErrFlags::NAN, "invalid-float-operation"),
+            (ErrFlags::SHIFT_RANGE, "shift-out-of-range"),
+            (ErrFlags::OUT_OF_BOUNDS, "out-of-bounds-access"),
+            (ErrFlags::INVALID_CAST, "invalid-conversion"),
+        ];
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_operations() {
+        let f = ErrFlags::DIV_BY_ZERO | ErrFlags::NAN;
+        assert!(f.contains(ErrFlags::DIV_BY_ZERO));
+        assert!(!f.contains(ErrFlags::INT_OVERFLOW));
+        assert!(!f.is_empty());
+        assert!(ErrFlags::NONE.is_empty());
+        assert_eq!(f.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ErrFlags::NONE.to_string(), "none");
+        assert_eq!(
+            (ErrFlags::DIV_BY_ZERO | ErrFlags::FLOAT_OVERFLOW).to_string(),
+            "division-by-zero|float-overflow"
+        );
+    }
+}

@@ -1,0 +1,440 @@
+//! Floating-point intervals with outward rounding (paper Sect. 6.2.1).
+//!
+//! Every operation rounds the lower bound toward −∞ and the upper bound
+//! toward +∞ via [`astree_float::round`], then re-rounds outward onto the
+//! `f32` grid when the operation type is single-precision — so the interval
+//! contains every value IEEE-754 hardware can produce. Overflow to ±∞ and
+//! invalid operations are reported through [`ErrFlags`] and the result is
+//! clipped to the finite range, matching the analyzer's "continue with the
+//! non-erroneous results" convention (Sect. 5.3).
+
+use crate::flags::ErrFlags;
+use crate::thresholds::Thresholds;
+use astree_float::round;
+use astree_ir::FloatKind;
+use std::fmt;
+
+/// A float interval `[lo, hi]` (empty when `lo > hi`; bounds may be ±∞ only
+/// transiently, results handed to the analyzer are always finite).
+///
+/// # Examples
+///
+/// ```
+/// use astree_domains::FloatItv;
+/// use astree_ir::FloatKind;
+/// let a = FloatItv::new(0.0, 1.0);
+/// let b = FloatItv::new(0.1, 0.2);
+/// let (sum, err) = a.add(b, FloatKind::F64);
+/// assert!(err.is_empty());
+/// assert!(sum.lo <= 0.1 && sum.hi >= 1.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatItv {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl FloatItv {
+    /// The empty interval ⊥.
+    pub const BOTTOM: FloatItv = FloatItv { lo: 1.0, hi: 0.0 };
+
+    /// `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64) -> FloatItv {
+        FloatItv { lo, hi }
+    }
+
+    /// `[v, v]`.
+    pub fn singleton(v: f64) -> FloatItv {
+        FloatItv { lo: v, hi: v }
+    }
+
+    /// The full finite range of a format.
+    pub fn top_of(kind: FloatKind) -> FloatItv {
+        let m = kind.max_finite();
+        FloatItv { lo: -m, hi: m }
+    }
+
+    /// `true` for the empty interval.
+    pub fn is_bottom(self) -> bool {
+        !(self.lo <= self.hi)
+    }
+
+    /// `true` if `v` lies in the interval.
+    pub fn contains(self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// `Some(v)` when the interval is one value.
+    pub fn as_singleton(self) -> Option<f64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Inclusion `self ⊑ other`.
+    pub fn leq(self, other: FloatItv) -> bool {
+        self.is_bottom() || (other.lo <= self.lo && self.hi <= other.hi)
+    }
+
+    /// Least upper bound.
+    #[must_use]
+    pub fn join(self, other: FloatItv) -> FloatItv {
+        if self.is_bottom() {
+            return other;
+        }
+        if other.is_bottom() {
+            return self;
+        }
+        FloatItv { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Greatest lower bound.
+    #[must_use]
+    pub fn meet(self, other: FloatItv) -> FloatItv {
+        if self.is_bottom() || other.is_bottom() {
+            return FloatItv::BOTTOM;
+        }
+        FloatItv { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    /// Widening with thresholds (paper Sect. 7.1.2).
+    #[must_use]
+    pub fn widen(self, other: FloatItv, thresholds: &Thresholds) -> FloatItv {
+        if self.is_bottom() {
+            return other;
+        }
+        if other.is_bottom() {
+            return self;
+        }
+        FloatItv {
+            lo: if other.lo < self.lo { thresholds.below(other.lo) } else { self.lo },
+            hi: if other.hi > self.hi { thresholds.above(other.hi) } else { self.hi },
+        }
+    }
+
+    /// Narrowing: refine infinite bounds.
+    #[must_use]
+    pub fn narrow(self, other: FloatItv) -> FloatItv {
+        if self.is_bottom() || other.is_bottom() {
+            return FloatItv::BOTTOM;
+        }
+        FloatItv {
+            lo: if self.lo == f64::NEG_INFINITY { other.lo } else { self.lo },
+            hi: if self.hi == f64::INFINITY { other.hi } else { self.hi },
+        }
+    }
+
+    /// Outward re-rounding onto the format grid (`f32` widens the bounds to
+    /// representable singles; `f64` is the identity).
+    #[must_use]
+    pub fn on_grid(self, kind: FloatKind) -> FloatItv {
+        if self.is_bottom() {
+            return self;
+        }
+        match kind {
+            FloatKind::F64 => self,
+            FloatKind::F32 => FloatItv { lo: round::f32_down(self.lo), hi: round::f32_up(self.hi) },
+        }
+    }
+
+    /// Clips to the finite range of `kind`; flags overflow when clipping cut
+    /// anything off.
+    fn finish(self, kind: FloatKind) -> (FloatItv, ErrFlags) {
+        if self.is_bottom() {
+            return (self, ErrFlags::NONE);
+        }
+        let g = self.on_grid(kind);
+        let m = kind.max_finite();
+        let mut flags = ErrFlags::NONE;
+        let mut lo = g.lo;
+        let mut hi = g.hi;
+        if lo < -m {
+            flags |= ErrFlags::FLOAT_OVERFLOW;
+            lo = -m;
+        }
+        if hi > m {
+            flags |= ErrFlags::FLOAT_OVERFLOW;
+            hi = m;
+        }
+        if lo > hi {
+            // Both bounds escaped the same way: no non-erroneous result.
+            return (FloatItv::BOTTOM, flags);
+        }
+        (FloatItv { lo, hi }, flags)
+    }
+
+    /// `-self` (exact).
+    #[must_use]
+    pub fn neg(self) -> FloatItv {
+        if self.is_bottom() {
+            return self;
+        }
+        FloatItv { lo: -self.hi, hi: -self.lo }
+    }
+
+    /// `self + other` at format `kind`.
+    pub fn add(self, other: FloatItv, kind: FloatKind) -> (FloatItv, ErrFlags) {
+        if self.is_bottom() || other.is_bottom() {
+            return (FloatItv::BOTTOM, ErrFlags::NONE);
+        }
+        FloatItv { lo: round::add_down(self.lo, other.lo), hi: round::add_up(self.hi, other.hi) }
+            .finish(kind)
+    }
+
+    /// `self - other` at format `kind`.
+    pub fn sub(self, other: FloatItv, kind: FloatKind) -> (FloatItv, ErrFlags) {
+        self.add(other.neg(), kind)
+    }
+
+    /// `self * other` at format `kind`.
+    pub fn mul(self, other: FloatItv, kind: FloatKind) -> (FloatItv, ErrFlags) {
+        if self.is_bottom() || other.is_bottom() {
+            return (FloatItv::BOTTOM, ErrFlags::NONE);
+        }
+        let c = [
+            round::mul_down(self.lo, other.lo),
+            round::mul_down(self.lo, other.hi),
+            round::mul_down(self.hi, other.lo),
+            round::mul_down(self.hi, other.hi),
+        ];
+        let d = [
+            round::mul_up(self.lo, other.lo),
+            round::mul_up(self.lo, other.hi),
+            round::mul_up(self.hi, other.lo),
+            round::mul_up(self.hi, other.hi),
+        ];
+        let lo = c.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = d.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        FloatItv { lo, hi }.finish(kind)
+    }
+
+    /// `self / other` at format `kind`. A divisor interval containing zero
+    /// raises [`ErrFlags::DIV_BY_ZERO`] and the result is computed over the
+    /// zero-free parts of the divisor.
+    pub fn div(self, other: FloatItv, kind: FloatKind) -> (FloatItv, ErrFlags) {
+        if self.is_bottom() || other.is_bottom() {
+            return (FloatItv::BOTTOM, ErrFlags::NONE);
+        }
+        let mut flags = ErrFlags::NONE;
+        let mut result = FloatItv::BOTTOM;
+        let touches_zero = other.lo <= 0.0 && other.hi >= 0.0;
+        if touches_zero {
+            flags |= ErrFlags::DIV_BY_ZERO;
+        }
+        // Positive part (0, hi].
+        if other.hi > 0.0 {
+            let dlo = if other.lo > 0.0 { other.lo } else { 0.0 };
+            result = result.join(self.div_part(dlo, other.hi));
+        }
+        // Negative part [lo, 0).
+        if other.lo < 0.0 {
+            let dhi = if other.hi < 0.0 { other.hi } else { -0.0 };
+            result = result.join(self.div_part(other.lo, dhi));
+        }
+        if result.is_bottom() {
+            // Divisor was exactly {0}: no non-erroneous result.
+            return (FloatItv::BOTTOM, flags);
+        }
+        let (r, f2) = result.finish(kind);
+        (r, flags | f2)
+    }
+
+    /// Division by a zero-free, same-sign divisor range (an endpoint may be
+    /// ±0.0, yielding infinite candidates that `finish` clips and flags).
+    fn div_part(self, dlo: f64, dhi: f64) -> FloatItv {
+        let c = [
+            round::div_down(self.lo, dlo),
+            round::div_down(self.lo, dhi),
+            round::div_down(self.hi, dlo),
+            round::div_down(self.hi, dhi),
+        ];
+        let d = [
+            round::div_up(self.lo, dlo),
+            round::div_up(self.lo, dhi),
+            round::div_up(self.hi, dlo),
+            round::div_up(self.hi, dhi),
+        ];
+        let lo = c.iter().copied().filter(|v| !v.is_nan()).fold(f64::INFINITY, f64::min);
+        let hi = d.iter().copied().filter(|v| !v.is_nan()).fold(f64::NEG_INFINITY, f64::max);
+        if lo.is_infinite() && hi.is_infinite() && lo > hi {
+            return FloatItv::BOTTOM;
+        }
+        FloatItv { lo, hi }
+    }
+
+    /// Conversion of an integer interval image into a float interval (exact
+    /// for |v| < 2⁵³, outward otherwise).
+    pub fn from_int_range(lo: i64, hi: i64, kind: FloatKind) -> FloatItv {
+        let flo = if lo == i64::MIN { f64::NEG_INFINITY } else { lo as f64 };
+        let fhi = if hi == i64::MAX { f64::INFINITY } else { hi as f64 };
+        // i64→f64 rounds to nearest; nudge outward to stay sound, then clip
+        // onto the target grid.
+        FloatItv { lo: round::next_down(flo), hi: round::next_up(fhi) }
+            .on_grid(kind)
+            .meet(FloatItv::top_of(kind))
+    }
+
+    /// Conversion to a (possibly narrower) float format.
+    pub fn convert_to(self, kind: FloatKind) -> (FloatItv, ErrFlags) {
+        self.finish(kind)
+    }
+
+    /// Image under float→int truncation; flags invalid conversions. Returns
+    /// the integer range (saturated onto `i64` sentinels).
+    pub fn trunc_to_int(self, min: i64, max: i64) -> (i64, i64, ErrFlags) {
+        if self.is_bottom() {
+            return (1, 0, ErrFlags::NONE);
+        }
+        let mut flags = ErrFlags::NONE;
+        let tlo = self.lo.trunc();
+        let thi = self.hi.trunc();
+        if tlo < min as f64 || thi > max as f64 {
+            flags |= ErrFlags::INVALID_CAST;
+        }
+        let lo = tlo.max(min as f64) as i64;
+        let hi = thi.min(max as f64) as i64;
+        (lo, hi, flags)
+    }
+}
+
+impl fmt::Display for FloatItv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_bottom() {
+            write!(f, "⊥")
+        } else {
+            write!(f, "[{:.6e}, {:.6e}]", self.lo, self.hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F64: FloatKind = FloatKind::F64;
+    const F32: FloatKind = FloatKind::F32;
+
+    #[test]
+    fn lattice_laws() {
+        let a = FloatItv::new(0.0, 1.0);
+        let b = FloatItv::new(0.5, 2.0);
+        assert!(a.leq(a.join(b)));
+        assert!(a.meet(b).leq(b));
+        assert!(FloatItv::BOTTOM.leq(a));
+        assert_eq!(a.join(FloatItv::BOTTOM), a);
+    }
+
+    #[test]
+    fn add_brackets_concrete() {
+        let a = FloatItv::new(0.1, 0.2);
+        let b = FloatItv::new(0.3, 0.4);
+        let (s, e) = a.add(b, F64);
+        assert!(e.is_empty());
+        assert!(s.contains(0.1 + 0.3) && s.contains(0.2 + 0.4) && s.contains(0.15 + 0.35));
+    }
+
+    #[test]
+    fn f32_ops_widen_to_grid() {
+        let a = FloatItv::singleton(0.1f32 as f64);
+        let b = FloatItv::singleton(0.2f32 as f64);
+        let (s, _) = a.add(b, F32);
+        let concrete = (0.1f32 + 0.2f32) as f64;
+        assert!(s.contains(concrete), "{s} misses {concrete}");
+        assert_eq!(s.lo as f32 as f64, s.lo);
+        assert_eq!(s.hi as f32 as f64, s.hi);
+    }
+
+    #[test]
+    fn mul_signs() {
+        let a = FloatItv::new(-2.0, 3.0);
+        let b = FloatItv::new(-1.0, 4.0);
+        let (p, e) = a.mul(b, F64);
+        assert!(e.is_empty());
+        assert!(p.contains(-8.0) && p.contains(12.0) && p.contains(2.0));
+    }
+
+    #[test]
+    fn overflow_flags_and_clips() {
+        let a = FloatItv::singleton(1e308);
+        let (s, e) = a.add(a, F64);
+        assert!(e.contains(ErrFlags::FLOAT_OVERFLOW));
+        assert_eq!(s.hi, f64::MAX);
+        // Both bounds overflow the same direction: bottom (pure error).
+        assert!(s.lo <= s.hi);
+        let (s2, e2) = FloatItv::singleton(f64::MAX).mul(FloatItv::singleton(2.0), F64);
+        assert!(e2.contains(ErrFlags::FLOAT_OVERFLOW));
+        assert!(s2.is_bottom() || s2.hi == f64::MAX);
+    }
+
+    #[test]
+    fn f32_overflow_at_its_own_max() {
+        let a = FloatItv::singleton(3e38);
+        let (s, e) = a.add(a, F32);
+        assert!(e.contains(ErrFlags::FLOAT_OVERFLOW));
+        assert!(s.is_bottom() || s.hi <= f32::MAX as f64);
+    }
+
+    #[test]
+    fn division_by_safe_interval() {
+        let a = FloatItv::new(1.0, 2.0);
+        let b = FloatItv::new(4.0, 8.0);
+        let (q, e) = a.div(b, F64);
+        assert!(e.is_empty());
+        assert!(q.contains(0.125) && q.contains(0.5));
+        assert!(q.lo > 0.12 && q.hi < 0.51);
+    }
+
+    #[test]
+    fn division_straddling_zero_flags() {
+        let a = FloatItv::singleton(1.0);
+        let b = FloatItv::new(-1.0, 1.0);
+        let (q, e) = a.div(b, F64);
+        assert!(e.contains(ErrFlags::DIV_BY_ZERO));
+        assert!(e.contains(ErrFlags::FLOAT_OVERFLOW));
+        assert!(q.contains(1.0) && q.contains(-1.0));
+        // Exactly-zero divisor: bottom.
+        let (q0, e0) = a.div(FloatItv::singleton(0.0), F64);
+        assert!(q0.is_bottom());
+        assert!(e0.contains(ErrFlags::DIV_BY_ZERO));
+    }
+
+    #[test]
+    fn widen_and_narrow() {
+        let t = Thresholds::geometric(1.0, 10.0, 3);
+        let a = FloatItv::new(0.0, 0.5);
+        let b = FloatItv::new(0.0, 1.5);
+        assert_eq!(a.widen(b, &t), FloatItv::new(0.0, 10.0));
+        let w = FloatItv::new(0.0, f64::INFINITY);
+        assert_eq!(w.narrow(FloatItv::new(0.0, 3.0)), FloatItv::new(0.0, 3.0));
+    }
+
+    #[test]
+    fn int_range_conversion() {
+        let f = FloatItv::from_int_range(-5, 10, F64);
+        assert!(f.contains(-5.0) && f.contains(10.0));
+        let g = FloatItv::from_int_range(0, 1 << 60, F32);
+        assert!(g.hi >= (1u64 << 60) as f64);
+    }
+
+    #[test]
+    fn trunc_to_int_flags_out_of_range() {
+        let f = FloatItv::new(-1.5, 300.7);
+        let (lo, hi, e) = f.trunc_to_int(0, 255);
+        assert_eq!((lo, hi), (0, 255));
+        assert!(e.contains(ErrFlags::INVALID_CAST));
+        let (lo, hi, e) = FloatItv::new(1.9, 2.1).trunc_to_int(-128, 127);
+        assert_eq!((lo, hi), (1, 2));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn double_to_float_conversion_flags() {
+        let d = FloatItv::singleton(1e39);
+        let (f, e) = d.convert_to(F32);
+        assert!(e.contains(ErrFlags::FLOAT_OVERFLOW));
+        assert!(f.is_bottom() || f.hi <= f32::MAX as f64);
+        let (f, e) = FloatItv::new(0.0, 1.0).convert_to(F32);
+        assert!(e.is_empty());
+        assert_eq!(f, FloatItv::new(0.0, 1.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Widening thresholds (paper Sect. 7.1.2).
+//!
+//! Instead of jumping straight to ±∞, the widening of an unstable bound goes
+//! through a finite ramp of thresholds. The paper chooses the geometric ramp
+//! `±α·λᵏ` for `0 ≤ k ≤ N`; as long as the ramp contains *some* value above
+//! the (unknown) stabilization bound `M`, the interval analysis proves the
+//! variable bounded.
+
+/// A finite, sorted set of widening thresholds, always containing ±∞.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Strictly increasing positive thresholds; the negative ramp is the
+    /// mirror image. ±∞ are implicit.
+    ramp: Vec<f64>,
+}
+
+impl Thresholds {
+    /// The default ramp used by the analyzer: `α·λᵏ` with `α = 1`,
+    /// `λ = 10`, `N = 12` (up to `10¹²`).
+    pub fn geometric_default() -> Thresholds {
+        Thresholds::geometric(1.0, 10.0, 12)
+    }
+
+    /// Builds the ramp `α·λᵏ` for `0 ≤ k ≤ n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha <= 0` or `lambda <= 1`.
+    pub fn geometric(alpha: f64, lambda: f64, n: u32) -> Thresholds {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(lambda > 1.0, "lambda must exceed 1");
+        let mut ramp = Vec::with_capacity(n as usize + 1);
+        let mut v = alpha;
+        for _ in 0..=n {
+            ramp.push(v);
+            v *= lambda;
+        }
+        Thresholds { ramp }
+    }
+
+    /// An empty ramp: widening jumps straight to ±∞ (the classic interval
+    /// widening, used as the ablation baseline).
+    pub fn none() -> Thresholds {
+        Thresholds { ramp: Vec::new() }
+    }
+
+    /// Builds a ramp from explicit positive values (sorted, deduplicated).
+    pub fn from_values(mut values: Vec<f64>) -> Thresholds {
+        values.retain(|v| *v > 0.0 && v.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.dedup();
+        Thresholds { ramp: values }
+    }
+
+    /// The positive ramp values.
+    pub fn ramp(&self) -> &[f64] {
+        &self.ramp
+    }
+
+    /// Smallest threshold `≥ x` for an escaping upper bound, or `+∞`.
+    pub fn above(&self, x: f64) -> f64 {
+        for &t in &self.ramp {
+            if t >= x {
+                return t;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Largest threshold `≤ x` for an escaping lower bound, or `−∞`.
+    /// The negative ramp mirrors the positive one, with 0 included between.
+    pub fn below(&self, x: f64) -> f64 {
+        if x >= 0.0 {
+            // Climb down through 0 first: the mirrored ramp is
+            // …, -α, 0 is NOT a threshold in the paper's ±αλᵏ set, but a
+            // non-negative escaping lower bound is rare; fall to 0 if any
+            // positive threshold fits, else -∞.
+            let mut best = f64::NEG_INFINITY;
+            for &t in &self.ramp {
+                if t <= x && t > best {
+                    best = t;
+                }
+            }
+            if best.is_finite() {
+                return best;
+            }
+            if x >= 0.0 && !self.ramp.is_empty() {
+                return 0.0;
+            }
+            return f64::NEG_INFINITY;
+        }
+        for &t in &self.ramp {
+            if -t <= x {
+                return -t;
+            }
+        }
+        f64::NEG_INFINITY
+    }
+
+    /// Integer variant of [`Thresholds::above`], saturating to `i64::MAX`.
+    pub fn above_int(&self, x: i64) -> i64 {
+        let t = self.above(x as f64);
+        if t >= i64::MAX as f64 {
+            i64::MAX
+        } else {
+            t.ceil() as i64
+        }
+    }
+
+    /// Integer variant of [`Thresholds::below`], saturating to `i64::MIN`.
+    pub fn below_int(&self, x: i64) -> i64 {
+        let t = self.below(x as f64);
+        if t <= i64::MIN as f64 {
+            i64::MIN
+        } else {
+            t.floor() as i64
+        }
+    }
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds::geometric_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_ramp() {
+        let t = Thresholds::geometric(1.0, 10.0, 3);
+        assert_eq!(t.ramp(), &[1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn above_climbs_the_ramp() {
+        let t = Thresholds::geometric(1.0, 10.0, 3);
+        assert_eq!(t.above(0.5), 1.0);
+        assert_eq!(t.above(1.0), 1.0);
+        assert_eq!(t.above(42.0), 100.0);
+        assert_eq!(t.above(5000.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn below_mirrors() {
+        let t = Thresholds::geometric(1.0, 10.0, 3);
+        assert_eq!(t.below(-0.5), -1.0);
+        assert_eq!(t.below(-42.0), -100.0);
+        assert_eq!(t.below(-5000.0), f64::NEG_INFINITY);
+        // Non-negative escaping lower bounds settle at 0.
+        assert_eq!(t.below(0.5), 0.0);
+        assert_eq!(t.below(7.0), 1.0);
+    }
+
+    #[test]
+    fn none_jumps_to_infinity() {
+        let t = Thresholds::none();
+        assert_eq!(t.above(1.0), f64::INFINITY);
+        assert_eq!(t.below(-1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn int_variants_saturate() {
+        let t = Thresholds::geometric(1.0, 10.0, 2);
+        assert_eq!(t.above_int(7), 10);
+        assert_eq!(t.above_int(1000), i64::MAX);
+        assert_eq!(t.below_int(-7), -10);
+        assert_eq!(t.below_int(-1000), i64::MIN);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_bad_lambda() {
+        let _ = Thresholds::geometric(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests: abstract operations over-approximate concrete sampling.
+
+use astree_domains::{Ellipsoid, FloatItv, IntItv, LinForm, Octagon, Thresholds};
+use astree_ir::FloatKind;
+use proptest::prelude::*;
+
+fn small_range() -> impl Strategy<Value = (i64, i64)> {
+    (-50i64..50, -50i64..50).prop_map(|(a, b)| (a.min(b), a.max(b)))
+}
+
+fn fl_range() -> impl Strategy<Value = (f64, f64)> {
+    (-1e3f64..1e3, -1e3f64..1e3).prop_map(|(a, b)| (a.min(b), a.max(b)))
+}
+
+proptest! {
+    #[test]
+    fn int_ops_sound_on_samples((alo, ahi) in small_range(), (blo, bhi) in small_range(),
+                                xs in prop::collection::vec((any::<u8>(), any::<u8>()), 20)) {
+        let a = IntItv::new(alo, ahi);
+        let b = IntItv::new(blo, bhi);
+        for (sx, sy) in xs {
+            let x = alo + (sx as i64) % (ahi - alo + 1);
+            let y = blo + (sy as i64) % (bhi - blo + 1);
+            prop_assert!(a.add(b).contains(x + y));
+            prop_assert!(a.sub(b).contains(x - y));
+            prop_assert!(a.mul(b).contains(x * y));
+            if y != 0 {
+                prop_assert!(a.div(b).contains(x / y));
+                prop_assert!(a.rem(b).contains(x % y));
+            }
+        }
+    }
+
+    #[test]
+    fn int_join_meet_laws((alo, ahi) in small_range(), (blo, bhi) in small_range()) {
+        let a = IntItv::new(alo, ahi);
+        let b = IntItv::new(blo, bhi);
+        prop_assert!(a.leq(a.join(b)));
+        prop_assert!(b.leq(a.join(b)));
+        prop_assert!(a.meet(b).leq(a));
+        prop_assert_eq!(a.join(b), b.join(a));
+        prop_assert_eq!(a.meet(b), b.meet(a));
+        // Widening covers the join.
+        let t = Thresholds::geometric_default();
+        prop_assert!(a.join(b).leq(a.widen(b, &t)));
+    }
+
+    #[test]
+    fn float_ops_sound_on_samples((alo, ahi) in fl_range(), (blo, bhi) in fl_range(),
+                                  fracs in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 10)) {
+        let a = FloatItv::new(alo, ahi);
+        let b = FloatItv::new(blo, bhi);
+        for (fa, fb) in fracs {
+            let x = alo + (ahi - alo) * fa;
+            let y = blo + (bhi - blo) * fb;
+            let (sum, _) = a.add(b, FloatKind::F64);
+            prop_assert!(sum.contains(x + y), "{sum} misses {x}+{y}");
+            let (prod, _) = a.mul(b, FloatKind::F64);
+            prop_assert!(prod.contains(x * y));
+            if y.abs() > 1e-6 {
+                let (quot, _) = a.div(b, FloatKind::F64);
+                prop_assert!(quot.contains(x / y), "{quot} misses {x}/{y}");
+            }
+            // f32 ops contain the f32-rounded results.
+            let (sum32, _) = a.mul(b, FloatKind::F32);
+            let conc = (x as f32 * y as f32) as f64;
+            if conc.is_finite() {
+                prop_assert!(sum32.contains(conc));
+            }
+        }
+    }
+
+    #[test]
+    fn float_widen_covers_join((alo, ahi) in fl_range(), (blo, bhi) in fl_range()) {
+        let a = FloatItv::new(alo, ahi);
+        let b = FloatItv::new(blo, bhi);
+        let t = Thresholds::geometric_default();
+        prop_assert!(a.join(b).leq(a.widen(b, &t)));
+        // Iterated widening reaches a fixpoint fast.
+        let mut cur = a;
+        for _ in 0..64 {
+            let next = cur.widen(b, &t);
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        prop_assert_eq!(cur.widen(b, &t), cur);
+    }
+
+    #[test]
+    fn octagon_closure_preserves_solutions(
+        c01 in -10.0f64..10.0, c12 in -10.0f64..10.0, up1 in -5.0f64..10.0,
+        xs in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0), 10),
+    ) {
+        let mut o = Octagon::top(3);
+        o.add_diff_le(0, 1, c01);
+        o.add_diff_le(1, 2, c12);
+        o.add_upper(1, up1);
+        let mut closed = o.clone();
+        closed.close();
+        for (x0, x1, x2) in xs {
+            let satisfies = x0 - x1 <= c01 && x1 - x2 <= c12 && x1 <= up1;
+            if satisfies {
+                // The closure must still admit the point.
+                prop_assert!(closed.diff_bound(0, 1) >= x0 - x1 - 1e-9);
+                prop_assert!(closed.diff_bound(0, 2) >= x0 - x2 - 1e-9);
+                prop_assert!(closed.bounds(1).hi >= x1 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn octagon_join_is_upper_bound(lo in -5.0f64..0.0, hi in 0.0f64..5.0) {
+        let mut a = Octagon::top(2);
+        a.assign_interval(0, FloatItv::new(lo, 0.0));
+        let mut b = Octagon::top(2);
+        b.assign_interval(0, FloatItv::new(0.0, hi));
+        let j = a.join(&mut b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn linform_eval_sound(coef in -5.0f64..5.0, cst in -5.0f64..5.0,
+                          (xlo, xhi) in fl_range(), fr in 0.0f64..1.0) {
+        let x: LinForm<u32> = LinForm::var(0);
+        let l = x.scale(FloatItv::singleton(coef)).add(&LinForm::constant(FloatItv::singleton(cst)));
+        let env = FloatItv::new(xlo, xhi);
+        let v = l.eval(|_| env);
+        let sample = xlo + (xhi - xlo) * fr;
+        let concrete = coef * sample + cst;
+        prop_assert!(v.lo <= concrete + 1e-9 && concrete - 1e-9 <= v.hi,
+                     "{v} misses {concrete}");
+    }
+
+    #[test]
+    fn ellipsoid_delta_monotone(k1 in 0.0f64..1e6, k2 in 0.0f64..1e6, tm in 0.0f64..100.0) {
+        let (ka, kb) = (k1.min(k2), k1.max(k2));
+        let ea = Ellipsoid::new(0.5, 0.5, ka);
+        let eb = Ellipsoid::new(0.5, 0.5, kb);
+        prop_assert!(ea.delta(tm) <= eb.delta(tm));
+    }
+
+    #[test]
+    fn ellipsoid_invariant_contains_concrete(tm in 0.1f64..10.0, seed in any::<u64>()) {
+        let a = 1.2f64;
+        let b = 0.6f64;
+        prop_assume!(Ellipsoid::stable(a, b));
+        let e = Ellipsoid::top(a, b);
+        let k = e.min_invariant_k(tm);
+        let inv = Ellipsoid::new(a, b, k);
+        let mut x = 0.0f64;
+        let mut y = 0.0f64;
+        let mut rng = seed | 1;
+        for _ in 0..500 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let t = (((rng >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0) * tm;
+            let nx = a * x - b * y + t;
+            y = x;
+            x = nx;
+            let form = x * x - a * x * y + b * y * y;
+            prop_assert!(form <= inv.k * (1.0 + 1e-9), "{form} > {}", inv.k);
+        }
+    }
+}

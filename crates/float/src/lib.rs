@@ -1,0 +1,90 @@
+//! Sound directed-rounding floating-point primitives.
+//!
+//! The analyzer must "always perform rounding in the right direction" (paper
+//! Sect. 6.2.1): every abstract operation on floats over-approximates the set
+//! of concrete IEEE-754 results, so lower bounds are rounded toward −∞ and
+//! upper bounds toward +∞. Portable Rust cannot switch the hardware rounding
+//! mode, so this crate implements the standard substitute: compute with
+//! round-to-nearest, then use *error-free transformations* (TwoSum, FMA
+//! residuals) to decide whether the exact result lies above or below the
+//! rounded one, and step one [ulp] in the needed direction only when it does.
+//! The result is the *exactly* directed-rounded value for `+`, `-`, `*`, `/`
+//! — not merely a one-ulp over-approximation.
+//!
+//! The crate also exposes the IEEE-754 double-precision constants the
+//! ellipsoid domain's error term needs (paper Sect. 6.2.3: "`f` is the
+//! greatest relative error of a float with respect to a real").
+//!
+//! # Examples
+//!
+//! ```
+//! use astree_float::round;
+//!
+//! let a = 0.1_f64;
+//! let b = 0.2_f64;
+//! assert!(round::add_down(a, b) <= a + b);
+//! assert!(round::add_up(a, b) >= a + b);
+//! assert!(round::add_down(a, b) < round::add_up(a, b)); // 0.1 + 0.2 is inexact
+//! assert_eq!(round::add_down(1.0, 2.0), 3.0);           // exact ops stay exact
+//! ```
+
+pub mod round;
+
+/// Unit roundoff of IEEE-754 binary64: the greatest relative error of
+/// rounding a real to the nearest double, `2⁻⁵³`.
+///
+/// This is the `f` of the paper's ellipsoid error term (Sect. 6.2.3).
+pub const UNIT_ROUNDOFF: f64 = 1.1102230246251565e-16; // 2^-53
+
+/// Smallest positive subnormal double, the absolute error floor near zero.
+pub const MIN_SUBNORMAL: f64 = 5e-324;
+
+/// Returns the distance to the next representable double above `x.abs()`,
+/// i.e. one unit in the last place.
+///
+/// Returns `f64::INFINITY` for non-finite inputs.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(astree_float::ulp(1.0), f64::EPSILON);
+/// assert!(astree_float::ulp(0.0) > 0.0);
+/// ```
+pub fn ulp(x: f64) -> f64 {
+    if !x.is_finite() {
+        return f64::INFINITY;
+    }
+    let a = x.abs();
+    let up = round::next_up(a);
+    if up.is_finite() {
+        up - a
+    } else {
+        a - round::next_down(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_roundoff_is_half_epsilon() {
+        assert_eq!(UNIT_ROUNDOFF, f64::EPSILON / 2.0);
+    }
+
+    #[test]
+    fn min_subnormal_is_smallest() {
+        assert!(MIN_SUBNORMAL > 0.0);
+        assert_eq!(MIN_SUBNORMAL / 2.0, 0.0);
+    }
+
+    #[test]
+    fn ulp_values() {
+        assert_eq!(ulp(1.0), f64::EPSILON);
+        assert_eq!(ulp(-1.0), f64::EPSILON);
+        assert_eq!(ulp(0.0), MIN_SUBNORMAL);
+        assert_eq!(ulp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(ulp(f64::NAN), f64::INFINITY);
+        assert_eq!(ulp(f64::MAX), f64::MAX - round::next_down(f64::MAX));
+    }
+}

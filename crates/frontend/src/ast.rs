@@ -1,0 +1,204 @@
+//! Surface abstract syntax, produced by the parser and consumed by lowering.
+//!
+//! Typedefs and enumeration constants are resolved during parsing (the
+//! parser needs them to disambiguate anyway), so the AST contains only
+//! structural types and plain identifiers.
+
+use astree_ir::ScalarType;
+
+/// A surface type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstType {
+    /// `void` (function returns only).
+    Void,
+    /// A scalar type, already resolved to the machine model.
+    Scalar(ScalarType),
+    /// Fixed-size array (size from a constant expression).
+    Array(Box<AstType>, usize),
+    /// `struct tag`.
+    Struct(String),
+    /// Pointer — only legal as a function parameter type (call-by-reference).
+    Pointer(Box<AstType>),
+}
+
+/// An initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Init {
+    /// `= expr`
+    Scalar(AstExpr),
+    /// `= { ... }`
+    List(Vec<Init>),
+}
+
+/// A surface expression with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstExpr {
+    /// Expression node.
+    pub kind: ExprKind,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Surface expression nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer constant (value, unsigned suffix).
+    Int(i64, bool),
+    /// Float constant (value, `f` suffix means `float`).
+    Float(f64, bool),
+    /// Identifier (variable or enum constant; resolved at lowering).
+    Ident(String),
+    /// `a[i]`
+    Index(Box<AstExpr>, Box<AstExpr>),
+    /// `s.f`
+    Field(Box<AstExpr>, String),
+    /// `p->f` (by-ref struct parameter)
+    Arrow(Box<AstExpr>, String),
+    /// `*p` (by-ref scalar parameter)
+    Deref(Box<AstExpr>),
+    /// `&lv` (call arguments only)
+    AddrOf(Box<AstExpr>),
+    /// `f(args)`
+    Call(String, Vec<AstExpr>),
+    /// Unary `-`, `!`, `~`
+    Unop(UnopKind, Box<AstExpr>),
+    /// Binary operator
+    Binop(BinopKind, Box<AstExpr>, Box<AstExpr>),
+    /// `c ? a : b`
+    Ternary(Box<AstExpr>, Box<AstExpr>, Box<AstExpr>),
+    /// `(T)e`
+    Cast(AstType, Box<AstExpr>),
+    /// `l = r` (expression statements only)
+    Assign(Box<AstExpr>, Box<AstExpr>),
+    /// `l op= r` (expression statements only)
+    CompoundAssign(BinopKind, Box<AstExpr>, Box<AstExpr>),
+}
+
+/// Surface unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnopKind {
+    /// `-`
+    Neg,
+    /// `!`
+    LNot,
+    /// `~`
+    BNot,
+}
+
+/// Surface binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinopKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    BAnd,
+    /// `|`
+    BOr,
+    /// `^`
+    BXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// A surface statement with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstStmt {
+    /// Statement node.
+    pub kind: StmtKindAst,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Surface statement nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKindAst {
+    /// Local declaration (name, type, static storage, initializer).
+    Decl(String, AstType, bool, Option<Init>),
+    /// Expression statement: assignment, compound assignment, or call.
+    Expr(AstExpr),
+    /// `if`
+    If(AstExpr, Vec<AstStmt>, Vec<AstStmt>),
+    /// `while`
+    While(AstExpr, Vec<AstStmt>),
+    /// `do { } while (c);`
+    DoWhile(Vec<AstStmt>, AstExpr),
+    /// `for (init; cond; step)`
+    For(Option<AstExpr>, Option<AstExpr>, Option<AstExpr>, Vec<AstStmt>),
+    /// `return`
+    Return(Option<AstExpr>),
+    /// `{ ... }` (scoping block)
+    Block(Vec<AstStmt>),
+    /// `;`
+    Empty,
+}
+
+/// A global (or file-`static`) variable declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: AstType,
+    /// `static` storage class.
+    pub is_static: bool,
+    /// `volatile` qualifier (hardware input).
+    pub is_volatile: bool,
+    /// `extern` (declaration only; merged by the linker).
+    pub is_extern: bool,
+    /// Initializer.
+    pub init: Option<Init>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A function definition or prototype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: AstType,
+    /// Parameters (name, type).
+    pub params: Vec<(String, AstType)>,
+    /// `None` for a prototype.
+    pub body: Option<Vec<AstStmt>>,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AstProgram {
+    /// Struct definitions (tag, fields).
+    pub structs: Vec<(String, Vec<(String, AstType)>)>,
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}

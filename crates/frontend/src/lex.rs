@@ -1,0 +1,347 @@
+//! Lexer for the C subset.
+//!
+//! Produces a token stream with line numbers. The preprocessor lexes each
+//! physical line (after continuation splicing) so macro expansion operates on
+//! tokens, not text.
+
+use std::fmt;
+
+/// A lexical error with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer constant with suffix-derived unsignedness.
+    IntLit(i64, bool),
+    /// Floating constant; `true` if it carried an `f`/`F` suffix.
+    FloatLit(f64, bool),
+    /// Character constant (its integer value).
+    CharLit(i64),
+    /// String literal (only used by `#include` handling).
+    StrLit(String),
+    /// Punctuation, e.g. `"+"`, `"<<="`, `"("`.
+    Punct(&'static str),
+    /// `#` at the start of a preprocessor directive (only inside the
+    /// preprocessor; never reaches the parser).
+    Hash,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Token {
+    /// Returns the identifier text if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the given punctuation.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.kind, TokenKind::Punct(q) if *q == p)
+    }
+}
+
+/// Multi-character punctuators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=",
+    "%=", "&=", "|=", "^=", "++", "--", "->", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "[", "]", "{", "}", ";", ",", ".", "?", ":", "#",
+];
+
+/// Lexes one line of already-spliced source (no embedded newlines).
+///
+/// Comments must have been stripped by the preprocessor. `line` is the
+/// 1-based line number attached to the produced tokens.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on malformed constants or stray characters.
+pub fn lex_line(text: &str, line: u32) -> Result<Vec<Token>, LexError> {
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let err = |msg: String| LexError { line, msg };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::Ident(text[start..i].to_string()), line });
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+            let start = i;
+            let mut is_float = false;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let digits = &text[start + 2..i];
+                let v = i64::from_str_radix(digits, 16)
+                    .map_err(|e| err(format!("bad hex constant: {e}")))?;
+                let unsigned = eat_int_suffix(bytes, &mut i);
+                out.push(Token { kind: TokenKind::IntLit(v, unsigned), line });
+                continue;
+            }
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                if d.is_ascii_digit() {
+                    i += 1;
+                } else if d == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else if (d == 'e' || d == 'E')
+                    && i + 1 < bytes.len()
+                    && ((bytes[i + 1] as char).is_ascii_digit()
+                        || bytes[i + 1] == b'+'
+                        || bytes[i + 1] == b'-')
+                {
+                    is_float = true;
+                    i += 1;
+                    if bytes[i] == b'+' || bytes[i] == b'-' {
+                        i += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let digits = &text[start..i];
+            if is_float {
+                let v: f64 =
+                    digits.parse().map_err(|e| err(format!("bad float constant: {e}")))?;
+                let f32_suffix = i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F');
+                if f32_suffix {
+                    i += 1;
+                }
+                // An `l`/`L` suffix (long double) is accepted and ignored.
+                if i < bytes.len() && (bytes[i] == b'l' || bytes[i] == b'L') {
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::FloatLit(v, f32_suffix), line });
+            } else {
+                // Octal constants (leading 0) are parsed base-8 as in C.
+                let v = if digits.len() > 1 && digits.starts_with('0') {
+                    i64::from_str_radix(&digits[1..], 8)
+                        .map_err(|e| err(format!("bad octal constant: {e}")))?
+                } else {
+                    digits.parse().map_err(|e| err(format!("bad int constant: {e}")))?
+                };
+                let unsigned = eat_int_suffix(bytes, &mut i);
+                out.push(Token { kind: TokenKind::IntLit(v, unsigned), line });
+            }
+            continue;
+        }
+        // Character constant.
+        if c == '\'' {
+            i += 1;
+            let (v, used) = char_escape(&text[i..]).ok_or_else(|| err("bad char constant".into()))?;
+            i += used;
+            if i >= bytes.len() || bytes[i] != b'\'' {
+                return Err(err("unterminated char constant".into()));
+            }
+            i += 1;
+            out.push(Token { kind: TokenKind::CharLit(v), line });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err(err("unterminated string literal".into()));
+                }
+                if bytes[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                if bytes[i] == b'\\' {
+                    let (v, used) =
+                        char_escape(&text[i..]).ok_or_else(|| err("bad escape".into()))?;
+                    s.push(v as u8 as char);
+                    i += used;
+                } else {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+            out.push(Token { kind: TokenKind::StrLit(s), line });
+            continue;
+        }
+        // Punctuation, maximal munch.
+        let rest = &text[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                let kind = if *p == "#" { TokenKind::Hash } else { TokenKind::Punct(p) };
+                out.push(Token { kind, line });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(err(format!("stray character {c:?}")));
+        }
+    }
+    Ok(out)
+}
+
+/// Consumes `u`/`U`/`l`/`L` integer suffixes; returns `true` if unsigned.
+fn eat_int_suffix(bytes: &[u8], i: &mut usize) -> bool {
+    let mut unsigned = false;
+    while *i < bytes.len() {
+        match bytes[*i] {
+            b'u' | b'U' => {
+                unsigned = true;
+                *i += 1;
+            }
+            b'l' | b'L' => {
+                *i += 1;
+            }
+            _ => break,
+        }
+    }
+    unsigned
+}
+
+/// Parses one (possibly escaped) character; returns its value and the number
+/// of input bytes consumed.
+fn char_escape(s: &str) -> Option<(i64, usize)> {
+    let b = s.as_bytes();
+    if b.is_empty() {
+        return None;
+    }
+    if b[0] != b'\\' {
+        return Some((b[0] as i64, 1));
+    }
+    if b.len() < 2 {
+        return None;
+    }
+    let (v, n) = match b[1] {
+        b'n' => (b'\n' as i64, 2),
+        b't' => (b'\t' as i64, 2),
+        b'r' => (b'\r' as i64, 2),
+        b'0' => (0, 2),
+        b'\\' => (b'\\' as i64, 2),
+        b'\'' => (b'\'' as i64, 2),
+        b'"' => (b'"' as i64, 2),
+        _ => return None,
+    };
+    Some((v, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex_line(src, 1).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        assert_eq!(
+            kinds("int _x y2"),
+            vec![
+                TokenKind::Ident("int".into()),
+                TokenKind::Ident("_x".into()),
+                TokenKind::Ident("y2".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_forms() {
+        assert_eq!(kinds("42"), vec![TokenKind::IntLit(42, false)]);
+        assert_eq!(kinds("0x1F"), vec![TokenKind::IntLit(31, false)]);
+        assert_eq!(kinds("010"), vec![TokenKind::IntLit(8, false)]);
+        assert_eq!(kinds("42u"), vec![TokenKind::IntLit(42, true)]);
+        assert_eq!(kinds("42UL"), vec![TokenKind::IntLit(42, true)]);
+        assert_eq!(kinds("0"), vec![TokenKind::IntLit(0, false)]);
+    }
+
+    #[test]
+    fn float_forms() {
+        assert_eq!(kinds("1.5"), vec![TokenKind::FloatLit(1.5, false)]);
+        assert_eq!(kinds("1.5f"), vec![TokenKind::FloatLit(1.5, true)]);
+        assert_eq!(kinds("1e3"), vec![TokenKind::FloatLit(1000.0, false)]);
+        assert_eq!(kinds("2.5e-2"), vec![TokenKind::FloatLit(0.025, false)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::FloatLit(0.5, false)]);
+    }
+
+    #[test]
+    fn punct_maximal_munch() {
+        assert_eq!(
+            kinds("a<<=b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<<="),
+                TokenKind::Ident("b".into())
+            ]
+        );
+        assert_eq!(kinds(">>"), vec![TokenKind::Punct(">>")]);
+        assert_eq!(kinds("> >"), vec![TokenKind::Punct(">"), TokenKind::Punct(">")]);
+    }
+
+    #[test]
+    fn char_and_string() {
+        assert_eq!(kinds("'a'"), vec![TokenKind::CharLit(97)]);
+        assert_eq!(kinds("'\\n'"), vec![TokenKind::CharLit(10)]);
+        assert_eq!(kinds("\"hi\""), vec![TokenKind::StrLit("hi".into())]);
+    }
+
+    #[test]
+    fn hash_token() {
+        assert_eq!(kinds("#define"), vec![TokenKind::Hash, TokenKind::Ident("define".into())]);
+    }
+
+    #[test]
+    fn errors_carry_line() {
+        let e = lex_line("@", 7).unwrap_err();
+        assert_eq!(e.line, 7);
+        assert!(e.msg.contains("stray"));
+    }
+
+    #[test]
+    fn unterminated_literals_error() {
+        assert!(lex_line("'a", 1).is_err());
+        assert!(lex_line("\"abc", 1).is_err());
+    }
+}

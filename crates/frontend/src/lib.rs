@@ -1,0 +1,176 @@
+//! C-subset frontend: preprocessing, parsing, type checking and lowering.
+//!
+//! Implements the preprocessing-and-parsing phase of the analyzer (paper
+//! Sect. 5.1): the source is preprocessed with a small C preprocessor
+//! ([`preprocess`]), parsed with a C99-compatible recursive-descent parser
+//! for the analyzed subset ([`parse`]), several translation units can be
+//! linked ([`parse::link`]), and the result is type-checked and compiled into the
+//! typed IR of [`astree_ir`] with all conversions explicit ([`lower`]).
+//! Syntactically constant expressions are folded and unused globals removed
+//! ([`simplify`]), which matters because the family's large constant arrays
+//! index hardware tables.
+//!
+//! The accepted subset follows the family of programs in paper Sect. 4: no
+//! dynamic allocation, pointers only as call-by-reference function
+//! parameters, no recursion, `struct`s and fixed-size arrays, `enum`s,
+//! `typedef`s, the usual scalar types, and the periodic-synchronous
+//! intrinsics `__astree_wait()`, `__astree_assume(e)` and volatile input
+//! declarations with environment-supplied ranges.
+//!
+//! # Examples
+//!
+//! ```
+//! use astree_frontend::Frontend;
+//!
+//! let src = r#"
+//!     int x;
+//!     void main(void) {
+//!         x = 1 + 2;
+//!     }
+//! "#;
+//! let program = Frontend::new().compile_str(src).expect("compiles");
+//! assert!(program.validate().is_empty());
+//! ```
+
+pub mod ast;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+pub mod preprocess;
+pub mod simplify;
+
+use astree_ir::Program;
+use std::collections::HashMap;
+
+pub use lex::{LexError, Token, TokenKind};
+pub use lower::LowerError;
+pub use parse::ParseError;
+pub use preprocess::PreprocessError;
+
+/// A frontend error from any phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrontendError {
+    /// Preprocessor failure.
+    Preprocess(PreprocessError),
+    /// Lexical failure.
+    Lex(LexError),
+    /// Syntax failure.
+    Parse(ParseError),
+    /// Type/semantic failure.
+    Lower(LowerError),
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontendError::Preprocess(e) => write!(f, "preprocess: {e}"),
+            FrontendError::Lex(e) => write!(f, "lex: {e}"),
+            FrontendError::Parse(e) => write!(f, "parse: {e}"),
+            FrontendError::Lower(e) => write!(f, "semantic: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+impl From<PreprocessError> for FrontendError {
+    fn from(e: PreprocessError) -> Self {
+        FrontendError::Preprocess(e)
+    }
+}
+impl From<LexError> for FrontendError {
+    fn from(e: LexError) -> Self {
+        FrontendError::Lex(e)
+    }
+}
+impl From<ParseError> for FrontendError {
+    fn from(e: ParseError) -> Self {
+        FrontendError::Parse(e)
+    }
+}
+impl From<LowerError> for FrontendError {
+    fn from(e: LowerError) -> Self {
+        FrontendError::Lower(e)
+    }
+}
+
+/// The complete compilation pipeline, configurable with include files and
+/// predefined macros.
+///
+/// # Examples
+///
+/// ```
+/// use astree_frontend::Frontend;
+/// let mut fe = Frontend::new();
+/// fe.define("LIMIT", "100");
+/// fe.add_include("config.h", "int shared;");
+/// let p = fe
+///     .compile_str("#include \"config.h\"\nvoid main(void) { shared = LIMIT; }")
+///     .unwrap();
+/// assert!(p.var_by_name("shared").is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Frontend {
+    includes: HashMap<String, String>,
+    defines: Vec<(String, String)>,
+    keep_unused_globals: bool,
+}
+
+impl Frontend {
+    /// Creates a frontend with no include files and no predefined macros.
+    pub fn new() -> Frontend {
+        Frontend::default()
+    }
+
+    /// Registers an include file (the "simple linker"'s view of headers).
+    pub fn add_include(&mut self, name: impl Into<String>, content: impl Into<String>) -> &mut Self {
+        self.includes.insert(name.into(), content.into());
+        self
+    }
+
+    /// Predefines an object-like macro.
+    pub fn define(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.defines.push((name.into(), value.into()));
+        self
+    }
+
+    /// Keeps unused globals instead of deleting them (paper Sect. 5.1 deletes
+    /// them; tests sometimes want them kept).
+    pub fn keep_unused_globals(&mut self, keep: bool) -> &mut Self {
+        self.keep_unused_globals = keep;
+        self
+    }
+
+    /// Compiles one translation unit from source text to IR.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of any phase.
+    pub fn compile_str(&self, src: &str) -> Result<Program, FrontendError> {
+        self.compile_units(&[src])
+    }
+
+    /// Compiles and links several translation units (paper Sect. 5.1:
+    /// "a simple linker allows programs consisting of several source files
+    /// to be processed").
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error of any phase.
+    pub fn compile_units(&self, sources: &[&str]) -> Result<Program, FrontendError> {
+        let mut asts = Vec::new();
+        for src in sources {
+            let tokens = preprocess::preprocess(src, &self.includes, &self.defines)?;
+            let ast = parse::parse(&tokens)?;
+            asts.push(ast);
+        }
+        let merged = parse::link(asts).map_err(FrontendError::Parse)?;
+        let mut program = lower::lower(&merged)?;
+        simplify::fold_constants(&mut program);
+        if !self.keep_unused_globals {
+            simplify::remove_unused_globals(&mut program);
+        }
+        program.assign_stmt_ids();
+        Ok(program)
+    }
+}

@@ -1,0 +1,926 @@
+//! Type checking and lowering from the surface AST to the typed IR.
+//!
+//! All implicit conversions become explicit [`ir::Expr::Cast`] nodes (usual
+//! arithmetic conversions on the 32-bit target), ternaries and calls inside
+//! expressions are hoisted into temporaries so conditions stay side-effect
+//! free (the program transformation assumed in paper Sect. 5.4), global and
+//! static initializers become explicit assignments at the head of the entry
+//! function, and reads of volatile variables are preceded by explicit
+//! [`ir::StmtKind::ReadVolatile`] refreshes.
+//!
+//! The periodic-synchronous intrinsics are recognized here:
+//!
+//! - `__astree_wait()` — end of cycle, clock tick;
+//! - `__astree_assume(e)` — environment assumption;
+//! - `__astree_input_int(v, lo, hi)` / `__astree_input_float(v, lo, hi)` —
+//!   declare the range of a volatile input variable.
+
+use crate::ast::*;
+use astree_ir as ir;
+use astree_ir::{
+    Access, CallArg, FloatKind, FuncId, InputRange, IntType, LoopId, Lvalue, Param,
+    ParamKind, RecordDef, RecordId, ScalarType, Stmt, StmtKind, Type, VarId, VarInfo, VarKind,
+};
+use std::collections::HashMap;
+
+/// A semantic (type-checking/lowering) error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers a linked AST program into the typed IR.
+///
+/// # Errors
+///
+/// Returns the first [`LowerError`]: unknown names, type mismatches, uses of
+/// constructs outside the analyzed subset.
+pub fn lower(ast: &AstProgram) -> Result<ir::Program, LowerError> {
+    let mut lw = Lowerer {
+        program: ir::Program::new(),
+        record_ids: HashMap::new(),
+        globals: HashMap::new(),
+        func_ids: HashMap::new(),
+        func_sigs: HashMap::new(),
+        scopes: Vec::new(),
+        ref_params: HashMap::new(),
+        next_loop: 0,
+        next_temp: 0,
+        init_stmts: Vec::new(),
+    };
+    lw.run(ast)?;
+    Ok(lw.program)
+}
+
+#[derive(Clone)]
+struct FuncSig {
+    params: Vec<(Type, ParamKind)>,
+    ret: Option<ScalarType>,
+}
+
+struct Lowerer {
+    program: ir::Program,
+    record_ids: HashMap<String, RecordId>,
+    globals: HashMap<String, VarId>,
+    func_ids: HashMap<String, FuncId>,
+    func_sigs: HashMap<String, FuncSig>,
+    /// Lexical scopes for the function currently being lowered.
+    scopes: Vec<HashMap<String, VarId>>,
+    /// Parameters passed by reference in the current function.
+    ref_params: HashMap<VarId, ()>,
+    next_loop: u32,
+    next_temp: u32,
+    /// Initializer assignments accumulated for the entry function.
+    init_stmts: Vec<Stmt>,
+}
+
+impl Lowerer {
+    fn err(&self, line: u32, msg: impl Into<String>) -> LowerError {
+        LowerError { line, msg: msg.into() }
+    }
+
+    fn run(&mut self, ast: &AstProgram) -> Result<(), LowerError> {
+        // Records first (types may reference them).
+        for (tag, _fields) in &ast.structs {
+            let id = RecordId(self.program.records.len() as u32);
+            self.record_ids.insert(tag.clone(), id);
+            self.program.records.push(RecordDef { name: tag.clone(), fields: Vec::new() });
+        }
+        for (tag, fields) in &ast.structs {
+            let mut lowered = Vec::new();
+            for (fname, fty) in fields {
+                lowered.push((fname.clone(), self.lower_type(fty, 0)?));
+            }
+            let id = self.record_ids[tag];
+            self.program.records[id.0 as usize].fields = lowered;
+        }
+        // Globals.
+        for g in &ast.globals {
+            let ty = self.lower_type(&g.ty, g.line)?;
+            if matches!(g.ty, AstType::Pointer(_)) {
+                return Err(self.err(g.line, "global pointers are not in the analyzed subset"));
+            }
+            let kind = if g.is_static { VarKind::Static } else { VarKind::Global };
+            let volatile_input = if g.is_volatile {
+                Some(default_range(&ty).ok_or_else(|| {
+                    self.err(g.line, "volatile qualifier requires a scalar type")
+                })?)
+            } else {
+                None
+            };
+            let id = self.program.add_var(VarInfo {
+                name: g.name.clone(),
+                ty,
+                kind,
+                volatile_input,
+            });
+            self.globals.insert(g.name.clone(), id);
+        }
+        // Global initializers become entry-prologue assignments.
+        for g in &ast.globals {
+            if let Some(init) = &g.init {
+                let var = self.globals[&g.name];
+                let ty = self.program.var(var).ty.clone();
+                let mut stmts = Vec::new();
+                self.lower_init(var, &mut Vec::new(), &ty, init, g.line, &mut stmts)?;
+                self.init_stmts.extend(stmts);
+            }
+        }
+        // Function signatures (so calls can be typed before bodies).
+        for f in &ast.funcs {
+            let mut params = Vec::new();
+            for (_, pty) in &f.params {
+                match pty {
+                    AstType::Pointer(inner) => {
+                        params.push((self.lower_type(inner, f.line)?, ParamKind::ByRef))
+                    }
+                    other => {
+                        let t = self.lower_type(other, f.line)?;
+                        if !matches!(t, Type::Scalar(_)) {
+                            return Err(self.err(
+                                f.line,
+                                "aggregate by-value parameters are not in the analyzed subset",
+                            ));
+                        }
+                        params.push((t, ParamKind::ByValue))
+                    }
+                }
+            }
+            let ret = match &f.ret {
+                AstType::Void => None,
+                other => {
+                    let t = self.lower_type(other, f.line)?;
+                    Some(t.as_scalar().ok_or_else(|| {
+                        self.err(f.line, "functions must return scalars or void")
+                    })?)
+                }
+            };
+            self.func_sigs.insert(f.name.clone(), FuncSig { params, ret });
+        }
+        // Pre-create FuncIds in declaration order so calls resolve.
+        for f in &ast.funcs {
+            if f.body.is_none() {
+                continue;
+            }
+            let id = self.program.add_func(ir::Function {
+                name: f.name.clone(),
+                params: Vec::new(),
+                ret: self.func_sigs[&f.name].ret,
+                locals: Vec::new(),
+                body: Vec::new(),
+            });
+            self.func_ids.insert(f.name.clone(), id);
+        }
+        // Bodies.
+        for f in ast.funcs.iter().filter(|f| f.body.is_some()) {
+            self.lower_function(f)?;
+        }
+        // Entry = main; prepend accumulated initializers.
+        let entry = self
+            .func_ids
+            .get("main")
+            .copied()
+            .ok_or_else(|| self.err(0, "no `main` function"))?;
+        self.program.entry = entry;
+        let mut init = std::mem::take(&mut self.init_stmts);
+        if !init.is_empty() {
+            let body = &mut self.program.funcs[entry.0 as usize].body;
+            init.extend(std::mem::take(body));
+            *body = init;
+        }
+        Ok(())
+    }
+
+    fn lower_type(&self, t: &AstType, line: u32) -> Result<Type, LowerError> {
+        match t {
+            AstType::Void => Err(self.err(line, "void is not an object type")),
+            AstType::Scalar(s) => Ok(Type::Scalar(*s)),
+            AstType::Array(elem, n) => {
+                Ok(Type::Array(Box::new(self.lower_type(elem, line)?), *n))
+            }
+            AstType::Struct(tag) => self
+                .record_ids
+                .get(tag)
+                .map(|id| Type::Record(*id))
+                .ok_or_else(|| self.err(line, format!("unknown struct {tag}"))),
+            AstType::Pointer(_) => {
+                Err(self.err(line, "pointers only appear as by-reference parameters"))
+            }
+        }
+    }
+
+    fn lower_function(&mut self, f: &FuncDecl) -> Result<(), LowerError> {
+        let fid = self.func_ids[&f.name];
+        self.scopes.clear();
+        self.scopes.push(HashMap::new());
+        self.ref_params.clear();
+        let sig = self.func_sigs[&f.name].clone();
+        let mut params = Vec::new();
+        for ((pname, _), (pty, pkind)) in f.params.iter().zip(&sig.params) {
+            let var = self.program.add_var(VarInfo {
+                name: format!("{}::{}", f.name, pname),
+                ty: pty.clone(),
+                kind: VarKind::Param,
+                volatile_input: None,
+            });
+            if *pkind == ParamKind::ByRef {
+                self.ref_params.insert(var, ());
+            }
+            self.scopes.last_mut().expect("scope").insert(pname.clone(), var);
+            params.push(Param { var, kind: *pkind });
+        }
+        let mut locals = Vec::new();
+        let mut body = Vec::new();
+        self.lower_block(f.body.as_ref().expect("definition"), &f.name, &mut locals, &mut body)?;
+        let func = &mut self.program.funcs[fid.0 as usize];
+        func.params = params;
+        func.locals = locals;
+        func.body = body;
+        Ok(())
+    }
+
+    fn lower_block(
+        &mut self,
+        stmts: &[AstStmt],
+        fname: &str,
+        locals: &mut Vec<VarId>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.lower_stmt(s, fname, locals, out)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn fresh_temp(&mut self, ty: ScalarType) -> VarId {
+        let n = self.next_temp;
+        self.next_temp += 1;
+        self.program.add_var(VarInfo {
+            name: format!("__tmp{n}"),
+            ty: Type::Scalar(ty),
+            kind: VarKind::Temp,
+            volatile_input: None,
+        })
+    }
+
+    fn lookup(&self, name: &str) -> Option<VarId> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Some(*v);
+            }
+        }
+        self.globals.get(name).copied()
+    }
+
+    fn lower_stmt(
+        &mut self,
+        s: &AstStmt,
+        fname: &str,
+        locals: &mut Vec<VarId>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        let line = s.line;
+        match &s.kind {
+            StmtKindAst::Empty => Ok(()),
+            StmtKindAst::Decl(name, ty, is_static, init) => {
+                let ty = self.lower_type(ty, line)?;
+                let kind = if *is_static { VarKind::Static } else { VarKind::Local };
+                let var = self.program.add_var(VarInfo {
+                    name: format!("{fname}::{name}"),
+                    ty: ty.clone(),
+                    kind,
+                    volatile_input: None,
+                });
+                self.scopes.last_mut().expect("scope").insert(name.clone(), var);
+                if !*is_static {
+                    locals.push(var);
+                }
+                if let Some(init) = init {
+                    if *is_static {
+                        // Static initialization happens once, before main.
+                        let mut stmts = Vec::new();
+                        self.lower_init(var, &mut Vec::new(), &ty, init, line, &mut stmts)?;
+                        self.init_stmts.extend(stmts);
+                    } else {
+                        self.lower_init(var, &mut Vec::new(), &ty, init, line, out)?;
+                    }
+                }
+                Ok(())
+            }
+            StmtKindAst::Expr(e) => self.lower_expr_stmt(e, line, out),
+            StmtKindAst::If(c, a, b) => {
+                let cond = self.lower_condition(c, line, out)?;
+                let mut then_b = Vec::new();
+                self.lower_block(a, fname, locals, &mut then_b)?;
+                let mut else_b = Vec::new();
+                self.lower_block(b, fname, locals, &mut else_b)?;
+                out.push(Stmt::at(StmtKind::If(cond, then_b, else_b), line));
+                Ok(())
+            }
+            StmtKindAst::While(c, body) => {
+                let cond = self.lower_loop_condition(c, line)?;
+                let mut b = Vec::new();
+                self.lower_block(body, fname, locals, &mut b)?;
+                let id = LoopId(self.next_loop);
+                self.next_loop += 1;
+                self.emit_volatile_reads(&cond, line, out);
+                // Volatile variables in the condition must also be refreshed
+                // at the end of each iteration (each test is a fresh read).
+                let mut tail = Vec::new();
+                self.emit_volatile_reads(&cond, line, &mut tail);
+                b.extend(tail);
+                out.push(Stmt::at(StmtKind::While(id, cond, b), line));
+                Ok(())
+            }
+            StmtKindAst::DoWhile(body, c) => {
+                // do { B } while (c)  ≡  B; while (c) { B }
+                let mut first = Vec::new();
+                self.lower_block(body, fname, locals, &mut first)?;
+                out.extend(first.clone());
+                let cond = self.lower_loop_condition(c, line)?;
+                let id = LoopId(self.next_loop);
+                self.next_loop += 1;
+                self.emit_volatile_reads(&cond, line, out);
+                let mut b = first;
+                self.emit_volatile_reads(&cond, line, &mut b);
+                out.push(Stmt::at(StmtKind::While(id, cond, b), line));
+                Ok(())
+            }
+            StmtKindAst::For(init, cond, step, body) => {
+                if let Some(init) = init {
+                    self.lower_expr_stmt(init, line, out)?;
+                }
+                let cond = match cond {
+                    Some(c) => self.lower_loop_condition(c, line)?,
+                    None => ir::Expr::int(1),
+                };
+                let mut b = Vec::new();
+                self.lower_block(body, fname, locals, &mut b)?;
+                if let Some(step) = step {
+                    self.lower_expr_stmt(step, line, &mut b)?;
+                }
+                let id = LoopId(self.next_loop);
+                self.next_loop += 1;
+                self.emit_volatile_reads(&cond, line, out);
+                let mut tail = Vec::new();
+                self.emit_volatile_reads(&cond, line, &mut tail);
+                b.extend(tail);
+                out.push(Stmt::at(StmtKind::While(id, cond, b), line));
+                Ok(())
+            }
+            StmtKindAst::Return(e) => {
+                let sig_ret = self.func_sigs[fname].ret;
+                match (e, sig_ret) {
+                    (None, None) => {
+                        out.push(Stmt::at(StmtKind::Return(None), line));
+                        Ok(())
+                    }
+                    (Some(e), Some(rt)) => {
+                        let (ex, ty) = self.lower_expr(e, out)?;
+                        let ex = convert(ex, ty, rt);
+                        self.emit_volatile_reads(&ex, line, out);
+                        out.push(Stmt::at(StmtKind::Return(Some(ex)), line));
+                        Ok(())
+                    }
+                    (None, Some(_)) => Err(self.err(line, "missing return value")),
+                    (Some(_), None) => Err(self.err(line, "return value in void function")),
+                }
+            }
+            StmtKindAst::Block(body) => self.lower_block(body, fname, locals, out),
+        }
+    }
+
+    /// Lowers an expression used as a statement: assignment, compound
+    /// assignment, or call (including the analyzer intrinsics).
+    fn lower_expr_stmt(
+        &mut self,
+        e: &AstExpr,
+        line: u32,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        match &e.kind {
+            ExprKind::Assign(l, r) => {
+                let (lv, lty) = self.lower_lvalue(l)?;
+                let (rex, rty) = self.lower_expr(r, out)?;
+                let rex = convert(rex, rty, lty);
+                self.emit_volatile_reads_lv(&lv, line, out);
+                self.emit_volatile_reads(&rex, line, out);
+                out.push(Stmt::at(StmtKind::Assign(lv, rex), line));
+                Ok(())
+            }
+            ExprKind::CompoundAssign(op, l, r) => {
+                // l op= r  ≡  l = l op r (l-value is side-effect free).
+                let lop = AstExpr {
+                    kind: ExprKind::Binop(*op, l.clone(), r.clone()),
+                    line: e.line,
+                };
+                let assign =
+                    AstExpr { kind: ExprKind::Assign(l.clone(), Box::new(lop)), line: e.line };
+                self.lower_expr_stmt(&assign, line, out)
+            }
+            ExprKind::Call(name, args) => match name.as_str() {
+                "__astree_wait" => {
+                    out.push(Stmt::at(StmtKind::Wait, line));
+                    Ok(())
+                }
+                "__astree_assume" => {
+                    if args.len() != 1 {
+                        return Err(self.err(line, "__astree_assume takes one argument"));
+                    }
+                    let (c, _) = self.lower_expr(&args[0], out)?;
+                    out.push(Stmt::at(StmtKind::Assume(c), line));
+                    Ok(())
+                }
+                "__astree_input_int" | "__astree_input_float" => {
+                    self.lower_input_decl(name, args, line)
+                }
+                _ => {
+                    let call = self.lower_call(name, args, line, out)?;
+                    match call {
+                        (stmt, _) => {
+                            out.push(stmt);
+                            Ok(())
+                        }
+                    }
+                }
+            },
+            _ => Err(self.err(line, "expression statement must be an assignment or a call")),
+        }
+    }
+
+    fn lower_input_decl(
+        &mut self,
+        name: &str,
+        args: &[AstExpr],
+        line: u32,
+    ) -> Result<(), LowerError> {
+        if args.len() != 3 {
+            return Err(self.err(line, format!("{name} takes (var, lo, hi)")));
+        }
+        let var = match &args[0].kind {
+            ExprKind::Ident(n) => self
+                .lookup(n)
+                .ok_or_else(|| self.err(line, format!("unknown variable {n}")))?,
+            _ => return Err(self.err(line, "first argument must be a variable")),
+        };
+        let lo = const_num(&args[1]).ok_or_else(|| self.err(line, "lo must be constant"))?;
+        let hi = const_num(&args[2]).ok_or_else(|| self.err(line, "hi must be constant"))?;
+        if lo > hi {
+            return Err(self.err(line, "empty input range"));
+        }
+        let range = if name.ends_with("_int") {
+            InputRange::Int(lo as i64, hi as i64)
+        } else {
+            InputRange::Float(lo, hi)
+        };
+        self.program.vars[var.0 as usize].volatile_input = Some(range);
+        Ok(())
+    }
+
+    /// Lowers a call appearing as a statement (possibly with a result
+    /// destination handled by the caller for `x = f(...)` forms).
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[AstExpr],
+        line: u32,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(Stmt, Option<ScalarType>), LowerError> {
+        let fid = *self
+            .func_ids
+            .get(name)
+            .ok_or_else(|| self.err(line, format!("call to undefined function {name}")))?;
+        let sig = self.func_sigs[name].clone();
+        if sig.params.len() != args.len() {
+            return Err(self.err(
+                line,
+                format!("{name} expects {} arguments, got {}", sig.params.len(), args.len()),
+            ));
+        }
+        let mut lowered = Vec::new();
+        for ((pty, pkind), a) in sig.params.iter().zip(args) {
+            match pkind {
+                ParamKind::ByValue => {
+                    let (ex, ty) = self.lower_expr(a, out)?;
+                    let target = pty.as_scalar().expect("by-value params are scalar");
+                    let ex = convert(ex, ty, target);
+                    self.emit_volatile_reads(&ex, line, out);
+                    lowered.push(CallArg::Value(ex));
+                }
+                ParamKind::ByRef => {
+                    let inner = match &a.kind {
+                        ExprKind::AddrOf(lv) => lv,
+                        _ => {
+                            return Err(self.err(
+                                line,
+                                "by-reference arguments must have the form &lvalue",
+                            ))
+                        }
+                    };
+                    let (lv, _) = self.lower_lvalue_any(inner)?;
+                    lowered.push(CallArg::Ref(lv));
+                }
+            }
+        }
+        Ok((Stmt::at(StmtKind::Call(None, fid, lowered), line), sig.ret))
+    }
+
+    /// Lowers a condition; calls and ternaries inside are hoisted to temps.
+    fn lower_condition(
+        &mut self,
+        c: &AstExpr,
+        line: u32,
+        out: &mut Vec<Stmt>,
+    ) -> Result<ir::Expr, LowerError> {
+        let (e, _) = self.lower_expr(c, out)?;
+        self.emit_volatile_reads(&e, line, out);
+        Ok(e)
+    }
+
+    /// Loop conditions may not contain calls (they would need re-evaluation
+    /// machinery the family does not use).
+    fn lower_loop_condition(&mut self, c: &AstExpr, line: u32) -> Result<ir::Expr, LowerError> {
+        let mut tmp = Vec::new();
+        let (e, _) = self.lower_expr(c, &mut tmp)?;
+        if !tmp.is_empty() {
+            return Err(self.err(
+                line,
+                "calls and ternaries in loop conditions are not in the analyzed subset",
+            ));
+        }
+        Ok(e)
+    }
+
+    /// Lowers an l-value required to be scalar; returns it with its type.
+    fn lower_lvalue(&mut self, e: &AstExpr) -> Result<(Lvalue, ScalarType), LowerError> {
+        let (lv, ty) = self.lower_lvalue_any(e)?;
+        let st = ty
+            .as_scalar()
+            .ok_or_else(|| self.err(e.line, "assignment target must be scalar"))?;
+        Ok((lv, st))
+    }
+
+    /// Lowers an l-value of any type (aggregates allowed for `&arg`).
+    fn lower_lvalue_any(&mut self, e: &AstExpr) -> Result<(Lvalue, Type), LowerError> {
+        match &e.kind {
+            ExprKind::Ident(n) => {
+                let var = self
+                    .lookup(n)
+                    .ok_or_else(|| self.err(e.line, format!("unknown variable {n}")))?;
+                let ty = self.program.var(var).ty.clone();
+                Ok((Lvalue::var(var), ty))
+            }
+            ExprKind::Deref(inner) => {
+                // `*p` where p is a by-ref scalar parameter.
+                let (lv, ty) = self.lower_lvalue_any(inner)?;
+                if !self.ref_params.contains_key(&lv.base) {
+                    return Err(self.err(e.line, "dereference of a non-parameter pointer"));
+                }
+                Ok((lv, ty))
+            }
+            ExprKind::Index(base, idx) => {
+                let (mut lv, ty) = self.lower_lvalue_any(base)?;
+                let (elem, _n) = match ty {
+                    Type::Array(elem, n) => (*elem, n),
+                    _ => return Err(self.err(e.line, "subscript of a non-array")),
+                };
+                let mut tmp = Vec::new();
+                let (iex, ity) = self.lower_expr(idx, &mut tmp)?;
+                if !tmp.is_empty() {
+                    return Err(self.err(e.line, "calls in array subscripts are not supported"));
+                }
+                let iex = convert(iex, ity, ScalarType::Int(IntType::INT));
+                lv.path.push(Access::Index(Box::new(iex)));
+                Ok((lv, elem))
+            }
+            ExprKind::Field(base, fname) | ExprKind::Arrow(base, fname) => {
+                if matches!(e.kind, ExprKind::Arrow(..)) {
+                    // p->f requires p to be a by-ref struct parameter.
+                    if let ExprKind::Ident(n) = &base.kind {
+                        let var = self
+                            .lookup(n)
+                            .ok_or_else(|| self.err(e.line, format!("unknown variable {n}")))?;
+                        if !self.ref_params.contains_key(&var) {
+                            return Err(self.err(e.line, "-> on a non-parameter pointer"));
+                        }
+                    }
+                }
+                let (mut lv, ty) = self.lower_lvalue_any(base)?;
+                let rid = match ty {
+                    Type::Record(rid) => rid,
+                    _ => return Err(self.err(e.line, "field access on a non-struct")),
+                };
+                let def = &self.program.records[rid.0 as usize];
+                let (fi, fty) = def
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .find(|(_, (n, _))| n == fname)
+                    .map(|(i, (_, t))| (i as u32, t.clone()))
+                    .ok_or_else(|| {
+                        self.err(e.line, format!("no field {fname} in struct {}", def.name))
+                    })?;
+                lv.path.push(Access::Field(fi));
+                Ok((lv, fty))
+            }
+            _ => Err(self.err(e.line, "expression is not an l-value")),
+        }
+    }
+
+    /// Lowers an expression; calls and ternaries are hoisted into `out`.
+    /// Returns the IR expression and its scalar type.
+    fn lower_expr(
+        &mut self,
+        e: &AstExpr,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(ir::Expr, ScalarType), LowerError> {
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Int(v, unsigned) => {
+                let it = if *unsigned || *v > i32::MAX as i64 { IntType::UINT } else { IntType::INT };
+                Ok((ir::Expr::Int(*v, it), ScalarType::Int(it)))
+            }
+            ExprKind::Float(v, is_f32) => {
+                let k = if *is_f32 { FloatKind::F32 } else { FloatKind::F64 };
+                let v = k.round_nearest(*v);
+                Ok((ir::Expr::Float(v.into(), k), ScalarType::Float(k)))
+            }
+            ExprKind::Ident(_)
+            | ExprKind::Index(..)
+            | ExprKind::Field(..)
+            | ExprKind::Arrow(..)
+            | ExprKind::Deref(_) => {
+                let (lv, ty) = self.lower_lvalue_any(e)?;
+                let st = ty
+                    .as_scalar()
+                    .ok_or_else(|| self.err(line, "aggregate used as a value"))?;
+                Ok((ir::Expr::Load(lv, st), st))
+            }
+            ExprKind::AddrOf(_) => Err(self.err(line, "& outside a call argument")),
+            ExprKind::Call(name, args) => {
+                // Hoist into a temp: t = f(args).
+                let (stmt, ret) = self.lower_call(name, args, line, out)?;
+                let ret = ret.ok_or_else(|| {
+                    self.err(line, format!("void function {name} used in an expression"))
+                })?;
+                let tmp = self.fresh_temp(ret);
+                let stmt = match stmt.kind {
+                    StmtKind::Call(None, fid, args) => {
+                        Stmt::at(StmtKind::Call(Some(Lvalue::var(tmp)), fid, args), line)
+                    }
+                    _ => unreachable!("lower_call returns a call"),
+                };
+                out.push(stmt);
+                Ok((ir::Expr::var_t(tmp, ret), ret))
+            }
+            ExprKind::Unop(op, a) => {
+                let (ax, aty) = self.lower_expr(a, out)?;
+                match op {
+                    UnopKind::Neg => {
+                        let rty = promote(aty);
+                        let ax = convert(ax, aty, rty);
+                        Ok((ir::Expr::Unop(ir::Unop::Neg, rty, Box::new(ax)), rty))
+                    }
+                    UnopKind::LNot => Ok((
+                        ir::Expr::Unop(
+                            ir::Unop::LNot,
+                            ScalarType::Int(IntType::INT),
+                            Box::new(ax),
+                        ),
+                        ScalarType::Int(IntType::INT),
+                    )),
+                    UnopKind::BNot => {
+                        let rty = promote(aty);
+                        if !rty.is_int() {
+                            return Err(self.err(line, "~ requires an integer operand"));
+                        }
+                        let ax = convert(ax, aty, rty);
+                        Ok((ir::Expr::Unop(ir::Unop::BNot, rty, Box::new(ax)), rty))
+                    }
+                }
+            }
+            ExprKind::Binop(op, a, b) => {
+                let (ax, aty) = self.lower_expr(a, out)?;
+                let (bx, bty) = self.lower_expr(b, out)?;
+                let irop = binop_to_ir(*op);
+                if irop.is_logical() {
+                    return Ok((
+                        ir::Expr::Binop(irop, ScalarType::Int(IntType::INT), Box::new(ax), Box::new(bx)),
+                        ScalarType::Int(IntType::INT),
+                    ));
+                }
+                if matches!(irop, ir::Binop::Shl | ir::Binop::Shr) {
+                    let rty = promote(aty);
+                    if !rty.is_int() || !bty.is_int() {
+                        return Err(self.err(line, "shift requires integer operands"));
+                    }
+                    let ax = convert(ax, aty, rty);
+                    let bx = convert(bx, bty, ScalarType::Int(IntType::INT));
+                    return Ok((ir::Expr::Binop(irop, rty, Box::new(ax), Box::new(bx)), rty));
+                }
+                let common = ScalarType::usual_conversion(aty, bty);
+                if matches!(
+                    irop,
+                    ir::Binop::Rem | ir::Binop::BAnd | ir::Binop::BOr | ir::Binop::BXor
+                ) && !common.is_int()
+                {
+                    return Err(self.err(line, "integer operator applied to floats"));
+                }
+                let ax = convert(ax, aty, common);
+                let bx = convert(bx, bty, common);
+                let node = ir::Expr::Binop(irop, common, Box::new(ax), Box::new(bx));
+                if irop.is_comparison() {
+                    Ok((node, ScalarType::Int(IntType::INT)))
+                } else {
+                    Ok((node, common))
+                }
+            }
+            ExprKind::Ternary(c, a, b) => {
+                // Hoist:  t; if (c) t = a; else t = b;
+                let (cx, _) = self.lower_expr(c, out)?;
+                let mut then_b = Vec::new();
+                let (ax, aty) = self.lower_expr(a, &mut then_b)?;
+                let mut else_b = Vec::new();
+                let (bx, bty) = self.lower_expr(b, &mut else_b)?;
+                let rty = ScalarType::usual_conversion(aty, bty);
+                let tmp = self.fresh_temp(rty);
+                then_b.push(Stmt::at(
+                    StmtKind::Assign(Lvalue::var(tmp), convert(ax, aty, rty)),
+                    line,
+                ));
+                else_b.push(Stmt::at(
+                    StmtKind::Assign(Lvalue::var(tmp), convert(bx, bty, rty)),
+                    line,
+                ));
+                self.emit_volatile_reads(&cx, line, out);
+                out.push(Stmt::at(StmtKind::If(cx, then_b, else_b), line));
+                Ok((ir::Expr::var_t(tmp, rty), rty))
+            }
+            ExprKind::Cast(ty, a) => {
+                let (ax, aty) = self.lower_expr(a, out)?;
+                let target = self
+                    .lower_type(ty, line)?
+                    .as_scalar()
+                    .ok_or_else(|| self.err(line, "cast to non-scalar type"))?;
+                Ok((convert_always(ax, aty, target), target))
+            }
+            ExprKind::Assign(..) | ExprKind::CompoundAssign(..) => {
+                Err(self.err(line, "assignment used as a value is not in the analyzed subset"))
+            }
+        }
+    }
+
+    /// Emits `ReadVolatile` refreshes for every volatile variable read by `e`.
+    fn emit_volatile_reads(&self, e: &ir::Expr, line: u32, out: &mut Vec<Stmt>) {
+        let mut vars = Vec::new();
+        e.for_each_lvalue(&mut |lv| {
+            if self.program.var(lv.base).volatile_input.is_some() && !vars.contains(&lv.base) {
+                vars.push(lv.base);
+            }
+        });
+        for v in vars {
+            out.push(Stmt::at(StmtKind::ReadVolatile(v), line));
+        }
+    }
+
+    /// Same for index expressions inside an l-value.
+    fn emit_volatile_reads_lv(&self, lv: &Lvalue, line: u32, out: &mut Vec<Stmt>) {
+        for a in &lv.path {
+            if let Access::Index(e) = a {
+                self.emit_volatile_reads(e, line, out);
+            }
+        }
+    }
+
+    /// Lowers an initializer into assignments on `var` at path `path`.
+    fn lower_init(
+        &mut self,
+        var: VarId,
+        path: &mut Vec<Access>,
+        ty: &Type,
+        init: &Init,
+        line: u32,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), LowerError> {
+        match (ty, init) {
+            (Type::Scalar(st), Init::Scalar(e)) => {
+                let mut tmp = Vec::new();
+                let (ex, ety) = self.lower_expr(e, &mut tmp)?;
+                if !tmp.is_empty() {
+                    return Err(self.err(line, "initializers must be call-free"));
+                }
+                let ex = convert(ex, ety, *st);
+                let lv = Lvalue { base: var, path: path.clone() };
+                out.push(Stmt::at(StmtKind::Assign(lv, ex), line));
+                Ok(())
+            }
+            (Type::Array(elem, n), Init::List(items)) => {
+                if items.len() > *n {
+                    return Err(self.err(line, "too many initializers"));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    path.push(Access::Index(Box::new(ir::Expr::int(i as i64))));
+                    self.lower_init(var, path, elem, item, line, out)?;
+                    path.pop();
+                }
+                Ok(())
+            }
+            (Type::Record(rid), Init::List(items)) => {
+                let fields = self.program.records[rid.0 as usize].fields.clone();
+                if items.len() > fields.len() {
+                    return Err(self.err(line, "too many initializers"));
+                }
+                for (i, item) in items.iter().enumerate() {
+                    path.push(Access::Field(i as u32));
+                    self.lower_init(var, path, &fields[i].1, item, line, out)?;
+                    path.pop();
+                }
+                Ok(())
+            }
+            (Type::Array(..) | Type::Record(_), Init::Scalar(_)) => {
+                Err(self.err(line, "aggregate initializer must be a brace list"))
+            }
+            (Type::Scalar(_), Init::List(_)) => {
+                Err(self.err(line, "scalar initializer must not be a brace list"))
+            }
+        }
+    }
+}
+
+/// Integer promotion for unary contexts.
+fn promote(t: ScalarType) -> ScalarType {
+    match t {
+        ScalarType::Int(it) => ScalarType::Int(it.promoted()),
+        f => f,
+    }
+}
+
+/// Inserts a cast if the types differ.
+fn convert(e: ir::Expr, from: ScalarType, to: ScalarType) -> ir::Expr {
+    if from == to {
+        e
+    } else {
+        ir::Expr::Cast(to, Box::new(e))
+    }
+}
+
+/// Inserts a cast unconditionally unless trivially identical (used for
+/// explicit source casts, which must round even when types match).
+fn convert_always(e: ir::Expr, from: ScalarType, to: ScalarType) -> ir::Expr {
+    convert(e, from, to)
+}
+
+fn binop_to_ir(op: BinopKind) -> ir::Binop {
+    match op {
+        BinopKind::Add => ir::Binop::Add,
+        BinopKind::Sub => ir::Binop::Sub,
+        BinopKind::Mul => ir::Binop::Mul,
+        BinopKind::Div => ir::Binop::Div,
+        BinopKind::Rem => ir::Binop::Rem,
+        BinopKind::BAnd => ir::Binop::BAnd,
+        BinopKind::BOr => ir::Binop::BOr,
+        BinopKind::BXor => ir::Binop::BXor,
+        BinopKind::Shl => ir::Binop::Shl,
+        BinopKind::Shr => ir::Binop::Shr,
+        BinopKind::Lt => ir::Binop::Lt,
+        BinopKind::Le => ir::Binop::Le,
+        BinopKind::Gt => ir::Binop::Gt,
+        BinopKind::Ge => ir::Binop::Ge,
+        BinopKind::Eq => ir::Binop::Eq,
+        BinopKind::Ne => ir::Binop::Ne,
+        BinopKind::LAnd => ir::Binop::LAnd,
+        BinopKind::LOr => ir::Binop::LOr,
+    }
+}
+
+/// Default full range for a volatile variable without an explicit
+/// `__astree_input_*` declaration.
+fn default_range(ty: &Type) -> Option<InputRange> {
+    match ty.as_scalar()? {
+        ScalarType::Int(it) => Some(InputRange::Int(it.min(), it.max())),
+        ScalarType::Float(k) => Some(InputRange::Float(-k.max_finite(), k.max_finite())),
+    }
+}
+
+/// Evaluates a numeric constant AST expression (for intrinsic arguments).
+fn const_num(e: &AstExpr) -> Option<f64> {
+    match &e.kind {
+        ExprKind::Int(v, _) => Some(*v as f64),
+        ExprKind::Float(v, _) => Some(*v),
+        ExprKind::Unop(UnopKind::Neg, a) => Some(-const_num(a)?),
+        _ => None,
+    }
+}

@@ -1,0 +1,695 @@
+//! A small C preprocessor.
+//!
+//! Supports what the analyzed program family uses (paper Sect. 4 notes the
+//! code is "132,000 lines of C with macros"): object-like and function-like
+//! `#define` (without `#`/`##` operators), `#undef`, `#include "file"` from a
+//! caller-supplied file map, and the conditional family `#if`/`#ifdef`/
+//! `#ifndef`/`#elif`/`#else`/`#endif` with full integer constant expressions
+//! and `defined(X)`. Comments are stripped and line continuations spliced
+//! before directive handling; macro expansion operates on token streams.
+
+use crate::lex::{lex_line, LexError, Token, TokenKind};
+use std::collections::{HashMap, HashSet};
+
+/// A preprocessing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreprocessError {
+    /// 1-based line of the offending directive or token.
+    pub line: u32,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+impl From<LexError> for PreprocessError {
+    fn from(e: LexError) -> Self {
+        PreprocessError { line: e.line, msg: e.msg }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Macro {
+    /// `None` for object-like macros; parameter names for function-like.
+    params: Option<Vec<String>>,
+    body: Vec<Token>,
+}
+
+/// Runs the preprocessor over `src`, resolving `#include "name"` against
+/// `includes` and predefining `defines` as object-like macros.
+///
+/// Returns the fully expanded token stream of the translation unit.
+///
+/// # Errors
+///
+/// Returns a [`PreprocessError`] on malformed directives, unknown includes,
+/// unbalanced conditionals, or lexical errors.
+pub fn preprocess(
+    src: &str,
+    includes: &HashMap<String, String>,
+    defines: &[(String, String)],
+) -> Result<Vec<Token>, PreprocessError> {
+    let mut macros = HashMap::new();
+    for (name, value) in defines {
+        let body = lex_line(value, 0)?;
+        macros.insert(name.clone(), Macro { params: None, body });
+    }
+    let mut out = Vec::new();
+    process_unit(src, includes, &mut macros, &mut out, 0)?;
+    Ok(out)
+}
+
+fn process_unit(
+    src: &str,
+    includes: &HashMap<String, String>,
+    macros: &mut HashMap<String, Macro>,
+    out: &mut Vec<Token>,
+    depth: u32,
+) -> Result<(), PreprocessError> {
+    if depth > 32 {
+        return Err(PreprocessError { line: 0, msg: "#include nesting too deep".into() });
+    }
+    let clean = strip_comments(src);
+    let lines = splice_lines(&clean);
+    // Conditional-inclusion stack: (currently_active, some_branch_taken).
+    let mut conds: Vec<(bool, bool)> = Vec::new();
+    for (text, line) in lines {
+        let active = conds.iter().all(|(a, _)| *a);
+        let trimmed = text.trim_start();
+        if trimmed.starts_with('#') {
+            let toks = lex_line(trimmed, line)?;
+            // toks[0] is Hash; toks[1] the directive name.
+            let dname = toks.get(1).and_then(|t| t.ident()).unwrap_or("");
+            let rest = &toks[2.min(toks.len())..];
+            match dname {
+                "include" if active => {
+                    let name = match rest.first().map(|t| &t.kind) {
+                        Some(TokenKind::StrLit(s)) => s.clone(),
+                        Some(TokenKind::Punct("<")) => {
+                            // <name.h> — accepted; joined from tokens.
+                            let mut s = String::new();
+                            for t in &rest[1..] {
+                                match &t.kind {
+                                    TokenKind::Punct(">") => break,
+                                    TokenKind::Ident(i) => s.push_str(i),
+                                    TokenKind::Punct(p) => s.push_str(p),
+                                    _ => {}
+                                }
+                            }
+                            s
+                        }
+                        _ => {
+                            return Err(PreprocessError {
+                                line,
+                                msg: "malformed #include".into(),
+                            })
+                        }
+                    };
+                    let content = includes.get(&name).ok_or_else(|| PreprocessError {
+                        line,
+                        msg: format!("include file {name:?} not found"),
+                    })?;
+                    let content = content.clone();
+                    process_unit(&content, includes, macros, out, depth + 1)?;
+                }
+                "define" if active => {
+                    let name = rest
+                        .first()
+                        .and_then(|t| t.ident())
+                        .ok_or_else(|| PreprocessError { line, msg: "malformed #define".into() })?
+                        .to_string();
+                    // Function-like only when '(' immediately follows with no
+                    // space; the lexer drops spacing, so approximate: treat as
+                    // function-like when the next token is '(' and a ')'
+                    // exists. This matches the family's macros.
+                    let mut params = None;
+                    let mut body_start = 1;
+                    if rest.len() > 1 && rest[1].is_punct("(") {
+                        let mut ps = Vec::new();
+                        let mut i = 2;
+                        loop {
+                            match rest.get(i).map(|t| &t.kind) {
+                                Some(TokenKind::Punct(")")) => {
+                                    i += 1;
+                                    break;
+                                }
+                                Some(TokenKind::Ident(p)) => {
+                                    ps.push(p.clone());
+                                    i += 1;
+                                    if rest.get(i).map(|t| t.is_punct(",")) == Some(true) {
+                                        i += 1;
+                                    }
+                                }
+                                _ => {
+                                    return Err(PreprocessError {
+                                        line,
+                                        msg: "malformed #define parameter list".into(),
+                                    })
+                                }
+                            }
+                        }
+                        params = Some(ps);
+                        body_start = i;
+                    }
+                    let body = rest[body_start..].to_vec();
+                    macros.insert(name, Macro { params, body });
+                }
+                "undef" if active => {
+                    if let Some(name) = rest.first().and_then(|t| t.ident()) {
+                        macros.remove(name);
+                    }
+                }
+                "ifdef" | "ifndef" => {
+                    let defined = rest
+                        .first()
+                        .and_then(|t| t.ident())
+                        .map(|n| macros.contains_key(n))
+                        .unwrap_or(false);
+                    let taken = if dname == "ifdef" { defined } else { !defined };
+                    conds.push((active && taken, taken));
+                }
+                "if" => {
+                    let v = eval_condition(rest, macros, line)?;
+                    conds.push((active && v, v));
+                }
+                "elif" => {
+                    let (_, taken) =
+                        conds.pop().ok_or_else(|| PreprocessError { line, msg: "#elif without #if".into() })?;
+                    let parent_active = conds.iter().all(|(a, _)| *a);
+                    if taken {
+                        conds.push((false, true));
+                    } else {
+                        let v = eval_condition(rest, macros, line)?;
+                        conds.push((parent_active && v, v));
+                    }
+                }
+                "else" => {
+                    let (_, taken) =
+                        conds.pop().ok_or_else(|| PreprocessError { line, msg: "#else without #if".into() })?;
+                    let parent_active = conds.iter().all(|(a, _)| *a);
+                    conds.push((parent_active && !taken, true));
+                }
+                "endif" => {
+                    conds.pop().ok_or_else(|| PreprocessError { line, msg: "#endif without #if".into() })?;
+                }
+                "pragma" | "error" | "warning" => {
+                    if dname == "error" && active {
+                        return Err(PreprocessError { line, msg: "#error directive reached".into() });
+                    }
+                    // #pragma ignored.
+                }
+                _ if !active => { /* skipped directive in inactive region */ }
+                other => {
+                    return Err(PreprocessError {
+                        line,
+                        msg: format!("unsupported directive #{other}"),
+                    })
+                }
+            }
+        } else if active {
+            let toks = lex_line(&text, line)?;
+            let expanded = expand(&toks, macros, &HashSet::new())?;
+            out.extend(expanded);
+        }
+    }
+    if !conds.is_empty() {
+        return Err(PreprocessError { line: 0, msg: "unterminated #if".into() });
+    }
+    Ok(())
+}
+
+/// Replaces comments with spaces (preserving line structure).
+fn strip_comments(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < b.len() {
+        if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            i += 2;
+            out.push(' ');
+            while i < b.len() && !(b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/') {
+                if b[i] == b'\n' {
+                    out.push('\n');
+                }
+                i += 1;
+            }
+            i = (i + 2).min(b.len());
+        } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+        } else {
+            out.push(b[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Splices backslash-newline continuations; returns (logical line, 1-based
+/// line number of its first physical line).
+fn splice_lines(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1u32;
+    let mut line = 1u32;
+    let mut fresh = true;
+    for l in src.split('\n') {
+        if fresh {
+            start_line = line;
+        }
+        if let Some(stripped) = l.strip_suffix('\\') {
+            current.push_str(stripped);
+            current.push(' ');
+            fresh = false;
+        } else {
+            current.push_str(l);
+            out.push((std::mem::take(&mut current), start_line));
+            fresh = true;
+        }
+        line += 1;
+    }
+    if !current.is_empty() {
+        out.push((current, start_line));
+    }
+    out
+}
+
+/// Token-level macro expansion with a hide set for recursion safety.
+fn expand(
+    tokens: &[Token],
+    macros: &HashMap<String, Macro>,
+    hide: &HashSet<String>,
+) -> Result<Vec<Token>, PreprocessError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let name = match t.ident() {
+            Some(n) if !hide.contains(n) && macros.contains_key(n) => n.to_string(),
+            _ => {
+                out.push(t.clone());
+                i += 1;
+                continue;
+            }
+        };
+        let mac = &macros[&name];
+        match &mac.params {
+            None => {
+                let mut h = hide.clone();
+                h.insert(name);
+                out.extend(expand(&mac.body, macros, &h)?);
+                i += 1;
+            }
+            Some(params) => {
+                // Needs a call: `NAME ( args )`. Otherwise it's a plain ident.
+                if tokens.get(i + 1).map(|t| t.is_punct("(")) != Some(true) {
+                    out.push(t.clone());
+                    i += 1;
+                    continue;
+                }
+                let (args, consumed) = collect_args(&tokens[i + 2..], t.line)?;
+                if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty()) {
+                    return Err(PreprocessError {
+                        line: t.line,
+                        msg: format!(
+                            "macro {name} called with {} args, expects {}",
+                            args.len(),
+                            params.len()
+                        ),
+                    });
+                }
+                // Pre-expand arguments, then substitute.
+                let mut expanded_args = Vec::new();
+                for a in &args {
+                    expanded_args.push(expand(a, macros, hide)?);
+                }
+                let mut subst = Vec::new();
+                for bt in &mac.body {
+                    match bt.ident().and_then(|n| params.iter().position(|p| p == n)) {
+                        Some(pi) if pi < expanded_args.len() => {
+                            subst.extend(expanded_args[pi].iter().cloned())
+                        }
+                        _ => subst.push(bt.clone()),
+                    }
+                }
+                let mut h = hide.clone();
+                h.insert(name);
+                out.extend(expand(&subst, macros, &h)?);
+                i += 2 + consumed + 1; // name, '(', args..., ')'
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Collects macro call arguments from the tokens after `(`. Returns the
+/// argument token lists and the number of tokens consumed *before* the
+/// closing `)`.
+fn collect_args(tokens: &[Token], line: u32) -> Result<(Vec<Vec<Token>>, usize), PreprocessError> {
+    let mut args = vec![Vec::new()];
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate() {
+        match &t.kind {
+            TokenKind::Punct("(") => {
+                depth += 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            TokenKind::Punct(")") => {
+                if depth == 0 {
+                    return Ok((args, i));
+                }
+                depth -= 1;
+                args.last_mut().expect("non-empty").push(t.clone());
+            }
+            TokenKind::Punct(",") if depth == 0 => args.push(Vec::new()),
+            _ => args.last_mut().expect("non-empty").push(t.clone()),
+        }
+    }
+    Err(PreprocessError { line, msg: "unterminated macro call".into() })
+}
+
+/// Evaluates a `#if` condition: handle `defined`, expand macros, then parse
+/// an integer constant expression.
+fn eval_condition(
+    tokens: &[Token],
+    macros: &HashMap<String, Macro>,
+    line: u32,
+) -> Result<bool, PreprocessError> {
+    // Resolve `defined X` / `defined(X)` before expansion.
+    let mut resolved = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("defined") {
+            let (name, consumed) = if tokens.get(i + 1).map(|t| t.is_punct("(")) == Some(true) {
+                let n = tokens
+                    .get(i + 2)
+                    .and_then(|t| t.ident())
+                    .ok_or_else(|| PreprocessError { line, msg: "malformed defined()".into() })?;
+                (n.to_string(), 4)
+            } else {
+                let n = tokens
+                    .get(i + 1)
+                    .and_then(|t| t.ident())
+                    .ok_or_else(|| PreprocessError { line, msg: "malformed defined".into() })?;
+                (n.to_string(), 2)
+            };
+            resolved.push(Token {
+                kind: TokenKind::IntLit(macros.contains_key(&name) as i64, false),
+                line,
+            });
+            i += consumed;
+        } else {
+            resolved.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    let expanded = expand(&resolved, macros, &HashSet::new())?;
+    // Remaining identifiers evaluate to 0 (C preprocessor rule).
+    let mut p = CondParser { toks: &expanded, pos: 0, line };
+    let v = p.ternary()?;
+    Ok(v != 0)
+}
+
+struct CondParser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    line: u32,
+}
+
+impl CondParser<'_> {
+    fn err(&self, msg: &str) -> PreprocessError {
+        PreprocessError { line: self.line, msg: msg.into() }
+    }
+
+    fn peek_punct(&self) -> Option<&'static str> {
+        match self.toks.get(self.pos).map(|t| &t.kind) {
+            Some(TokenKind::Punct(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    fn eat(&mut self, p: &str) -> bool {
+        if self.peek_punct() == Some(p) || (p == "(" && matches!(self.toks.get(self.pos).map(|t| &t.kind), Some(TokenKind::Punct("(")))) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ternary(&mut self) -> Result<i64, PreprocessError> {
+        let c = self.or()?;
+        if self.eat("?") {
+            let a = self.ternary()?;
+            if !self.eat(":") {
+                return Err(self.err("expected : in ?:"));
+            }
+            let b = self.ternary()?;
+            Ok(if c != 0 { a } else { b })
+        } else {
+            Ok(c)
+        }
+    }
+
+    fn or(&mut self) -> Result<i64, PreprocessError> {
+        let mut v = self.and()?;
+        while self.eat("||") {
+            let r = self.and()?;
+            v = ((v != 0) || (r != 0)) as i64;
+        }
+        Ok(v)
+    }
+
+    fn and(&mut self) -> Result<i64, PreprocessError> {
+        let mut v = self.cmp()?;
+        while self.eat("&&") {
+            let r = self.cmp()?;
+            v = ((v != 0) && (r != 0)) as i64;
+        }
+        Ok(v)
+    }
+
+    fn cmp(&mut self) -> Result<i64, PreprocessError> {
+        let mut v = self.add()?;
+        loop {
+            let op = match self.peek_punct() {
+                Some(p @ ("<" | "<=" | ">" | ">=" | "==" | "!=")) => p,
+                _ => return Ok(v),
+            };
+            self.pos += 1;
+            let r = self.add()?;
+            v = match op {
+                "<" => (v < r) as i64,
+                "<=" => (v <= r) as i64,
+                ">" => (v > r) as i64,
+                ">=" => (v >= r) as i64,
+                "==" => (v == r) as i64,
+                "!=" => (v != r) as i64,
+                _ => unreachable!(),
+            };
+        }
+    }
+
+    fn add(&mut self) -> Result<i64, PreprocessError> {
+        let mut v = self.mul()?;
+        loop {
+            if self.eat("+") {
+                v = v.wrapping_add(self.mul()?);
+            } else if self.eat("-") {
+                v = v.wrapping_sub(self.mul()?);
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn mul(&mut self) -> Result<i64, PreprocessError> {
+        let mut v = self.unary()?;
+        loop {
+            if self.eat("*") {
+                v = v.wrapping_mul(self.unary()?);
+            } else if self.eat("/") {
+                let r = self.unary()?;
+                if r == 0 {
+                    return Err(self.err("division by zero in #if"));
+                }
+                v /= r;
+            } else if self.eat("%") {
+                let r = self.unary()?;
+                if r == 0 {
+                    return Err(self.err("modulo by zero in #if"));
+                }
+                v %= r;
+            } else {
+                return Ok(v);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<i64, PreprocessError> {
+        if self.eat("!") {
+            return Ok((self.unary()? == 0) as i64);
+        }
+        if self.eat("-") {
+            return Ok(-self.unary()?);
+        }
+        if self.eat("+") {
+            return self.unary();
+        }
+        if self.eat("(") {
+            let v = self.ternary()?;
+            if !self.eat(")") {
+                return Err(self.err("expected )"));
+            }
+            return Ok(v);
+        }
+        match self.toks.get(self.pos).map(|t| t.kind.clone()) {
+            Some(TokenKind::IntLit(v, _)) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(TokenKind::CharLit(v)) => {
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(TokenKind::Ident(_)) => {
+                self.pos += 1;
+                Ok(0) // undefined identifiers are 0 in #if
+            }
+            _ => Err(self.err("expected constant in #if expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pp(src: &str) -> Vec<Token> {
+        preprocess(src, &HashMap::new(), &[]).unwrap()
+    }
+
+    fn texts(toks: &[Token]) -> Vec<String> {
+        toks.iter()
+            .map(|t| match &t.kind {
+                TokenKind::Ident(s) => s.clone(),
+                TokenKind::IntLit(v, _) => v.to_string(),
+                TokenKind::FloatLit(v, _) => v.to_string(),
+                TokenKind::Punct(p) => p.to_string(),
+                other => format!("{other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn object_macro_expands() {
+        let t = pp("#define N 10\nint a[N];");
+        assert_eq!(texts(&t), vec!["int", "a", "[", "10", "]", ";"]);
+    }
+
+    #[test]
+    fn function_macro_expands() {
+        let t = pp("#define MAX(a,b) ((a) > (b) ? (a) : (b))\nx = MAX(1, y);");
+        let s = texts(&t).join(" ");
+        assert!(s.contains("( 1 ) > ( y )"), "{s}");
+    }
+
+    #[test]
+    fn nested_macro_calls() {
+        let t = pp("#define SQ(x) ((x)*(x))\n#define QU(x) SQ(SQ(x))\ny = QU(2);");
+        let s = texts(&t).join("");
+        assert_eq!(s, "y=((((2)*(2)))*(((2)*(2))));");
+    }
+
+    #[test]
+    fn recursion_is_hidden() {
+        let t = pp("#define A A B\nA");
+        assert_eq!(texts(&t), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn conditionals() {
+        let t = pp("#define ON 1\n#if ON\nyes;\n#else\nno;\n#endif");
+        assert_eq!(texts(&t), vec!["yes", ";"]);
+        let t = pp("#ifdef MISSING\nyes;\n#else\nno;\n#endif");
+        assert_eq!(texts(&t), vec!["no", ";"]);
+        let t = pp("#if 0\na;\n#elif 2 > 1\nb;\n#else\nc;\n#endif");
+        assert_eq!(texts(&t), vec!["b", ";"]);
+    }
+
+    #[test]
+    fn nested_inactive_regions() {
+        let t = pp("#if 0\n#if 1\na;\n#endif\nb;\n#endif\nc;");
+        assert_eq!(texts(&t), vec!["c", ";"]);
+    }
+
+    #[test]
+    fn defined_operator() {
+        let t = pp("#define X 1\n#if defined(X) && !defined(Y)\nok;\n#endif");
+        assert_eq!(texts(&t), vec!["ok", ";"]);
+    }
+
+    #[test]
+    fn includes_resolve() {
+        let mut inc = HashMap::new();
+        inc.insert("h.h".to_string(), "#define K 3\n".to_string());
+        let t = preprocess("#include \"h.h\"\nint a = K;", &inc, &[]).unwrap();
+        assert_eq!(texts(&t), vec!["int", "a", "=", "3", ";"]);
+    }
+
+    #[test]
+    fn missing_include_errors() {
+        let e = preprocess("#include \"nope.h\"", &HashMap::new(), &[]).unwrap_err();
+        assert!(e.msg.contains("not found"));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let t = pp("int /* comment */ x; // tail\nfloat y;");
+        assert_eq!(texts(&t), vec!["int", "x", ";", "float", "y", ";"]);
+    }
+
+    #[test]
+    fn multiline_comment_preserves_lines() {
+        let t = pp("int x;\n/* a\nb\nc */\nint y;");
+        assert_eq!(t.last().unwrap().line, 5);
+    }
+
+    #[test]
+    fn line_continuation() {
+        let t = pp("#define LONG 1 + \\\n 2\nx = LONG;");
+        assert_eq!(texts(&t), vec!["x", "=", "1", "+", "2", ";"]);
+    }
+
+    #[test]
+    fn undef_removes() {
+        let t = pp("#define A 1\n#undef A\nA;");
+        assert_eq!(texts(&t), vec!["A", ";"]);
+    }
+
+    #[test]
+    fn error_directive_fires() {
+        assert!(preprocess("#error boom", &HashMap::new(), &[]).is_err());
+        assert!(preprocess("#if 0\n#error boom\n#endif", &HashMap::new(), &[]).is_ok());
+    }
+
+    #[test]
+    fn predefines_apply() {
+        let t =
+            preprocess("int a = N;", &HashMap::new(), &[("N".into(), "5".into())]).unwrap();
+        assert_eq!(texts(&t), vec!["int", "a", "=", "5", ";"]);
+    }
+
+    #[test]
+    fn unbalanced_endif_errors() {
+        assert!(preprocess("#endif", &HashMap::new(), &[]).is_err());
+        assert!(preprocess("#if 1\nx;", &HashMap::new(), &[]).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Post-lowering simplifications (paper Sect. 5.1): constant folding and
+//! unused-global deletion.
+//!
+//! "Syntactically constant expressions are evaluated and replaced by their
+//! value. Unused global variables are then deleted. This phase is important
+//! since the analyzed programs use large arrays representing hardware
+//! features with constant subscripts; those arrays are thus optimized away."
+
+use astree_ir::{
+    Access, Block, ConstValue, Expr, Lvalue, Program, ScalarType, Stmt, StmtKind, VarId, VarKind,
+};
+
+/// Folds every syntactically constant sub-expression in the program.
+pub fn fold_constants(program: &mut Program) {
+    let mut funcs = std::mem::take(&mut program.funcs);
+    for f in &mut funcs {
+        fold_block(&mut f.body);
+    }
+    program.funcs = funcs;
+}
+
+fn fold_block(b: &mut Block) {
+    for s in b {
+        fold_stmt(s);
+    }
+}
+
+fn fold_stmt(s: &mut Stmt) {
+    match &mut s.kind {
+        StmtKind::Assign(lv, e) => {
+            fold_lvalue(lv);
+            fold_expr(e);
+        }
+        StmtKind::If(c, a, b) => {
+            fold_expr(c);
+            fold_block(a);
+            fold_block(b);
+        }
+        StmtKind::While(_, c, body) => {
+            fold_expr(c);
+            fold_block(body);
+        }
+        StmtKind::Call(ret, _, args) => {
+            if let Some(lv) = ret {
+                fold_lvalue(lv);
+            }
+            for a in args {
+                match a {
+                    astree_ir::CallArg::Value(e) => fold_expr(e),
+                    astree_ir::CallArg::Ref(lv) => fold_lvalue(lv),
+                }
+            }
+        }
+        StmtKind::Return(Some(e)) | StmtKind::Assume(e) => fold_expr(e),
+        StmtKind::Return(None) | StmtKind::Wait | StmtKind::ReadVolatile(_) => {}
+    }
+}
+
+fn fold_lvalue(lv: &mut Lvalue) {
+    for a in &mut lv.path {
+        if let Access::Index(e) = a {
+            fold_expr(e);
+        }
+    }
+}
+
+fn fold_expr(e: &mut Expr) {
+    // Fold children first.
+    match e {
+        Expr::Unop(_, _, a) | Expr::Cast(_, a) => fold_expr(a),
+        Expr::Binop(_, _, a, b) => {
+            fold_expr(a);
+            fold_expr(b);
+        }
+        Expr::Load(lv, _) => fold_lvalue(lv),
+        Expr::Int(..) | Expr::Float(..) => return,
+    }
+    if matches!(e, Expr::Load(..)) {
+        return;
+    }
+    if let Some(v) = Program::const_eval(e) {
+        let ty = e.ty();
+        *e = match (v, ty) {
+            (ConstValue::Int(v), ScalarType::Int(it)) => Expr::Int(v, it),
+            (ConstValue::Float(v), ScalarType::Float(k)) => Expr::Float(v.into(), k),
+            // Type-kind mismatch (shouldn't happen for well-typed IR): leave.
+            _ => return,
+        };
+    }
+}
+
+/// Deletes global/static variables never referenced by any statement and
+/// renumbers all `VarId`s accordingly.
+pub fn remove_unused_globals(program: &mut Program) {
+    let n = program.vars.len();
+    let mut used = vec![false; n];
+    // Params, locals and temps are always kept (they belong to functions).
+    for (i, v) in program.vars.iter().enumerate() {
+        if !matches!(v.kind, VarKind::Global | VarKind::Static) {
+            used[i] = true;
+        }
+    }
+    for f in &program.funcs {
+        astree_ir::stmt::for_each_stmt(&f.body, &mut |s| mark_stmt(s, &mut used));
+    }
+    if used.iter().all(|u| *u) {
+        return;
+    }
+    // Build the renumbering.
+    let mut remap = vec![VarId(u32::MAX); n];
+    let mut new_vars = Vec::new();
+    for (i, v) in program.vars.iter().enumerate() {
+        if used[i] {
+            remap[i] = VarId(new_vars.len() as u32);
+            new_vars.push(v.clone());
+        }
+    }
+    program.vars = new_vars;
+    let remap_fn = |v: VarId| remap[v.0 as usize];
+    let mut funcs = std::mem::take(&mut program.funcs);
+    for f in &mut funcs {
+        for p in &mut f.params {
+            p.var = remap_fn(p.var);
+        }
+        for l in &mut f.locals {
+            *l = remap_fn(*l);
+        }
+        remap_block(&mut f.body, &remap_fn);
+    }
+    program.funcs = funcs;
+}
+
+fn mark_stmt(s: &Stmt, used: &mut [bool]) {
+    fn mark_expr(e: &Expr, used: &mut [bool]) {
+        e.for_each_lvalue(&mut |lv| used[lv.base.0 as usize] = true);
+    }
+    match &s.kind {
+        StmtKind::Assign(lv, e) => {
+            used[lv.base.0 as usize] = true;
+            for a in &lv.path {
+                if let Access::Index(ie) = a {
+                    mark_expr(ie, used);
+                }
+            }
+            mark_expr(e, used);
+        }
+        StmtKind::If(c, _, _) | StmtKind::While(_, c, _) => mark_expr(c, used),
+        StmtKind::Call(ret, _, args) => {
+            if let Some(lv) = ret {
+                used[lv.base.0 as usize] = true;
+                for a in &lv.path {
+                    if let Access::Index(ie) = a {
+                        mark_expr(ie, used);
+                    }
+                }
+            }
+            for a in args {
+                match a {
+                    astree_ir::CallArg::Value(e) => mark_expr(e, used),
+                    astree_ir::CallArg::Ref(lv) => {
+                        used[lv.base.0 as usize] = true;
+                        for acc in &lv.path {
+                            if let Access::Index(ie) = acc {
+                                mark_expr(ie, used);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        StmtKind::Return(Some(e)) | StmtKind::Assume(e) => mark_expr(e, used),
+        StmtKind::ReadVolatile(v) => used[v.0 as usize] = true,
+        StmtKind::Return(None) | StmtKind::Wait => {}
+    }
+}
+
+fn remap_block(b: &mut Block, remap: &impl Fn(VarId) -> VarId) {
+    for s in b {
+        match &mut s.kind {
+            StmtKind::Assign(lv, e) => {
+                remap_lvalue(lv, remap);
+                remap_expr(e, remap);
+            }
+            StmtKind::If(c, a, bb) => {
+                remap_expr(c, remap);
+                remap_block(a, remap);
+                remap_block(bb, remap);
+            }
+            StmtKind::While(_, c, body) => {
+                remap_expr(c, remap);
+                remap_block(body, remap);
+            }
+            StmtKind::Call(ret, _, args) => {
+                if let Some(lv) = ret {
+                    remap_lvalue(lv, remap);
+                }
+                for a in args {
+                    match a {
+                        astree_ir::CallArg::Value(e) => remap_expr(e, remap),
+                        astree_ir::CallArg::Ref(lv) => remap_lvalue(lv, remap),
+                    }
+                }
+            }
+            StmtKind::Return(Some(e)) | StmtKind::Assume(e) => remap_expr(e, remap),
+            StmtKind::ReadVolatile(v) => *v = remap(*v),
+            StmtKind::Return(None) | StmtKind::Wait => {}
+        }
+    }
+}
+
+fn remap_lvalue(lv: &mut Lvalue, remap: &impl Fn(VarId) -> VarId) {
+    lv.base = remap(lv.base);
+    for a in &mut lv.path {
+        if let Access::Index(e) = a {
+            remap_expr(e, remap);
+        }
+    }
+}
+
+fn remap_expr(e: &mut Expr, remap: &impl Fn(VarId) -> VarId) {
+    match e {
+        Expr::Load(lv, _) => remap_lvalue(lv, remap),
+        Expr::Unop(_, _, a) | Expr::Cast(_, a) => remap_expr(a, remap),
+        Expr::Binop(_, _, a, b) => {
+            remap_expr(a, remap);
+            remap_expr(b, remap);
+        }
+        Expr::Int(..) | Expr::Float(..) => {}
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end frontend tests: C source → IR → concrete interpretation.
+
+use astree_frontend::Frontend;
+use astree_ir::{ExecError, InputRange, Interp, InterpConfig, SeededInputs, Value, VarKind};
+
+fn run_main(src: &str) -> astree_ir::Store {
+    let p = Frontend::new().compile_str(src).expect("compiles");
+    assert!(p.validate().is_empty(), "{:?}", p.validate());
+    let mut inputs = SeededInputs::new(3);
+    let mut i = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    i.run().expect("runs");
+    i.store().clone()
+}
+
+fn get(p: &astree_ir::Program, store: &astree_ir::Store, name: &str) -> Value {
+    let v = p.var_by_name(name).unwrap_or_else(|| panic!("no var {name}"));
+    store[&(v, vec![])]
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let src = r#"
+        int fib;
+        void main(void) {
+            int a = 0; int b = 1; int i;
+            for (i = 0; i < 10; i++) {
+                int t = a + b;
+                a = b;
+                b = t;
+            }
+            fib = a;
+        }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "fib"), Value::Int(55));
+}
+
+#[test]
+fn float_filter_runs() {
+    let src = r#"
+        double x; double y;
+        void main(void) {
+            int i;
+            x = 0.0; y = 0.0;
+            for (i = 0; i < 100; i++) {
+                double nx = 1.5 * x - 0.7 * y + 1.0;
+                y = x;
+                x = nx;
+            }
+        }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    let xv = get(&p, it.store(), "x").as_float();
+    assert!(xv.is_finite() && xv.abs() < 10.0, "filter diverged: {xv}");
+}
+
+#[test]
+fn structs_and_arrays() {
+    let src = r#"
+        struct Point { int x; int y; };
+        struct Point pts[3];
+        int sum;
+        void main(void) {
+            int i;
+            for (i = 0; i < 3; i++) {
+                pts[i].x = i;
+                pts[i].y = 2 * i;
+            }
+            sum = 0;
+            for (i = 0; i < 3; i++) {
+                sum = sum + pts[i].x + pts[i].y;
+            }
+        }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "sum"), Value::Int(0 + 0 + 1 + 2 + 2 + 4));
+}
+
+#[test]
+fn call_by_reference() {
+    let src = r#"
+        int result;
+        void scale(int *out, int k) { *out = *out * k; }
+        void main(void) {
+            result = 7;
+            scale(&result, 6);
+        }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "result"), Value::Int(42));
+}
+
+#[test]
+fn function_results_in_expressions() {
+    let src = r#"
+        int r;
+        int sq(int v) { return v * v; }
+        void main(void) { r = sq(3) + sq(4); }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "r"), Value::Int(25));
+}
+
+#[test]
+fn periodic_synchronous_shape() {
+    // The canonical family shape from paper Sect. 4.
+    let src = r#"
+        volatile int sensor;
+        int ticks;
+        int acc;
+        void main(void) {
+            __astree_input_int(sensor, -100, 100);
+            ticks = 0;
+            acc = 0;
+            while (1) {
+                int v = sensor;
+                if (v > 0) { acc = acc + 1; }
+                ticks = ticks + 1;
+                __astree_wait();
+            }
+        }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let sensor = p.var_by_name("sensor").unwrap();
+    assert_eq!(p.var(sensor).volatile_input, Some(InputRange::Int(-100, 100)));
+    let mut inputs = SeededInputs::new(9);
+    let mut it = Interp::new(&p, InterpConfig { max_steps: 10_000_000, max_ticks: 500 }, &mut inputs);
+    it.run().unwrap();
+    assert_eq!(it.ticks(), 500);
+    let ticks = get(&p, it.store(), "ticks").as_int();
+    assert_eq!(ticks, 500);
+    let acc = get(&p, it.store(), "acc").as_int();
+    assert!(acc <= ticks);
+}
+
+#[test]
+fn constant_folding_folds() {
+    let src = r#"
+        int x;
+        void main(void) { x = 2 * 3 + 4; }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let text = astree_ir::pretty::program_to_string(&p);
+    assert!(text.contains("x = 10;"), "{text}");
+}
+
+#[test]
+fn unused_globals_removed() {
+    let src = r#"
+        int used;
+        int unused_table[1000];
+        void main(void) { used = 1; }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    assert!(p.var_by_name("unused_table").is_none());
+    assert!(p.var_by_name("used").is_some());
+    let kept = Frontend::new().keep_unused_globals(true).compile_str(src).unwrap();
+    assert!(kept.var_by_name("unused_table").is_some());
+}
+
+#[test]
+fn runtime_error_is_caught() {
+    let src = r#"
+        int x; int d;
+        void main(void) { d = 0; x = 10 / d; }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    assert!(matches!(it.run(), Err(ExecError::DivByZero(_))));
+}
+
+#[test]
+fn static_locals_persist() {
+    let src = r#"
+        int out;
+        void bump(void) { static int count = 5; count = count + 1; out = count; }
+        void main(void) { bump(); bump(); bump(); }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let statics: Vec<_> =
+        p.vars.iter().filter(|v| matches!(v.kind, VarKind::Static)).collect();
+    assert_eq!(statics.len(), 1);
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "out"), Value::Int(8));
+}
+
+#[test]
+fn ternary_hoisting() {
+    let src = r#"
+        int y;
+        void main(void) {
+            int x = -5;
+            y = x > 0 ? x : -x;
+        }
+    "#;
+    let store_p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&store_p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&store_p, it.store(), "y"), Value::Int(5));
+}
+
+#[test]
+fn bool_normalization() {
+    let src = r#"
+        _Bool b; int n;
+        void main(void) { n = 7; b = (_Bool)n; }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "b"), Value::Int(1));
+}
+
+#[test]
+fn mixed_types_insert_casts() {
+    let src = r#"
+        double d; int i;
+        void main(void) {
+            i = 3;
+            d = i / 2;        /* integer division, then int->double */
+        }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "d"), Value::Float(1.0));
+}
+
+#[test]
+fn multi_unit_link() {
+    let unit_a = r#"
+        extern int shared;
+        int get3(void);
+        void main(void) { shared = get3(); }
+    "#;
+    let unit_b = r#"
+        int shared;
+        int get3(void) { return 3; }
+    "#;
+    let p = Frontend::new().compile_units(&[unit_a, unit_b]).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "shared"), Value::Int(3));
+}
+
+#[test]
+fn do_while_executes_once() {
+    let src = r#"
+        int n;
+        void main(void) {
+            n = 0;
+            do { n = n + 1; } while (0);
+        }
+    "#;
+    let store = run_main(src);
+    let p = Frontend::new().compile_str(src).unwrap();
+    let v = p.var_by_name("n").unwrap();
+    assert_eq!(store[&(v, vec![])], Value::Int(1));
+}
+
+#[test]
+fn global_initializer_lists() {
+    let src = r#"
+        int table[4] = {10, 20, 30};
+        int x;
+        void main(void) { x = table[0] + table[1] + table[2] + table[3]; }
+    "#;
+    let p = Frontend::new().compile_str(src).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(get(&p, it.store(), "x"), Value::Int(60));
+}

@@ -1,0 +1,286 @@
+//! Frontend edge cases: preprocessor corner cases, diagnostics quality,
+//! and lowering details the generated family exercises indirectly.
+
+use astree_frontend::{Frontend, FrontendError};
+use astree_ir::{Interp, InterpConfig, ScalarType, SeededInputs, Value};
+
+fn compile(src: &str) -> Result<astree_ir::Program, FrontendError> {
+    Frontend::new().compile_str(src)
+}
+
+fn run_get(src: &str, name: &str) -> Value {
+    let p = compile(src).expect("compiles");
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().expect("runs");
+    let v = p.var_by_name(name).unwrap_or_else(|| panic!("no var {name}"));
+    it.store()[&(v, vec![])]
+}
+
+// ----- preprocessor ---------------------------------------------------------
+
+#[test]
+fn nested_function_macros_with_sat() {
+    // The SAT macro of the generated family: nested ternaries.
+    let src = r#"
+        #define SAT(v, lo, hi) ((v) > (hi) ? (hi) : ((v) < (lo) ? (lo) : (v)))
+        int a; int b; int c;
+        void main(void) {
+            a = SAT(150, 0, 100);
+            b = SAT(-3, 0, 100);
+            c = SAT(42, 0, 100);
+        }
+    "#;
+    assert_eq!(run_get(src, "a"), Value::Int(100));
+    assert_eq!(run_get(src, "b"), Value::Int(0));
+    assert_eq!(run_get(src, "c"), Value::Int(42));
+}
+
+#[test]
+fn macro_arguments_with_commas_in_parens() {
+    let src = r#"
+        #define APPLY(f, x) f(x)
+        int out;
+        int twice(int v) { return v * 2; }
+        void main(void) { out = APPLY(twice, 21); }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(42));
+}
+
+#[test]
+fn conditional_compilation_selects_variant() {
+    let base = r#"
+        #ifdef FAST
+        int rate = 10;
+        #else
+        int rate = 1;
+        #endif
+        int out;
+        void main(void) { out = rate; }
+    "#;
+    assert_eq!(run_get(base, "out"), Value::Int(1));
+    let mut fe = Frontend::new();
+    fe.define("FAST", "1");
+    let p = fe.compile_str(base).unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    let v = p.var_by_name("out").unwrap();
+    assert_eq!(it.store()[&(v, vec![])], Value::Int(10));
+}
+
+#[test]
+fn include_chains_and_guards() {
+    let mut fe = Frontend::new();
+    fe.add_include(
+        "config.h",
+        "#ifndef CONFIG_H\n#define CONFIG_H\n#define LIMIT 7\n#endif\n",
+    );
+    fe.add_include("lib.h", "#include \"config.h\"\nint limit_value(void);");
+    let p = fe
+        .compile_str(
+            r#"
+            #include "lib.h"
+            #include "config.h"
+            int out;
+            int limit_value(void) { return LIMIT; }
+            void main(void) { out = limit_value(); }
+        "#,
+        )
+        .unwrap();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    let v = p.var_by_name("out").unwrap();
+    assert_eq!(it.store()[&(v, vec![])], Value::Int(7));
+}
+
+// ----- diagnostics -----------------------------------------------------------
+
+#[test]
+fn errors_carry_line_numbers() {
+    let e = compile("int x;\nvoid main(void) {\n    x = ;\n}").unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("line 3"), "{msg}");
+}
+
+#[test]
+fn unknown_variable_is_a_semantic_error() {
+    let e = compile("void main(void) { nosuch = 1; }").unwrap_err();
+    assert!(matches!(e, FrontendError::Lower(_)), "{e}");
+    assert!(e.to_string().contains("nosuch"));
+}
+
+#[test]
+fn missing_main_is_rejected() {
+    let e = compile("int x; void helper(void) { x = 1; }").unwrap_err();
+    assert!(e.to_string().contains("main"), "{e}");
+}
+
+#[test]
+fn call_arity_is_checked() {
+    let e = compile(
+        "void f(int a, int b) { } void main(void) { f(1); }",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("expects 2"), "{e}");
+}
+
+#[test]
+fn by_ref_requires_address_of() {
+    let e = compile(
+        "void f(int *p) { *p = 1; } int g; void main(void) { f(g); }",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("&lvalue"), "{e}");
+}
+
+#[test]
+fn void_function_in_expression_is_rejected() {
+    let e = compile(
+        "int x; void f(void) { } void main(void) { x = f() + 1; }",
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("void"), "{e}");
+}
+
+// ----- lowering details ------------------------------------------------------
+
+#[test]
+fn unsigned_arithmetic_uses_uint_semantics() {
+    // 2147483648u is representable as unsigned; comparing signed/unsigned
+    // promotes to unsigned.
+    let src = r#"
+        unsigned int u; int out;
+        void main(void) {
+            u = 3000000000u;
+            out = (u > 2000000000u) ? 1 : 0;
+        }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(1));
+}
+
+#[test]
+fn char_arithmetic_promotes_to_int() {
+    let src = r#"
+        unsigned char a; unsigned char b; int out;
+        void main(void) {
+            a = 200; b = 100;
+            out = a + b;    /* 300: fine at int width */
+        }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(300));
+}
+
+#[test]
+fn float_literal_suffix_selects_f32() {
+    let p = compile("float f; void main(void) { f = 0.1f; }").unwrap();
+    let v = p.var_by_name("f").unwrap();
+    assert_eq!(
+        p.var(v).ty.as_scalar(),
+        Some(ScalarType::Float(astree_ir::FloatKind::F32))
+    );
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run().unwrap();
+    assert_eq!(it.store()[&(v, vec![])], Value::Float(0.1f32 as f64));
+}
+
+#[test]
+fn logical_operators_short_circuit_value() {
+    let src = r#"
+        int a; int b; int c;
+        void main(void) {
+            a = (1 && 2) + (0 || 0);  /* 1 + 0 */
+            b = !5;
+            c = !0;
+        }
+    "#;
+    assert_eq!(run_get(src, "a"), Value::Int(1));
+    assert_eq!(run_get(src, "b"), Value::Int(0));
+    assert_eq!(run_get(src, "c"), Value::Int(1));
+}
+
+#[test]
+fn hex_octal_char_literals() {
+    let src = r#"
+        int a; int b; int c;
+        void main(void) { a = 0xFF; b = 010; c = 'A'; }
+    "#;
+    assert_eq!(run_get(src, "a"), Value::Int(255));
+    assert_eq!(run_get(src, "b"), Value::Int(8));
+    assert_eq!(run_get(src, "c"), Value::Int(65));
+}
+
+#[test]
+fn enum_constants_in_expressions() {
+    let src = r#"
+        enum Mode { OFF, INIT = 5, RUN };
+        int out;
+        void main(void) { out = RUN; }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(6));
+}
+
+#[test]
+fn typedef_chains() {
+    let src = r#"
+        typedef unsigned char BYTE;
+        typedef BYTE OCTET;
+        OCTET o; int out;
+        void main(void) { o = 255; out = o + 1; }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(256));
+}
+
+#[test]
+fn two_dim_arrays() {
+    let src = r#"
+        int m[3][4]; int out;
+        void main(void) {
+            int i; int j;
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 4; j++) { m[i][j] = i * 10 + j; }
+            }
+            out = m[2][3];
+        }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(23));
+}
+
+#[test]
+fn struct_initializers_apply_in_order() {
+    let src = r#"
+        struct P { int x; int y; };
+        struct P p = { 3, 4 };
+        int out;
+        void main(void) { out = p.x * 10 + p.y; }
+    "#;
+    assert_eq!(run_get(src, "out"), Value::Int(34));
+}
+
+#[test]
+fn volatile_reads_are_fresh_each_statement() {
+    // Two consecutive reads may differ: the sum ranges over [0, 2], and the
+    // analyzer must not assume both reads are equal.
+    let src = r#"
+        volatile int in; int s;
+        void main(void) {
+            __astree_input_int(in, 0, 1);
+            s = in + in;
+        }
+    "#;
+    let p = compile(src).unwrap();
+    let r = astree_core::Analyzer::new(&p, astree_core::AnalysisConfig::default()).run();
+    assert!(r.alarms.is_empty());
+    // Concretely, collect different sums across seeds.
+    let mut seen = std::collections::BTreeSet::new();
+    for seed in 0..50 {
+        let mut inputs = SeededInputs::new(seed);
+        let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+        it.run().unwrap();
+        let v = p.var_by_name("s").unwrap();
+        seen.insert(it.store()[&(v, vec![])].as_int());
+    }
+    assert!(seen.len() >= 2, "sums never varied: {seen:?}");
+}

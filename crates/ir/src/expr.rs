@@ -1,0 +1,401 @@
+//! Typed expressions and l-values.
+//!
+//! Every operator node records the scalar type *at which the machine performs
+//! the operation* (after C's usual arithmetic conversions); the frontend
+//! inserts explicit [`Expr::Cast`] nodes so no implicit conversion remains.
+//! Conditions are ordinary integer expressions (zero/non-zero); logical
+//! connectives are dedicated operators so the abstract `guard` can decompose
+//! them structurally, as prescribed in paper Sect. 5.4.
+
+use crate::program::VarId;
+use crate::types::{FloatKind, IntType, ScalarType};
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Unop {
+    /// Arithmetic negation `-e` (at the node's scalar type).
+    Neg,
+    /// Logical negation `!e` (yields 0/1 `int`).
+    LNot,
+    /// Bitwise complement `~e` (integers only).
+    BNot,
+}
+
+/// A binary operator.
+///
+/// Arithmetic operators are evaluated at the node's scalar type; comparison
+/// operators compare at the node's scalar type but yield `int` 0/1; logical
+/// connectives operate on zero/non-zero integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Binop {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (integer division truncates toward zero)
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `&` (integers only)
+    BAnd,
+    /// `|` (integers only)
+    BOr,
+    /// `^` (integers only)
+    BXor,
+    /// `<<` (integers only)
+    Shl,
+    /// `>>` (integers only; arithmetic shift for signed operands)
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (side-effect-free, so plain logical conjunction)
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+impl Binop {
+    /// `true` for `<`, `<=`, `>`, `>=`, `==`, `!=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, Binop::Lt | Binop::Le | Binop::Gt | Binop::Ge | Binop::Eq | Binop::Ne)
+    }
+
+    /// `true` for `&&`, `||`.
+    pub fn is_logical(self) -> bool {
+        matches!(self, Binop::LAnd | Binop::LOr)
+    }
+
+    /// The comparison with swapped operands (`a < b` ⇔ `b > a`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a comparison.
+    pub fn swap(self) -> Binop {
+        match self {
+            Binop::Lt => Binop::Gt,
+            Binop::Le => Binop::Ge,
+            Binop::Gt => Binop::Lt,
+            Binop::Ge => Binop::Le,
+            Binop::Eq => Binop::Eq,
+            Binop::Ne => Binop::Ne,
+            other => panic!("swap on non-comparison {other:?}"),
+        }
+    }
+
+    /// The negated comparison (`!(a < b)` ⇔ `a >= b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a comparison.
+    pub fn negate(self) -> Binop {
+        match self {
+            Binop::Lt => Binop::Ge,
+            Binop::Le => Binop::Gt,
+            Binop::Gt => Binop::Le,
+            Binop::Ge => Binop::Lt,
+            Binop::Eq => Binop::Ne,
+            Binop::Ne => Binop::Eq,
+            other => panic!("negate on non-comparison {other:?}"),
+        }
+    }
+}
+
+/// One step of an access path into an aggregate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// `.field` — field index into the record definition.
+    Field(u32),
+    /// `[e]` — array subscript.
+    Index(Box<Expr>),
+}
+
+/// An l-value: a base variable plus an access path.
+///
+/// The analyzed subset has no pointer arithmetic, so every l-value is rooted
+/// at a named variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lvalue {
+    /// The root variable.
+    pub base: VarId,
+    /// Field selections and array subscripts applied to the root.
+    pub path: Vec<Access>,
+}
+
+impl Lvalue {
+    /// An l-value that is just a variable.
+    pub fn var(base: VarId) -> Lvalue {
+        Lvalue { base, path: Vec::new() }
+    }
+
+    /// An l-value `base[idx]`.
+    pub fn index(base: VarId, idx: Expr) -> Lvalue {
+        Lvalue { base, path: vec![Access::Index(Box::new(idx))] }
+    }
+
+    /// `true` if the path contains no array subscripts with non-constant
+    /// indices (i.e. the l-value denotes a statically known cell).
+    pub fn is_static_path(&self) -> bool {
+        self.path.iter().all(|a| match a {
+            Access::Field(_) => true,
+            Access::Index(e) => matches!(**e, Expr::Int(_, _)),
+        })
+    }
+}
+
+/// A typed expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Integer constant with its type.
+    Int(i64, IntType),
+    /// Floating constant with its format. The payload is the `f64` value of
+    /// the constant (exact for `double`; for `float` constants the frontend
+    /// stores the value already rounded to the `f32` grid).
+    Float(FloatBits, FloatKind),
+    /// Read of an l-value, annotated with the scalar type of the cell.
+    Load(Lvalue, ScalarType),
+    /// Unary operation performed at `ScalarType`.
+    Unop(Unop, ScalarType, Box<Expr>),
+    /// Binary operation performed at `ScalarType` (for comparisons: the
+    /// comparison type of the operands; the result is `int`).
+    Binop(Binop, ScalarType, Box<Expr>, Box<Expr>),
+    /// Conversion of the operand to the given scalar type.
+    Cast(ScalarType, Box<Expr>),
+}
+
+/// An `f64` wrapper that is `Eq`/`Hash` by bit pattern, so expressions can be
+/// hashed and compared structurally.
+#[derive(Debug, Clone, Copy)]
+pub struct FloatBits(pub f64);
+
+impl FloatBits {
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for FloatBits {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.to_bits() == other.0.to_bits()
+    }
+}
+impl Eq for FloatBits {}
+impl std::hash::Hash for FloatBits {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+impl From<f64> for FloatBits {
+    fn from(x: f64) -> Self {
+        FloatBits(x)
+    }
+}
+
+impl Expr {
+    /// Integer constant of type `int`.
+    pub fn int(v: i64) -> Expr {
+        Expr::Int(v, IntType::INT)
+    }
+
+    /// `double` constant.
+    pub fn float(v: f64) -> Expr {
+        Expr::Float(FloatBits(v), FloatKind::F64)
+    }
+
+    /// Read of a plain `int` variable.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Load(Lvalue::var(v), ScalarType::Int(IntType::INT))
+    }
+
+    /// Read of a plain variable with an explicit scalar type.
+    pub fn var_t(v: VarId, t: ScalarType) -> Expr {
+        Expr::Load(Lvalue::var(v), t)
+    }
+
+    /// The scalar type of the expression's value.
+    pub fn ty(&self) -> ScalarType {
+        match self {
+            Expr::Int(_, t) => ScalarType::Int(*t),
+            Expr::Float(_, k) => ScalarType::Float(*k),
+            Expr::Load(_, t) => *t,
+            Expr::Unop(Unop::LNot, _, _) => ScalarType::Int(IntType::INT),
+            Expr::Unop(_, t, _) => *t,
+            Expr::Binop(op, t, _, _) => {
+                if op.is_comparison() || op.is_logical() {
+                    ScalarType::Int(IntType::INT)
+                } else {
+                    *t
+                }
+            }
+            Expr::Cast(t, _) => *t,
+        }
+    }
+
+    /// Calls `f` on every l-value read in the expression (including array
+    /// index sub-expressions, recursively).
+    pub fn for_each_lvalue(&self, f: &mut impl FnMut(&Lvalue)) {
+        match self {
+            Expr::Int(_, _) | Expr::Float(_, _) => {}
+            Expr::Load(lv, _) => {
+                f(lv);
+                for a in &lv.path {
+                    if let Access::Index(e) = a {
+                        e.for_each_lvalue(f);
+                    }
+                }
+            }
+            Expr::Unop(_, _, e) | Expr::Cast(_, e) => e.for_each_lvalue(f),
+            Expr::Binop(_, _, a, b) => {
+                a.for_each_lvalue(f);
+                b.for_each_lvalue(f);
+            }
+        }
+    }
+
+    /// Collects the set of base variables read by the expression.
+    pub fn vars(&self) -> Vec<VarId> {
+        let mut out = Vec::new();
+        self.for_each_lvalue(&mut |lv| {
+            if !out.contains(&lv.base) {
+                out.push(lv.base);
+            }
+        });
+        out
+    }
+
+    /// Structural negation of a condition, pushing `!` through logical
+    /// connectives and comparisons (De Morgan), used by abstract `guard`.
+    pub fn negate_condition(&self) -> Expr {
+        match self {
+            Expr::Unop(Unop::LNot, _, e) => (**e).clone(),
+            Expr::Binop(op, t, a, b) if op.is_comparison() => {
+                Expr::Binop(op.negate(), *t, a.clone(), b.clone())
+            }
+            Expr::Binop(Binop::LAnd, t, a, b) => Expr::Binop(
+                Binop::LOr,
+                *t,
+                Box::new(a.negate_condition()),
+                Box::new(b.negate_condition()),
+            ),
+            Expr::Binop(Binop::LOr, t, a, b) => Expr::Binop(
+                Binop::LAnd,
+                *t,
+                Box::new(a.negate_condition()),
+                Box::new(b.negate_condition()),
+            ),
+            Expr::Int(v, t) => Expr::Int(if *v == 0 { 1 } else { 0 }, *t),
+            // A cast to _Bool preserves truthiness exactly, so negation
+            // pushes through it.
+            Expr::Cast(ScalarType::Int(it), inner) if it.is_bool() => inner.negate_condition(),
+            other => Expr::Unop(Unop::LNot, ScalarType::Int(IntType::INT), Box::new(other.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> VarId {
+        VarId(n)
+    }
+
+    #[test]
+    fn comparison_helpers() {
+        assert_eq!(Binop::Lt.negate(), Binop::Ge);
+        assert_eq!(Binop::Lt.swap(), Binop::Gt);
+        assert_eq!(Binop::Eq.negate(), Binop::Ne);
+        assert!(Binop::Le.is_comparison());
+        assert!(!Binop::Add.is_comparison());
+        assert!(Binop::LAnd.is_logical());
+    }
+
+    #[test]
+    #[should_panic(expected = "negate on non-comparison")]
+    fn negate_arith_panics() {
+        let _ = Binop::Add.negate();
+    }
+
+    #[test]
+    fn expr_types() {
+        let t = ScalarType::Int(IntType::INT);
+        let cmp = Expr::Binop(Binop::Lt, ScalarType::Float(FloatKind::F64),
+                              Box::new(Expr::float(1.0)), Box::new(Expr::float(2.0)));
+        assert_eq!(cmp.ty(), t);
+        let add = Expr::Binop(Binop::Add, ScalarType::Float(FloatKind::F32),
+                              Box::new(Expr::float(1.0)), Box::new(Expr::float(2.0)));
+        assert_eq!(add.ty(), ScalarType::Float(FloatKind::F32));
+        let cast = Expr::Cast(ScalarType::Int(IntType::UCHAR), Box::new(Expr::int(300)));
+        assert_eq!(cast.ty(), ScalarType::Int(IntType::UCHAR));
+    }
+
+    #[test]
+    fn negate_condition_pushes_through() {
+        let t = ScalarType::Int(IntType::INT);
+        // !(a < b && c) == (a >= b || !c)
+        let c = Expr::Binop(
+            Binop::LAnd,
+            t,
+            Box::new(Expr::Binop(Binop::Lt, t, Box::new(Expr::var(v(0))), Box::new(Expr::var(v(1))))),
+            Box::new(Expr::var(v(2))),
+        );
+        let n = c.negate_condition();
+        match n {
+            Expr::Binop(Binop::LOr, _, a, b) => {
+                assert!(matches!(*a, Expr::Binop(Binop::Ge, _, _, _)));
+                assert!(matches!(*b, Expr::Unop(Unop::LNot, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let x = Expr::var(v(7));
+        let once = x.negate_condition();
+        let twice = once.negate_condition();
+        assert_eq!(twice, x);
+    }
+
+    #[test]
+    fn collects_vars_through_indices() {
+        // a[i] + b
+        let e = Expr::Binop(
+            Binop::Add,
+            ScalarType::Int(IntType::INT),
+            Box::new(Expr::Load(
+                Lvalue::index(v(0), Expr::var(v(1))),
+                ScalarType::Int(IntType::INT),
+            )),
+            Box::new(Expr::var(v(2))),
+        );
+        let mut vs = e.vars();
+        vs.sort();
+        assert_eq!(vs, vec![v(0), v(1), v(2)]);
+    }
+
+    #[test]
+    fn static_paths() {
+        assert!(Lvalue::var(v(0)).is_static_path());
+        assert!(Lvalue::index(v(0), Expr::int(3)).is_static_path());
+        assert!(!Lvalue::index(v(0), Expr::var(v(1))).is_static_path());
+    }
+
+    #[test]
+    fn float_bits_eq_distinguishes_zero_signs() {
+        assert_ne!(FloatBits(0.0), FloatBits(-0.0));
+        assert_eq!(FloatBits(f64::NAN), FloatBits(f64::NAN));
+    }
+}

@@ -1,0 +1,256 @@
+//! Pretty-printer: renders IR back to C-like source.
+//!
+//! Used for debugging dumps, alarm context in reports, and golden tests. The
+//! output is valid input for the frontend's parser for the supported subset
+//! (modulo synthesized constructs like `__astree_wait()`).
+
+use crate::expr::{Access, Binop, Expr, Lvalue, Unop};
+use crate::program::{ParamKind, Program};
+use crate::stmt::{Block, CallArg, Stmt, StmtKind};
+use crate::types::{FloatKind, ScalarType, Type};
+use std::fmt::Write;
+
+/// Renders a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.funcs {
+        let ret = match f.ret {
+            Some(t) => scalar_to_string(t),
+            None => "void".to_string(),
+        };
+        let params: Vec<String> = f
+            .params
+            .iter()
+            .map(|prm| {
+                let v = p.var(prm.var);
+                let t = v.ty.as_scalar().map(scalar_to_string).unwrap_or("<aggregate>".into());
+                match prm.kind {
+                    ParamKind::ByValue => format!("{t} {}", v.name),
+                    ParamKind::ByRef => format!("{t} *{}", v.name),
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "{ret} {}({}) {{", f.name, params.join(", "));
+        for &l in &f.locals {
+            let v = p.var(l);
+            let _ = writeln!(out, "  {};", decl_to_string(&v.ty, &v.name));
+        }
+        block_to(&mut out, p, &f.body, 1);
+        let _ = writeln!(out, "}}");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a declaration `ty name` with C array syntax.
+pub fn decl_to_string(ty: &Type, name: &str) -> String {
+    match ty {
+        Type::Scalar(s) => format!("{} {name}", scalar_to_string(*s)),
+        Type::Array(elem, n) => {
+            let inner = decl_to_string(elem, name);
+            // place the bracket after the existing declarator
+            format!("{inner}[{n}]")
+        }
+        Type::Record(rid) => format!("struct #{} {name}", rid.0),
+    }
+}
+
+fn scalar_to_string(t: ScalarType) -> String {
+    t.to_string()
+}
+
+fn block_to(out: &mut String, p: &Program, b: &Block, depth: usize) {
+    for s in b {
+        stmt_to(out, p, s, depth);
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn stmt_to(out: &mut String, p: &Program, s: &Stmt, depth: usize) {
+    indent(out, depth);
+    match &s.kind {
+        StmtKind::Assign(lv, e) => {
+            let _ = writeln!(out, "{} = {};", lvalue_to_string(p, lv), expr_to_string(p, e));
+        }
+        StmtKind::If(c, a, b) => {
+            let _ = writeln!(out, "if ({}) {{", expr_to_string(p, c));
+            block_to(out, p, a, depth + 1);
+            if b.is_empty() {
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            } else {
+                indent(out, depth);
+                let _ = writeln!(out, "}} else {{");
+                block_to(out, p, b, depth + 1);
+                indent(out, depth);
+                let _ = writeln!(out, "}}");
+            }
+        }
+        StmtKind::While(_, c, body) => {
+            let _ = writeln!(out, "while ({}) {{", expr_to_string(p, c));
+            block_to(out, p, body, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+        StmtKind::Call(ret, f, args) => {
+            let fname = &p.func(*f).name;
+            let args: Vec<String> = args
+                .iter()
+                .map(|a| match a {
+                    CallArg::Value(e) => expr_to_string(p, e),
+                    CallArg::Ref(lv) => format!("&{}", lvalue_to_string(p, lv)),
+                })
+                .collect();
+            match ret {
+                Some(lv) => {
+                    let _ = writeln!(out, "{} = {fname}({});", lvalue_to_string(p, lv), args.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "{fname}({});", args.join(", "));
+                }
+            }
+        }
+        StmtKind::Return(Some(e)) => {
+            let _ = writeln!(out, "return {};", expr_to_string(p, e));
+        }
+        StmtKind::Return(None) => {
+            let _ = writeln!(out, "return;");
+        }
+        StmtKind::Wait => {
+            let _ = writeln!(out, "__astree_wait();");
+        }
+        StmtKind::Assume(e) => {
+            let _ = writeln!(out, "__astree_assume({});", expr_to_string(p, e));
+        }
+        StmtKind::ReadVolatile(v) => {
+            let _ = writeln!(out, "__astree_read({});", p.var(*v).name);
+        }
+    }
+}
+
+/// Renders an l-value.
+pub fn lvalue_to_string(p: &Program, lv: &Lvalue) -> String {
+    let mut s = p.var(lv.base).name.clone();
+    let mut ty = p.var(lv.base).ty.clone();
+    for a in &lv.path {
+        match a {
+            Access::Index(e) => {
+                let _ = write!(s, "[{}]", expr_to_string(p, e));
+                if let Type::Array(elem, _) = ty {
+                    ty = *elem;
+                }
+            }
+            Access::Field(f) => {
+                if let Type::Record(rid) = &ty {
+                    let def = &p.records[rid.0 as usize];
+                    let (name, ft) = &def.fields[*f as usize];
+                    let _ = write!(s, ".{name}");
+                    ty = ft.clone();
+                } else {
+                    let _ = write!(s, ".#{f}");
+                }
+            }
+        }
+    }
+    s
+}
+
+fn unop_str(op: Unop) -> &'static str {
+    match op {
+        Unop::Neg => "-",
+        Unop::LNot => "!",
+        Unop::BNot => "~",
+    }
+}
+
+fn binop_str(op: Binop) -> &'static str {
+    match op {
+        Binop::Add => "+",
+        Binop::Sub => "-",
+        Binop::Mul => "*",
+        Binop::Div => "/",
+        Binop::Rem => "%",
+        Binop::BAnd => "&",
+        Binop::BOr => "|",
+        Binop::BXor => "^",
+        Binop::Shl => "<<",
+        Binop::Shr => ">>",
+        Binop::Lt => "<",
+        Binop::Le => "<=",
+        Binop::Gt => ">",
+        Binop::Ge => ">=",
+        Binop::Eq => "==",
+        Binop::Ne => "!=",
+        Binop::LAnd => "&&",
+        Binop::LOr => "||",
+    }
+}
+
+/// Renders an expression (fully parenthesized, so precedence never lies).
+pub fn expr_to_string(p: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Int(v, _) => format!("{v}"),
+        Expr::Float(b, FloatKind::F32) => format!("{:?}f", b.get()),
+        Expr::Float(b, FloatKind::F64) => {
+            let v = b.get();
+            if v == v.trunc() && v.abs() < 1e15 {
+                format!("{v:.1}")
+            } else {
+                format!("{v:?}")
+            }
+        }
+        Expr::Load(lv, _) => lvalue_to_string(p, lv),
+        Expr::Unop(op, _, a) => format!("{}({})", unop_str(*op), expr_to_string(p, a)),
+        Expr::Binop(op, _, a, b) =>
+
+            format!("({} {} {})", expr_to_string(p, a), binop_str(*op), expr_to_string(p, b)),
+        Expr::Cast(t, a) => format!("({})({})", scalar_to_string(*t), expr_to_string(p, a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Function, VarInfo, VarKind};
+    use crate::types::IntType;
+
+    #[test]
+    fn renders_simple_program() {
+        let mut p = Program::new();
+        let x = p.add_var(VarInfo::scalar("x", ScalarType::Int(IntType::INT), VarKind::Global));
+        let t = ScalarType::Int(IntType::INT);
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::new(StmtKind::Assign(
+                Lvalue::var(x),
+                Expr::Binop(Binop::Add, t, Box::new(Expr::var(x)), Box::new(Expr::int(1))),
+            ))],
+        });
+        let s = program_to_string(&p);
+        assert!(s.contains("void main()"), "{s}");
+        assert!(s.contains("x = (x + 1);"), "{s}");
+    }
+
+    #[test]
+    fn renders_array_decl() {
+        assert_eq!(
+            decl_to_string(&Type::Array(Box::new(Type::int(IntType::INT)), 8), "a"),
+            "int a[8]"
+        );
+    }
+
+    #[test]
+    fn renders_float_constants() {
+        let p = Program::new();
+        assert_eq!(expr_to_string(&p, &Expr::float(1.0)), "1.0");
+        assert_eq!(expr_to_string(&p, &Expr::float(0.25)), "0.25");
+    }
+}

@@ -1,0 +1,148 @@
+//! Structured statements.
+//!
+//! The iterator (paper Sect. 5.3–5.4) interprets programs compositionally by
+//! induction on the abstract syntax, so the IR keeps C's structured control
+//! flow: blocks, `if`, `while`, calls, `return` — plus the periodic
+//! synchronous `wait` of the program family and `assume` directives carrying
+//! the environment specifications (hardware input ranges, maximal execution
+//! time).
+
+use crate::expr::{Expr, Lvalue};
+use crate::program::{FuncId, VarId};
+
+/// A stable identifier for a loop, used to attach per-loop analysis
+/// parameters (unrolling factors, widening state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+/// A stable identifier for a statement, used for alarms and slicing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// A source position (1-based line in the preprocessed translation unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Loc {
+    /// Line number; 0 when synthesized.
+    pub line: u32,
+}
+
+impl Loc {
+    /// A location on `line`.
+    pub fn line(line: u32) -> Loc {
+        Loc { line }
+    }
+}
+
+/// A sequence of statements.
+pub type Block = Vec<Stmt>;
+
+/// A statement: a kind, a stable id, and a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Stable id (unique within a program, assigned by the frontend/builder).
+    pub id: StmtId,
+    /// Source location for alarm reporting.
+    pub loc: Loc,
+}
+
+/// An argument at a call site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallArg {
+    /// Pass by value.
+    Value(Expr),
+    /// Pass by reference (`&lv` in the source); the callee's by-reference
+    /// parameter aliases this l-value.
+    Ref(Lvalue),
+}
+
+/// The statement kinds of the analyzed subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `lv = e;`
+    Assign(Lvalue, Expr),
+    /// `if (c) { .. } else { .. }`
+    If(Expr, Block, Block),
+    /// `while (c) { .. }`, with a stable loop id.
+    While(LoopId, Expr, Block),
+    /// `lv = f(args);` or `f(args);` — calls are statements so conditions
+    /// stay side-effect-free (paper Sect. 5.4).
+    Call(Option<Lvalue>, FuncId, Vec<CallArg>),
+    /// `return e;` / `return;`
+    Return(Option<Expr>),
+    /// The end-of-cycle `wait for next clock tick` of periodic synchronous
+    /// programs; increments the hidden clock of the clocked domain.
+    Wait,
+    /// Environment specification: the condition may be assumed true here
+    /// (used for volatile input ranges and physical-limit assumptions).
+    Assume(Expr),
+    /// Refresh a volatile input variable from the environment: the variable
+    /// takes any value in its declared input range.
+    ReadVolatile(VarId),
+}
+
+impl Stmt {
+    /// Builds a statement with id 0 and no location (for tests and synthetic
+    /// programs; the program builder re-numbers ids).
+    pub fn new(kind: StmtKind) -> Stmt {
+        Stmt { kind, id: StmtId(0), loc: Loc::default() }
+    }
+
+    /// Builds a statement at a given line.
+    pub fn at(kind: StmtKind, line: u32) -> Stmt {
+        Stmt { kind, id: StmtId(0), loc: Loc::line(line) }
+    }
+
+    /// Calls `f` on this statement and every statement nested inside it.
+    pub fn for_each(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match &self.kind {
+            StmtKind::If(_, a, b) => {
+                for s in a {
+                    s.for_each(f);
+                }
+                for s in b {
+                    s.for_each(f);
+                }
+            }
+            StmtKind::While(_, _, body) => {
+                for s in body {
+                    s.for_each(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Calls `f` on every statement of a block, recursively.
+pub fn for_each_stmt(block: &Block, f: &mut impl FnMut(&Stmt)) {
+    for s in block {
+        s.for_each(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn for_each_visits_nested() {
+        let inner = Stmt::new(StmtKind::Wait);
+        let loop_s = Stmt::new(StmtKind::While(LoopId(0), Expr::int(1), vec![inner]));
+        let iff = Stmt::new(StmtKind::If(Expr::int(0), vec![loop_s], vec![]));
+        let mut count = 0;
+        iff.for_each(&mut |_| count += 1);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn block_helper_visits_all() {
+        let b: Block = vec![Stmt::new(StmtKind::Wait), Stmt::new(StmtKind::Return(None))];
+        let mut n = 0;
+        for_each_stmt(&b, &mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+}

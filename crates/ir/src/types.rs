@@ -1,0 +1,346 @@
+//! Scalar and aggregate types of the analyzed C subset.
+//!
+//! The target machine model is the 32-bit embedded platform of the paper's
+//! program family: `char` is 8 bits, `short` 16, `int` and `long` 32, with
+//! IEEE-754 `float`/`double`. Enumerations and `_Bool` are integers
+//! (paper Sect. 6.1.1: "Enumeration types, including the booleans, are
+//! considered to be integers").
+
+use std::fmt;
+
+/// An integer type: a bit-width and a signedness.
+///
+/// All concrete integer values fit in `i64` since the model caps widths at
+/// 32 bits (the paper's target has 32-bit `int`/`long`).
+///
+/// # Examples
+///
+/// ```
+/// use astree_ir::IntType;
+/// assert_eq!(IntType::INT.min(), -2_147_483_648);
+/// assert_eq!(IntType::UCHAR.max(), 255);
+/// assert!(IntType::BOOL.contains(1));
+/// assert!(!IntType::BOOL.contains(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntType {
+    /// Width in bits, at most 32.
+    pub bits: u8,
+    /// `true` for two's-complement signed types.
+    pub signed: bool,
+}
+
+impl IntType {
+    /// `_Bool`: values 0 and 1.
+    pub const BOOL: IntType = IntType { bits: 1, signed: false };
+    /// `signed char`.
+    pub const SCHAR: IntType = IntType { bits: 8, signed: true };
+    /// `unsigned char` (plain `char` is unsigned on the target).
+    pub const UCHAR: IntType = IntType { bits: 8, signed: false };
+    /// `short`.
+    pub const SHORT: IntType = IntType { bits: 16, signed: true };
+    /// `unsigned short`.
+    pub const USHORT: IntType = IntType { bits: 16, signed: false };
+    /// `int` (and `long`: both 32-bit on the target).
+    pub const INT: IntType = IntType { bits: 32, signed: true };
+    /// `unsigned int` / `unsigned long`.
+    pub const UINT: IntType = IntType { bits: 32, signed: false };
+
+    /// Smallest representable value.
+    pub fn min(self) -> i64 {
+        if self.signed {
+            -(1i64 << (self.bits - 1))
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable value.
+    pub fn max(self) -> i64 {
+        if self.signed {
+            (1i64 << (self.bits - 1)) - 1
+        } else {
+            (1i64 << self.bits) - 1
+        }
+    }
+
+    /// Returns `true` if `v` is representable in this type.
+    pub fn contains(self, v: i64) -> bool {
+        v >= self.min() && v <= self.max()
+    }
+
+    /// `true` for the `_Bool` type, whose conversions normalize any non-zero
+    /// value to 1 (C 6.3.1.2) instead of wrapping.
+    pub fn is_bool(self) -> bool {
+        self.bits == 1
+    }
+
+    /// Wraps `v` into this type's range: `_Bool` normalizes to 0/1, other
+    /// types use two's-complement/modulo semantics (the behaviour of a C
+    /// *conversion*, as opposed to an arithmetic overflow, which the
+    /// analyzer treats as an error).
+    pub fn wrap(self, v: i64) -> i64 {
+        if self.is_bool() {
+            return (v != 0) as i64;
+        }
+        let m = 1i128 << self.bits;
+        let mut r = (v as i128).rem_euclid(m);
+        if self.signed && r >= m / 2 {
+            r -= m;
+        }
+        r as i64
+    }
+
+    /// The integer-promoted type: anything narrower than `int` becomes `int`
+    /// (C usual arithmetic conversions on the 32-bit target).
+    pub fn promoted(self) -> IntType {
+        if self.bits < 32 {
+            IntType::INT
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for IntType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.bits, self.signed) {
+            (1, false) => write!(f, "_Bool"),
+            (8, true) => write!(f, "signed char"),
+            (8, false) => write!(f, "unsigned char"),
+            (16, true) => write!(f, "short"),
+            (16, false) => write!(f, "unsigned short"),
+            (32, true) => write!(f, "int"),
+            (32, false) => write!(f, "unsigned int"),
+            (b, true) => write!(f, "int{b}_t"),
+            (b, false) => write!(f, "uint{b}_t"),
+        }
+    }
+}
+
+/// A floating-point type of the IEEE-754 target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FloatKind {
+    /// `float`: binary32.
+    F32,
+    /// `double`: binary64.
+    F64,
+}
+
+impl FloatKind {
+    /// Largest finite magnitude of the format.
+    pub fn max_finite(self) -> f64 {
+        match self {
+            FloatKind::F32 => f32::MAX as f64,
+            FloatKind::F64 => f64::MAX,
+        }
+    }
+
+    /// Rounds a mathematically exact `f64` result to this format's grid with
+    /// round-to-nearest (what the hardware would store in a variable of this
+    /// type).
+    pub fn round_nearest(self, x: f64) -> f64 {
+        match self {
+            FloatKind::F32 => x as f32 as f64,
+            FloatKind::F64 => x,
+        }
+    }
+}
+
+impl fmt::Display for FloatKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloatKind::F32 => write!(f, "float"),
+            FloatKind::F64 => write!(f, "double"),
+        }
+    }
+}
+
+/// A scalar type: the type of every expression in the IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// An integer (or boolean or enumeration) type.
+    Int(IntType),
+    /// A floating-point type.
+    Float(FloatKind),
+}
+
+impl ScalarType {
+    /// `true` for integer scalars.
+    pub fn is_int(self) -> bool {
+        matches!(self, ScalarType::Int(_))
+    }
+
+    /// `true` for floating-point scalars.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::Float(_))
+    }
+
+    /// The C usual-arithmetic-conversion result of combining two scalar
+    /// operand types on the 32-bit target.
+    pub fn usual_conversion(a: ScalarType, b: ScalarType) -> ScalarType {
+        use ScalarType::*;
+        match (a, b) {
+            (Float(FloatKind::F64), _) | (_, Float(FloatKind::F64)) => Float(FloatKind::F64),
+            (Float(FloatKind::F32), _) | (_, Float(FloatKind::F32)) => Float(FloatKind::F32),
+            (Int(x), Int(y)) => {
+                let (x, y) = (x.promoted(), y.promoted());
+                // Both are 32-bit after promotion; unsigned wins.
+                if !x.signed || !y.signed {
+                    Int(IntType::UINT)
+                } else {
+                    Int(IntType::INT)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarType::Int(t) => t.fmt(f),
+            ScalarType::Float(t) => t.fmt(f),
+        }
+    }
+}
+
+/// Index of a record (struct) definition in [`crate::Program::records`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId(pub u32);
+
+/// A record (struct) definition: named, typed fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordDef {
+    /// Struct tag or synthesized name.
+    pub name: String,
+    /// Field names and types, in declaration order.
+    pub fields: Vec<(String, Type)>,
+}
+
+/// A (possibly aggregate) object type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A scalar.
+    Scalar(ScalarType),
+    /// A fixed-size array.
+    Array(Box<Type>, usize),
+    /// A record, by id into the program's record table.
+    Record(RecordId),
+}
+
+impl Type {
+    /// Convenience constructor for an integer scalar type.
+    pub fn int(t: IntType) -> Type {
+        Type::Scalar(ScalarType::Int(t))
+    }
+
+    /// Convenience constructor for a float scalar type.
+    pub fn float(k: FloatKind) -> Type {
+        Type::Scalar(ScalarType::Float(k))
+    }
+
+    /// Returns the scalar type if this is a scalar.
+    pub fn as_scalar(&self) -> Option<ScalarType> {
+        match self {
+            Type::Scalar(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// Number of scalar cells an object of this type expands to
+    /// (arrays element-wise, records field-wise), given the record table.
+    pub fn scalar_count(&self, records: &[RecordDef]) -> usize {
+        match self {
+            Type::Scalar(_) => 1,
+            Type::Array(elem, n) => n * elem.scalar_count(records),
+            Type::Record(id) => records[id.0 as usize]
+                .fields
+                .iter()
+                .map(|(_, t)| t.scalar_count(records))
+                .sum(),
+        }
+    }
+}
+
+impl From<ScalarType> for Type {
+    fn from(s: ScalarType) -> Type {
+        Type::Scalar(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ranges() {
+        assert_eq!(IntType::INT.min(), i32::MIN as i64);
+        assert_eq!(IntType::INT.max(), i32::MAX as i64);
+        assert_eq!(IntType::UINT.min(), 0);
+        assert_eq!(IntType::UINT.max(), u32::MAX as i64);
+        assert_eq!(IntType::SCHAR.min(), -128);
+        assert_eq!(IntType::BOOL.max(), 1);
+    }
+
+    #[test]
+    fn wrap_semantics() {
+        assert_eq!(IntType::UCHAR.wrap(256), 0);
+        assert_eq!(IntType::UCHAR.wrap(-1), 255);
+        assert_eq!(IntType::SCHAR.wrap(128), -128);
+        assert_eq!(IntType::INT.wrap(i32::MAX as i64 + 1), i32::MIN as i64);
+        assert_eq!(IntType::UINT.wrap(-1), u32::MAX as i64);
+        assert_eq!(IntType::BOOL.wrap(3), 1);
+        assert_eq!(IntType::BOOL.wrap(2), 1);
+        assert_eq!(IntType::BOOL.wrap(0), 0);
+        assert!(IntType::BOOL.is_bool());
+        assert!(!IntType::INT.is_bool());
+    }
+
+    #[test]
+    fn promotions() {
+        assert_eq!(IntType::SCHAR.promoted(), IntType::INT);
+        assert_eq!(IntType::USHORT.promoted(), IntType::INT);
+        assert_eq!(IntType::UINT.promoted(), IntType::UINT);
+    }
+
+    #[test]
+    fn usual_conversions() {
+        use ScalarType::*;
+        assert_eq!(
+            ScalarType::usual_conversion(Int(IntType::SCHAR), Int(IntType::SCHAR)),
+            Int(IntType::INT)
+        );
+        assert_eq!(
+            ScalarType::usual_conversion(Int(IntType::UINT), Int(IntType::INT)),
+            Int(IntType::UINT)
+        );
+        assert_eq!(
+            ScalarType::usual_conversion(Float(FloatKind::F32), Int(IntType::INT)),
+            Float(FloatKind::F32)
+        );
+        assert_eq!(
+            ScalarType::usual_conversion(Float(FloatKind::F32), Float(FloatKind::F64)),
+            Float(FloatKind::F64)
+        );
+    }
+
+    #[test]
+    fn scalar_counts() {
+        let records = vec![RecordDef {
+            name: "pair".into(),
+            fields: vec![
+                ("a".into(), Type::int(IntType::INT)),
+                ("b".into(), Type::Array(Box::new(Type::float(FloatKind::F64)), 3)),
+            ],
+        }];
+        let t = Type::Array(Box::new(Type::Record(RecordId(0))), 2);
+        assert_eq!(t.scalar_count(&records), 8);
+    }
+
+    #[test]
+    fn float_rounding_to_f32_grid() {
+        assert_eq!(FloatKind::F32.round_nearest(0.1), 0.1f32 as f64);
+        assert_eq!(FloatKind::F64.round_nearest(0.1), 0.1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests relating the three evaluators of the IR: the constant
+//! folder (`Program::const_eval`), the concrete interpreter, and (by
+//! construction) C's semantics on the 32-bit target.
+
+use astree_ir::*;
+use proptest::prelude::*;
+
+fn int_t() -> ScalarType {
+    ScalarType::Int(IntType::INT)
+}
+
+/// Random constant integer expression.
+fn const_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = (-100i64..100).prop_map(Expr::int).boxed();
+    leaf.prop_recursive(depth, 32, 2, |inner| {
+        (inner.clone(), inner, prop_oneof![
+            Just(Binop::Add),
+            Just(Binop::Sub),
+            Just(Binop::Mul),
+            Just(Binop::Div),
+            Just(Binop::Rem),
+            Just(Binop::BAnd),
+            Just(Binop::BOr),
+            Just(Binop::BXor),
+            Just(Binop::Lt),
+            Just(Binop::Le),
+            Just(Binop::Eq),
+            Just(Binop::Ne),
+            Just(Binop::LAnd),
+            Just(Binop::LOr),
+        ])
+            .prop_map(|(a, b, op)| Expr::Binop(op, int_t(), Box::new(a), Box::new(b)))
+    })
+    .boxed()
+}
+
+/// Runs `x = e;` through the interpreter and returns x.
+fn interp_eval(e: &Expr) -> Result<i64, ExecError> {
+    let mut p = Program::new();
+    let x = p.add_var(VarInfo::scalar("x", int_t(), VarKind::Global));
+    p.add_func(Function {
+        name: "main".into(),
+        params: vec![],
+        ret: None,
+        locals: vec![],
+        body: vec![Stmt::new(StmtKind::Assign(Lvalue::var(x), e.clone()))],
+    });
+    p.assign_stmt_ids();
+    let mut inputs = SeededInputs::new(1);
+    let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+    it.run()?;
+    Ok(it.store()[&(x, vec![])].as_int())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// When the constant folder produces a value, the interpreter agrees
+    /// and raises no error.
+    #[test]
+    fn const_eval_agrees_with_interpreter(e in const_expr(4)) {
+        if let Some(ConstValue::Int(v)) = Program::const_eval(&e) {
+            let got = interp_eval(&e).expect("const-foldable implies error-free");
+            prop_assert_eq!(got, v);
+        }
+    }
+
+    /// When the folder declines (division by zero, overflow at the op
+    /// type), the interpreter either errors or records an overflow event —
+    /// it never silently produces a "constant".
+    #[test]
+    fn const_eval_decline_is_justified(e in const_expr(4)) {
+        if Program::const_eval(&e).is_some() {
+            return Ok(()); // covered by const_eval_agrees_with_interpreter
+        }
+        let mut p = Program::new();
+        let x = p.add_var(VarInfo::scalar("x", int_t(), VarKind::Global));
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![Stmt::new(StmtKind::Assign(Lvalue::var(x), e.clone()))],
+        });
+        p.assign_stmt_ids();
+        let mut inputs = SeededInputs::new(1);
+        let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
+        let ran = it.run();
+        prop_assert!(
+            ran.is_err() || !it.events().is_empty(),
+            "folder declined but execution was clean: {e:?}"
+        );
+    }
+
+    /// Wrapping conversions agree between `IntType::wrap` and the
+    /// interpreter's cast semantics.
+    #[test]
+    fn casts_wrap_consistently(v in any::<i64>()) {
+        for it in [IntType::UCHAR, IntType::SCHAR, IntType::SHORT, IntType::USHORT,
+                   IntType::INT, IntType::UINT, IntType::BOOL] {
+            let e = Expr::Cast(ScalarType::Int(it), Box::new(Expr::Int(v, IntType::INT)));
+            // const_eval wraps the same way (when the payload fits `int`).
+            if IntType::INT.contains(v) {
+                if let Some(ConstValue::Int(folded)) = Program::const_eval(&e) {
+                    prop_assert_eq!(folded, it.wrap(v));
+                    prop_assert!(it.contains(folded));
+                }
+            }
+        }
+    }
+
+    /// The pretty-printer emits text for every generated expression
+    /// (never panics, never empty).
+    #[test]
+    fn pretty_never_empty(e in const_expr(3)) {
+        let p = Program::new();
+        let s = astree_ir::pretty::expr_to_string(&p, &e);
+        prop_assert!(!s.is_empty());
+    }
+}

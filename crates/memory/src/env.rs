@@ -1,0 +1,383 @@
+//! Abstract environments: persistent maps from cells to abstract values.
+
+use crate::layout::{CellId, CellLayout};
+use astree_domains::{Clocked, FloatItv, IntItv, Thresholds};
+use astree_ir::ScalarType;
+use astree_pmap::PMap;
+use std::fmt;
+
+/// The abstract value of one cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CellVal {
+    /// Integer cell: interval plus clocked bounds (paper Sect. 6.2.1).
+    Int(Clocked),
+    /// Float cell: interval with outward rounding.
+    Float(FloatItv),
+}
+
+impl CellVal {
+    /// ⊤ for a scalar type.
+    pub fn top_of(ty: ScalarType) -> CellVal {
+        match ty {
+            ScalarType::Int(_) => CellVal::Int(Clocked::TOP),
+            ScalarType::Float(k) => CellVal::Float(FloatItv::top_of(k)),
+        }
+    }
+
+    /// The zero value of a scalar type (C static initialization), given the
+    /// current clock interval.
+    pub fn zero_of(ty: ScalarType, clock: IntItv) -> CellVal {
+        match ty {
+            ScalarType::Int(_) => CellVal::Int(Clocked::of_val(IntItv::singleton(0), clock)),
+            ScalarType::Float(_) => CellVal::Float(FloatItv::singleton(0.0)),
+        }
+    }
+
+    /// `true` when the value denotes no concrete value.
+    pub fn is_bottom(&self) -> bool {
+        match self {
+            CellVal::Int(c) => c.is_bottom(),
+            CellVal::Float(f) => f.is_bottom(),
+        }
+    }
+
+    /// Pointwise join.
+    #[must_use]
+    pub fn join(&self, other: &CellVal) -> CellVal {
+        match (self, other) {
+            (CellVal::Int(a), CellVal::Int(b)) => CellVal::Int(a.join(*b)),
+            (CellVal::Float(a), CellVal::Float(b)) => CellVal::Float(a.join(*b)),
+            _ => panic!("cell kind mismatch in join"),
+        }
+    }
+
+    /// Pointwise meet.
+    #[must_use]
+    pub fn meet(&self, other: &CellVal) -> CellVal {
+        match (self, other) {
+            (CellVal::Int(a), CellVal::Int(b)) => CellVal::Int(a.meet(*b)),
+            (CellVal::Float(a), CellVal::Float(b)) => CellVal::Float(a.meet(*b)),
+            _ => panic!("cell kind mismatch in meet"),
+        }
+    }
+
+    /// Pointwise widening.
+    #[must_use]
+    pub fn widen(&self, other: &CellVal, t: &Thresholds) -> CellVal {
+        match (self, other) {
+            (CellVal::Int(a), CellVal::Int(b)) => CellVal::Int(a.widen(*b, t)),
+            (CellVal::Float(a), CellVal::Float(b)) => CellVal::Float(a.widen(*b, t)),
+            _ => panic!("cell kind mismatch in widen"),
+        }
+    }
+
+    /// Pointwise narrowing.
+    #[must_use]
+    pub fn narrow(&self, other: &CellVal) -> CellVal {
+        match (self, other) {
+            (CellVal::Int(a), CellVal::Int(b)) => CellVal::Int(a.narrow(*b)),
+            (CellVal::Float(a), CellVal::Float(b)) => CellVal::Float(a.narrow(*b)),
+            _ => panic!("cell kind mismatch in narrow"),
+        }
+    }
+
+    /// Pointwise inclusion.
+    pub fn leq(&self, other: &CellVal) -> bool {
+        match (self, other) {
+            (CellVal::Int(a), CellVal::Int(b)) => a.leq(*b),
+            (CellVal::Float(a), CellVal::Float(b)) => a.leq(*b),
+            _ => panic!("cell kind mismatch in leq"),
+        }
+    }
+}
+
+/// An abstract environment: cell values plus the hidden clock interval.
+///
+/// The environment is persistent: `clone` is O(1) and binary operations
+/// exploit structural sharing, so analyzing a test costs time proportional
+/// to the cells the branches modified (paper Sect. 6.1.2).
+#[derive(Debug, Clone)]
+pub struct AbsEnv {
+    cells: PMap<CellId, CellVal>,
+    /// Bounds on the hidden clock variable.
+    pub clock: IntItv,
+    bottom: bool,
+}
+
+impl AbsEnv {
+    /// The unreachable environment ⊥.
+    pub fn bottom() -> AbsEnv {
+        AbsEnv { cells: PMap::new(), clock: IntItv::BOTTOM, bottom: true }
+    }
+
+    /// The initial environment: every cell zero-initialized (C statics;
+    /// locals are zeroed by the frontend model), clock at 0.
+    pub fn initial(layout: &CellLayout) -> AbsEnv {
+        let clock = IntItv::singleton(0);
+        let cells = layout.iter().map(|(id, info)| (id, CellVal::zero_of(info.ty, clock))).collect();
+        AbsEnv { cells, clock, bottom: false }
+    }
+
+    /// An environment with every cell ⊤ (used for entry points with unknown
+    /// initial state).
+    pub fn top(layout: &CellLayout) -> AbsEnv {
+        let cells = layout.iter().map(|(id, info)| (id, CellVal::top_of(info.ty))).collect();
+        AbsEnv { cells, clock: IntItv::new(0, i64::MAX), bottom: false }
+    }
+
+    /// `true` for the unreachable environment.
+    pub fn is_bottom(&self) -> bool {
+        self.bottom
+    }
+
+    /// Marks the environment unreachable.
+    pub fn set_bottom(&mut self) {
+        self.bottom = true;
+    }
+
+    /// Reads a cell (⊤ of the right kind when untracked).
+    pub fn get(&self, id: CellId, layout: &CellLayout) -> CellVal {
+        self.cells
+            .get(&id)
+            .copied()
+            .unwrap_or_else(|| CellVal::top_of(layout.info(id).ty))
+    }
+
+    /// Strong update.
+    #[must_use]
+    pub fn set(&self, id: CellId, val: CellVal) -> AbsEnv {
+        if self.bottom {
+            return self.clone();
+        }
+        if val.is_bottom() {
+            return AbsEnv::bottom();
+        }
+        AbsEnv { cells: self.cells.insert(id, val), clock: self.clock, bottom: false }
+    }
+
+    /// Weak update: the cell may or may not have been written.
+    #[must_use]
+    pub fn set_weak(&self, id: CellId, val: CellVal, layout: &CellLayout) -> AbsEnv {
+        if self.bottom {
+            return self.clone();
+        }
+        let old = self.get(id, layout);
+        self.set(id, old.join(&val))
+    }
+
+    /// Number of tracked cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` when no cell is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates over tracked cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&CellId, &CellVal)> {
+        self.cells.iter()
+    }
+
+    /// Abstract union `⊔` (cell-wise, sharing-aware).
+    #[must_use]
+    pub fn join(&self, other: &AbsEnv) -> AbsEnv {
+        if self.bottom {
+            return other.clone();
+        }
+        if other.bottom {
+            return self.clone();
+        }
+        AbsEnv {
+            cells: self.cells.union_with(&other.cells, |_, a, b| a.join(b)),
+            clock: self.clock.join(other.clock),
+            bottom: false,
+        }
+    }
+
+    /// Widening (cell-wise with thresholds).
+    #[must_use]
+    pub fn widen(&self, other: &AbsEnv, t: &Thresholds) -> AbsEnv {
+        if self.bottom {
+            return other.clone();
+        }
+        if other.bottom {
+            return self.clone();
+        }
+        AbsEnv {
+            cells: self.cells.union_with(&other.cells, |_, a, b| a.widen(b, t)),
+            clock: self.clock.widen(other.clock, t),
+            bottom: false,
+        }
+    }
+
+    /// Narrowing (cell-wise).
+    #[must_use]
+    pub fn narrow(&self, other: &AbsEnv) -> AbsEnv {
+        if self.bottom || other.bottom {
+            return AbsEnv::bottom();
+        }
+        AbsEnv {
+            cells: self.cells.union_with(&other.cells, |_, a, b| a.narrow(b)),
+            clock: self.clock.narrow(other.clock),
+            bottom: false,
+        }
+    }
+
+    /// Inclusion test `⊑` (with the physical-equality shortcut).
+    pub fn leq(&self, other: &AbsEnv) -> bool {
+        if self.bottom {
+            return true;
+        }
+        if other.bottom {
+            return false;
+        }
+        self.clock.leq(other.clock)
+            && self.cells.all2(
+                &other.cells,
+                |_, _| false, // a cell tracked only on the left: right is ⊤ there — fine
+                |_, _| true,
+                |_, a, b| a.leq(b),
+            )
+    }
+
+    /// Counts cells whose value differs from `other` (diagnostics, packing
+    /// usefulness reports).
+    pub fn count_diff(&self, other: &AbsEnv) -> usize {
+        let mut n = 0;
+        self.cells.for_each_diff(&other.cells, |_, a, b| {
+            if a != b {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+impl fmt::Display for AbsEnv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bottom {
+            return write!(f, "⊥");
+        }
+        writeln!(f, "clock = {}", self.clock)?;
+        for (id, v) in self.cells.iter() {
+            match v {
+                CellVal::Int(c) => writeln!(f, "  cell{} = {}", id.0, c.val)?,
+                CellVal::Float(x) => writeln!(f, "  cell{} = {}", id.0, x)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutConfig;
+    use astree_ir::{Function, IntType, Program, Type, VarInfo, VarKind};
+
+    fn small_layout() -> (Program, CellLayout) {
+        let mut p = Program::new();
+        p.add_var(VarInfo::scalar("x", ScalarType::Int(IntType::INT), VarKind::Global));
+        p.add_var(VarInfo::scalar(
+            "f",
+            ScalarType::Float(astree_ir::FloatKind::F64),
+            VarKind::Global,
+        ));
+        p.add_var(VarInfo {
+            name: "a".into(),
+            ty: Type::Array(Box::new(Type::int(IntType::INT)), 3),
+            kind: VarKind::Global,
+            volatile_input: None,
+        });
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![],
+        });
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        (p, l)
+    }
+
+    #[test]
+    fn initial_env_is_zero() {
+        let (_, l) = small_layout();
+        let env = AbsEnv::initial(&l);
+        assert_eq!(env.len(), 5);
+        match env.get(CellId(0), &l) {
+            CellVal::Int(c) => assert_eq!(c.val, IntItv::singleton(0)),
+            other => panic!("{other:?}"),
+        }
+        match env.get(CellId(1), &l) {
+            CellVal::Float(f) => assert_eq!(f, FloatItv::singleton(0.0)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn strong_and_weak_updates() {
+        let (_, l) = small_layout();
+        let env = AbsEnv::initial(&l);
+        let v = CellVal::Int(Clocked::of_val(IntItv::new(5, 7), env.clock));
+        let strong = env.set(CellId(0), v);
+        match strong.get(CellId(0), &l) {
+            CellVal::Int(c) => assert_eq!(c.val, IntItv::new(5, 7)),
+            other => panic!("{other:?}"),
+        }
+        let weak = env.set_weak(CellId(0), v, &l);
+        match weak.get(CellId(0), &l) {
+            CellVal::Int(c) => assert_eq!(c.val, IntItv::new(0, 7)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn join_and_leq() {
+        let (_, l) = small_layout();
+        let base = AbsEnv::initial(&l);
+        let a = base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(1), base.clock)));
+        let b = base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(3), base.clock)));
+        let j = a.join(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+        match j.get(CellId(0), &l) {
+            CellVal::Int(c) => assert_eq!(c.val, IntItv::new(1, 3)),
+            other => panic!("{other:?}"),
+        }
+        assert!(!j.leq(&a));
+    }
+
+    #[test]
+    fn bottom_absorbs() {
+        let (_, l) = small_layout();
+        let env = AbsEnv::initial(&l);
+        let bot = AbsEnv::bottom();
+        assert!(bot.is_bottom());
+        assert!(bot.leq(&env));
+        assert!(!env.leq(&bot));
+        let j = bot.join(&env);
+        assert!(!j.is_bottom());
+        assert_eq!(j.len(), env.len());
+    }
+
+    #[test]
+    fn setting_bottom_value_bottoms_env() {
+        let (_, l) = small_layout();
+        let env = AbsEnv::initial(&l);
+        let out = env.set(CellId(0), CellVal::Int(Clocked::BOTTOM));
+        assert!(out.is_bottom());
+        let _ = l;
+    }
+
+    #[test]
+    fn count_diff_is_sparse() {
+        let (_, l) = small_layout();
+        let env = AbsEnv::initial(&l);
+        let changed =
+            env.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(9), env.clock)));
+        assert_eq!(env.count_diff(&changed), 1);
+        assert_eq!(env.count_diff(&env), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Cell layout: mapping program variables to abstract cells.
+//!
+//! Array expansion is the paper's default (element-wise abstraction); arrays
+//! larger than [`LayoutConfig::shrink_threshold`] become *shrunk* cells where
+//! all elements are abstracted together (paper Sect. 6.1.1: "we use this
+//! representation for large arrays where all that matters is the range of
+//! the stored data").
+
+use astree_domains::IntItv;
+use astree_ir::{Access, Expr, Lvalue, Program, ScalarType, Type, VarId};
+
+/// Index of an abstract cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+/// Description of one abstract cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellInfo {
+    /// The variable this cell belongs to.
+    pub var: VarId,
+    /// Human-readable path (e.g. `x`, `a[3]`, `s.f`, `a[*]` for shrunk).
+    pub name: String,
+    /// Scalar type of the cell.
+    pub ty: ScalarType,
+    /// `true` when the cell stands for *all* elements of a shrunk array
+    /// (assignments are always weak, reads join all concrete elements).
+    pub shrunk: bool,
+}
+
+/// Layout configuration.
+#[derive(Debug, Clone)]
+pub struct LayoutConfig {
+    /// Arrays with strictly more elements than this are shrunk to one cell.
+    pub shrink_threshold: usize,
+}
+
+impl Default for LayoutConfig {
+    fn default() -> Self {
+        LayoutConfig { shrink_threshold: 256 }
+    }
+}
+
+/// The result of resolving an l-value to cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resolved {
+    /// Candidate cells (one when precise; several when the index is
+    /// imprecise; all elements of a shrunk array map to its single cell).
+    pub cells: Vec<CellId>,
+    /// `true` when a write to this l-value may be performed as a strong
+    /// update (single expanded cell, definitely targeted).
+    pub strong: bool,
+    /// `true` when the subscript may fall outside the array bounds.
+    pub may_oob: bool,
+}
+
+/// Node of the per-variable cell tree.
+#[derive(Debug, Clone)]
+enum CellNode {
+    Scalar(CellId),
+    /// Expanded array: per-element subtrees.
+    Array(Vec<CellNode>),
+    /// Shrunk array: one cell for every element, plus the element count for
+    /// bounds checking.
+    Shrunk(CellId, usize),
+    Record(Vec<CellNode>),
+}
+
+/// The cell layout of a program.
+#[derive(Debug, Clone)]
+pub struct CellLayout {
+    cells: Vec<CellInfo>,
+    roots: Vec<CellNode>,
+}
+
+impl CellLayout {
+    /// Builds the layout for every variable of `program`.
+    pub fn new(program: &Program, config: &LayoutConfig) -> CellLayout {
+        let mut layout = CellLayout { cells: Vec::new(), roots: Vec::new() };
+        for (i, v) in program.vars.iter().enumerate() {
+            let var = VarId(i as u32);
+            let node = layout.build(program, config, var, &v.ty, v.name.clone());
+            layout.roots.push(node);
+        }
+        layout
+    }
+
+    fn build(
+        &mut self,
+        program: &Program,
+        config: &LayoutConfig,
+        var: VarId,
+        ty: &Type,
+        name: String,
+    ) -> CellNode {
+        match ty {
+            Type::Scalar(st) => {
+                let id = CellId(self.cells.len() as u32);
+                self.cells.push(CellInfo { var, name, ty: *st, shrunk: false });
+                CellNode::Scalar(id)
+            }
+            Type::Array(elem, n) => {
+                let scalar_elem = elem.as_scalar();
+                if *n > config.shrink_threshold && scalar_elem.is_some() {
+                    let id = CellId(self.cells.len() as u32);
+                    self.cells.push(CellInfo {
+                        var,
+                        name: format!("{name}[*]"),
+                        ty: scalar_elem.expect("checked"),
+                        shrunk: true,
+                    });
+                    CellNode::Shrunk(id, *n)
+                } else {
+                    let children = (0..*n)
+                        .map(|i| self.build(program, config, var, elem, format!("{name}[{i}]")))
+                        .collect();
+                    CellNode::Array(children)
+                }
+            }
+            Type::Record(rid) => {
+                let fields = program.records[rid.0 as usize].fields.clone();
+                let children = fields
+                    .iter()
+                    .map(|(fname, fty)| {
+                        self.build(program, config, var, fty, format!("{name}.{fname}"))
+                    })
+                    .collect();
+                CellNode::Record(children)
+            }
+        }
+    }
+
+    /// Total number of cells (the paper's "21,000 cells after array
+    /// expansion" metric).
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Cell metadata.
+    pub fn info(&self, id: CellId) -> &CellInfo {
+        &self.cells[id.0 as usize]
+    }
+
+    /// Iterates over all cells.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &CellInfo)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// The single cell of a scalar variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is not scalar.
+    pub fn scalar_cell(&self, var: VarId) -> CellId {
+        match &self.roots[var.0 as usize] {
+            CellNode::Scalar(id) => *id,
+            other => panic!("variable {var:?} is not scalar: {other:?}"),
+        }
+    }
+
+    /// All scalar cells under a variable (for `&arr` by-ref passing and
+    /// initialization).
+    pub fn cells_of_var(&self, var: VarId) -> Vec<CellId> {
+        let mut out = Vec::new();
+        collect(&self.roots[var.0 as usize], &mut out);
+        out
+    }
+
+    /// Resolves an l-value given an evaluator for index expressions.
+    ///
+    /// `idx_eval` returns the interval of an index expression in the current
+    /// abstract environment.
+    pub fn resolve(&self, lv: &Lvalue, mut idx_eval: impl FnMut(&Expr) -> IntItv) -> Resolved {
+        let mut nodes: Vec<&CellNode> = vec![&self.roots[lv.base.0 as usize]];
+        let mut strong = true;
+        let mut may_oob = false;
+        for acc in &lv.path {
+            let mut next: Vec<&CellNode> = Vec::new();
+            match acc {
+                Access::Field(f) => {
+                    for n in nodes {
+                        if let CellNode::Record(children) = n {
+                            next.push(&children[*f as usize]);
+                        }
+                    }
+                }
+                Access::Index(e) => {
+                    let idx = idx_eval(e);
+                    for n in nodes {
+                        match n {
+                            CellNode::Array(children) => {
+                                let len = children.len() as i64;
+                                if idx.lo < 0 || idx.hi >= len {
+                                    may_oob = true;
+                                }
+                                let lo = idx.lo.clamp(0, len - 1);
+                                let hi = idx.hi.clamp(0, len - 1);
+                                if idx.is_bottom() {
+                                    continue;
+                                }
+                                if lo != hi {
+                                    strong = false;
+                                }
+                                for c in &children[lo as usize..=hi as usize] {
+                                    next.push(c);
+                                }
+                            }
+                            CellNode::Shrunk(_, len) => {
+                                if idx.lo < 0 || idx.hi >= *len as i64 {
+                                    may_oob = true;
+                                }
+                                // All elements share the cell: writes weak.
+                                strong = false;
+                                next.push(n);
+                            }
+                            other => next.push(other),
+                        }
+                    }
+                }
+            }
+            nodes = next;
+        }
+        let mut cells = Vec::new();
+        for n in nodes {
+            collect_node_heads(n, &mut cells);
+        }
+        cells.sort();
+        cells.dedup();
+        if cells.len() != 1 {
+            strong = false;
+        }
+        Resolved { cells, strong, may_oob }
+    }
+}
+
+fn collect(node: &CellNode, out: &mut Vec<CellId>) {
+    match node {
+        CellNode::Scalar(id) | CellNode::Shrunk(id, _) => out.push(*id),
+        CellNode::Array(children) | CellNode::Record(children) => {
+            for c in children {
+                collect(c, out);
+            }
+        }
+    }
+}
+
+/// For resolution results the node should be scalar-like; aggregates expand.
+fn collect_node_heads(node: &CellNode, out: &mut Vec<CellId>) {
+    collect(node, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astree_ir::{FloatKind, Function, IntType, RecordDef, VarInfo, VarKind};
+
+    fn program_with(tys: Vec<Type>) -> Program {
+        let mut p = Program::new();
+        p.records.push(RecordDef {
+            name: "S".into(),
+            fields: vec![
+                ("a".into(), Type::int(IntType::INT)),
+                ("b".into(), Type::float(FloatKind::F64)),
+            ],
+        });
+        for (i, ty) in tys.into_iter().enumerate() {
+            p.add_var(VarInfo {
+                name: format!("v{i}"),
+                ty,
+                kind: VarKind::Global,
+                volatile_input: None,
+            });
+        }
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body: vec![],
+        });
+        p
+    }
+
+    #[test]
+    fn scalar_and_record_cells() {
+        let p = program_with(vec![
+            Type::int(IntType::INT),
+            Type::Record(astree_ir::RecordId(0)),
+        ]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        assert_eq!(l.num_cells(), 3);
+        assert_eq!(l.info(CellId(1)).name, "v1.a");
+        assert_eq!(l.info(CellId(2)).name, "v1.b");
+    }
+
+    #[test]
+    fn small_arrays_expand() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 4)]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        assert_eq!(l.num_cells(), 4);
+        assert!(!l.info(CellId(2)).shrunk);
+        assert_eq!(l.info(CellId(2)).name, "v0[2]");
+    }
+
+    #[test]
+    fn large_arrays_shrink() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 1000)]);
+        let l = CellLayout::new(&p, &LayoutConfig { shrink_threshold: 256 });
+        assert_eq!(l.num_cells(), 1);
+        assert!(l.info(CellId(0)).shrunk);
+        assert_eq!(l.info(CellId(0)).name, "v0[*]");
+    }
+
+    #[test]
+    fn resolve_constant_index_is_strong() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 4)]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        let lv = Lvalue::index(VarId(0), Expr::int(2));
+        let r = l.resolve(&lv, |_| IntItv::singleton(2));
+        assert_eq!(r.cells.len(), 1);
+        assert!(r.strong);
+        assert!(!r.may_oob);
+    }
+
+    #[test]
+    fn resolve_imprecise_index_is_weak() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 4)]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        let lv = Lvalue::index(VarId(0), Expr::var(VarId(0)));
+        let r = l.resolve(&lv, |_| IntItv::new(1, 2));
+        assert_eq!(r.cells.len(), 2);
+        assert!(!r.strong);
+        assert!(!r.may_oob);
+    }
+
+    #[test]
+    fn resolve_flags_oob() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 4)]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        let lv = Lvalue::index(VarId(0), Expr::var(VarId(0)));
+        let r = l.resolve(&lv, |_| IntItv::new(2, 7));
+        assert!(r.may_oob);
+        assert_eq!(r.cells.len(), 2); // clamped to elements 2..=3
+        let r = l.resolve(&lv, |_| IntItv::new(-3, -1));
+        assert!(r.may_oob);
+    }
+
+    #[test]
+    fn resolve_shrunk_is_always_weak() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 1000)]);
+        let l = CellLayout::new(&p, &LayoutConfig { shrink_threshold: 10 });
+        let lv = Lvalue::index(VarId(0), Expr::int(5));
+        let r = l.resolve(&lv, |_| IntItv::singleton(5));
+        assert_eq!(r.cells.len(), 1);
+        assert!(!r.strong);
+    }
+
+    #[test]
+    fn nested_struct_array_paths() {
+        let p = program_with(vec![Type::Array(
+            Box::new(Type::Record(astree_ir::RecordId(0))),
+            2,
+        )]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        assert_eq!(l.num_cells(), 4);
+        let lv = Lvalue {
+            base: VarId(0),
+            path: vec![
+                Access::Index(Box::new(Expr::int(1))),
+                Access::Field(1),
+            ],
+        };
+        let r = l.resolve(&lv, |_| IntItv::singleton(1));
+        assert_eq!(r.cells.len(), 1);
+        assert_eq!(l.info(r.cells[0]).name, "v0[1].b");
+        assert!(r.strong);
+    }
+
+    #[test]
+    fn cells_of_var_collects_all() {
+        let p = program_with(vec![Type::Array(Box::new(Type::int(IntType::INT)), 3)]);
+        let l = CellLayout::new(&p, &LayoutConfig::default());
+        assert_eq!(l.cells_of_var(VarId(0)).len(), 3);
+    }
+}

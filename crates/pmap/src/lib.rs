@@ -1,0 +1,32 @@
+//! Persistent balanced maps and sets with structural sharing.
+//!
+//! The PLDI 2003 analyzer (Sect. 6.1.2) stores abstract environments in
+//! functional maps implemented as sharable balanced binary trees, with
+//! short-cut evaluation when joining physically identical subtrees. This crate
+//! provides that substrate: an immutable AVL map ([`PMap`]) whose nodes are
+//! reference-counted and whose bulk operations ([`PMap::union_with`],
+//! [`PMap::all2`], …) skip shared subtrees in constant time, so the cost of a
+//! join between two environments derived from a common ancestor is
+//! proportional to the number of *differing* bindings rather than to the total
+//! environment size.
+//!
+//! # Examples
+//!
+//! ```
+//! use astree_pmap::PMap;
+//!
+//! let base: PMap<u32, i64> = (0..1000).map(|k| (k, 0)).collect();
+//! let left = base.insert(3, 1);
+//! let right = base.insert(997, 2);
+//! // The union visits only the two modified paths, not all 1000 bindings.
+//! let joined = left.union_with(&right, |_, a, b| *a.max(b));
+//! assert_eq!(joined.get(&3), Some(&1));
+//! assert_eq!(joined.get(&997), Some(&2));
+//! assert_eq!(joined.len(), 1000);
+//! ```
+
+mod map;
+mod set;
+
+pub use map::{Iter, PMap};
+pub use set::PSet;

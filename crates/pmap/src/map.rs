@@ -1,0 +1,744 @@
+//! The persistent AVL map.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared AVL node. Balancing follows the classic OCaml `Map` invariant:
+/// sibling heights differ by at most 2.
+struct Node<K, V> {
+    key: K,
+    value: V,
+    height: u8,
+    size: usize,
+    left: Link<K, V>,
+    right: Link<K, V>,
+}
+
+type Link<K, V> = Option<Arc<Node<K, V>>>;
+
+fn height<K, V>(t: &Link<K, V>) -> u8 {
+    t.as_ref().map_or(0, |n| n.height)
+}
+
+fn size<K, V>(t: &Link<K, V>) -> usize {
+    t.as_ref().map_or(0, |n| n.size)
+}
+
+/// Builds a node assuming `left` and `right` are already balanced relative to
+/// each other (height difference at most 2).
+fn create<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    let height = height(&left).max(height(&right)) + 1;
+    let size = size(&left) + size(&right) + 1;
+    Some(Arc::new(Node { key, value, height, size, left, right }))
+}
+
+/// Rebalances after one insertion/removal: `left` and `right` may differ in
+/// height by at most 3.
+fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    let hl = height(&left);
+    let hr = height(&right);
+    if hl > hr + 2 {
+        let l = left.as_ref().expect("left higher than right + 2 implies non-empty");
+        if height(&l.left) >= height(&l.right) {
+            create(
+                l.key.clone(),
+                l.value.clone(),
+                l.left.clone(),
+                create(key, value, l.right.clone(), right),
+            )
+        } else {
+            let lr = l.right.as_ref().expect("inner child must exist");
+            create(
+                lr.key.clone(),
+                lr.value.clone(),
+                create(l.key.clone(), l.value.clone(), l.left.clone(), lr.left.clone()),
+                create(key, value, lr.right.clone(), right),
+            )
+        }
+    } else if hr > hl + 2 {
+        let r = right.as_ref().expect("right higher than left + 2 implies non-empty");
+        if height(&r.right) >= height(&r.left) {
+            create(
+                r.key.clone(),
+                r.value.clone(),
+                create(key, value, left, r.left.clone()),
+                r.right.clone(),
+            )
+        } else {
+            let rl = r.left.as_ref().expect("inner child must exist");
+            create(
+                rl.key.clone(),
+                rl.value.clone(),
+                create(key, value, left, rl.left.clone()),
+                create(r.key.clone(), r.value.clone(), rl.right.clone(), r.right.clone()),
+            )
+        }
+    } else {
+        create(key, value, left, right)
+    }
+}
+
+/// Joins two trees of arbitrary relative height around a middle binding.
+/// All keys in `left` must be smaller than `key`, all keys in `right` larger.
+fn join<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    let hl = height(&left);
+    let hr = height(&right);
+    if hl > hr + 2 {
+        let l = left.as_ref().expect("non-empty");
+        balance(
+            l.key.clone(),
+            l.value.clone(),
+            l.left.clone(),
+            join(key, value, l.right.clone(), right),
+        )
+    } else if hr > hl + 2 {
+        let r = right.as_ref().expect("non-empty");
+        balance(
+            r.key.clone(),
+            r.value.clone(),
+            join(key, value, left, r.left.clone()),
+            r.right.clone(),
+        )
+    } else {
+        create(key, value, left, right)
+    }
+}
+
+fn min_binding<K, V>(t: &Arc<Node<K, V>>) -> (&K, &V) {
+    match &t.left {
+        None => (&t.key, &t.value),
+        Some(l) => min_binding(l),
+    }
+}
+
+fn remove_min<K: Clone, V: Clone>(t: &Arc<Node<K, V>>) -> Link<K, V> {
+    match &t.left {
+        None => t.right.clone(),
+        Some(l) => balance(t.key.clone(), t.value.clone(), remove_min(l).map(strip), t.right.clone()),
+    }
+}
+
+// `remove_min` may return `None` directly; this identity helper only exists to
+// keep the call above readable.
+fn strip<K, V>(n: Arc<Node<K, V>>) -> Arc<Node<K, V>> {
+    n
+}
+
+/// Concatenates two trees of arbitrary relative height with no middle binding.
+fn concat<K: Clone + Ord, V: Clone>(left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    match (&left, &right) {
+        (None, _) => right,
+        (_, None) => left,
+        (Some(_), Some(r)) => {
+            let (k, v) = min_binding(r);
+            let (k, v) = (k.clone(), v.clone());
+            join(k, v, left, remove_min(r))
+        }
+    }
+}
+
+fn insert_at<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: K, value: V) -> Link<K, V> {
+    match t {
+        None => create(key, value, None, None),
+        Some(n) => match key.cmp(&n.key) {
+            Ordering::Equal => create(key, value, n.left.clone(), n.right.clone()),
+            Ordering::Less => balance(
+                n.key.clone(),
+                n.value.clone(),
+                insert_at(&n.left, key, value),
+                n.right.clone(),
+            ),
+            Ordering::Greater => balance(
+                n.key.clone(),
+                n.value.clone(),
+                n.left.clone(),
+                insert_at(&n.right, key, value),
+            ),
+        },
+    }
+}
+
+fn remove_at<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: &K) -> (Link<K, V>, bool) {
+    match t {
+        None => (None, false),
+        Some(n) => match key.cmp(&n.key) {
+            Ordering::Equal => (concat(n.left.clone(), n.right.clone()), true),
+            Ordering::Less => {
+                let (l, removed) = remove_at(&n.left, key);
+                if removed {
+                    (balance(n.key.clone(), n.value.clone(), l, n.right.clone()), true)
+                } else {
+                    (Some(n.clone()), false)
+                }
+            }
+            Ordering::Greater => {
+                let (r, removed) = remove_at(&n.right, key);
+                if removed {
+                    (balance(n.key.clone(), n.value.clone(), n.left.clone(), r), true)
+                } else {
+                    (Some(n.clone()), false)
+                }
+            }
+        },
+    }
+}
+
+/// Splits `t` into bindings below `key`, the binding at `key` (if any), and
+/// bindings above `key`.
+#[allow(clippy::type_complexity)]
+fn split<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: &K) -> (Link<K, V>, Option<V>, Link<K, V>) {
+    match t {
+        None => (None, None, None),
+        Some(n) => match key.cmp(&n.key) {
+            Ordering::Equal => (n.left.clone(), Some(n.value.clone()), n.right.clone()),
+            Ordering::Less => {
+                let (ll, m, lr) = split(&n.left, key);
+                (ll, m, join(n.key.clone(), n.value.clone(), lr, n.right.clone()))
+            }
+            Ordering::Greater => {
+                let (rl, m, rr) = split(&n.right, key);
+                (join(n.key.clone(), n.value.clone(), n.left.clone(), rl), m, rr)
+            }
+        },
+    }
+}
+
+fn links_eq<K, V>(a: &Link<K, V>, b: &Link<K, V>) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+        _ => false,
+    }
+}
+
+fn union_with<K: Clone + Ord, V: Clone>(
+    a: &Link<K, V>,
+    b: &Link<K, V>,
+    f: &mut impl FnMut(&K, &V, &V) -> V,
+) -> Link<K, V> {
+    if links_eq(a, b) {
+        return a.clone();
+    }
+    match (a, b) {
+        (None, _) => b.clone(),
+        (_, None) => a.clone(),
+        (Some(an), Some(_)) => {
+            let (bl, bm, br) = split(b, &an.key);
+            let left = union_with(&an.left, &bl, f);
+            let right = union_with(&an.right, &br, f);
+            let value = match &bm {
+                Some(bv) => f(&an.key, &an.value, bv),
+                None => an.value.clone(),
+            };
+            join(an.key.clone(), value, left, right)
+        }
+    }
+}
+
+fn all2<K: Ord, V>(
+    a: &Link<K, V>,
+    b: &Link<K, V>,
+    only_a: &mut impl FnMut(&K, &V) -> bool,
+    only_b: &mut impl FnMut(&K, &V) -> bool,
+    both: &mut impl FnMut(&K, &V, &V) -> bool,
+) -> bool {
+    if links_eq(a, b) {
+        return true;
+    }
+    // Iterate in lockstep over both trees' in-order sequences.
+    let mut ia = Iter::from_link(a);
+    let mut ib = Iter::from_link(b);
+    let mut na = ia.next();
+    let mut nb = ib.next();
+    loop {
+        match (na, nb) {
+            (None, None) => return true,
+            (Some((k, v)), None) => {
+                if !only_a(k, v) {
+                    return false;
+                }
+                na = ia.next();
+                nb = None;
+            }
+            (None, Some((k, v))) => {
+                if !only_b(k, v) {
+                    return false;
+                }
+                na = None;
+                nb = ib.next();
+            }
+            (Some((ka, va)), Some((kb, vb))) => match ka.cmp(kb) {
+                Ordering::Less => {
+                    if !only_a(ka, va) {
+                        return false;
+                    }
+                    na = ia.next();
+                    nb = Some((kb, vb));
+                }
+                Ordering::Greater => {
+                    if !only_b(kb, vb) {
+                        return false;
+                    }
+                    na = Some((ka, va));
+                    nb = ib.next();
+                }
+                Ordering::Equal => {
+                    if !both(ka, va, vb) {
+                        return false;
+                    }
+                    na = ia.next();
+                    nb = ib.next();
+                }
+            },
+        }
+    }
+}
+
+/// An immutable, reference-counted AVL map.
+///
+/// Cloning is O(1); all "mutating" operations return a new map sharing
+/// unmodified subtrees with the original. Bulk binary operations take a
+/// physical-equality shortcut on shared subtrees, which is what makes abstract
+/// environment joins cheap in the analyzer (paper Sect. 6.1.2).
+///
+/// # Examples
+///
+/// ```
+/// use astree_pmap::PMap;
+/// let m = PMap::new().insert("x", 1).insert("y", 2);
+/// assert_eq!(m.get(&"x"), Some(&1));
+/// assert_eq!(m.remove(&"x").len(), 1);
+/// assert_eq!(m.len(), 2); // the original is untouched
+/// ```
+pub struct PMap<K, V> {
+    root: Link<K, V>,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        PMap { root: self.root.clone() }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        PMap { root: None }
+    }
+}
+
+impl<K, V> PMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of bindings.
+    pub fn len(&self) -> usize {
+        size(&self.root)
+    }
+
+    /// Returns `true` if the map holds no binding.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// Returns `true` if `self` and `other` are the same physical tree.
+    ///
+    /// This is a constant-time conservative equality: `true` implies the maps
+    /// are equal, `false` implies nothing.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        links_eq(&self.root, &other.root)
+    }
+
+    /// Iterates over bindings in ascending key order.
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter::from_link(&self.root)
+    }
+
+    /// Iterates over keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over values in ascending key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+}
+
+impl<K: Ord, V> PMap<K, V> {
+    /// Returns the value bound to `key`, if any.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                Ordering::Equal => return Some(&n.value),
+                Ordering::Less => cur = &n.left,
+                Ordering::Greater => cur = &n.right,
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `key` is bound.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+impl<K: Clone + Ord, V: Clone> PMap<K, V> {
+    /// Returns a map with `key` bound to `value` (replacing any previous
+    /// binding).
+    #[must_use]
+    pub fn insert(&self, key: K, value: V) -> Self {
+        PMap { root: insert_at(&self.root, key, value) }
+    }
+
+    /// Returns a map without `key`. Returns a clone of `self` if absent.
+    #[must_use]
+    pub fn remove(&self, key: &K) -> Self {
+        PMap { root: remove_at(&self.root, key).0 }
+    }
+
+    /// Returns a map where the binding of `key` has been replaced by
+    /// `f(current)`; inserts `f(None)` if absent and it returns `Some`.
+    #[must_use]
+    pub fn update(&self, key: K, f: impl FnOnce(Option<&V>) -> Option<V>) -> Self {
+        match f(self.get(&key)) {
+            Some(v) => self.insert(key, v),
+            None => self.remove(&key),
+        }
+    }
+
+    /// Merges two maps. For keys present on both sides the values are combined
+    /// with `f`; keys present on a single side keep their value.
+    ///
+    /// Physically shared subtrees are returned unchanged without calling `f`,
+    /// so `f` must satisfy `f(k, v, v) == v` for the result to be a correct
+    /// pointwise merge — which holds for every lattice join/meet/widening the
+    /// analyzer uses (they are idempotent).
+    #[must_use]
+    pub fn union_with(&self, other: &Self, mut f: impl FnMut(&K, &V, &V) -> V) -> Self {
+        PMap { root: union_with(&self.root, &other.root, &mut f) }
+    }
+
+    /// Returns a map retaining only bindings for which `f` returns `Some`,
+    /// with the returned value.
+    #[must_use]
+    pub fn filter_map(&self, mut f: impl FnMut(&K, &V) -> Option<V>) -> Self {
+        let mut out = PMap::new();
+        for (k, v) in self.iter() {
+            if let Some(v2) = f(k, v) {
+                out = out.insert(k.clone(), v2);
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every value, producing a new map with the same keys.
+    #[must_use]
+    pub fn map_values(&self, mut f: impl FnMut(&K, &V) -> V) -> Self {
+        fn go<K: Clone, V: Clone>(t: &Link<K, V>, f: &mut impl FnMut(&K, &V) -> V) -> Link<K, V> {
+            t.as_ref().map(|n| {
+                Arc::new(Node {
+                    key: n.key.clone(),
+                    value: f(&n.key, &n.value),
+                    height: n.height,
+                    size: n.size,
+                    left: go(&n.left, f),
+                    right: go(&n.right, f),
+                })
+            })
+        }
+        PMap { root: go(&self.root, &mut f) }
+    }
+}
+
+impl<K: Ord, V> PMap<K, V> {
+    /// Checks a pointwise predicate across two maps, in ascending key order.
+    ///
+    /// `only_a` / `only_b` are applied to bindings present on a single side,
+    /// `both` to bindings present on both. Physically shared trees are assumed
+    /// to satisfy the predicate (shortcut), so `both(k, v, v)` must be `true`
+    /// — which holds for the reflexive orderings (`⊑`) the analyzer checks.
+    pub fn all2(
+        &self,
+        other: &Self,
+        mut only_a: impl FnMut(&K, &V) -> bool,
+        mut only_b: impl FnMut(&K, &V) -> bool,
+        mut both: impl FnMut(&K, &V, &V) -> bool,
+    ) -> bool {
+        all2(&self.root, &other.root, &mut only_a, &mut only_b, &mut both)
+    }
+
+    /// Visits the bindings where the two maps differ (or exist on one side
+    /// only), skipping physically shared subtrees.
+    pub fn for_each_diff(&self, other: &Self, mut f: impl FnMut(&K, Option<&V>, Option<&V>)) {
+        fn go<'a, K: Ord, V>(
+            a: &'a Link<K, V>,
+            b: &'a Link<K, V>,
+            f: &mut impl FnMut(&'a K, Option<&'a V>, Option<&'a V>),
+        ) {
+            if links_eq(a, b) {
+                return;
+            }
+            let mut ia = Iter::from_link(a);
+            let mut ib = Iter::from_link(b);
+            let mut na = ia.next();
+            let mut nb = ib.next();
+            loop {
+                match (na, nb) {
+                    (None, None) => return,
+                    (Some((k, v)), None) => {
+                        f(k, Some(v), None);
+                        na = ia.next();
+                        nb = None;
+                    }
+                    (None, Some((k, v))) => {
+                        f(k, None, Some(v));
+                        na = None;
+                        nb = ib.next();
+                    }
+                    (Some((ka, va)), Some((kb, vb))) => match ka.cmp(kb) {
+                        Ordering::Less => {
+                            f(ka, Some(va), None);
+                            na = ia.next();
+                            nb = Some((kb, vb));
+                        }
+                        Ordering::Greater => {
+                            f(kb, None, Some(vb));
+                            na = Some((ka, va));
+                            nb = ib.next();
+                        }
+                        Ordering::Equal => {
+                            f(ka, Some(va), Some(vb));
+                            na = ia.next();
+                            nb = ib.next();
+                        }
+                    },
+                }
+            }
+        }
+        go(&self.root, &other.root, &mut f)
+    }
+}
+
+impl<K: Clone + Ord, V: Clone> FromIterator<(K, V)> for PMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut m = PMap::new();
+        for (k, v) in iter {
+            m = m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl<K: Clone + Ord, V: Clone> Extend<(K, V)> for PMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            *self = self.insert(k, v);
+        }
+    }
+}
+
+impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for PMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: Ord, V: PartialEq> PartialEq for PMap<K, V> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.all2(other, |_, _| false, |_, _| false, |_, a, b| a == b)
+    }
+}
+
+impl<K: Ord, V: Eq> Eq for PMap<K, V> {}
+
+impl<'a, K, V> IntoIterator for &'a PMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// In-order iterator over a [`PMap`], produced by [`PMap::iter`].
+pub struct Iter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+}
+
+impl<'a, K, V> Iter<'a, K, V> {
+    fn from_link(link: &'a Link<K, V>) -> Self {
+        let mut it = Iter { stack: Vec::new() };
+        it.push_left(link);
+        it
+    }
+
+    fn push_left(&mut self, mut link: &'a Link<K, V>) {
+        while let Some(n) = link {
+            self.stack.push(n);
+            link = &n.left;
+        }
+    }
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.stack.pop()?;
+        self.push_left(&n.right);
+        Some((&n.key, &n.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_avl<K: Ord, V>(t: &Link<K, V>) -> u8 {
+        match t {
+            None => 0,
+            Some(n) => {
+                let hl = check_avl(&n.left);
+                let hr = check_avl(&n.right);
+                assert!(hl.abs_diff(hr) <= 2, "unbalanced node");
+                assert_eq!(n.height, hl.max(hr) + 1, "wrong cached height");
+                assert_eq!(n.size, size(&n.left) + size(&n.right) + 1, "wrong cached size");
+                if let Some(l) = &n.left {
+                    assert!(l.key < n.key, "left key out of order");
+                }
+                if let Some(r) = &n.right {
+                    assert!(r.key > n.key, "right key out of order");
+                }
+                n.height
+            }
+        }
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut m = PMap::new();
+        for i in 0..100 {
+            m = m.insert(i * 7 % 101, i);
+        }
+        check_avl(&m.root);
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(7 % 101)), Some(&1));
+        let m2 = m.remove(&7);
+        check_avl(&m2.root);
+        assert_eq!(m2.len(), 99);
+        assert!(m.contains_key(&7), "original unchanged");
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let m = PMap::new().insert(1, "a").insert(1, "b");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let m = PMap::new().insert(1, 1);
+        let m2 = m.remove(&42);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn union_prefers_combined() {
+        let a: PMap<u32, u32> = (0..50).map(|i| (i, i)).collect();
+        let b: PMap<u32, u32> = (25..75).map(|i| (i, 100 + i)).collect();
+        let u = a.union_with(&b, |_, x, y| x + y);
+        assert_eq!(u.len(), 75);
+        assert_eq!(u.get(&10), Some(&10));
+        assert_eq!(u.get(&30), Some(&(30 + 130)));
+        assert_eq!(u.get(&70), Some(&170));
+        check_avl(&u.root);
+    }
+
+    #[test]
+    fn union_shares_identical_subtrees() {
+        use std::cell::Cell;
+        let base: PMap<u32, u32> = (0..1000).map(|i| (i, 0)).collect();
+        let a = base.insert(10, 1);
+        let b = base.insert(990, 2);
+        let calls = Cell::new(0u32);
+        let u = a.union_with(&b, |_, x, y| {
+            calls.set(calls.get() + 1);
+            *x.max(y)
+        });
+        assert_eq!(u.len(), 1000);
+        // The combine function must only run on the few bindings whose paths
+        // were copied, not on all 1000.
+        assert!(calls.get() < 64, "combine ran {} times", calls.get());
+    }
+
+    #[test]
+    fn all2_lockstep() {
+        let a: PMap<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        let b = a.insert(5, 99);
+        assert!(!a.all2(&b, |_, _| true, |_, _| true, |_, x, y| x == y));
+        assert!(a.all2(&b, |_, _| true, |_, _| true, |k, _, _| *k != 3 || true));
+        let c = a.remove(&9);
+        assert!(!a.all2(&c, |_, _| false, |_, _| true, |_, _, _| true));
+    }
+
+    #[test]
+    fn for_each_diff_reports_changes_only() {
+        let base: PMap<u32, u32> = (0..100).map(|i| (i, 0)).collect();
+        let a = base.insert(3, 1);
+        let b = base.insert(3, 2).remove(&50);
+        let mut diffs = Vec::new();
+        a.for_each_diff(&b, |k, va, vb| {
+            if va != vb {
+                diffs.push((*k, va.copied(), vb.copied()));
+            }
+        });
+        assert!(diffs.contains(&(3, Some(1), Some(2))));
+        assert!(diffs.contains(&(50, Some(0), None)));
+        assert_eq!(diffs.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let m: PMap<i32, i32> = [(5, 0), (1, 0), (9, 0), (3, 0)].into_iter().collect();
+        let keys: Vec<i32> = m.keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn update_inserts_and_removes() {
+        let m: PMap<u32, u32> = PMap::new();
+        let m = m.update(1, |v| {
+            assert!(v.is_none());
+            Some(10)
+        });
+        assert_eq!(m.get(&1), Some(&10));
+        let m = m.update(1, |v| {
+            assert_eq!(v, Some(&10));
+            None
+        });
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_values_preserves_shape() {
+        let m: PMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+        let d = m.map_values(|_, v| v * 2);
+        check_avl(&d.root);
+        assert_eq!(d.get(&21), Some(&42));
+        assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn debug_nonempty() {
+        let m: PMap<u32, u32> = PMap::new();
+        assert_eq!(format!("{m:?}"), "{}");
+        let m = m.insert(1, 2);
+        assert_eq!(format!("{m:?}"), "{1: 2}");
+    }
+}

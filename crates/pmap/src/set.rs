@@ -1,0 +1,149 @@
+//! A persistent set, a thin wrapper over [`PMap`].
+
+use crate::PMap;
+use std::fmt;
+
+/// An immutable, reference-counted ordered set with structural sharing.
+///
+/// # Examples
+///
+/// ```
+/// use astree_pmap::PSet;
+/// let s: PSet<u32> = [3, 1, 2].into_iter().collect();
+/// assert!(s.contains(&2));
+/// assert_eq!(s.insert(4).len(), 4);
+/// assert_eq!(s.len(), 3);
+/// ```
+pub struct PSet<T> {
+    map: PMap<T, ()>,
+}
+
+impl<T> Clone for PSet<T> {
+    fn clone(&self) -> Self {
+        PSet { map: self.map.clone() }
+    }
+}
+
+impl<T> Default for PSet<T> {
+    fn default() -> Self {
+        PSet { map: PMap::default() }
+    }
+}
+
+impl<T> PSet<T> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.map.keys()
+    }
+}
+
+impl<T: Ord> PSet<T> {
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: &T) -> bool {
+        self.map.contains_key(value)
+    }
+}
+
+impl<T: Clone + Ord> PSet<T> {
+    /// Returns a set containing `value` in addition to `self`'s elements.
+    #[must_use]
+    pub fn insert(&self, value: T) -> Self {
+        PSet { map: self.map.insert(value, ()) }
+    }
+
+    /// Returns a set without `value`.
+    #[must_use]
+    pub fn remove(&self, value: &T) -> Self {
+        PSet { map: self.map.remove(value) }
+    }
+
+    /// Returns the union of two sets, sharing subtrees where possible.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self {
+        PSet { map: self.map.union_with(&other.map, |_, _, _| ()) }
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.map.all2(&other.map, |_, _| false, |_, _| true, |_, _, _| true)
+    }
+}
+
+impl<T: Clone + Ord> FromIterator<T> for PSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        PSet { map: iter.into_iter().map(|t| (t, ())).collect() }
+    }
+}
+
+impl<T: Clone + Ord> Extend<T> for PSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for t in iter {
+            *self = self.insert(t);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for PSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Ord + Eq> PartialEq for PSet<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map
+    }
+}
+
+impl<T: Ord + Eq> Eq for PSet<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_ops() {
+        let s: PSet<u32> = [1, 2, 3].into_iter().collect();
+        assert!(s.contains(&2));
+        assert!(!s.contains(&4));
+        let s2 = s.insert(4).remove(&1);
+        assert!(s2.contains(&4));
+        assert!(!s2.contains(&1));
+        assert!(s.contains(&1), "original unchanged");
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a: PSet<u32> = [1, 2].into_iter().collect();
+        let b: PSet<u32> = [2, 3].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(a.is_subset(&u));
+        assert!(b.is_subset(&u));
+        assert!(!u.is_subset(&a));
+    }
+
+    #[test]
+    fn empty_is_subset_of_everything() {
+        let e: PSet<u32> = PSet::new();
+        let a: PSet<u32> = [1].into_iter().collect();
+        assert!(e.is_subset(&a));
+        assert!(e.is_subset(&e));
+        assert!(!a.is_subset(&e));
+    }
+}

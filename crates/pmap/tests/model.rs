@@ -1,0 +1,109 @@
+//! Property tests checking `PMap` against a `BTreeMap` model.
+
+use astree_pmap::{PMap, PSet};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, i32),
+    Remove(u16),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<i32>()).prop_map(|(k, v)| Op::Insert(k % 256, v)),
+            any::<u16>().prop_map(|k| Op::Remove(k % 256)),
+        ],
+        0..200,
+    )
+}
+
+fn run(ops: &[Op]) -> (PMap<u16, i32>, BTreeMap<u16, i32>) {
+    let mut p = PMap::new();
+    let mut m = BTreeMap::new();
+    for op in ops {
+        match op {
+            Op::Insert(k, v) => {
+                p = p.insert(*k, *v);
+                m.insert(*k, *v);
+            }
+            Op::Remove(k) => {
+                p = p.remove(k);
+                m.remove(k);
+            }
+        }
+    }
+    (p, m)
+}
+
+proptest! {
+    #[test]
+    fn matches_btreemap(ops in ops()) {
+        let (p, m) = run(&ops);
+        prop_assert_eq!(p.len(), m.len());
+        let got: Vec<(u16, i32)> = p.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, i32)> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+        for k in 0u16..256 {
+            prop_assert_eq!(p.get(&k), m.get(&k));
+        }
+    }
+
+    #[test]
+    fn union_matches_model(ops_a in ops(), ops_b in ops()) {
+        let (pa, ma) = run(&ops_a);
+        let (pb, mb) = run(&ops_b);
+        let pu = pa.union_with(&pb, |_, a, b| a.wrapping_add(*b));
+        let mut mu = ma.clone();
+        for (k, v) in &mb {
+            mu.entry(*k).and_modify(|x| *x = x.wrapping_add(*v)).or_insert(*v);
+        }
+        let got: Vec<(u16, i32)> = pu.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, i32)> = mu.iter().map(|(k, v)| (*k, *v)).collect();
+        // union_with may skip f on physically shared subtrees; that only
+        // happens when both sides are identical, in which case idempotent f
+        // would diverge from wrapping_add. Restrict the check accordingly.
+        if !pa.ptr_eq(&pb) {
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn all2_agrees_with_pointwise(ops_a in ops(), ops_b in ops()) {
+        let (pa, ma) = run(&ops_a);
+        let (pb, mb) = run(&ops_b);
+        let got = pa.all2(&pb, |_, _| false, |_, _| false, |_, x, y| x == y);
+        let want = ma == mb;
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn diff_visits_exactly_differences(ops_a in ops(), ops_b in ops()) {
+        let (pa, ma) = run(&ops_a);
+        let (pb, mb) = run(&ops_b);
+        let mut seen = BTreeSet::new();
+        pa.for_each_diff(&pb, |k, va, vb| {
+            if va != vb {
+                seen.insert(*k);
+            }
+        });
+        let keys: BTreeSet<u16> = ma.keys().chain(mb.keys()).copied().collect();
+        let want: BTreeSet<u16> =
+            keys.into_iter().filter(|k| ma.get(k) != mb.get(k)).collect();
+        prop_assert_eq!(seen, want);
+    }
+
+    #[test]
+    fn set_subset_matches_model(xs in prop::collection::btree_set(0u16..64, 0..32),
+                                ys in prop::collection::btree_set(0u16..64, 0..32)) {
+        let a: PSet<u16> = xs.iter().copied().collect();
+        let b: PSet<u16> = ys.iter().copied().collect();
+        prop_assert_eq!(a.is_subset(&b), xs.is_subset(&ys));
+        let u = a.union(&b);
+        let wu: BTreeSet<u16> = xs.union(&ys).copied().collect();
+        let gu: BTreeSet<u16> = u.iter().copied().collect();
+        prop_assert_eq!(gu, wu);
+    }
+}

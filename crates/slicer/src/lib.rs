@@ -1,0 +1,514 @@
+//! A backward program slicer for alarm inspection (paper Sect. 3.3).
+//!
+//! "If the slicing criterion is an alarm point, the extracted slice contains
+//! the computations that led to the alarm." This is the classical data- and
+//! control-dependence backward slice of Weiser \[34\], on the structured IR:
+//! a statement enters the slice when it may define a *relevant* variable;
+//! its uses become relevant in turn, and the conditions controlling sliced
+//! statements are relevant too. Calls are summarized by the sets of
+//! variables the callee may read and write (transitively).
+//!
+//! The paper observes such slices are often "prohibitively large" — the
+//! [`Slice::coverage`] metric lets the experiments reproduce that
+//! observation — and proposes *abstract slices* restricted to the variables
+//! the invariant knows too little about; [`Slicer::slice_restricted`]
+//! implements that filter given the set of under-constrained variables.
+//!
+//! # Examples
+//!
+//! ```
+//! use astree_frontend::Frontend;
+//! use astree_slicer::Slicer;
+//!
+//! let p = Frontend::new()
+//!     .compile_str(
+//!         "int a; int b; int c;
+//!          void main(void) {
+//!              a = 1;      /* in slice: flows into c */
+//!              b = 2;      /* not in slice */
+//!              c = a + 3;  /* criterion */
+//!          }",
+//!     )
+//!     .unwrap();
+//! let slicer = Slicer::new(&p);
+//! let criterion = slicer.last_assignment_to(&p, "c").unwrap();
+//! let slice = slicer.slice(criterion);
+//! assert_eq!(slice.len(), 2);
+//! ```
+
+use astree_ir::{
+    Access, Block, CallArg, Expr, FuncId, Lvalue, Program, Stmt, StmtId, StmtKind, VarId,
+};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A computed slice: the statements that may influence the criterion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Slice {
+    /// Statement ids in the slice (including the criterion).
+    pub stmts: BTreeSet<StmtId>,
+    /// Total statements in the program (for coverage reporting).
+    pub total_stmts: usize,
+}
+
+impl Slice {
+    /// Number of statements in the slice.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// `true` when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Fraction of the program the slice covers (the paper's
+    /// "prohibitively large" metric).
+    pub fn coverage(&self) -> f64 {
+        if self.total_stmts == 0 {
+            0.0
+        } else {
+            self.stmts.len() as f64 / self.total_stmts as f64
+        }
+    }
+
+    /// `true` when the statement is in the slice.
+    pub fn contains(&self, id: StmtId) -> bool {
+        self.stmts.contains(&id)
+    }
+}
+
+/// Per-function read/write summaries for call handling.
+#[derive(Debug, Clone, Default)]
+struct FuncSummary {
+    reads: BTreeSet<VarId>,
+    writes: BTreeSet<VarId>,
+}
+
+/// The slicer: precomputes def/use information and function summaries.
+pub struct Slicer {
+    summaries: HashMap<FuncId, FuncSummary>,
+    total_stmts: usize,
+    /// The function owning each statement.
+    stmt_fn: HashMap<StmtId, FuncId>,
+    program: Program,
+}
+
+impl Slicer {
+    /// Builds a slicer for a program (clones it for self-containment).
+    pub fn new(program: &Program) -> Slicer {
+        let mut summaries: HashMap<FuncId, FuncSummary> = HashMap::new();
+        // Fixpoint over the (acyclic) call graph.
+        let n = program.funcs.len();
+        for _ in 0..n + 1 {
+            for (fi, f) in program.funcs.iter().enumerate() {
+                let fid = FuncId(fi as u32);
+                let mut s = FuncSummary::default();
+                astree_ir::stmt::for_each_stmt(&f.body, &mut |st| {
+                    collect_stmt_rw(st, &summaries, &mut s);
+                });
+                summaries.insert(fid, s);
+            }
+        }
+        let mut total = 0usize;
+        let mut stmt_fn = HashMap::new();
+        for (fi, f) in program.funcs.iter().enumerate() {
+            astree_ir::stmt::for_each_stmt(&f.body, &mut |st| {
+                total += 1;
+                stmt_fn.insert(st.id, FuncId(fi as u32));
+            });
+        }
+        Slicer { summaries, total_stmts: total, stmt_fn, program: program.clone() }
+    }
+
+    /// Finds the last assignment statement writing `name` (test helper and
+    /// a convenient way to pick criteria).
+    pub fn last_assignment_to(&self, program: &Program, name: &str) -> Option<StmtId> {
+        let var = program.var_by_name(name)?;
+        let mut found = None;
+        for f in &program.funcs {
+            astree_ir::stmt::for_each_stmt(&f.body, &mut |s| {
+                if let StmtKind::Assign(lv, _) = &s.kind {
+                    if lv.base == var {
+                        found = Some(s.id);
+                    }
+                }
+            });
+        }
+        found
+    }
+
+    /// Computes the backward slice from an alarm point: every statement
+    /// whose effects may reach the variables used at `criterion`.
+    pub fn slice(&self, criterion: StmtId) -> Slice {
+        self.slice_with_filter(criterion, None)
+    }
+
+    /// The *abstract slice* variant: only the `interesting` variables (those
+    /// the invariant knows too little about) seed the relevant set, yielding
+    /// much smaller slices (paper Sect. 3.3's proposal).
+    pub fn slice_restricted(&self, criterion: StmtId, interesting: &HashSet<VarId>) -> Slice {
+        self.slice_with_filter(criterion, Some(interesting))
+    }
+
+    fn slice_with_filter(
+        &self,
+        criterion: StmtId,
+        filter: Option<&HashSet<VarId>>,
+    ) -> Slice {
+        // Seed: the variables used at the criterion statement.
+        let mut relevant: BTreeSet<VarId> = BTreeSet::new();
+        let mut in_slice: BTreeSet<StmtId> = BTreeSet::new();
+        if let Some(stmt) = self.find_stmt(criterion) {
+            let mut uses = BTreeSet::new();
+            stmt_uses(&stmt, &self.summaries, &mut uses);
+            if let StmtKind::Assign(lv, _) = &stmt.kind {
+                // The criterion's own target is of interest too.
+                uses.insert(lv.base);
+            }
+            for u in uses {
+                if filter.map(|f| f.contains(&u)).unwrap_or(true) {
+                    relevant.insert(u);
+                }
+            }
+            in_slice.insert(criterion);
+        }
+        // Iterate the whole-program backward pass to a fixpoint (loops and
+        // calls make one pass insufficient).
+        let funcs: Vec<Block> = self.program.funcs.iter().map(|f| f.body.clone()).collect();
+        loop {
+            let before = (relevant.len(), in_slice.len());
+            for body in &funcs {
+                self.backward_block(body, criterion, &mut relevant, &mut in_slice, false);
+            }
+            if (relevant.len(), in_slice.len()) == before {
+                break;
+            }
+        }
+        Slice { stmts: in_slice, total_stmts: self.total_stmts }
+    }
+
+    /// One backward pass over a block. `forced` is set inside loops whose
+    /// condition is already relevant (control dependence).
+    fn backward_block(
+        &self,
+        block: &Block,
+        criterion: StmtId,
+        relevant: &mut BTreeSet<VarId>,
+        in_slice: &mut BTreeSet<StmtId>,
+        forced: bool,
+    ) {
+        for s in block.iter().rev() {
+            self.backward_stmt(s, criterion, relevant, in_slice, forced);
+        }
+    }
+
+    fn backward_stmt(
+        &self,
+        s: &Stmt,
+        criterion: StmtId,
+        relevant: &mut BTreeSet<VarId>,
+        in_slice: &mut BTreeSet<StmtId>,
+        forced: bool,
+    ) {
+        match &s.kind {
+            StmtKind::Assign(lv, e) => {
+                // The criterion is in the slice but its uses were already
+                // seeded (possibly filtered for abstract slices).
+                let active = relevant.contains(&lv.base) || forced;
+                if active || s.id == criterion {
+                    in_slice.insert(s.id);
+                }
+                if active {
+                    // Strong kill only for whole-variable writes.
+                    if lv.path.is_empty() && !forced {
+                        relevant.remove(&lv.base);
+                    }
+                    let mut uses = BTreeSet::new();
+                    expr_uses(e, &mut uses);
+                    lvalue_index_uses(lv, &mut uses);
+                    relevant.extend(uses);
+                }
+            }
+            StmtKind::If(c, a, b) => {
+                let marker = in_slice.len();
+                self.backward_block(a, criterion, relevant, in_slice, forced);
+                self.backward_block(b, criterion, relevant, in_slice, forced);
+                let body_sliced = in_slice.len() > marker;
+                if body_sliced || s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                    expr_uses(c, relevant);
+                }
+            }
+            StmtKind::While(_, c, body) => {
+                let marker = in_slice.len();
+                self.backward_block(body, criterion, relevant, in_slice, forced);
+                let body_sliced = in_slice.len() > marker;
+                if body_sliced || s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                    expr_uses(c, relevant);
+                }
+            }
+            StmtKind::Call(ret, callee, args) => {
+                let summary = &self.summaries[callee];
+                let writes_relevant = ret
+                    .as_ref()
+                    .map(|lv| relevant.contains(&lv.base))
+                    .unwrap_or(false)
+                    || summary.writes.iter().any(|w| relevant.contains(w))
+                    || args.iter().any(|a| match a {
+                        CallArg::Ref(lv) => relevant.contains(&lv.base),
+                        CallArg::Value(_) => false,
+                    });
+                if writes_relevant || s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                    relevant.extend(summary.reads.iter().copied());
+                    for a in args {
+                        match a {
+                            CallArg::Value(e) => expr_uses(e, relevant),
+                            CallArg::Ref(lv) => {
+                                relevant.insert(lv.base);
+                            }
+                        }
+                    }
+                }
+            }
+            StmtKind::Return(Some(e)) => {
+                // Conservative: returns feed call results.
+                if s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                }
+                expr_uses(e, relevant);
+            }
+            StmtKind::Return(None) | StmtKind::Wait => {
+                if s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                }
+            }
+            StmtKind::Assume(e) => {
+                if s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                    expr_uses(e, relevant);
+                }
+            }
+            StmtKind::ReadVolatile(v) => {
+                if relevant.contains(v) || s.id == criterion || forced {
+                    in_slice.insert(s.id);
+                }
+            }
+        }
+    }
+
+    fn find_stmt(&self, id: StmtId) -> Option<Stmt> {
+        let mut found = None;
+        for f in &self.program.funcs {
+            astree_ir::stmt::for_each_stmt(&f.body, &mut |s| {
+                if s.id == id {
+                    found = Some(s.clone());
+                }
+            });
+        }
+        let _ = &self.stmt_fn;
+        found
+    }
+}
+
+fn expr_uses(e: &Expr, out: &mut BTreeSet<VarId>) {
+    e.for_each_lvalue(&mut |lv| {
+        out.insert(lv.base);
+    });
+}
+
+fn lvalue_index_uses(lv: &Lvalue, out: &mut BTreeSet<VarId>) {
+    for a in &lv.path {
+        if let Access::Index(e) = a {
+            expr_uses(e, out);
+        }
+    }
+}
+
+fn stmt_uses(s: &Stmt, summaries: &HashMap<FuncId, FuncSummary>, out: &mut BTreeSet<VarId>) {
+    match &s.kind {
+        StmtKind::Assign(lv, e) => {
+            expr_uses(e, out);
+            lvalue_index_uses(lv, out);
+        }
+        StmtKind::If(c, _, _) | StmtKind::While(_, c, _) | StmtKind::Assume(c) => {
+            expr_uses(c, out)
+        }
+        StmtKind::Call(_, callee, args) => {
+            if let Some(s) = summaries.get(callee) {
+                out.extend(s.reads.iter().copied());
+            }
+            for a in args {
+                match a {
+                    CallArg::Value(e) => expr_uses(e, out),
+                    CallArg::Ref(lv) => {
+                        out.insert(lv.base);
+                    }
+                }
+            }
+        }
+        StmtKind::Return(Some(e)) => expr_uses(e, out),
+        _ => {}
+    }
+}
+
+fn collect_stmt_rw(
+    s: &Stmt,
+    summaries: &HashMap<FuncId, FuncSummary>,
+    out: &mut FuncSummary,
+) {
+    match &s.kind {
+        StmtKind::Assign(lv, e) => {
+            out.writes.insert(lv.base);
+            expr_uses(e, &mut out.reads);
+            lvalue_index_uses(lv, &mut out.reads);
+        }
+        StmtKind::If(c, _, _) | StmtKind::While(_, c, _) | StmtKind::Assume(c) => {
+            expr_uses(c, &mut out.reads)
+        }
+        StmtKind::Call(ret, callee, args) => {
+            if let Some(lv) = ret {
+                out.writes.insert(lv.base);
+            }
+            if let Some(cs) = summaries.get(callee) {
+                out.reads.extend(cs.reads.iter().copied());
+                out.writes.extend(cs.writes.iter().copied());
+            }
+            for a in args {
+                match a {
+                    CallArg::Value(e) => expr_uses(e, &mut out.reads),
+                    CallArg::Ref(lv) => {
+                        out.writes.insert(lv.base);
+                        out.reads.insert(lv.base);
+                    }
+                }
+            }
+        }
+        StmtKind::Return(Some(e)) => expr_uses(e, &mut out.reads),
+        StmtKind::ReadVolatile(v) => {
+            out.writes.insert(*v);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astree_frontend::Frontend;
+
+    fn setup(src: &str) -> (Program, Slicer) {
+        let p = Frontend::new().compile_str(src).expect("compiles");
+        let s = Slicer::new(&p);
+        (p, s)
+    }
+
+    #[test]
+    fn data_dependence_chain() {
+        let (p, s) = setup(
+            "int a; int b; int c; int d;
+             void main(void) {
+                 a = 1;
+                 b = a + 1;
+                 d = 42;      /* independent */
+                 c = b + 1;
+             }",
+        );
+        let crit = s.last_assignment_to(&p, "c").unwrap();
+        let slice = s.slice(crit);
+        assert_eq!(slice.len(), 3, "{slice:?}");
+        let d_stmt = s.last_assignment_to(&p, "d").unwrap();
+        assert!(!slice.contains(d_stmt));
+    }
+
+    #[test]
+    fn control_dependence_pulls_condition() {
+        let (p, s) = setup(
+            "int flag; int x; int y;
+             void main(void) {
+                 flag = 1;
+                 y = 5;       /* feeds the condition */
+                 if (y > 0) { x = 1; } else { x = 2; }
+             }",
+        );
+        let crit = s.last_assignment_to(&p, "x").unwrap();
+        let slice = s.slice(crit);
+        // x's assignments, the if, and y's definition; flag stays out.
+        let flag_stmt = s.last_assignment_to(&p, "flag").unwrap();
+        assert!(!slice.contains(flag_stmt), "{slice:?}");
+        assert!(slice.len() >= 3);
+    }
+
+    #[test]
+    fn loops_reach_fixpoint() {
+        let (p, s) = setup(
+            "int i; int acc; int noise;
+             void main(void) {
+                 acc = 0;
+                 noise = 7;
+                 for (i = 0; i < 10; i++) {
+                     acc = acc + i;
+                 }
+             }",
+        );
+        let crit = s.last_assignment_to(&p, "acc").unwrap();
+        let slice = s.slice(crit);
+        let noise_stmt = s.last_assignment_to(&p, "noise").unwrap();
+        assert!(!slice.contains(noise_stmt));
+        // i's update and the loop must be in (control + data).
+        let i_init = s.last_assignment_to(&p, "i");
+        assert!(i_init.is_some());
+        assert!(slice.len() >= 4, "{slice:?}");
+    }
+
+    #[test]
+    fn calls_use_summaries() {
+        let (p, s) = setup(
+            "int g; int out; int unrelated;
+             void set_g(int v) { g = v * 2; }
+             void main(void) {
+                 unrelated = 3;
+                 set_g(21);
+                 out = g;
+             }",
+        );
+        let crit = s.last_assignment_to(&p, "out").unwrap();
+        let slice = s.slice(crit);
+        let unrelated_stmt = s.last_assignment_to(&p, "unrelated").unwrap();
+        assert!(!slice.contains(unrelated_stmt), "{slice:?}");
+        // The call and the callee's assignment are in the slice.
+        assert!(slice.len() >= 3, "{slice:?}");
+    }
+
+    #[test]
+    fn restricted_slice_is_smaller() {
+        let (p, s) = setup(
+            "int a; int b; int c;
+             void main(void) {
+                 a = 1;
+                 b = 2;
+                 c = a + b;
+             }",
+        );
+        let crit = s.last_assignment_to(&p, "c").unwrap();
+        let full = s.slice(crit);
+        // Only `a` is deemed interesting: b's definition drops out.
+        let a = p.var_by_name("a").unwrap();
+        let mut interesting = HashSet::new();
+        interesting.insert(a);
+        let restricted = s.slice_restricted(crit, &interesting);
+        assert!(restricted.len() < full.len(), "{restricted:?} vs {full:?}");
+    }
+
+    #[test]
+    fn coverage_metric() {
+        let (p, s) = setup(
+            "int a; int b;
+             void main(void) { a = 1; b = a; }",
+        );
+        let crit = s.last_assignment_to(&p, "b").unwrap();
+        let slice = s.slice(crit);
+        assert!(slice.coverage() > 0.9); // everything feeds b here
+    }
+}

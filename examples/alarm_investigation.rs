@@ -1,0 +1,59 @@
+//! Alarm investigation workflow (paper Sect. 3.3): inject a real defect,
+//! let the analyzer report it, confirm it concretely with the reference
+//! interpreter, and extract the backward slice from the alarm point.
+//!
+//! Run with `cargo run --example alarm_investigation`.
+
+use astree::core::{AnalysisConfig, Analyzer};
+use astree::frontend::Frontend;
+use astree::gen::{generate, BugKind, GenConfig};
+use astree::ir::{Interp, InterpConfig, SeededInputs};
+use astree::slicer::Slicer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small controller with an injected division-by-zero.
+    let source = generate(&GenConfig { channels: 2, seed: 99, bug: Some(BugKind::DivByZero) });
+    let program = Frontend::new().compile_str(&source)?;
+
+    // 1. The analyzer reports the defect (and nothing else on this family).
+    let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    println!("{} alarm(s):", result.alarms.len());
+    for alarm in &result.alarms {
+        println!("  {alarm}");
+    }
+    let alarm = result.alarms.first().expect("the injected bug must be reported");
+
+    // 2. Confirm it concretely: drive the interpreter until the error fires.
+    let mut fired = None;
+    for seed in 0..200 {
+        let mut inputs = SeededInputs::new(seed);
+        let mut interp = Interp::new(
+            &program,
+            InterpConfig { max_steps: 10_000_000, max_ticks: 100 },
+            &mut inputs,
+        );
+        if let Err(e) = interp.run() {
+            fired = Some((seed, e));
+            break;
+        }
+    }
+    match &fired {
+        Some((seed, e)) => println!("\nconcretely confirmed with input seed {seed}: {e}"),
+        None => println!("\n(no concrete witness found in 200 seeds — alarm may be false)"),
+    }
+
+    // 3. Slice backward from the alarm point to the computations feeding it.
+    let slicer = Slicer::new(&program);
+    let slice = slicer.slice(alarm.stmt);
+    println!(
+        "\nbackward slice from the alarm: {} of {} statements ({:.0}% of the program)",
+        slice.len(),
+        slice.total_stmts,
+        100.0 * slice.coverage()
+    );
+    println!(
+        "(the paper notes classical slices are 'prohibitively large'; abstract \
+         slices restricted to under-constrained variables are the proposed fix)"
+    );
+    Ok(())
+}

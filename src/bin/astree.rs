@@ -1,0 +1,308 @@
+//! `astree` — the command-line driver.
+//!
+//! ```text
+//! astree analyze <file.c>... [options]   statically prove absence of RTEs
+//! astree run <file.c> [options]          execute with the reference interpreter
+//! astree slice <file.c> [options]        backward slices from alarm points
+//! astree generate [options]              emit a synthetic family member
+//! ```
+//!
+//! Run `astree <command> --help` for the options of each command.
+
+use astree::core::{AnalysisConfig, Analyzer};
+use astree::frontend::Frontend;
+use astree::gen::{generate, BugKind, GenConfig};
+use astree::ir::{Interp, InterpConfig, SeededInputs};
+use astree::slicer::Slicer;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("usage: astree <analyze|run|slice|generate> [options]");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "run" => cmd_run(rest),
+        "slice" => cmd_slice(rest),
+        "generate" => cmd_generate(rest),
+        "--help" | "-h" | "help" => {
+            println!("usage: astree <analyze|run|slice|generate> [options]");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("astree: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn compile(files: &[String]) -> Result<astree::ir::Program, String> {
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    let mut sources = Vec::new();
+    for f in files {
+        sources.push(std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?);
+    }
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    Frontend::new().compile_units(&refs).map_err(|e| e.to_string())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    let mut config = AnalysisConfig::default();
+    let mut show_census = false;
+    let mut dump_invariant = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree analyze <file.c>... [--max-clock N] [--unroll N]\n\
+                     \x20      [--no-octagons] [--no-dtrees] [--no-ellipsoids]\n\
+                     \x20      [--no-clock] [--no-linearize] [--baseline]\n\
+                     \x20      [--partition FN] [--thresholds ALPHA,LAMBDA,N]\n\
+                     \x20      [--pack VAR1,VAR2,...] [--census] [--dump-invariant]\n\
+                     exit status: 0 = proven error-free, 1 = alarms reported"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--max-clock" => config.max_clock = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--unroll" => config.loop_unroll = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--no-octagons" => config.enable_octagons = false,
+            "--no-dtrees" => config.enable_dtrees = false,
+            "--no-ellipsoids" => config.enable_ellipsoids = false,
+            "--no-clock" => config.enable_clocked = false,
+            "--no-linearize" => config.enable_linearization = false,
+            "--baseline" => config = AnalysisConfig::baseline(),
+            "--partition" => {
+                config.partitioned_functions.insert(value(&mut i)?);
+            }
+            "--thresholds" => {
+                let v = value(&mut i)?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err("--thresholds expects ALPHA,LAMBDA,N".into());
+                }
+                let alpha: f64 = parts[0].parse().map_err(|e| format!("{e}"))?;
+                let lambda: f64 = parts[1].parse().map_err(|e| format!("{e}"))?;
+                let n: u32 = parts[2].parse().map_err(|e| format!("{e}"))?;
+                config.thresholds = astree::domains::Thresholds::geometric(alpha, lambda, n);
+            }
+            "--pack" => {
+                let names: Vec<String> =
+                    value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect();
+                config.octagon_packs_extra.push(names);
+            }
+            "--census" => show_census = true,
+            "--dump-invariant" => dump_invariant = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    let program = compile(&files)?;
+    let errs = program.validate();
+    if !errs.is_empty() {
+        return Err(format!("invalid program: {}", errs.join("; ")));
+    }
+    let result = Analyzer::new(&program, config).run();
+    println!(
+        "analyzed {} ({} cells, {} octagon packs, {} filters, {} decision-tree packs)",
+        program.metrics(),
+        result.stats.cells,
+        result.stats.octagon_packs,
+        result.stats.ellipse_packs,
+        result.stats.dtree_packs,
+    );
+    println!(
+        "time: {:.2?} invariant generation + {:.2?} checking",
+        result.stats.time_iterate, result.stats.time_check
+    );
+    if show_census {
+        if let Some(c) = &result.main_census {
+            println!("\nmain loop invariant census:\n{c}");
+        }
+    }
+    if dump_invariant {
+        if let Some(inv) = &result.main_invariant {
+            println!("\nmain loop invariant:\n{inv}");
+        }
+    }
+    if result.alarms.is_empty() {
+        println!("\nno alarms: the program is proven free of run-time errors");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("\n{} alarm(s):", result.alarms.len());
+        for a in &result.alarms {
+            println!("  {a}");
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    let mut seed = 1u64;
+    let mut ticks = 1000u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("usage: astree run <file.c>... [--seed N] [--ticks N]");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).ok_or("--seed needs a value")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--ticks" => {
+                i += 1;
+                ticks = args.get(i).ok_or("--ticks needs a value")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    let program = compile(&files)?;
+    let mut inputs = SeededInputs::new(seed);
+    let mut interp = Interp::new(
+        &program,
+        InterpConfig { max_steps: u64::MAX, max_ticks: ticks },
+        &mut inputs,
+    );
+    match interp.run() {
+        Ok(()) => {
+            println!("completed {} clock ticks", interp.ticks());
+            if interp.events().is_empty() {
+                println!("no run-time events");
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!("{} recoverable events:", interp.events().len());
+                for (stmt, e) in interp.events() {
+                    println!("  stmt {}: {e:?}", stmt.0);
+                }
+                Ok(ExitCode::from(1))
+            }
+        }
+        Err(e) => {
+            println!("run-time error after {} ticks: {e}", interp.ticks());
+            Ok(ExitCode::from(1))
+        }
+    }
+}
+
+fn cmd_slice(args: &[String]) -> Result<ExitCode, String> {
+    let mut files = Vec::new();
+    let mut abstract_slice = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree slice <file.c>... [--abstract]\n\
+                     analyzes the program and prints the backward slice of \
+                     each alarm point; --abstract restricts the slice to the \
+                     variables the invariant knows too little about \
+                     (paper Sect. 3.3)"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--abstract" => abstract_slice = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    let program = compile(&files)?;
+    let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    if result.alarms.is_empty() {
+        println!("no alarms to slice");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let interesting = if abstract_slice {
+        result.main_invariant.as_ref().map(|inv| {
+            let layout = astree::memory::CellLayout::new(
+                &program,
+                &astree::memory::LayoutConfig::default(),
+            );
+            astree::core::under_constrained_vars(inv, &layout, 1e6)
+        })
+    } else {
+        None
+    };
+    let slicer = Slicer::new(&program);
+    for alarm in &result.alarms {
+        let slice = match &interesting {
+            Some(vars) => slicer.slice_restricted(alarm.stmt, vars),
+            None => slicer.slice(alarm.stmt),
+        };
+        println!(
+            "{alarm}\n  slice: {} of {} statements ({:.0}%)",
+            slice.len(),
+            slice.total_stmts,
+            100.0 * slice.coverage()
+        );
+    }
+    Ok(ExitCode::from(1))
+}
+
+fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = GenConfig::default();
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree generate [--channels N] [--seed N] \
+                     [--bug div0|oob|overflow] [-o FILE]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--channels" => {
+                i += 1;
+                cfg.channels =
+                    args.get(i).ok_or("--channels needs a value")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).ok_or("--seed needs a value")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--bug" => {
+                i += 1;
+                cfg.bug = Some(match args.get(i).map(|s| s.as_str()) {
+                    Some("div0") => BugKind::DivByZero,
+                    Some("oob") => BugKind::OutOfBounds,
+                    Some("overflow") => BugKind::IntOverflow,
+                    other => return Err(format!("unknown bug kind {other:?}")),
+                });
+            }
+            "-o" | "--output" => {
+                i += 1;
+                out = Some(args.get(i).ok_or("-o needs a value")?.clone());
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    let src = generate(&cfg);
+    match out {
+        Some(path) => std::fs::write(&path, &src).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{src}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}

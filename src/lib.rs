@@ -1,0 +1,26 @@
+//! Facade crate re-exporting the whole analyzer workspace.
+//!
+//! This reproduces the PLDI 2003 ASTRÉE analyzer: an abstract-interpretation
+//! static analyzer proving the absence of run-time errors in periodic
+//! synchronous C programs. See the individual crates for the pieces:
+//!
+//! - [`pmap`] — persistent maps with structural sharing (Sect. 6.1.2)
+//! - [`float`] — sound directed-rounding float primitives (Sect. 6.2.1)
+//! - [`ir`] — the typed intermediate representation and concrete interpreter
+//! - [`frontend`] — C-subset lexer/preprocessor/parser/typechecker (Sect. 5.1)
+//! - [`domains`] — intervals, clocked, octagons, ellipsoids, decision trees,
+//!   linearization (Sect. 6.2–6.3)
+//! - [`memory`] — the memory abstract domain (Sect. 6.1)
+//! - [`core`] — the iterator, fixpoint engine, packing, alarms (Sect. 5, 7)
+//! - [`slicer`] — backward slicing for alarm inspection (Sect. 3.3)
+//! - [`gen`] — the synthetic periodic synchronous program family (Sect. 4)
+
+pub use astree_core as core;
+pub use astree_domains as domains;
+pub use astree_float as float;
+pub use astree_frontend as frontend;
+pub use astree_gen as gen;
+pub use astree_ir as ir;
+pub use astree_memory as memory;
+pub use astree_pmap as pmap;
+pub use astree_slicer as slicer;

@@ -1,0 +1,118 @@
+//! Locks the paper's headline experimental shapes into the test suite
+//! (small-scale versions of the `repro` experiments, cf. EXPERIMENTS.md).
+
+use astree::core::{AnalysisConfig, Analyzer};
+use astree::frontend::Frontend;
+use astree::gen::{generate, GenConfig};
+
+fn family(channels: usize) -> astree::ir::Program {
+    let src = generate(&GenConfig { channels, seed: 7, bug: None });
+    Frontend::new().compile_str(&src).expect("generated family compiles")
+}
+
+/// E2: the refinement ladder collapses monotonically to zero.
+#[test]
+fn alarm_ladder_collapses_monotonically() {
+    let program = family(6);
+    let ladder: Vec<(&str, AnalysisConfig)> = {
+        let baseline = AnalysisConfig::baseline();
+        let mut with_lin = baseline.clone();
+        with_lin.enable_linearization = true;
+        let mut with_oct = with_lin.clone();
+        with_oct.enable_octagons = true;
+        let mut with_dtree = with_oct.clone();
+        with_dtree.enable_dtrees = true;
+        let mut with_ell = with_dtree.clone();
+        with_ell.enable_ellipsoids = true;
+        let mut full = with_ell.clone();
+        full.loop_unroll = 1;
+        vec![
+            ("baseline", baseline),
+            ("+lin", with_lin),
+            ("+oct", with_oct),
+            ("+dtree", with_dtree),
+            ("+ell", with_ell),
+            ("full", full),
+        ]
+    };
+    let mut prev = usize::MAX;
+    let mut counts = Vec::new();
+    for (name, cfg) in ladder {
+        let n = Analyzer::new(&program, cfg).run().alarms.len();
+        counts.push((name, n));
+        assert!(n <= prev, "ladder not monotone: {counts:?}");
+        prev = n;
+    }
+    assert_eq!(prev, 0, "full stack must reach zero: {counts:?}");
+    assert!(counts[0].1 > 0, "baseline must alarm: {counts:?}");
+}
+
+/// E3: replaying only the useful packs preserves the alarm set.
+#[test]
+fn packing_optimization_preserves_precision() {
+    let program = family(6);
+    let full = Analyzer::new(&program, AnalysisConfig::default()).run();
+    assert!(full.alarms.is_empty());
+    let useful = full.stats.useful_octagon_packs.clone();
+    assert!(!useful.is_empty());
+    assert!(
+        useful.len() < full.stats.octagon_packs,
+        "some packs must be discardable ({} of {})",
+        useful.len(),
+        full.stats.octagon_packs
+    );
+    let mut cfg = AnalysisConfig::default();
+    cfg.octagon_pack_filter = Some(useful.clone());
+    let opt = Analyzer::new(&program, cfg).run();
+    assert_eq!(opt.alarms, full.alarms);
+    assert_eq!(opt.stats.octagon_packs, useful.len());
+}
+
+/// E1: cells and statements grow linearly with channels; analysis succeeds
+/// at every size.
+#[test]
+fn scaling_is_roughly_linear_in_cells() {
+    let small = family(2);
+    let big = family(8);
+    let rs = Analyzer::new(&small, AnalysisConfig::default()).run();
+    let rb = Analyzer::new(&big, AnalysisConfig::default()).run();
+    assert!(rs.alarms.is_empty() && rb.alarms.is_empty());
+    let ratio = rb.stats.cells as f64 / rs.stats.cells as f64;
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "4x channels should give ~4x cells, got ×{ratio:.1}"
+    );
+}
+
+/// E4: the census finds every assertion family on a full-featured member.
+#[test]
+fn census_is_heterogeneous() {
+    let program = family(4);
+    let r = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let c = r.main_census.expect("reactive loop");
+    assert!(c.boolean_intervals > 0, "{c}");
+    assert!(c.intervals > 0, "{c}");
+    assert!(c.clock_assertions > 0, "{c}");
+    assert!(c.octagon_subtractive > 0, "{c}");
+    assert!(c.ellipsoids > 0, "{c}");
+}
+
+/// The analyzer's two headline claims at once: zero false alarms on the
+/// clean family, zero missed errors on the buggy one.
+#[test]
+fn headline_no_false_alarms_no_missed_errors() {
+    let clean = family(4);
+    let r = Analyzer::new(&clean, AnalysisConfig::default()).run();
+    assert!(r.alarms.is_empty(), "false alarms: {:?}", r.alarms);
+
+    for bug in [
+        astree::gen::BugKind::DivByZero,
+        astree::gen::BugKind::OutOfBounds,
+        astree::gen::BugKind::IntOverflow,
+    ] {
+        let src = generate(&GenConfig { channels: 2, seed: 7, bug: Some(bug) });
+        let p = Frontend::new().compile_str(&src).unwrap();
+        let r = Analyzer::new(&p, AnalysisConfig::default()).run();
+        assert!(!r.alarms.is_empty(), "{bug:?} missed");
+    }
+}

@@ -1,0 +1,249 @@
+//! Whole-pipeline soundness tests: the analyzer's results must cover every
+//! behaviour the reference interpreter can exhibit.
+//!
+//! Two obligations (the contract of paper Sect. 5.4's abstraction):
+//!
+//! 1. **No missed errors**: if any concrete execution hits a run-time error
+//!    (or records a recoverable error event), the analyzer must report an
+//!    alarm of the corresponding class.
+//! 2. **Invariant containment**: every concrete state observed at the main
+//!    loop head lies inside the analyzer's loop invariant.
+
+use astree::core::{AlarmKind, AnalysisConfig, Analyzer};
+use astree::frontend::Frontend;
+use astree::gen::{generate, BugKind, GenConfig};
+use astree::ir::{ExecError, Interp, InterpConfig, RuntimeEvent, SeededInputs, Value};
+use astree::memory::{CellLayout, CellVal, LayoutConfig};
+
+fn interp_events(
+    program: &astree::ir::Program,
+    seeds: std::ops::Range<u64>,
+    ticks: u64,
+) -> (Vec<ExecError>, Vec<RuntimeEvent>) {
+    let mut errors = Vec::new();
+    let mut events = Vec::new();
+    for seed in seeds {
+        let mut inputs = SeededInputs::new(seed);
+        let mut it = Interp::new(
+            program,
+            InterpConfig { max_steps: 50_000_000, max_ticks: ticks },
+            &mut inputs,
+        );
+        match it.run() {
+            Ok(()) => {}
+            Err(e) => errors.push(e),
+        }
+        events.extend(it.events().iter().map(|(_, e)| *e));
+    }
+    (errors, events)
+}
+
+fn alarm_kinds(result: &astree::core::AnalysisResult) -> Vec<AlarmKind> {
+    result.alarms.iter().map(|a| a.kind).collect()
+}
+
+#[test]
+fn clean_family_members_are_clean_concretely_and_abstractly() {
+    for seed in [1u64, 17, 99] {
+        let src = generate(&GenConfig { channels: 3, seed, bug: None });
+        let p = Frontend::new().compile_str(&src).expect("compiles");
+        let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+        assert!(result.alarms.is_empty(), "seed {seed}: {:?}", result.alarms);
+        let (errors, events) = interp_events(&p, 0..10, 150);
+        assert!(errors.is_empty(), "seed {seed}: {errors:?}");
+        assert!(events.is_empty(), "seed {seed}: {events:?}");
+    }
+}
+
+#[test]
+fn injected_div_by_zero_is_reported_and_real() {
+    let src = generate(&GenConfig { channels: 2, seed: 5, bug: Some(BugKind::DivByZero) });
+    let p = Frontend::new().compile_str(&src).unwrap();
+    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    assert!(
+        alarm_kinds(&result).contains(&AlarmKind::DivByZero),
+        "{:?}",
+        result.alarms
+    );
+    let (errors, _) = interp_events(&p, 0..100, 50);
+    assert!(
+        errors.iter().any(|e| matches!(e, ExecError::DivByZero(_))),
+        "no concrete witness in 100 seeds"
+    );
+}
+
+#[test]
+fn injected_oob_is_reported_and_real() {
+    let src = generate(&GenConfig { channels: 2, seed: 5, bug: Some(BugKind::OutOfBounds) });
+    let p = Frontend::new().compile_str(&src).unwrap();
+    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    assert!(
+        alarm_kinds(&result).contains(&AlarmKind::OutOfBounds),
+        "{:?}",
+        result.alarms
+    );
+    let (errors, _) = interp_events(&p, 0..100, 50);
+    assert!(
+        errors.iter().any(|e| matches!(e, ExecError::OutOfBounds(_))),
+        "no concrete witness in 100 seeds"
+    );
+}
+
+#[test]
+fn injected_overflow_is_reported_and_real() {
+    let src = generate(&GenConfig { channels: 1, seed: 5, bug: Some(BugKind::IntOverflow) });
+    let p = Frontend::new().compile_str(&src).unwrap();
+    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    assert!(
+        alarm_kinds(&result).contains(&AlarmKind::IntOverflow),
+        "{:?}",
+        result.alarms
+    );
+    let (_, events) = interp_events(&p, 0..1, 3000);
+    assert!(
+        events.iter().any(|e| matches!(e, RuntimeEvent::IntOverflow)),
+        "the accumulator should overflow concretely"
+    );
+}
+
+/// Every concrete value observed at the main loop head must lie inside the
+/// analyzer's invariant for the corresponding cell.
+#[test]
+fn loop_invariant_contains_concrete_states() {
+    let src = generate(&GenConfig { channels: 2, seed: 23, bug: None });
+    let p = Frontend::new().compile_str(&src).unwrap();
+    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let inv = result.main_invariant.as_ref().expect("reactive program has a main loop");
+    assert!(!inv.is_bottom());
+    let layout = CellLayout::new(&p, &LayoutConfig::default());
+
+    // Identify the main loop head statement: the While itself observes the
+    // store each time control reaches the loop test.
+    let mut loop_stmt = None;
+    let entry = p.func(p.entry);
+    for s in &entry.body {
+        if let astree::ir::StmtKind::While(_, c, _) = &s.kind {
+            if matches!(c, astree::ir::Expr::Int(v, _) if *v != 0) {
+                loop_stmt = Some(s.id);
+            }
+        }
+    }
+    let loop_stmt = loop_stmt.expect("main loop");
+
+    for seed in 0..5u64 {
+        let mut inputs = SeededInputs::new(seed);
+        let mut it = Interp::new(
+            &p,
+            InterpConfig { max_steps: 50_000_000, max_ticks: 60 },
+            &mut inputs,
+        );
+        let snapshots: std::rc::Rc<std::cell::RefCell<Vec<astree::ir::Store>>> =
+            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let sink = snapshots.clone();
+        it.set_observer(move |stmt, store| {
+            if stmt == loop_stmt {
+                sink.borrow_mut().push(store.clone());
+            }
+        });
+        it.run().unwrap();
+        drop(it);
+        let snapshots = snapshots.borrow();
+        // Skip the first visit (before any tick) — the invariant is computed
+        // for the residual loop after the unrolled first iteration
+        // (Sect. 7.1.1), whose states have clock ≥ 1.
+        for store in snapshots.iter().skip(1) {
+            for ((var, path), value) in store {
+                // Map concrete cells to abstract cells by name lookup.
+                let info = p.var(*var);
+                if !matches!(
+                    info.kind,
+                    astree::ir::VarKind::Global | astree::ir::VarKind::Static
+                ) {
+                    continue; // locals may be dead at the loop head
+                }
+                let cells = layout.cells_of_var(*var);
+                // Find the cell whose path matches (expanded arrays) or the
+                // shrunk cell.
+                let target = if cells.len() == 1 {
+                    cells[0]
+                } else {
+                    // Expanded: linearize the path the same way the layout
+                    // does (paths are in declaration order).
+                    match path_to_cell(&layout, *var, path) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                };
+                let abs = inv.env.get(target, &layout);
+                let ok = match (abs, value) {
+                    (CellVal::Int(c), Value::Int(v)) => c.val.contains(*v),
+                    (CellVal::Float(f), Value::Float(v)) => f.contains(*v),
+                    _ => false,
+                };
+                assert!(
+                    ok,
+                    "seed {seed}: concrete {}{:?} = {value:?} escapes invariant {abs:?}",
+                    info.name, path
+                );
+            }
+        }
+    }
+}
+
+/// Finds the expanded cell for a concrete path by matching the generated
+/// cell names (e.g. `tbl0[3]`).
+fn path_to_cell(
+    layout: &CellLayout,
+    var: astree::ir::VarId,
+    path: &[u32],
+) -> Option<astree::memory::CellId> {
+    let cells = layout.cells_of_var(var);
+    if path.is_empty() {
+        return cells.first().copied();
+    }
+    // Shrunk array: single cell for all paths.
+    if cells.len() == 1 {
+        return Some(cells[0]);
+    }
+    // Expanded one-dimensional array: index directly.
+    if path.len() == 1 && (path[0] as usize) < cells.len() {
+        return Some(cells[path[0] as usize]);
+    }
+    None
+}
+
+/// Disabling each domain must never *remove* alarms relative to the full
+/// stack (monotonicity of refinement: coarser analyses are sound too, so
+/// they can only add false alarms).
+#[test]
+fn coarser_configurations_only_add_alarms() {
+    let src = generate(&GenConfig { channels: 3, seed: 31, bug: Some(BugKind::DivByZero) });
+    let p = Frontend::new().compile_str(&src).unwrap();
+    let full = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let full_set: std::collections::BTreeSet<_> =
+        full.alarms.iter().map(|a| (a.stmt, a.kind)).collect();
+    let mut configs: Vec<(&str, AnalysisConfig)> = Vec::new();
+    let mut c = AnalysisConfig::default();
+    c.enable_octagons = false;
+    configs.push(("no-octagons", c));
+    let mut c = AnalysisConfig::default();
+    c.enable_dtrees = false;
+    configs.push(("no-dtrees", c));
+    let mut c = AnalysisConfig::default();
+    c.enable_ellipsoids = false;
+    configs.push(("no-ellipsoids", c));
+    let mut c = AnalysisConfig::default();
+    c.enable_linearization = false;
+    configs.push(("no-linearization", c));
+    configs.push(("baseline", AnalysisConfig::baseline()));
+    for (name, cfg) in configs {
+        let r = Analyzer::new(&p, cfg).run();
+        let set: std::collections::BTreeSet<_> =
+            r.alarms.iter().map(|a| (a.stmt, a.kind)).collect();
+        assert!(
+            full_set.is_subset(&set),
+            "{name}: lost alarms {:?}",
+            full_set.difference(&set).collect::<Vec<_>>()
+        );
+    }
+}
