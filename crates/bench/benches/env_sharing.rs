@@ -32,11 +32,9 @@ fn bench_env_join(c: &mut Criterion) {
         for shared in [true, false] {
             let (l, r) = mk_pair(n, 16, shared);
             let label = if shared { "shared" } else { "unshared" };
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &(l, r),
-                |b, (l, r)| b.iter(|| black_box(l.union_with(r, |_, a, b| *a.max(b)))),
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &(l, r), |b, (l, r)| {
+                b.iter(|| black_box(l.union_with(r, |_, a, b| *a.max(b))))
+            });
         }
     }
     group.finish();

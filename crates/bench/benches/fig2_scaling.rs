@@ -12,17 +12,13 @@ fn bench_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for channels in [2usize, 8, 32] {
         let program = family_program(channels, 7);
-        group.bench_with_input(
-            BenchmarkId::new("full_analysis", channels),
-            &program,
-            |b, p| {
-                b.iter(|| {
-                    let r = Analyzer::new(p, AnalysisConfig::default()).run();
-                    assert!(r.alarms.is_empty());
-                    r.stats.cells
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("full_analysis", channels), &program, |b, p| {
+            b.iter(|| {
+                let r = Analyzer::new(p, AnalysisConfig::default()).run();
+                assert!(r.alarms.is_empty());
+                r.stats.cells
+            })
+        });
     }
     group.finish();
 }

@@ -1,0 +1,64 @@
+//! `jobs_scaling` — wall time of the same analysis at `--jobs 1, 2, 4`.
+//!
+//! The parallel scheme (Monniaux's partition-and-join) guarantees
+//! bit-identical results for every worker count, so this experiment measures
+//! pure scheduling overhead/speedup on one fixed generated program. Output
+//! is a single JSON object, so runs can be archived and compared.
+//!
+//! ```text
+//! cargo run --release -p astree-bench --bin jobs_scaling [channels] [seed]
+//! ```
+
+use astree_bench::family_program;
+use astree_core::{AnalysisConfig, Analyzer};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let channels: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    let program = family_program(channels, seed);
+    let kloc = astree_bench::family_kloc(channels, seed);
+
+    let mut rows = Vec::new();
+    let mut baseline_alarms: Option<Vec<String>> = None;
+    let mut base_wall = 0.0f64;
+    for jobs in [1usize, 2, 4] {
+        let mut cfg = AnalysisConfig::default();
+        cfg.jobs = jobs;
+        let t0 = Instant::now();
+        let result = Analyzer::new(&program, cfg).run();
+        let wall = t0.elapsed().as_secs_f64();
+
+        let alarms: Vec<String> = result.alarms.iter().map(|a| a.to_string()).collect();
+        match &baseline_alarms {
+            None => {
+                baseline_alarms = Some(alarms);
+                base_wall = wall;
+            }
+            Some(base) => assert_eq!(
+                base, &alarms,
+                "jobs={jobs} changed the alarm list — determinism violated"
+            ),
+        }
+        rows.push(format!(
+            "    {{\"jobs\": {jobs}, \"wall_s\": {wall:.6}, \"speedup\": {:.4}, \
+             \"parallel_stages\": {}, \"parallel_slices\": {}}}",
+            base_wall / wall,
+            result.stats.parallel_stages,
+            result.stats.parallel_slices,
+        ));
+    }
+
+    println!("{{");
+    println!("  \"experiment\": \"jobs_scaling\",");
+    println!("  \"channels\": {channels},");
+    println!("  \"seed\": {seed},");
+    println!("  \"kloc\": {kloc:.2},");
+    println!("  \"alarms\": {},", baseline_alarms.map_or(0, |a| a.len()));
+    println!("  \"runs\": [");
+    println!("{}", rows.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

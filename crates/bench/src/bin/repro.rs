@@ -23,11 +23,11 @@
 //! behaviour flips. Expected shapes are printed next to each result.
 
 use astree_bench::{family_kloc, family_program, print_table, refinement_ladder, timed_analysis};
-use astree_gen::{generate, BugKind, GenConfig};
-use astree_slicer::Slicer;
 use astree_core::{AnalysisConfig, Analyzer};
 use astree_frontend::Frontend;
+use astree_gen::{generate, BugKind, GenConfig};
 use astree_pmap::PMap;
+use astree_slicer::Slicer;
 use std::time::Instant;
 
 fn main() {
@@ -307,11 +307,9 @@ fn delayed() {
     "#;
     let program = Frontend::new().compile_str(src).unwrap();
     let mut rows = Vec::new();
-    for (name, delay, grace) in [
-        ("no delay (widen at once)", 0u32, 0u32),
-        ("delay 2 (default)", 2, 8),
-        ("delay 4", 4, 8),
-    ] {
+    for (name, delay, grace) in
+        [("no delay (widen at once)", 0u32, 0u32), ("delay 2 (default)", 2, 8), ("delay 4", 4, 8)]
+    {
         let mut cfg = AnalysisConfig::default();
         cfg.widening_delay = delay;
         cfg.stabilization_grace = grace;
@@ -440,8 +438,7 @@ fn slice() {
     let alarm = result.alarms.first().expect("injected bug is reported");
     let slicer = Slicer::new(&program);
     let classical = slicer.slice(alarm.stmt);
-    let layout =
-        astree_memory::CellLayout::new(&program, &astree_memory::LayoutConfig::default());
+    let layout = astree_memory::CellLayout::new(&program, &astree_memory::LayoutConfig::default());
     let interesting = result
         .main_invariant
         .as_ref()

@@ -105,6 +105,18 @@ impl AlarmSink {
         }
     }
 
+    /// Merges another sink into this one, preserving the per
+    /// (statement, kind) deduplication: an alarm already reported here wins
+    /// over the same alarm from `other` (so merging slice sinks in slice
+    /// order keeps the sequential first-reporter).
+    pub fn absorb(&mut self, other: AlarmSink) {
+        for alarm in other.alarms {
+            if self.seen.insert((alarm.stmt, alarm.kind)) {
+                self.alarms.push(alarm);
+            }
+        }
+    }
+
     /// All alarms, sorted by program point.
     pub fn into_sorted(mut self) -> Vec<Alarm> {
         self.alarms.sort();
@@ -144,6 +156,20 @@ mod tests {
         let alarms = sink.into_sorted();
         assert_eq!(alarms[0].stmt, StmtId(1));
         assert_eq!(alarms[2].stmt, StmtId(2));
+    }
+
+    #[test]
+    fn absorb_merges_and_deduplicates() {
+        let mut a = AlarmSink::new();
+        a.report(StmtId(1), Loc::line(10), ErrFlags::DIV_BY_ZERO, "x / y");
+        let mut b = AlarmSink::new();
+        b.report(StmtId(1), Loc::line(10), ErrFlags::DIV_BY_ZERO, "x / y");
+        b.report(StmtId(2), Loc::line(11), ErrFlags::INT_OVERFLOW, "a + b");
+        a.absorb(b);
+        assert_eq!(a.len(), 2);
+        let alarms = a.into_sorted();
+        assert_eq!(alarms[0].stmt, StmtId(1));
+        assert_eq!(alarms[1].stmt, StmtId(2));
     }
 
     #[test]

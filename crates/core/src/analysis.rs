@@ -37,6 +37,10 @@ pub struct AnalysisStats {
     /// A proxy for analyzer memory: peak live abstract-environment entries
     /// touched (cells × loop invariants kept).
     pub invariant_cells: usize,
+    /// Statement stages executed by parallel slicing (0 when `jobs` is 1).
+    pub parallel_stages: u64,
+    /// Total worker slices run across all parallel stages.
+    pub parallel_slices: u64,
 }
 
 /// The result of an analysis.
@@ -88,18 +92,11 @@ impl<'a> Analyzer<'a> {
         // The main loop: the first loop of the entry function.
         let main_loop = first_loop_id(self.program);
         let main_invariant = main_loop.and_then(|id| iter.invariants.get(&id).cloned());
-        let main_census =
-            main_invariant.as_ref().map(|s| Census::of_state(s, &layout, &packs));
+        let main_census = main_invariant.as_ref().map(|s| Census::of_state(s, &layout, &packs));
 
-        let useful: Vec<usize> = iter
-            .oct_useful
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| **n > 0)
-            .map(|(i, _)| i)
-            .collect();
-        let invariant_cells: usize =
-            iter.invariants.values().map(|s| s.env.len()).sum::<usize>();
+        let useful: Vec<usize> =
+            iter.oct_useful.iter().enumerate().filter(|(_, n)| **n > 0).map(|(i, _)| i).collect();
+        let invariant_cells: usize = iter.invariants.values().map(|s| s.env.len()).sum::<usize>();
 
         let stats = AnalysisStats {
             time_iterate,
@@ -113,6 +110,8 @@ impl<'a> Analyzer<'a> {
             stmts_interpreted: iter.stats.stmts_interpreted,
             peak_partitions: iter.stats.peak_partitions,
             invariant_cells,
+            parallel_stages: iter.stats.par_stages,
+            parallel_slices: iter.stats.par_slices,
         };
         AnalysisResult {
             alarms: std::mem::take(&mut iter.sink).into_sorted(),
@@ -277,9 +276,8 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let r = analyze(
-            "int x; int y; void main(void) { x = y + 1; while (x < 10) { x = x + 1; } }",
-        );
+        let r =
+            analyze("int x; int y; void main(void) { x = y + 1; while (x < 10) { x = x + 1; } }");
         assert!(r.stats.cells >= 2);
         assert!(r.stats.loop_iterations > 0);
         assert!(r.stats.stmts_interpreted > 0);

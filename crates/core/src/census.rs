@@ -50,8 +50,7 @@ impl Census {
             let info = layout.info(*id);
             match val {
                 CellVal::Int(ck) => {
-                    let is_bool =
-                        matches!(info.ty, ScalarType::Int(it) if it == IntType::BOOL);
+                    let is_bool = matches!(info.ty, ScalarType::Int(it) if it == IntType::BOOL);
                     if is_bool {
                         if !ck.val.is_bottom() && ck.val.leq(IntItv::new(0, 1)) {
                             c.boolean_intervals += 1;
@@ -156,10 +155,7 @@ pub fn under_constrained_vars(
                 }
             }
             CellVal::Float(f) => {
-                f.is_bottom()
-                    || !f.lo.is_finite()
-                    || !f.hi.is_finite()
-                    || (f.hi - f.lo) > large
+                f.is_bottom() || !f.lo.is_finite() || !f.hi.is_finite() || (f.hi - f.lo) > large
             }
         };
         if weak {
@@ -234,9 +230,18 @@ mod tests {
         use astree_domains::{Clocked, IntItv};
         s.env = s
             .env
-            .set(layout.scalar_cell(narrow), CellVal::Int(Clocked::of_val(IntItv::new(0, 5), IntItv::singleton(0))))
-            .set(layout.scalar_cell(wide), CellVal::Int(Clocked::of_val(IntItv::of_type(IntType::INT), IntItv::singleton(0))))
-            .set(layout.scalar_cell(b), CellVal::Int(Clocked::of_val(IntItv::new(0, 1), IntItv::singleton(0))));
+            .set(
+                layout.scalar_cell(narrow),
+                CellVal::Int(Clocked::of_val(IntItv::new(0, 5), IntItv::singleton(0))),
+            )
+            .set(
+                layout.scalar_cell(wide),
+                CellVal::Int(Clocked::of_val(IntItv::of_type(IntType::INT), IntItv::singleton(0))),
+            )
+            .set(
+                layout.scalar_cell(b),
+                CellVal::Int(Clocked::of_val(IntItv::new(0, 1), IntItv::singleton(0))),
+            );
         let weak = under_constrained_vars(&s, &layout, 1e6);
         assert!(weak.contains(&wide), "{weak:?}");
         assert!(weak.contains(&b), "booleans that may take any value are weak");

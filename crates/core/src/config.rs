@@ -67,6 +67,12 @@ pub struct AnalysisConfig {
     /// variables on which the relational analysis should be independently
     /// applied"). Unknown or non-scalar names are ignored.
     pub octagon_packs_extra: Vec<Vec<String>>,
+    /// Worker threads for intra-analysis parallelism (Monniaux's
+    /// partition-and-join scheme). `1` (the default) runs the purely
+    /// sequential interpreter; `N > 1` slices independent top-level
+    /// statement runs across `N` workers and merges the slice deltas in a
+    /// fixed order, so alarms and invariants are identical for every value.
+    pub jobs: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -93,6 +99,7 @@ impl Default for AnalysisConfig {
             dtree_pack_bool_cap: 3,
             octagon_pack_filter: None,
             octagon_packs_extra: Vec::new(),
+            jobs: 1,
         }
     }
 }

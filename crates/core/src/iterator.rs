@@ -24,11 +24,12 @@ use crate::substitute::substitute_block;
 use astree_domains::dtree::Lattice;
 use astree_domains::{Ellipsoid, ErrFlags, FloatItv, Thresholds};
 use astree_ir::{
-    Binop, Block, CallArg, Expr, FuncId, LoopId, Lvalue, Program, ScalarType, Stmt, StmtKind,
-    Unop, VarId,
+    Binop, Block, CallArg, Expr, FuncId, LoopId, Lvalue, Program, ScalarType, Stmt, StmtId,
+    StmtKind, Unop, VarId,
 };
 use astree_memory::{CellId, CellLayout, CellVal, Evaluator};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Analysis mode (paper Sect. 5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +49,21 @@ pub struct IterStats {
     pub stmts_interpreted: u64,
     /// Peak number of simultaneously live trace partitions.
     pub peak_partitions: usize,
+    /// Number of statement stages executed by parallel slicing.
+    pub par_stages: u64,
+    /// Total slices run across all parallel stages.
+    pub par_slices: u64,
+}
+
+impl IterStats {
+    /// Folds a worker iterator's counters into this one.
+    fn merge_worker(&mut self, o: &IterStats) {
+        self.loop_iterations += o.loop_iterations;
+        self.stmts_interpreted += o.stmts_interpreted;
+        self.peak_partitions = self.peak_partitions.max(o.peak_partitions);
+        self.par_stages += o.par_stages;
+        self.par_slices += o.par_slices;
+    }
 }
 
 /// The iterator.
@@ -67,6 +83,11 @@ pub struct Iter<'a> {
     pub oct_useful: Vec<usize>,
     /// Counters.
     pub stats: IterStats,
+    /// Whether the top-level dispatch may be sliced across workers
+    /// (Monniaux's partition-and-join scheme); disabled inside workers.
+    par_enabled: bool,
+    /// Cached stage plans, keyed by the first statement of the block.
+    plans: HashMap<StmtId, Arc<crate::parallel::BlockPlan>>,
 }
 
 /// The set of partitions flowing through a block, plus the accumulated
@@ -98,6 +119,8 @@ impl<'a> Iter<'a> {
             sink: AlarmSink::new(),
             oct_useful: vec![0; packs.octagons.len()],
             stats: IterStats::default(),
+            par_enabled: config.jobs > 1,
+            plans: HashMap::new(),
         }
     }
 
@@ -140,6 +163,18 @@ impl<'a> Iter<'a> {
         partitioning: bool,
         depth: u32,
     ) {
+        // Top-level blocks (the entry dispatch and the synchronous loop's
+        // body) may be sliced across workers when `jobs > 1`.
+        if self.par_enabled
+            && depth == 0
+            && !partitioning
+            && block.len() >= 2
+            && flow.parts.len() == 1
+            && !flow.parts[0].is_bottom()
+        {
+            self.exec_block_staged(flow, block, ret_target, depth);
+            return;
+        }
         for s in block {
             self.exec_stmt(flow, s, ret_target, partitioning, depth);
             flow.parts.retain(|p| !p.is_bottom());
@@ -147,6 +182,137 @@ impl<'a> Iter<'a> {
                 return;
             }
         }
+    }
+
+    /// Executes a block stage by stage, slicing parallel stages across
+    /// `config.jobs` workers. Statement order inside each stage's merge is
+    /// fixed, so the result is bit-identical to the sequential interpreter
+    /// for every worker count.
+    fn exec_block_staged(
+        &mut self,
+        flow: &mut Flow,
+        block: &Block,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) {
+        let plan = match self.plans.get(&block[0].id) {
+            Some(p) => Arc::clone(p),
+            None => {
+                let p = Arc::new(crate::parallel::plan_block(
+                    self.program,
+                    self.layout,
+                    self.packs,
+                    block,
+                ));
+                self.plans.insert(block[0].id, Arc::clone(&p));
+                p
+            }
+        };
+        if !plan.parallel {
+            // No stage can be sliced: plain sequential execution.
+            for s in block {
+                self.exec_stmt(flow, s, ret_target, false, depth);
+                flow.parts.retain(|p| !p.is_bottom());
+                if flow.parts.is_empty() {
+                    return;
+                }
+            }
+            return;
+        }
+        for stage in &plan.stages {
+            let run_par = stage.parallel
+                && self.config.jobs > 1
+                && flow.parts.len() == 1
+                && !flow.parts[0].is_bottom();
+            if !run_par || !self.exec_stage_parallel(flow, block, &plan, stage, ret_target, depth) {
+                for s in &block[stage.range()] {
+                    self.exec_stmt(flow, s, ret_target, false, depth);
+                    flow.parts.retain(|p| !p.is_bottom());
+                    if flow.parts.is_empty() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one parallel stage: the statement range is chunked into
+    /// contiguous slices, each slice is analyzed from the shared pre-state by
+    /// a fresh worker iterator, and the slice deltas are overlaid in slice
+    /// order. Returns `false` (leaving the flow untouched) when the stage
+    /// must be replayed sequentially instead.
+    fn exec_stage_parallel(
+        &mut self,
+        flow: &mut Flow,
+        block: &Block,
+        plan: &crate::parallel::BlockPlan,
+        stage: &astree_sched::Stage,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) -> bool {
+        let stmts = &block[stage.range()];
+        let chunks = astree_sched::chunk_ranges(stmts.len(), self.config.jobs);
+        if chunks.len() < 2 {
+            return false;
+        }
+        let pre = flow.parts[0].clone();
+        let mode = self.mode;
+        let program = self.program;
+        let layout = self.layout;
+        let packs = self.packs;
+        let config = self.config;
+        let seed_invariants = &self.invariants;
+
+        let results = astree_sched::scatter(chunks.clone(), |_, r: std::ops::Range<usize>| {
+            let mut w = Iter::new(program, layout, packs, config);
+            w.par_enabled = false;
+            w.mode = mode;
+            if mode == Mode::Check {
+                w.invariants = seed_invariants.clone();
+            }
+            let mut wf = Flow { parts: vec![pre.clone()], returned: pre.bottom_like() };
+            for s in &stmts[r] {
+                w.exec_stmt(&mut wf, s, ret_target, false, depth);
+                wf.parts.retain(|p| !p.is_bottom());
+                if wf.parts.is_empty() {
+                    break;
+                }
+            }
+            let post = if wf.parts.len() == 1 { Some(wf.parts.pop().unwrap()) } else { None };
+            (post, wf.returned, w.invariants, w.sink, w.stats, w.oct_useful)
+        });
+
+        // Any slice that went to bottom, split into partitions, or produced a
+        // return state falls outside the overlay model: replay sequentially.
+        if results.iter().any(|(post, returned, ..)| post.is_none() || !returned.is_bottom()) {
+            return false;
+        }
+
+        let mut merged = pre.clone();
+        for (ci, (post, _returned, invariants, sink, stats, useful)) in
+            results.into_iter().enumerate()
+        {
+            let post = post.expect("checked above");
+            let r = &chunks[ci];
+            let eff = crate::parallel::slice_effects(
+                &plan.footprints[stage.start + r.start..stage.start + r.end],
+            );
+            merged.overlay_from(&pre, &post, &eff, self.layout);
+            if mode == Mode::Iterate {
+                for (id, inv) in invariants {
+                    self.invariants.insert(id, inv);
+                }
+            }
+            self.sink.absorb(sink);
+            self.stats.merge_worker(&stats);
+            for (pi, n) in useful.into_iter().enumerate() {
+                self.oct_useful[pi] += n;
+            }
+        }
+        self.stats.par_stages += 1;
+        self.stats.par_slices += chunks.len() as u64;
+        flow.parts[0] = merged;
+        true
     }
 
     fn exec_stmt(
@@ -326,7 +492,6 @@ impl<'a> Iter<'a> {
             let fval = base.join(&body_out, self.layout, self.packs);
             inv = inv.narrow(&fval);
         }
-        let mut inv = inv;
         inv.reduce_counting(self.layout, self.packs, Some(&mut self.oct_useful));
         self.invariants.insert(id, inv.clone());
         exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
@@ -701,11 +866,8 @@ impl<'a> Iter<'a> {
             return cur;
         }
         // Abstract inlining with by-ref substitution.
-        let body = if ref_map.is_empty() {
-            f.body.clone()
-        } else {
-            substitute_block(&f.body, &ref_map)
-        };
+        let body =
+            if ref_map.is_empty() { f.body.clone() } else { substitute_block(&f.body, &ref_map) };
         let partitioning = self.config.partitioned_functions.contains(&f.name);
         let mut flow = Flow { parts: vec![cur.clone()], returned: cur.bottom_like() };
         self.exec_block(&mut flow, &body, ret, partitioning, depth + 1);
@@ -756,8 +918,7 @@ impl<'a> Iter<'a> {
                 s1.join(&s2, self.layout, self.packs)
             }
             Expr::Unop(Unop::LNot, _, a)
-                if matches!(&**a,
-                    Expr::Unop(Unop::LNot, _, _) | Expr::Int(..))
+                if matches!(&**a, Expr::Unop(Unop::LNot, _, _) | Expr::Int(..))
                     || matches!(&**a, Expr::Binop(op, _, _, _)
                         if op.is_comparison() || op.is_logical()) =>
             {
@@ -859,7 +1020,7 @@ impl<'a> Iter<'a> {
         match v {
             astree_memory::AbsVal::Int(i) => {
                 (!i.is_bottom() && i.lo != i64::MIN && i.hi != i64::MAX)
-                    .then(|| (i.lo as f64, i.hi as f64))
+                    .then_some((i.lo as f64, i.hi as f64))
             }
             astree_memory::AbsVal::Float(fv) => {
                 (!fv.is_bottom() && fv.lo.is_finite() && fv.hi.is_finite())

@@ -41,6 +41,7 @@ pub mod census;
 pub mod config;
 pub mod iterator;
 pub mod packs;
+pub(crate) mod parallel;
 pub mod state;
 pub mod substitute;
 

@@ -93,8 +93,7 @@ impl Packs {
                     .iter()
                     .filter_map(|n| {
                         let v = program.var_by_name(n)?;
-                        matches!(program.var(v).ty, Type::Scalar(_))
-                            .then(|| layout.scalar_cell(v))
+                        matches!(program.var(v).ty, Type::Scalar(_)).then(|| layout.scalar_cell(v))
                     })
                     .collect();
                 cells.sort();
@@ -104,7 +103,7 @@ impl Packs {
                 }
             }
             if !user.is_empty() {
-                user.extend(packs.octagons.drain(..));
+                user.append(&mut packs.octagons);
                 packs.octagons = user;
             }
             if let Some(filter) = &config.octagon_pack_filter {
@@ -258,11 +257,9 @@ fn collect_test_cells(
     pack: &mut BTreeSet<CellId>,
 ) {
     match c {
-        Expr::Binop(op, _, a, b) if op.is_comparison() => {
-            if is_linear(a) && is_linear(b) {
-                linear_cells(program, layout, a, pack);
-                linear_cells(program, layout, b, pack);
-            }
+        Expr::Binop(op, _, a, b) if op.is_comparison() && is_linear(a) && is_linear(b) => {
+            linear_cells(program, layout, a, pack);
+            linear_cells(program, layout, b, pack);
         }
         Expr::Binop(op, _, a, b) if op.is_logical() => {
             collect_test_cells(program, layout, a, pack);
@@ -348,11 +345,8 @@ fn match_filter_rhs(e: &Expr, x: VarId, y: VarId) -> Option<(f64, f64, Option<Ex
     // Rebuild the input term t from the remaining summands.
     let mut t: Option<Expr> = None;
     for (s, e) in rest {
-        let signed = if s >= 0.0 {
-            e.clone()
-        } else {
-            Expr::Unop(Unop::Neg, e.ty(), Box::new(e.clone()))
-        };
+        let signed =
+            if s >= 0.0 { e.clone() } else { Expr::Unop(Unop::Neg, e.ty(), Box::new(e.clone())) };
         t = Some(match t {
             None => signed,
             Some(acc) => {
@@ -428,9 +422,10 @@ fn discover_dtrees(
     // Tentative packs: (bool cell, numeric cells) pairs.
     let mut tentative: Vec<(CellId, BTreeSet<CellId>)> = Vec::new();
     let mut bool_of_cell: HashMap<CellId, usize> = HashMap::new();
-    let add_pair = |bc: CellId, nums: BTreeSet<CellId>,
-                        tentative: &mut Vec<(CellId, BTreeSet<CellId>)>,
-                        bool_of_cell: &mut HashMap<CellId, usize>| {
+    let add_pair = |bc: CellId,
+                    nums: BTreeSet<CellId>,
+                    tentative: &mut Vec<(CellId, BTreeSet<CellId>)>,
+                    bool_of_cell: &mut HashMap<CellId, usize>| {
         match bool_of_cell.get(&bc) {
             Some(&i) => tentative[i].1.extend(nums),
             None => {

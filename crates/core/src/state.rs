@@ -302,9 +302,13 @@ impl AbsState {
             env: self.env.narrow(&other.env),
             octs: self.octs.clone(),
             dtrees: self.dtrees.clone(),
-            ellipses: self
-                .ellipses
-                .union_with(&other.ellipses, |_, a, b| if a.is_infinite() { *b } else { *a }),
+            ellipses: self.ellipses.union_with(&other.ellipses, |_, a, b| {
+                if a.is_infinite() {
+                    *b
+                } else {
+                    *a
+                }
+            }),
             pending: self.pending.clone(),
         }
     }
@@ -475,6 +479,41 @@ impl AbsState {
             }
         }
         improved
+    }
+
+    /// Deterministic overlay of one parallel slice's effects (Monniaux's
+    /// ordered merge): applies onto `self` everything `post` changed
+    /// relative to the shared `pre` state the slice ran from.
+    ///
+    /// - environment cells are overlaid when their value differs from `pre`,
+    ///   plus every cell in `eff.must_writes` (a slice may rewrite a cell to
+    ///   a value equal to its pre value; the write must still shadow earlier
+    ///   slices, exactly as the later statement would sequentially);
+    /// - relational packs are copied wholesale for every pack in
+    ///   `eff.packs_write` (the planner guarantees that two slices write the
+    ///   same pack only when the later one rewrites it from scratch).
+    pub(crate) fn overlay_from(
+        &mut self,
+        pre: &AbsState,
+        post: &AbsState,
+        eff: &crate::parallel::SliceEffects,
+        layout: &CellLayout,
+    ) {
+        self.env.overlay_changed(&pre.env, &post.env);
+        for &c in &eff.must_writes {
+            let v = post.env.get(c, layout);
+            self.env = self.env.set(c, v);
+        }
+        for &key in &eff.packs_write {
+            match key {
+                crate::parallel::PackKey::Oct(pi) => self.set_oct(pi, post.oct(pi).clone()),
+                crate::parallel::PackKey::Dtree(pi) => self.set_dtree(pi, post.dtree(pi).clone()),
+                crate::parallel::PackKey::Ell(pi) => {
+                    self.set_ell(pi, post.ell(pi));
+                    self.set_pending(pi, post.pending(pi));
+                }
+            }
+        }
     }
 
     /// Clock-tick transfer for the relational components: decision-tree

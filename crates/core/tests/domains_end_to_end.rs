@@ -37,11 +37,8 @@ fn ellipsoid_domain_bounds_filters() {
         }
     "#;
     let with = analyze_with(src, AnalysisConfig::default());
-    let overflow_with: Vec<_> = with
-        .alarms
-        .iter()
-        .filter(|a| a.kind == AlarmKind::FloatOverflow)
-        .collect();
+    let overflow_with: Vec<_> =
+        with.alarms.iter().filter(|a| a.kind == AlarmKind::FloatOverflow).collect();
     assert!(overflow_with.is_empty(), "ellipsoids should bound the filter: {:?}", with.alarms);
 
     let mut no_ell = AnalysisConfig::default();
@@ -147,13 +144,8 @@ fn octagons_recover_variable_differences() {
         }
     "#;
     let with = analyze_with(src, AnalysisConfig::default());
-    let overflow_with =
-        with.alarms.iter().filter(|a| a.kind == AlarmKind::IntOverflow).count();
-    assert_eq!(
-        overflow_with, 0,
-        "octagons should bound r by x: {:?}",
-        with.alarms
-    );
+    let overflow_with = with.alarms.iter().filter(|a| a.kind == AlarmKind::IntOverflow).count();
+    assert_eq!(overflow_with, 0, "octagons should bound r by x: {:?}", with.alarms);
 
     let mut no_oct = AnalysisConfig::default();
     no_oct.enable_octagons = false;
@@ -257,11 +249,7 @@ fn array_bounds_and_shrunk_tables() {
     // Widening the input range beyond the bounds must alarm.
     let src_bad = src.replace("__astree_input_int(idx, 0, 15)", "__astree_input_int(idx, 0, 16)");
     let r = analyze_with(&src_bad, AnalysisConfig::default());
-    assert!(
-        r.alarms.iter().any(|a| a.kind == AlarmKind::OutOfBounds),
-        "{:?}",
-        r.alarms
-    );
+    assert!(r.alarms.iter().any(|a| a.kind == AlarmKind::OutOfBounds), "{:?}", r.alarms);
 }
 
 /// Function inlining: context-sensitive analysis of helpers, including

@@ -123,11 +123,7 @@ fn shrunk_arrays_stay_sound() {
     let r = analyze_with(src, cfg);
     // The shrunk cell joins 0..63 with the initial 0 — divisor ∈ [1, 64]:
     // still provably non-zero, so no division alarm.
-    assert!(
-        !r.alarms.iter().any(|a| a.kind == AlarmKind::DivByZero),
-        "{:?}",
-        r.alarms
-    );
+    assert!(!r.alarms.iter().any(|a| a.kind == AlarmKind::DivByZero), "{:?}", r.alarms);
     // But element-precision is gone: an exact-value check would alarm.
     // (Documents the precision/space trade-off of Sect. 6.1.1.)
     assert!(r.stats.cells < 20);

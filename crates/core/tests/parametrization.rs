@@ -133,10 +133,7 @@ fn dtree_bool_cap_is_respected() {
     let cfg = AnalysisConfig::default();
     let packs = astree_core::Packs::discover(&p, &layout, &cfg);
     for pack in &packs.dtrees {
-        assert!(
-            pack.bools.len() <= cfg.dtree_pack_bool_cap,
-            "pack exceeds cap: {pack:?}"
-        );
+        assert!(pack.bools.len() <= cfg.dtree_pack_bool_cap, "pack exceeds cap: {pack:?}");
     }
     // The division through b0 is still proven safe.
     let r = Analyzer::new(&p, cfg).run();

@@ -139,16 +139,12 @@ impl<K: Ord + Copy, L: Lattice> DecisionTree<K, L> {
     pub fn merge(&self, other: &Self, op: &impl Fn(&L, &L) -> L) -> Self {
         match (self, other) {
             (DecisionTree::Leaf(a), DecisionTree::Leaf(b)) => DecisionTree::Leaf(op(a, b)),
-            (DecisionTree::Leaf(_), DecisionTree::Node { var, f, t }) => Self::node(
-                *var,
-                self.merge(f, op),
-                self.merge(t, op),
-            ),
-            (DecisionTree::Node { var, f, t }, DecisionTree::Leaf(_)) => Self::node(
-                *var,
-                f.merge(other, op),
-                t.merge(other, op),
-            ),
+            (DecisionTree::Leaf(_), DecisionTree::Node { var, f, t }) => {
+                Self::node(*var, self.merge(f, op), self.merge(t, op))
+            }
+            (DecisionTree::Node { var, f, t }, DecisionTree::Leaf(_)) => {
+                Self::node(*var, f.merge(other, op), t.merge(other, op))
+            }
             (
                 DecisionTree::Node { var: va, f: fa, t: ta },
                 DecisionTree::Node { var: vb, f: fb, t: tb },
@@ -279,11 +275,7 @@ impl<K: Ord + Copy, L: Lattice> DecisionTree<K, L> {
                         t.split_on(var, restrict_false, restrict_true),
                     )
                 } else {
-                    Self::node(
-                        var,
-                        self.map(restrict_false),
-                        self.map(restrict_true),
-                    )
+                    Self::node(var, self.map(restrict_false), self.map(restrict_true))
                 }
             }
         }
@@ -377,11 +369,9 @@ mod tests {
         // Numeric context x ∈ [0, 10]; b := (x > 4).
         // restrict_true keeps [5,10], restrict_false keeps [0,4].
         let t = T::leaf(IntItv::new(0, 10));
-        let assigned = t.assign_bool(
-            0,
-            &|l| l.meet(IntItv::new(i64::MIN, 4)),
-            &|l| l.meet(IntItv::new(5, i64::MAX)),
-        );
+        let assigned = t.assign_bool(0, &|l| l.meet(IntItv::new(i64::MIN, 4)), &|l| {
+            l.meet(IntItv::new(5, i64::MAX))
+        });
         assert_eq!(assigned.guard(0, true).collapse(), IntItv::new(5, 10));
         assert_eq!(assigned.guard(0, false).collapse(), IntItv::new(0, 4));
     }

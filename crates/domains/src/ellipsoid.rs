@@ -91,10 +91,8 @@ impl Ellipsoid {
         let sqrt_b = round::sqrt_up(self.b);
         let disc = round::sub_down(4.0 * self.b, round::mul_up(self.a, self.a));
         let sqrt_disc = round::sqrt_down(disc.max(f64::MIN_POSITIVE));
-        let num = round::mul_up(
-            4.0 * f,
-            round::add_up(round::mul_up(self.a.abs(), sqrt_b), self.b),
-        );
+        let num =
+            round::mul_up(4.0 * f, round::add_up(round::mul_up(self.a.abs(), sqrt_b), self.b));
         let coeff = round::add_up(sqrt_b, round::div_up(num, sqrt_disc));
         let term = round::mul_up(coeff, round::sqrt_up(self.k));
         let t_term = round::mul_up(round::add_up(1.0, f), t_max);

@@ -56,7 +56,9 @@ impl FloatItv {
         FloatItv { lo: -m, hi: m }
     }
 
-    /// `true` for the empty interval.
+    /// `true` for the empty interval. Written as a negated comparison on
+    /// purpose: NaN bounds must read as bottom.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn is_bottom(self) -> bool {
         !(self.lo <= self.hi)
     }

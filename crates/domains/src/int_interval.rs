@@ -577,10 +577,7 @@ mod tests {
         check_sound(|a, b| a.mul(b), |x, y| Some(x * y));
         check_sound(|a, b| a.div(b), |x, y| (y != 0).then(|| x / y));
         check_sound(|a, b| a.rem(b), |x, y| (y != 0).then(|| x % y));
-        check_sound(
-            |a, b| a.shl(b),
-            |x, y| (0..8).contains(&y).then(|| x << y),
-        );
+        check_sound(|a, b| a.shl(b), |x, y| (0..8).contains(&y).then(|| x << y));
         check_sound(|a, b| a.bitand(b), |x, y| Some(x & y));
         check_sound(|a, b| a.bitor(b), |x, y| Some(x | y));
         check_sound(|a, b| a.bitxor(b), |x, y| Some(x ^ y));

@@ -154,8 +154,16 @@ struct Model {
 fn tree_of(model: &Model) -> DecisionTree<u32, IntItv> {
     DecisionTree::node(
         0,
-        DecisionTree::node(1, DecisionTree::leaf(model.by_ctx[0]), DecisionTree::leaf(model.by_ctx[2])),
-        DecisionTree::node(1, DecisionTree::leaf(model.by_ctx[1]), DecisionTree::leaf(model.by_ctx[3])),
+        DecisionTree::node(
+            1,
+            DecisionTree::leaf(model.by_ctx[0]),
+            DecisionTree::leaf(model.by_ctx[2]),
+        ),
+        DecisionTree::node(
+            1,
+            DecisionTree::leaf(model.by_ctx[1]),
+            DecisionTree::leaf(model.by_ctx[3]),
+        ),
     )
 }
 

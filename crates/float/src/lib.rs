@@ -73,6 +73,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn min_subnormal_is_smallest() {
         assert!(MIN_SUBNORMAL > 0.0);
         assert_eq!(MIN_SUBNORMAL / 2.0, 0.0);

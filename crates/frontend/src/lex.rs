@@ -96,7 +96,8 @@ pub fn lex_line(text: &str, line: u32) -> Result<Vec<Token>, LexError> {
         // Identifier / keyword.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
             {
                 i += 1;
             }
@@ -104,7 +105,9 @@ pub fn lex_line(text: &str, line: u32) -> Result<Vec<Token>, LexError> {
             continue;
         }
         // Number.
-        if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) {
+        if c.is_ascii_digit()
+            || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
             let start = i;
             let mut is_float = false;
             if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == b'x' || bytes[i + 1] == b'X') {
@@ -143,8 +146,7 @@ pub fn lex_line(text: &str, line: u32) -> Result<Vec<Token>, LexError> {
             }
             let digits = &text[start..i];
             if is_float {
-                let v: f64 =
-                    digits.parse().map_err(|e| err(format!("bad float constant: {e}")))?;
+                let v: f64 = digits.parse().map_err(|e| err(format!("bad float constant: {e}")))?;
                 let f32_suffix = i < bytes.len() && (bytes[i] == b'f' || bytes[i] == b'F');
                 if f32_suffix {
                     i += 1;
@@ -170,7 +172,8 @@ pub fn lex_line(text: &str, line: u32) -> Result<Vec<Token>, LexError> {
         // Character constant.
         if c == '\'' {
             i += 1;
-            let (v, used) = char_escape(&text[i..]).ok_or_else(|| err("bad char constant".into()))?;
+            let (v, used) =
+                char_escape(&text[i..]).ok_or_else(|| err("bad char constant".into()))?;
             i += used;
             if i >= bytes.len() || bytes[i] != b'\'' {
                 return Err(err("unterminated char constant".into()));

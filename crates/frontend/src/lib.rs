@@ -123,7 +123,11 @@ impl Frontend {
     }
 
     /// Registers an include file (the "simple linker"'s view of headers).
-    pub fn add_include(&mut self, name: impl Into<String>, content: impl Into<String>) -> &mut Self {
+    pub fn add_include(
+        &mut self,
+        name: impl Into<String>,
+        content: impl Into<String>,
+    ) -> &mut Self {
         self.includes.insert(name.into(), content.into());
         self
     }

@@ -18,8 +18,8 @@
 use crate::ast::*;
 use astree_ir as ir;
 use astree_ir::{
-    Access, CallArg, FloatKind, FuncId, InputRange, IntType, LoopId, Lvalue, Param,
-    ParamKind, RecordDef, RecordId, ScalarType, Stmt, StmtKind, Type, VarId, VarInfo, VarKind,
+    Access, CallArg, FloatKind, FuncId, InputRange, IntType, LoopId, Lvalue, Param, ParamKind,
+    RecordDef, RecordId, ScalarType, Stmt, StmtKind, Type, VarId, VarInfo, VarKind,
 };
 use std::collections::HashMap;
 
@@ -112,19 +112,16 @@ impl Lowerer {
                 return Err(self.err(g.line, "global pointers are not in the analyzed subset"));
             }
             let kind = if g.is_static { VarKind::Static } else { VarKind::Global };
-            let volatile_input = if g.is_volatile {
-                Some(default_range(&ty).ok_or_else(|| {
-                    self.err(g.line, "volatile qualifier requires a scalar type")
-                })?)
-            } else {
-                None
-            };
-            let id = self.program.add_var(VarInfo {
-                name: g.name.clone(),
-                ty,
-                kind,
-                volatile_input,
-            });
+            let volatile_input =
+                if g.is_volatile {
+                    Some(default_range(&ty).ok_or_else(|| {
+                        self.err(g.line, "volatile qualifier requires a scalar type")
+                    })?)
+                } else {
+                    None
+                };
+            let id =
+                self.program.add_var(VarInfo { name: g.name.clone(), ty, kind, volatile_input });
             self.globals.insert(g.name.clone(), id);
         }
         // Global initializers become entry-prologue assignments.
@@ -157,15 +154,16 @@ impl Lowerer {
                     }
                 }
             }
-            let ret = match &f.ret {
-                AstType::Void => None,
-                other => {
-                    let t = self.lower_type(other, f.line)?;
-                    Some(t.as_scalar().ok_or_else(|| {
-                        self.err(f.line, "functions must return scalars or void")
-                    })?)
-                }
-            };
+            let ret =
+                match &f.ret {
+                    AstType::Void => None,
+                    other => {
+                        let t = self.lower_type(other, f.line)?;
+                        Some(t.as_scalar().ok_or_else(|| {
+                            self.err(f.line, "functions must return scalars or void")
+                        })?)
+                    }
+                };
             self.func_sigs.insert(f.name.clone(), FuncSig { params, ret });
         }
         // Pre-create FuncIds in declaration order so calls resolve.
@@ -187,11 +185,8 @@ impl Lowerer {
             self.lower_function(f)?;
         }
         // Entry = main; prepend accumulated initializers.
-        let entry = self
-            .func_ids
-            .get("main")
-            .copied()
-            .ok_or_else(|| self.err(0, "no `main` function"))?;
+        let entry =
+            self.func_ids.get("main").copied().ok_or_else(|| self.err(0, "no `main` function"))?;
         self.program.entry = entry;
         let mut init = std::mem::take(&mut self.init_stmts);
         if !init.is_empty() {
@@ -206,9 +201,7 @@ impl Lowerer {
         match t {
             AstType::Void => Err(self.err(line, "void is not an object type")),
             AstType::Scalar(s) => Ok(Type::Scalar(*s)),
-            AstType::Array(elem, n) => {
-                Ok(Type::Array(Box::new(self.lower_type(elem, line)?), *n))
-            }
+            AstType::Array(elem, n) => Ok(Type::Array(Box::new(self.lower_type(elem, line)?), *n)),
             AstType::Struct(tag) => self
                 .record_ids
                 .get(tag)
@@ -423,10 +416,8 @@ impl Lowerer {
             }
             ExprKind::CompoundAssign(op, l, r) => {
                 // l op= r  ≡  l = l op r (l-value is side-effect free).
-                let lop = AstExpr {
-                    kind: ExprKind::Binop(*op, l.clone(), r.clone()),
-                    line: e.line,
-                };
+                let lop =
+                    AstExpr { kind: ExprKind::Binop(*op, l.clone(), r.clone()), line: e.line };
                 let assign =
                     AstExpr { kind: ExprKind::Assign(l.clone(), Box::new(lop)), line: e.line };
                 self.lower_expr_stmt(&assign, line, out)
@@ -448,13 +439,9 @@ impl Lowerer {
                     self.lower_input_decl(name, args, line)
                 }
                 _ => {
-                    let call = self.lower_call(name, args, line, out)?;
-                    match call {
-                        (stmt, _) => {
-                            out.push(stmt);
-                            Ok(())
-                        }
-                    }
+                    let (stmt, _) = self.lower_call(name, args, line, out)?;
+                    out.push(stmt);
+                    Ok(())
                 }
             },
             _ => Err(self.err(line, "expression statement must be an assignment or a call")),
@@ -471,9 +458,9 @@ impl Lowerer {
             return Err(self.err(line, format!("{name} takes (var, lo, hi)")));
         }
         let var = match &args[0].kind {
-            ExprKind::Ident(n) => self
-                .lookup(n)
-                .ok_or_else(|| self.err(line, format!("unknown variable {n}")))?,
+            ExprKind::Ident(n) => {
+                self.lookup(n).ok_or_else(|| self.err(line, format!("unknown variable {n}")))?
+            }
             _ => return Err(self.err(line, "first argument must be a variable")),
         };
         let lo = const_num(&args[1]).ok_or_else(|| self.err(line, "lo must be constant"))?;
@@ -524,10 +511,9 @@ impl Lowerer {
                     let inner = match &a.kind {
                         ExprKind::AddrOf(lv) => lv,
                         _ => {
-                            return Err(self.err(
-                                line,
-                                "by-reference arguments must have the form &lvalue",
-                            ))
+                            return Err(
+                                self.err(line, "by-reference arguments must have the form &lvalue")
+                            )
                         }
                     };
                     let (lv, _) = self.lower_lvalue_any(inner)?;
@@ -567,9 +553,8 @@ impl Lowerer {
     /// Lowers an l-value required to be scalar; returns it with its type.
     fn lower_lvalue(&mut self, e: &AstExpr) -> Result<(Lvalue, ScalarType), LowerError> {
         let (lv, ty) = self.lower_lvalue_any(e)?;
-        let st = ty
-            .as_scalar()
-            .ok_or_else(|| self.err(e.line, "assignment target must be scalar"))?;
+        let st =
+            ty.as_scalar().ok_or_else(|| self.err(e.line, "assignment target must be scalar"))?;
         Ok((lv, st))
     }
 
@@ -650,7 +635,8 @@ impl Lowerer {
         let line = e.line;
         match &e.kind {
             ExprKind::Int(v, unsigned) => {
-                let it = if *unsigned || *v > i32::MAX as i64 { IntType::UINT } else { IntType::INT };
+                let it =
+                    if *unsigned || *v > i32::MAX as i64 { IntType::UINT } else { IntType::INT };
                 Ok((ir::Expr::Int(*v, it), ScalarType::Int(it)))
             }
             ExprKind::Float(v, is_f32) => {
@@ -664,9 +650,8 @@ impl Lowerer {
             | ExprKind::Arrow(..)
             | ExprKind::Deref(_) => {
                 let (lv, ty) = self.lower_lvalue_any(e)?;
-                let st = ty
-                    .as_scalar()
-                    .ok_or_else(|| self.err(line, "aggregate used as a value"))?;
+                let st =
+                    ty.as_scalar().ok_or_else(|| self.err(line, "aggregate used as a value"))?;
                 Ok((ir::Expr::Load(lv, st), st))
             }
             ExprKind::AddrOf(_) => Err(self.err(line, "& outside a call argument")),
@@ -695,11 +680,7 @@ impl Lowerer {
                         Ok((ir::Expr::Unop(ir::Unop::Neg, rty, Box::new(ax)), rty))
                     }
                     UnopKind::LNot => Ok((
-                        ir::Expr::Unop(
-                            ir::Unop::LNot,
-                            ScalarType::Int(IntType::INT),
-                            Box::new(ax),
-                        ),
+                        ir::Expr::Unop(ir::Unop::LNot, ScalarType::Int(IntType::INT), Box::new(ax)),
                         ScalarType::Int(IntType::INT),
                     )),
                     UnopKind::BNot => {
@@ -718,7 +699,12 @@ impl Lowerer {
                 let irop = binop_to_ir(*op);
                 if irop.is_logical() {
                     return Ok((
-                        ir::Expr::Binop(irop, ScalarType::Int(IntType::INT), Box::new(ax), Box::new(bx)),
+                        ir::Expr::Binop(
+                            irop,
+                            ScalarType::Int(IntType::INT),
+                            Box::new(ax),
+                            Box::new(bx),
+                        ),
                         ScalarType::Int(IntType::INT),
                     ));
                 }

@@ -127,8 +127,8 @@ pub fn link(units: Vec<AstProgram>) -> Result<AstProgram, ParseError> {
 const KEYWORDS: &[&str] = &[
     "void", "char", "short", "int", "long", "float", "double", "signed", "unsigned", "_Bool",
     "struct", "enum", "union", "typedef", "static", "extern", "const", "volatile", "register",
-    "if", "else", "while", "do", "for", "return", "break", "continue", "switch", "case",
-    "default", "goto", "sizeof", "inline",
+    "if", "else", "while", "do", "for", "return", "break", "continue", "switch", "case", "default",
+    "goto", "sizeof", "inline",
 ];
 
 struct Parser<'a> {
@@ -398,6 +398,7 @@ impl Parser<'_> {
 
     /// Parses type specifiers and qualifiers; returns the type and whether
     /// `volatile` appeared.
+    #[allow(clippy::while_let_loop)] // the specifier loop has several distinct exits
     fn parse_type(&mut self) -> Result<(AstType, bool), ParseError> {
         let mut volatile = false;
         let mut signedness: Option<bool> = None;
@@ -479,7 +480,10 @@ impl Parser<'_> {
                         base = Some(AstType::Scalar(ScalarType::Int(IntType::INT)));
                     }
                     "union" => return Err(self.err("unions are not in the analyzed subset")),
-                    name if self.typedefs.contains_key(name) && base.is_none() && signedness.is_none() => {
+                    name if self.typedefs.contains_key(name)
+                        && base.is_none()
+                        && signedness.is_none() =>
+                    {
                         base = Some(self.typedefs[name].clone());
                         self.pos += 1;
                         break; // a typedef name is a complete type
@@ -606,10 +610,7 @@ impl Parser<'_> {
             loop {
                 let (name, ty) = self.declarator(base.clone())?;
                 let init = if self.eat_punct("=") { Some(self.initializer()?) } else { None };
-                decls.push(AstStmt {
-                    kind: StmtKindAst::Decl(name, ty, is_static, init),
-                    line,
-                });
+                decls.push(AstStmt { kind: StmtKindAst::Decl(name, ty, is_static, init), line });
                 if !self.eat_punct(",") {
                     break;
                 }
@@ -649,8 +650,7 @@ impl Parser<'_> {
         }
         if self.eat_ident("for") {
             self.expect_punct("(")?;
-            let init =
-                if self.at_punct(";") { None } else { Some(self.assignment_expr()?) };
+            let init = if self.at_punct(";") { None } else { Some(self.assignment_expr()?) };
             self.expect_punct(";")?;
             let cond = if self.at_punct(";") { None } else { Some(self.ternary_expr()?) };
             self.expect_punct(";")?;
@@ -664,7 +664,9 @@ impl Parser<'_> {
             self.expect_punct(";")?;
             return Ok(AstStmt { kind: StmtKindAst::Return(e), line });
         }
-        if self.at_ident("break") || self.at_ident("continue") || self.at_ident("goto")
+        if self.at_ident("break")
+            || self.at_ident("continue")
+            || self.at_ident("goto")
             || self.at_ident("switch")
         {
             return Err(self.err("break/continue/goto/switch are not in the analyzed subset"));
@@ -727,16 +729,14 @@ impl Parser<'_> {
             let a = self.ternary_expr()?;
             self.expect_punct(":")?;
             let b = self.ternary_expr()?;
-            Ok(AstExpr {
-                kind: ExprKind::Ternary(Box::new(c), Box::new(a), Box::new(b)),
-                line,
-            })
+            Ok(AstExpr { kind: ExprKind::Ternary(Box::new(c), Box::new(a), Box::new(b)), line })
         } else {
             Ok(c)
         }
     }
 
     /// Precedence-climbing binary expression parser.
+    #[allow(clippy::while_let_loop)] // the operator match doubles as the exit test
     fn binary_expr(&mut self, min_prec: u8) -> Result<AstExpr, ParseError> {
         let mut lhs = self.unary_expr()?;
         loop {
@@ -914,7 +914,8 @@ impl Parser<'_> {
 
     /// Evaluates a constant integer expression (array sizes, enum values).
     fn eval_const(&self, e: &AstExpr) -> Result<i64, ParseError> {
-        let err = || ParseError { line: e.line, msg: "expected integer constant expression".into() };
+        let err =
+            || ParseError { line: e.line, msg: "expected integer constant expression".into() };
         match &e.kind {
             ExprKind::Int(v, _) => Ok(*v),
             ExprKind::Ident(n) => self.enum_consts.get(n).copied().ok_or_else(err),
@@ -999,14 +1000,20 @@ mod tests {
         let p = parse_src("int x; static float table[4]; volatile int sensor;");
         assert_eq!(p.globals.len(), 3);
         assert!(p.globals[1].is_static);
-        assert_eq!(p.globals[1].ty, AstType::Array(Box::new(AstType::Scalar(ScalarType::Float(FloatKind::F32))), 4));
+        assert_eq!(
+            p.globals[1].ty,
+            AstType::Array(Box::new(AstType::Scalar(ScalarType::Float(FloatKind::F32))), 4)
+        );
         assert!(p.globals[2].is_volatile);
     }
 
     #[test]
     fn multi_declarators_share_base() {
         let p = parse_src("int a[2], b;");
-        assert_eq!(p.globals[0].ty, AstType::Array(Box::new(AstType::Scalar(ScalarType::Int(IntType::INT))), 2));
+        assert_eq!(
+            p.globals[0].ty,
+            AstType::Array(Box::new(AstType::Scalar(ScalarType::Int(IntType::INT))), 2)
+        );
         assert_eq!(p.globals[1].ty, AstType::Scalar(ScalarType::Int(IntType::INT)));
     }
 
@@ -1027,7 +1034,10 @@ mod tests {
     #[test]
     fn enum_constants_fold() {
         let p = parse_src("enum { A, B = 5, C }; int x[C];");
-        assert_eq!(p.globals[0].ty, AstType::Array(Box::new(AstType::Scalar(ScalarType::Int(IntType::INT))), 6));
+        assert_eq!(
+            p.globals[0].ty,
+            AstType::Array(Box::new(AstType::Scalar(ScalarType::Int(IntType::INT))), 6)
+        );
     }
 
     #[test]
@@ -1049,7 +1059,9 @@ mod tests {
 
     #[test]
     fn for_and_do_while() {
-        let p = parse_src("void f(void) { int i; for (i = 0; i < 4; i = i + 1) { } do { i = 0; } while (i); }");
+        let p = parse_src(
+            "void f(void) { int i; for (i = 0; i < 4; i = i + 1) { } do { i = 0; } while (i); }",
+        );
         let body = p.funcs[0].body.as_ref().unwrap();
         assert!(matches!(body[1].kind, StmtKindAst::For(..)));
         assert!(matches!(body[2].kind, StmtKindAst::DoWhile(..)));
@@ -1092,7 +1104,10 @@ mod tests {
     #[test]
     fn by_ref_params() {
         let p = parse_src("void out(int *r) { *r = 1; } void main(void) { int x; out(&x); }");
-        assert_eq!(p.funcs[0].params[0].1, AstType::Pointer(Box::new(AstType::Scalar(ScalarType::Int(IntType::INT)))));
+        assert_eq!(
+            p.funcs[0].params[0].1,
+            AstType::Pointer(Box::new(AstType::Scalar(ScalarType::Int(IntType::INT))))
+        );
     }
 
     #[test]
@@ -1113,7 +1128,8 @@ mod tests {
 
     #[test]
     fn initializer_lists() {
-        let p = parse_src("int a[3] = {1, 2, 3}; struct S { int x; int y; }; struct S s = { 4, 5 };");
+        let p =
+            parse_src("int a[3] = {1, 2, 3}; struct S { int x; int y; }; struct S s = { 4, 5 };");
         assert!(matches!(p.globals[0].init, Some(Init::List(_))));
     }
 

@@ -105,10 +105,7 @@ fn process_unit(
                             s
                         }
                         _ => {
-                            return Err(PreprocessError {
-                                line,
-                                msg: "malformed #include".into(),
-                            })
+                            return Err(PreprocessError { line, msg: "malformed #include".into() })
                         }
                     };
                     let content = includes.get(&name).ok_or_else(|| PreprocessError {
@@ -179,8 +176,9 @@ fn process_unit(
                     conds.push((active && v, v));
                 }
                 "elif" => {
-                    let (_, taken) =
-                        conds.pop().ok_or_else(|| PreprocessError { line, msg: "#elif without #if".into() })?;
+                    let (_, taken) = conds
+                        .pop()
+                        .ok_or_else(|| PreprocessError { line, msg: "#elif without #if".into() })?;
                     let parent_active = conds.iter().all(|(a, _)| *a);
                     if taken {
                         conds.push((false, true));
@@ -190,17 +188,24 @@ fn process_unit(
                     }
                 }
                 "else" => {
-                    let (_, taken) =
-                        conds.pop().ok_or_else(|| PreprocessError { line, msg: "#else without #if".into() })?;
+                    let (_, taken) = conds
+                        .pop()
+                        .ok_or_else(|| PreprocessError { line, msg: "#else without #if".into() })?;
                     let parent_active = conds.iter().all(|(a, _)| *a);
                     conds.push((parent_active && !taken, true));
                 }
                 "endif" => {
-                    conds.pop().ok_or_else(|| PreprocessError { line, msg: "#endif without #if".into() })?;
+                    conds.pop().ok_or_else(|| PreprocessError {
+                        line,
+                        msg: "#endif without #if".into(),
+                    })?;
                 }
                 "pragma" | "error" | "warning" => {
                     if dname == "error" && active {
-                        return Err(PreprocessError { line, msg: "#error directive reached".into() });
+                        return Err(PreprocessError {
+                            line,
+                            msg: "#error directive reached".into(),
+                        });
                     }
                     // #pragma ignored.
                 }
@@ -258,9 +263,9 @@ fn splice_lines(src: &str) -> Vec<(String, u32)> {
     let mut out = Vec::new();
     let mut current = String::new();
     let mut start_line = 1u32;
-    let mut line = 1u32;
     let mut fresh = true;
-    for l in src.split('\n') {
+    for (idx, l) in src.split('\n').enumerate() {
+        let line = idx as u32 + 1;
         if fresh {
             start_line = line;
         }
@@ -273,7 +278,6 @@ fn splice_lines(src: &str) -> Vec<(String, u32)> {
             out.push((std::mem::take(&mut current), start_line));
             fresh = true;
         }
-        line += 1;
     }
     if !current.is_empty() {
         out.push((current, start_line));
@@ -315,7 +319,9 @@ fn expand(
                     continue;
                 }
                 let (args, consumed) = collect_args(&tokens[i + 2..], t.line)?;
-                if args.len() != params.len() && !(params.is_empty() && args.len() == 1 && args[0].is_empty()) {
+                if args.len() != params.len()
+                    && !(params.is_empty() && args.len() == 1 && args[0].is_empty())
+                {
                     return Err(PreprocessError {
                         line: t.line,
                         msg: format!(
@@ -436,7 +442,10 @@ impl CondParser<'_> {
     }
 
     fn eat(&mut self, p: &str) -> bool {
-        if self.peek_punct() == Some(p) || (p == "(" && matches!(self.toks.get(self.pos).map(|t| &t.kind), Some(TokenKind::Punct("(")))) {
+        if self.peek_punct() == Some(p)
+            || (p == "("
+                && matches!(self.toks.get(self.pos).map(|t| &t.kind), Some(TokenKind::Punct("("))))
+        {
             self.pos += 1;
             true
         } else {
@@ -682,8 +691,7 @@ mod tests {
 
     #[test]
     fn predefines_apply() {
-        let t =
-            preprocess("int a = N;", &HashMap::new(), &[("N".into(), "5".into())]).unwrap();
+        let t = preprocess("int a = N;", &HashMap::new(), &[("N".into(), "5".into())]).unwrap();
         assert_eq!(texts(&t), vec!["int", "a", "=", "5", ";"]);
     }
 

@@ -61,6 +61,7 @@ fn float_filter_runs() {
 }
 
 #[test]
+#[allow(clippy::identity_op)] // the expected sum spells out each iteration's contribution
 fn structs_and_arrays() {
     let src = r#"
         struct Point { int x; int y; };
@@ -139,7 +140,8 @@ fn periodic_synchronous_shape() {
     let sensor = p.var_by_name("sensor").unwrap();
     assert_eq!(p.var(sensor).volatile_input, Some(InputRange::Int(-100, 100)));
     let mut inputs = SeededInputs::new(9);
-    let mut it = Interp::new(&p, InterpConfig { max_steps: 10_000_000, max_ticks: 500 }, &mut inputs);
+    let mut it =
+        Interp::new(&p, InterpConfig { max_steps: 10_000_000, max_ticks: 500 }, &mut inputs);
     it.run().unwrap();
     assert_eq!(it.ticks(), 500);
     let ticks = get(&p, it.store(), "ticks").as_int();
@@ -193,8 +195,7 @@ fn static_locals_persist() {
         void main(void) { bump(); bump(); bump(); }
     "#;
     let p = Frontend::new().compile_str(src).unwrap();
-    let statics: Vec<_> =
-        p.vars.iter().filter(|v| matches!(v.kind, VarKind::Static)).collect();
+    let statics: Vec<_> = p.vars.iter().filter(|v| matches!(v.kind, VarKind::Static)).collect();
     assert_eq!(statics.len(), 1);
     let mut inputs = SeededInputs::new(1);
     let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);

@@ -72,10 +72,7 @@ fn conditional_compilation_selects_variant() {
 #[test]
 fn include_chains_and_guards() {
     let mut fe = Frontend::new();
-    fe.add_include(
-        "config.h",
-        "#ifndef CONFIG_H\n#define CONFIG_H\n#define LIMIT 7\n#endif\n",
-    );
+    fe.add_include("config.h", "#ifndef CONFIG_H\n#define CONFIG_H\n#define LIMIT 7\n#endif\n");
     fe.add_include("lib.h", "#include \"config.h\"\nint limit_value(void);");
     let p = fe
         .compile_str(
@@ -119,28 +116,19 @@ fn missing_main_is_rejected() {
 
 #[test]
 fn call_arity_is_checked() {
-    let e = compile(
-        "void f(int a, int b) { } void main(void) { f(1); }",
-    )
-    .unwrap_err();
+    let e = compile("void f(int a, int b) { } void main(void) { f(1); }").unwrap_err();
     assert!(e.to_string().contains("expects 2"), "{e}");
 }
 
 #[test]
 fn by_ref_requires_address_of() {
-    let e = compile(
-        "void f(int *p) { *p = 1; } int g; void main(void) { f(g); }",
-    )
-    .unwrap_err();
+    let e = compile("void f(int *p) { *p = 1; } int g; void main(void) { f(g); }").unwrap_err();
     assert!(e.to_string().contains("&lvalue"), "{e}");
 }
 
 #[test]
 fn void_function_in_expression_is_rejected() {
-    let e = compile(
-        "int x; void f(void) { } void main(void) { x = f() + 1; }",
-    )
-    .unwrap_err();
+    let e = compile("int x; void f(void) { } void main(void) { x = f() + 1; }").unwrap_err();
     assert!(e.to_string().contains("void"), "{e}");
 }
 
@@ -176,10 +164,7 @@ fn char_arithmetic_promotes_to_int() {
 fn float_literal_suffix_selects_f32() {
     let p = compile("float f; void main(void) { f = 0.1f; }").unwrap();
     let v = p.var_by_name("f").unwrap();
-    assert_eq!(
-        p.var(v).ty.as_scalar(),
-        Some(ScalarType::Float(astree_ir::FloatKind::F32))
-    );
+    assert_eq!(p.var(v).ty.as_scalar(), Some(ScalarType::Float(astree_ir::FloatKind::F32)));
     let mut inputs = SeededInputs::new(1);
     let mut it = Interp::new(&p, InterpConfig::default(), &mut inputs);
     it.run().unwrap();

@@ -217,13 +217,17 @@ pub fn generate(cfg: &GenConfig) -> String {
         match bug {
             BugKind::DivByZero => {
                 let _ = writeln!(w, "    bug_den = ev0 - 1;          /* may be -1..0 */");
-                let _ = writeln!(w, "    bug_num = 100 / (bug_den + 1); /* div by zero when ev0 == 0 */");
+                let _ = writeln!(
+                    w,
+                    "    bug_num = 100 / (bug_den + 1); /* div by zero when ev0 == 0 */"
+                );
             }
             BugKind::OutOfBounds => {
                 let _ = writeln!(w, "    {{ int bi; bi = ev0 * TBL_SIZE; bug_out = tbl0[bi]; }} /* bi == 16 when ev0 == 1 */");
             }
             BugKind::IntOverflow => {
-                let _ = writeln!(w, "    bug_acc = bug_acc + 1000000; /* unbounded accumulation */");
+                let _ =
+                    writeln!(w, "    bug_acc = bug_acc + 1000000; /* unbounded accumulation */");
             }
         }
         let _ = writeln!(w, "}}");
@@ -293,6 +297,41 @@ mod tests {
         assert_ne!(a, c);
     }
 
+    /// FNV-1a, as a dependency-free stable digest.
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    #[test]
+    fn generated_source_is_byte_stable() {
+        // Golden digests: the same (channels, seed, bug) must produce a
+        // byte-identical program across runs, platforms and refactorings.
+        // Downstream results (batch reports, scaling experiments, the
+        // parallel-equivalence corpus) are only comparable over time if the
+        // inputs are. If a generator change is *intentional*, update the
+        // constants below in the same commit.
+        let cases: [(usize, u64, Option<BugKind>, u64); 4] = [
+            (1, 1, None, 0xdfb1fcb29c763c24),
+            (3, 5, None, 0xb3384e9bb29376f3),
+            (8, 42, None, 0xc7d26b7890d4efa2),
+            (2, 7, Some(BugKind::DivByZero), 0x43c2192b1991baea),
+        ];
+        for (channels, seed, bug, want) in cases {
+            let src = generate(&GenConfig { channels, seed, bug });
+            let got = fnv1a(src.as_bytes());
+            assert_eq!(
+                got, want,
+                "generator output drifted for channels={channels} seed={seed} bug={bug:?}: \
+                 digest {got:#018x} (expected {want:#018x})"
+            );
+        }
+    }
+
     #[test]
     fn size_scales_linearly() {
         let small = line_count(&generate(&GenConfig { channels: 2, seed: 1, bug: None }));
@@ -338,11 +377,8 @@ mod tests {
         let mut hit = false;
         for seed in 0..50 {
             let mut inputs = SeededInputs::new(seed);
-            let mut it = Interp::new(
-                &p,
-                InterpConfig { max_steps: 10_000_000, max_ticks: 50 },
-                &mut inputs,
-            );
+            let mut it =
+                Interp::new(&p, InterpConfig { max_steps: 10_000_000, max_ticks: 50 }, &mut inputs);
             if it.run().is_err() {
                 hit = true;
                 break;
@@ -356,11 +392,8 @@ mod tests {
         let src = generate(&GenConfig { channels: 1, seed: 3, bug: Some(BugKind::IntOverflow) });
         let p = Frontend::new().compile_str(&src).unwrap();
         let mut inputs = SeededInputs::new(1);
-        let mut it = Interp::new(
-            &p,
-            InterpConfig { max_steps: 100_000_000, max_ticks: 3000 },
-            &mut inputs,
-        );
+        let mut it =
+            Interp::new(&p, InterpConfig { max_steps: 100_000_000, max_ticks: 3000 }, &mut inputs);
         it.run().unwrap();
         assert!(
             it.events().iter().any(|(_, e)| matches!(e, astree_ir::RuntimeEvent::IntOverflow)),

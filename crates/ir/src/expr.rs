@@ -331,11 +331,19 @@ mod tests {
     #[test]
     fn expr_types() {
         let t = ScalarType::Int(IntType::INT);
-        let cmp = Expr::Binop(Binop::Lt, ScalarType::Float(FloatKind::F64),
-                              Box::new(Expr::float(1.0)), Box::new(Expr::float(2.0)));
+        let cmp = Expr::Binop(
+            Binop::Lt,
+            ScalarType::Float(FloatKind::F64),
+            Box::new(Expr::float(1.0)),
+            Box::new(Expr::float(2.0)),
+        );
         assert_eq!(cmp.ty(), t);
-        let add = Expr::Binop(Binop::Add, ScalarType::Float(FloatKind::F32),
-                              Box::new(Expr::float(1.0)), Box::new(Expr::float(2.0)));
+        let add = Expr::Binop(
+            Binop::Add,
+            ScalarType::Float(FloatKind::F32),
+            Box::new(Expr::float(1.0)),
+            Box::new(Expr::float(2.0)),
+        );
         assert_eq!(add.ty(), ScalarType::Float(FloatKind::F32));
         let cast = Expr::Cast(ScalarType::Int(IntType::UCHAR), Box::new(Expr::int(300)));
         assert_eq!(cast.ty(), ScalarType::Int(IntType::UCHAR));
@@ -348,7 +356,12 @@ mod tests {
         let c = Expr::Binop(
             Binop::LAnd,
             t,
-            Box::new(Expr::Binop(Binop::Lt, t, Box::new(Expr::var(v(0))), Box::new(Expr::var(v(1))))),
+            Box::new(Expr::Binop(
+                Binop::Lt,
+                t,
+                Box::new(Expr::var(v(0))),
+                Box::new(Expr::var(v(1))),
+            )),
             Box::new(Expr::var(v(2))),
         );
         let n = c.negate_condition();

@@ -325,7 +325,13 @@ impl<'a, I: InputProvider> Interp<'a, I> {
         }
         // Zero locals on entry.
         for &l in &f.locals {
-            init_cells(&l, &self.program.var(l).ty.clone(), self.program, &mut Vec::new(), &mut self.store);
+            init_cells(
+                &l,
+                &self.program.var(l).ty.clone(),
+                self.program,
+                &mut Vec::new(),
+                &mut self.store,
+            );
         }
         let body = f.body.clone();
         let flow = self.exec_block(&body)?;
@@ -443,18 +449,17 @@ impl<'a, I: InputProvider> Interp<'a, I> {
 
     /// Resolves an l-value to a concrete cell, checking array bounds.
     fn resolve(&mut self, lv: &Lvalue, at: StmtId) -> Result<CellKey, ExecError> {
-        let root = self
-            .ref_bindings
-            .get(&lv.base)
-            .cloned()
-            .unwrap_or_else(|| (lv.base, Vec::new()));
+        let root =
+            self.ref_bindings.get(&lv.base).cloned().unwrap_or_else(|| (lv.base, Vec::new()));
         let (base, mut path) = root;
         let mut ty = self.program.lvalue_type(&Lvalue { base, path: Vec::new() });
         // Skip the prefix contributed by the ref binding.
         for step in &path {
             ty = match ty {
                 Type::Array(elem, _) => (*elem).clone(),
-                Type::Record(rid) => self.program.records[rid.0 as usize].fields[*step as usize].1.clone(),
+                Type::Record(rid) => {
+                    self.program.records[rid.0 as usize].fields[*step as usize].1.clone()
+                }
                 Type::Scalar(_) => ty,
             };
         }
@@ -659,13 +664,7 @@ impl<'a, I: InputProvider> Interp<'a, I> {
 }
 
 /// Recursively zero-initializes the cells of a variable.
-fn init_cells(
-    var: &VarId,
-    ty: &Type,
-    program: &Program,
-    path: &mut Vec<u32>,
-    store: &mut Store,
-) {
+fn init_cells(var: &VarId, ty: &Type, program: &Program, path: &mut Vec<u32>, store: &mut Store) {
     match ty {
         Type::Scalar(ScalarType::Int(_)) => {
             store.insert((*var, path.clone()), Value::Int(0));
@@ -709,7 +708,13 @@ mod tests {
     fn simple_program(body: Block) -> (Program, VarId) {
         let mut p = Program::new();
         let x = p.add_var(VarInfo::scalar("x", int_t(), VarKind::Global));
-        p.add_func(Function { name: "main".into(), params: vec![], ret: None, locals: vec![], body });
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body,
+        });
         p.assign_stmt_ids();
         (p, x)
     }
@@ -771,8 +776,7 @@ mod tests {
             Expr::Binop(Binop::Add, t, Box::new(Expr::var(x)), Box::new(Expr::int(1))),
         ))];
         let cond = Expr::Binop(Binop::Lt, t, Box::new(Expr::var(x)), Box::new(Expr::int(10)));
-        let (p, x) =
-            simple_program(vec![Stmt::new(StmtKind::While(LoopId(0), cond, body))]);
+        let (p, x) = simple_program(vec![Stmt::new(StmtKind::While(LoopId(0), cond, body))]);
         let store = run(&p).unwrap();
         assert_eq!(store[&(x, vec![])], Value::Int(10));
     }
@@ -786,11 +790,14 @@ mod tests {
             kind: VarKind::Global,
             volatile_input: None,
         });
-        let body = vec![Stmt::new(StmtKind::Assign(
-            Lvalue::index(a, Expr::int(3)),
-            Expr::int(1),
-        ))];
-        p.add_func(Function { name: "main".into(), params: vec![], ret: None, locals: vec![], body });
+        let body = vec![Stmt::new(StmtKind::Assign(Lvalue::index(a, Expr::int(3)), Expr::int(1)))];
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body,
+        });
         p.assign_stmt_ids();
         assert!(matches!(run(&p), Err(ExecError::OutOfBounds(_))));
     }
@@ -814,7 +821,13 @@ mod tests {
                 Expr::Binop(Binop::Add, t, Box::new(Expr::var(x)), Box::new(Expr::var(v))),
             )));
         }
-        p.add_func(Function { name: "main".into(), params: vec![], ret: None, locals: vec![], body });
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body,
+        });
         p.assign_stmt_ids();
         let mut inputs = SeededInputs::new(7);
         let mut i = Interp::new(&p, InterpConfig::default(), &mut inputs);
@@ -838,7 +851,8 @@ mod tests {
             vec![Stmt::new(StmtKind::Wait)],
         ))]);
         let mut inputs = SeededInputs::new(1);
-        let mut i = Interp::new(&p, InterpConfig { max_steps: 1_000_000, max_ticks: 17 }, &mut inputs);
+        let mut i =
+            Interp::new(&p, InterpConfig { max_steps: 1_000_000, max_ticks: 17 }, &mut inputs);
         i.run().unwrap();
         assert_eq!(i.ticks(), 17);
     }
@@ -881,7 +895,10 @@ mod tests {
         let prm = p.add_var(VarInfo::scalar("out", int_t(), VarKind::Param));
         let setter = Function {
             name: "set42".into(),
-            params: vec![crate::program::Param { var: prm, kind: crate::program::ParamKind::ByRef }],
+            params: vec![crate::program::Param {
+                var: prm,
+                kind: crate::program::ParamKind::ByRef,
+            }],
             ret: None,
             locals: vec![],
             body: vec![Stmt::new(StmtKind::Assign(Lvalue::var(prm), Expr::int(42)))],
@@ -950,7 +967,13 @@ mod tests {
                 Box::new(Expr::Float(crate::expr::FloatBits(0.2f32 as f64), FloatKind::F32)),
             ),
         ))];
-        p.add_func(Function { name: "main".into(), params: vec![], ret: None, locals: vec![], body });
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body,
+        });
         p.assign_stmt_ids();
         let store = run(&p).unwrap();
         let got = store[&(x, vec![])].as_float();

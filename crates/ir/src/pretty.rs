@@ -108,7 +108,12 @@ fn stmt_to(out: &mut String, p: &Program, s: &Stmt, depth: usize) {
                 .collect();
             match ret {
                 Some(lv) => {
-                    let _ = writeln!(out, "{} = {fname}({});", lvalue_to_string(p, lv), args.join(", "));
+                    let _ = writeln!(
+                        out,
+                        "{} = {fname}({});",
+                        lvalue_to_string(p, lv),
+                        args.join(", ")
+                    );
                 }
                 None => {
                     let _ = writeln!(out, "{fname}({});", args.join(", "));
@@ -206,9 +211,9 @@ pub fn expr_to_string(p: &Program, e: &Expr) -> String {
         }
         Expr::Load(lv, _) => lvalue_to_string(p, lv),
         Expr::Unop(op, _, a) => format!("{}({})", unop_str(*op), expr_to_string(p, a)),
-        Expr::Binop(op, _, a, b) =>
-
-            format!("({} {} {})", expr_to_string(p, a), binop_str(*op), expr_to_string(p, b)),
+        Expr::Binop(op, _, a, b) => {
+            format!("({} {} {})", expr_to_string(p, a), binop_str(*op), expr_to_string(p, b))
+        }
         Expr::Cast(t, a) => format!("({})({})", scalar_to_string(*t), expr_to_string(p, a)),
     }
 }

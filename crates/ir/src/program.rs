@@ -228,14 +228,15 @@ impl Program {
         for (fi, f) in self.funcs.iter().enumerate() {
             crate::stmt::for_each_stmt(&f.body, &mut |s| {
                 match &s.kind {
-                    StmtKind::While(id, _, _) => {
-                        if !loop_ids.insert(*id) {
-                            errs.push(format!("duplicate loop id {:?} in {}", id, f.name));
-                        }
+                    StmtKind::While(id, _, _) if !loop_ids.insert(*id) => {
+                        errs.push(format!("duplicate loop id {:?} in {}", id, f.name));
                     }
                     StmtKind::Call(_, callee, args) => {
                         if callee.0 as usize >= self.funcs.len() {
-                            errs.push(format!("call to unknown function {:?} in {}", callee, f.name));
+                            errs.push(format!(
+                                "call to unknown function {:?} in {}",
+                                callee, f.name
+                            ));
                         } else {
                             let target = self.func(*callee);
                             if target.params.len() != args.len() {
@@ -249,14 +250,12 @@ impl Program {
                             }
                         }
                     }
-                    StmtKind::ReadVolatile(v) => {
-                        if self.var(*v).volatile_input.is_none() {
-                            errs.push(format!(
-                                "ReadVolatile on non-volatile {} in {}",
-                                self.var(*v).name,
-                                f.name
-                            ));
-                        }
+                    StmtKind::ReadVolatile(v) if self.var(*v).volatile_input.is_none() => {
+                        errs.push(format!(
+                            "ReadVolatile on non-volatile {} in {}",
+                            self.var(*v).name,
+                            f.name
+                        ));
                     }
                     _ => {}
                 }
@@ -319,7 +318,13 @@ impl Program {
             .filter(|v| matches!(v.kind, VarKind::Global | VarKind::Static))
             .map(|v| v.ty.scalar_count(&self.records))
             .sum();
-        Metrics { statements: stmts, loops, functions: self.funcs.len(), globals, global_cells: cells }
+        Metrics {
+            statements: stmts,
+            loops,
+            functions: self.funcs.len(),
+            globals,
+            global_cells: cells,
+        }
     }
 
     /// Evaluates a compile-time-constant expression, if it is one
@@ -429,9 +434,7 @@ impl Program {
             Expr::Cast(t, a) => {
                 let a = Self::const_eval(a)?;
                 match (*t, a) {
-                    (ScalarType::Int(it), ConstValue::Int(x)) => {
-                        Some(ConstValue::Int(it.wrap(x)))
-                    }
+                    (ScalarType::Int(it), ConstValue::Int(x)) => Some(ConstValue::Int(it.wrap(x))),
                     (ScalarType::Float(k), ConstValue::Int(x)) => {
                         Some(ConstValue::Float(k.round_nearest(x as f64)))
                     }
@@ -529,7 +532,13 @@ mod tests {
             body: vec![],
         });
         let body = vec![Stmt::new(StmtKind::Call(None, FuncId(0), vec![]))];
-        p.add_func(Function { name: "main".into(), params: vec![], ret: None, locals: vec![], body });
+        p.add_func(Function {
+            name: "main".into(),
+            params: vec![],
+            ret: None,
+            locals: vec![],
+            body,
+        });
         p.entry = FuncId(1);
         let errs = p.validate();
         assert!(errs.iter().any(|e| e.contains("expected 1")), "{errs:?}");

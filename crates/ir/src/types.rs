@@ -254,11 +254,9 @@ impl Type {
         match self {
             Type::Scalar(_) => 1,
             Type::Array(elem, n) => n * elem.scalar_count(records),
-            Type::Record(id) => records[id.0 as usize]
-                .fields
-                .iter()
-                .map(|(_, t)| t.scalar_count(records))
-                .sum(),
+            Type::Record(id) => {
+                records[id.0 as usize].fields.iter().map(|(_, t)| t.scalar_count(records)).sum()
+            }
         }
     }
 }

@@ -13,22 +13,26 @@ fn int_t() -> ScalarType {
 fn const_expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = (-100i64..100).prop_map(Expr::int).boxed();
     leaf.prop_recursive(depth, 32, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![
-            Just(Binop::Add),
-            Just(Binop::Sub),
-            Just(Binop::Mul),
-            Just(Binop::Div),
-            Just(Binop::Rem),
-            Just(Binop::BAnd),
-            Just(Binop::BOr),
-            Just(Binop::BXor),
-            Just(Binop::Lt),
-            Just(Binop::Le),
-            Just(Binop::Eq),
-            Just(Binop::Ne),
-            Just(Binop::LAnd),
-            Just(Binop::LOr),
-        ])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(Binop::Add),
+                Just(Binop::Sub),
+                Just(Binop::Mul),
+                Just(Binop::Div),
+                Just(Binop::Rem),
+                Just(Binop::BAnd),
+                Just(Binop::BOr),
+                Just(Binop::BXor),
+                Just(Binop::Lt),
+                Just(Binop::Le),
+                Just(Binop::Eq),
+                Just(Binop::Ne),
+                Just(Binop::LAnd),
+                Just(Binop::LOr),
+            ],
+        )
             .prop_map(|(a, b, op)| Expr::Binop(op, int_t(), Box::new(a), Box::new(b)))
     })
     .boxed()

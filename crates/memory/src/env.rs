@@ -114,7 +114,8 @@ impl AbsEnv {
     /// locals are zeroed by the frontend model), clock at 0.
     pub fn initial(layout: &CellLayout) -> AbsEnv {
         let clock = IntItv::singleton(0);
-        let cells = layout.iter().map(|(id, info)| (id, CellVal::zero_of(info.ty, clock))).collect();
+        let cells =
+            layout.iter().map(|(id, info)| (id, CellVal::zero_of(info.ty, clock))).collect();
         AbsEnv { cells, clock, bottom: false }
     }
 
@@ -137,10 +138,7 @@ impl AbsEnv {
 
     /// Reads a cell (⊤ of the right kind when untracked).
     pub fn get(&self, id: CellId, layout: &CellLayout) -> CellVal {
-        self.cells
-            .get(&id)
-            .copied()
-            .unwrap_or_else(|| CellVal::top_of(layout.info(id).ty))
+        self.cells.get(&id).copied().unwrap_or_else(|| CellVal::top_of(layout.info(id).ty))
     }
 
     /// Strong update.
@@ -242,6 +240,30 @@ impl AbsEnv {
             )
     }
 
+    /// Three-way overlay: applies onto `self` every cell whose value in
+    /// `post` differs from its value in `pre`.
+    ///
+    /// Used by the parallel executor's deterministic merge: each slice runs
+    /// from the same `pre` state and its changes (`post` vs `pre`) are
+    /// overlaid in slice order. Cells with equal values are skipped even
+    /// when the underlying tree nodes differ (path copies from neighbouring
+    /// inserts), so an untouched cell never clobbers an earlier slice's
+    /// write; cells a slice *must* write but may have rewritten to their
+    /// pre value are forced separately via [`AbsEnv::set`].
+    pub fn overlay_changed(&mut self, pre: &AbsEnv, post: &AbsEnv) {
+        debug_assert!(!self.bottom && !pre.bottom && !post.bottom);
+        let mut cells = self.cells.clone();
+        post.cells.for_each_diff(&pre.cells, |k, post_v, pre_v| {
+            if let Some(v) = post_v {
+                if pre_v != Some(v) {
+                    cells = cells.insert(*k, *v);
+                }
+            }
+        });
+        self.cells = cells;
+        self.clock = post.clock;
+    }
+
     /// Counts cells whose value differs from `other` (diagnostics, packing
     /// usefulness reports).
     pub fn count_diff(&self, other: &AbsEnv) -> usize {
@@ -338,8 +360,10 @@ mod tests {
     fn join_and_leq() {
         let (_, l) = small_layout();
         let base = AbsEnv::initial(&l);
-        let a = base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(1), base.clock)));
-        let b = base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(3), base.clock)));
+        let a =
+            base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(1), base.clock)));
+        let b =
+            base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::singleton(3), base.clock)));
         let j = a.join(&b);
         assert!(a.leq(&j) && b.leq(&j));
         match j.get(CellId(0), &l) {
@@ -369,6 +393,30 @@ mod tests {
         let out = env.set(CellId(0), CellVal::Int(Clocked::BOTTOM));
         assert!(out.is_bottom());
         let _ = l;
+    }
+
+    #[test]
+    fn overlay_applies_only_changed_cells() {
+        let (_, l) = small_layout();
+        let pre = AbsEnv::initial(&l);
+        let iv = |n: i64, clock| CellVal::Int(Clocked::of_val(IntItv::singleton(n), clock));
+        // Slice A changed cell 0; slice B changed cell 3 (and its tree path
+        // copies may make cell 0 "visible" in the diff with an equal value).
+        let post_a = pre.set(CellId(0), iv(7, pre.clock));
+        let post_b = pre.set(CellId(3), iv(9, pre.clock));
+        let mut merged = pre.clone();
+        merged.overlay_changed(&pre, &post_a);
+        merged.overlay_changed(&pre, &post_b);
+        match merged.get(CellId(0), &l) {
+            CellVal::Int(c) => assert_eq!(c.val, IntItv::singleton(7)),
+            other => panic!("{other:?}"),
+        }
+        match merged.get(CellId(3), &l) {
+            CellVal::Int(c) => assert_eq!(c.val, IntItv::singleton(9)),
+            other => panic!("{other:?}"),
+        }
+        // A later slice that did not touch cell 0 must not revert it.
+        assert_eq!(merged.count_diff(&pre), 2);
     }
 
     #[test]

@@ -168,7 +168,9 @@ impl<'a> Evaluator<'a> {
     fn eval_unop(&self, op: Unop, t: ScalarType, a: AbsVal) -> (AbsVal, ErrFlags) {
         match (op, t) {
             (Unop::Neg, ScalarType::Int(it)) => clip_int(a.as_int().neg(), it),
-            (Unop::Neg, ScalarType::Float(_)) => (AbsVal::Float(a.as_float().neg()), ErrFlags::NONE),
+            (Unop::Neg, ScalarType::Float(_)) => {
+                (AbsVal::Float(a.as_float().neg()), ErrFlags::NONE)
+            }
             (Unop::LNot, _) => {
                 let (can_zero, can_nonzero) = a.truthiness();
                 (AbsVal::Int(bool_range(can_nonzero, can_zero)), ErrFlags::NONE)
@@ -252,7 +254,11 @@ impl<'a> Evaluator<'a> {
         let (lt, eq, gt) = match (a, b) {
             (AbsVal::Int(x), AbsVal::Int(y)) => {
                 // Possible orderings of values drawn from x and y.
-                (x.lo < y.hi, x.meet(y) != IntItv::BOTTOM && x.lo <= y.hi && y.lo <= x.hi, x.hi > y.lo)
+                (
+                    x.lo < y.hi,
+                    x.meet(y) != IntItv::BOTTOM && x.lo <= y.hi && y.lo <= x.hi,
+                    x.hi > y.lo,
+                )
             }
             (AbsVal::Float(x), AbsVal::Float(y)) => {
                 (x.lo < y.hi, !x.meet(y).is_bottom(), x.hi > y.lo)
@@ -540,13 +546,9 @@ impl<'a> Evaluator<'a> {
                     self.refine(env, a, zero)
                 }
             }
-            Expr::Binop(op, t, a, b) if op.is_comparison() => {
-                self.atomic_guard(env, *op, *t, a, b)
-            }
+            Expr::Binop(op, t, a, b) if op.is_comparison() => self.atomic_guard(env, *op, *t, a, b),
             // A cast to _Bool preserves truthiness exactly (C 6.3.1.2).
-            Expr::Cast(ScalarType::Int(it), inner) if it.is_bool() => {
-                self.guard(env, inner, true)
-            }
+            Expr::Cast(ScalarType::Int(it), inner) if it.is_bool() => self.guard(env, inner, true),
             Expr::Int(v, _) => {
                 if *v == 0 {
                     AbsEnv::bottom()
@@ -570,14 +572,7 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    fn atomic_guard(
-        &self,
-        env: &AbsEnv,
-        op: Binop,
-        t: ScalarType,
-        a: &Expr,
-        b: &Expr,
-    ) -> AbsEnv {
+    fn atomic_guard(&self, env: &AbsEnv, op: Binop, t: ScalarType, a: &Expr, b: &Expr) -> AbsEnv {
         let (av, _) = self.eval(env, a);
         let (bv, _) = self.eval(env, b);
         if av.is_bottom() || bv.is_bottom() {
@@ -679,11 +674,8 @@ impl<'a> Evaluator<'a> {
         if env.is_bottom() {
             return env.clone();
         }
-        let range = self
-            .program
-            .var(var)
-            .volatile_input
-            .expect("ReadVolatile on declared volatile input");
+        let range =
+            self.program.var(var).volatile_input.expect("ReadVolatile on declared volatile input");
         let cell = self.layout.scalar_cell(var);
         let val = match range {
             InputRange::Int(lo, hi) => {
@@ -700,10 +692,7 @@ impl<'a> Evaluator<'a> {
         if env.is_bottom() {
             return env.clone();
         }
-        let clock = env
-            .clock
-            .add(IntItv::singleton(1))
-            .meet(IntItv::new(0, self.max_clock));
+        let clock = env.clock.add(IntItv::singleton(1)).meet(IntItv::new(0, self.max_clock));
         if clock.is_bottom() {
             // Executions past the maximal operating time do not exist.
             return AbsEnv::bottom();
@@ -818,16 +807,8 @@ fn refine_int_cmp(op: Binop, x: IntItv, y: IntItv) -> (IntItv, IntItv) {
             (m, m)
         }
         Binop::Ne => {
-            let rx = if let Some(c) = y.as_singleton() {
-                exclude_const(x, c)
-            } else {
-                x
-            };
-            let ry = if let Some(c) = x.as_singleton() {
-                exclude_const(y, c)
-            } else {
-                y
-            };
+            let rx = if let Some(c) = y.as_singleton() { exclude_const(x, c) } else { x };
+            let ry = if let Some(c) = x.as_singleton() { exclude_const(y, c) } else { y };
             (rx, ry)
         }
         _ => (x, y),
@@ -984,7 +965,7 @@ mod tests {
         let (env, _) = ev.assign(&env, &Lvalue::var(VarId(4)), &load(4)); // x := volatile? no-op
         let env = ev.read_volatile(&env, VarId(4));
         let (env, _) = ev.assign(&env, &Lvalue::var(VarId(0)), &load(4)); // x ∈ [-10, 10]
-        // Guard x > 3.
+                                                                          // Guard x > 3.
         let cond = Expr::Binop(Binop::Gt, int_t(), Box::new(load(0)), Box::new(Expr::int(3)));
         let refined = ev.guard(&env, &cond, true);
         let (v, _) = ev.eval(&refined, &load(0));
@@ -1040,12 +1021,7 @@ mod tests {
             Binop::Sub,
             tf,
             Box::new(loadf(2)),
-            Box::new(Expr::Binop(
-                Binop::Mul,
-                tf,
-                Box::new(Expr::float(0.2)),
-                Box::new(loadf(2)),
-            )),
+            Box::new(Expr::Binop(Binop::Mul, tf, Box::new(Expr::float(0.2)), Box::new(loadf(2)))),
         );
         let (env2, flags) = ev.assign(&env, &Lvalue::var(VarId(2)), &rhs);
         assert!(flags.is_empty());

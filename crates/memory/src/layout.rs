@@ -98,24 +98,24 @@ impl CellLayout {
                 self.cells.push(CellInfo { var, name, ty: *st, shrunk: false });
                 CellNode::Scalar(id)
             }
-            Type::Array(elem, n) => {
-                let scalar_elem = elem.as_scalar();
-                if *n > config.shrink_threshold && scalar_elem.is_some() {
+            Type::Array(elem, n) => match elem.as_scalar() {
+                Some(elem_ty) if *n > config.shrink_threshold => {
                     let id = CellId(self.cells.len() as u32);
                     self.cells.push(CellInfo {
                         var,
                         name: format!("{name}[*]"),
-                        ty: scalar_elem.expect("checked"),
+                        ty: elem_ty,
                         shrunk: true,
                     });
                     CellNode::Shrunk(id, *n)
-                } else {
+                }
+                _ => {
                     let children = (0..*n)
                         .map(|i| self.build(program, config, var, elem, format!("{name}[{i}]")))
                         .collect();
                     CellNode::Array(children)
                 }
-            }
+            },
             Type::Record(rid) => {
                 let fields = program.records[rid.0 as usize].fields.clone();
                 let children = fields
@@ -282,10 +282,7 @@ mod tests {
 
     #[test]
     fn scalar_and_record_cells() {
-        let p = program_with(vec![
-            Type::int(IntType::INT),
-            Type::Record(astree_ir::RecordId(0)),
-        ]);
+        let p = program_with(vec![Type::int(IntType::INT), Type::Record(astree_ir::RecordId(0))]);
         let l = CellLayout::new(&p, &LayoutConfig::default());
         assert_eq!(l.num_cells(), 3);
         assert_eq!(l.info(CellId(1)).name, "v1.a");
@@ -356,18 +353,12 @@ mod tests {
 
     #[test]
     fn nested_struct_array_paths() {
-        let p = program_with(vec![Type::Array(
-            Box::new(Type::Record(astree_ir::RecordId(0))),
-            2,
-        )]);
+        let p = program_with(vec![Type::Array(Box::new(Type::Record(astree_ir::RecordId(0))), 2)]);
         let l = CellLayout::new(&p, &LayoutConfig::default());
         assert_eq!(l.num_cells(), 4);
         let lv = Lvalue {
             base: VarId(0),
-            path: vec![
-                Access::Index(Box::new(Expr::int(1))),
-                Access::Field(1),
-            ],
+            path: vec![Access::Index(Box::new(Expr::int(1))), Access::Field(1)],
         };
         let r = l.resolve(&lv, |_| IntItv::singleton(1));
         assert_eq!(r.cells.len(), 1);

@@ -28,19 +28,23 @@ fn int_expr(depth: u32) -> BoxedStrategy<Expr> {
         (-50i64..50).prop_map(Expr::int),
     ];
     leaf.prop_recursive(depth, 64, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![
-            Just(Binop::Add),
-            Just(Binop::Sub),
-            Just(Binop::Mul),
-            Just(Binop::Div),
-            Just(Binop::Rem),
-            Just(Binop::BAnd),
-            Just(Binop::BOr),
-            Just(Binop::BXor),
-            Just(Binop::Lt),
-            Just(Binop::Eq),
-            Just(Binop::LAnd),
-        ])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(Binop::Add),
+                Just(Binop::Sub),
+                Just(Binop::Mul),
+                Just(Binop::Div),
+                Just(Binop::Rem),
+                Just(Binop::BAnd),
+                Just(Binop::BOr),
+                Just(Binop::BXor),
+                Just(Binop::Lt),
+                Just(Binop::Eq),
+                Just(Binop::LAnd),
+            ],
+        )
             .prop_map(|(a, b, op)| Expr::Binop(op, int_t(), Box::new(a), Box::new(b)))
     })
     .boxed()
@@ -53,12 +57,11 @@ fn float_expr(depth: u32) -> BoxedStrategy<Expr> {
         (-8.0f64..8.0).prop_map(Expr::float),
     ];
     leaf.prop_recursive(depth, 64, 2, |inner| {
-        (inner.clone(), inner, prop_oneof![
-            Just(Binop::Add),
-            Just(Binop::Sub),
-            Just(Binop::Mul),
-            Just(Binop::Div),
-        ])
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just(Binop::Add), Just(Binop::Sub), Just(Binop::Mul), Just(Binop::Div),],
+        )
             .prop_map(|(a, b, op)| Expr::Binop(op, float_t(), Box::new(a), Box::new(b)))
     })
     .boxed()
@@ -77,7 +80,13 @@ fn fixture() -> Fix {
     for i in 0..NVARS {
         p.add_var(VarInfo::scalar(format!("f{i}"), float_t(), VarKind::Global));
     }
-    p.add_func(Function { name: "main".into(), params: vec![], ret: None, locals: vec![], body: vec![] });
+    p.add_func(Function {
+        name: "main".into(),
+        params: vec![],
+        ret: None,
+        locals: vec![],
+        body: vec![],
+    });
     let layout = CellLayout::new(&p, &LayoutConfig::default());
     Fix { program: p, layout }
 }

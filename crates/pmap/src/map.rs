@@ -35,7 +35,12 @@ fn create<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K
 
 /// Rebalances after one insertion/removal: `left` and `right` may differ in
 /// height by at most 3.
-fn balance<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+fn balance<K: Clone, V: Clone>(
+    key: K,
+    value: V,
+    left: Link<K, V>,
+    right: Link<K, V>,
+) -> Link<K, V> {
     let hl = height(&left);
     let hr = height(&right);
     if hl > hr + 2 {
@@ -115,7 +120,9 @@ fn min_binding<K, V>(t: &Arc<Node<K, V>>) -> (&K, &V) {
 fn remove_min<K: Clone, V: Clone>(t: &Arc<Node<K, V>>) -> Link<K, V> {
     match &t.left {
         None => t.right.clone(),
-        Some(l) => balance(t.key.clone(), t.value.clone(), remove_min(l).map(strip), t.right.clone()),
+        Some(l) => {
+            balance(t.key.clone(), t.value.clone(), remove_min(l).map(strip), t.right.clone())
+        }
     }
 }
 
@@ -550,8 +557,7 @@ impl<K: fmt::Debug, V: fmt::Debug> fmt::Debug for PMap<K, V> {
 
 impl<K: Ord, V: PartialEq> PartialEq for PMap<K, V> {
     fn eq(&self, other: &Self) -> bool {
-        self.len() == other.len()
-            && self.all2(other, |_, _| false, |_, _| false, |_, a, b| a == b)
+        self.len() == other.len() && self.all2(other, |_, _| false, |_, _| false, |_, a, b| a == b)
     }
 }
 
@@ -627,7 +633,7 @@ mod tests {
         }
         check_avl(&m.root);
         assert_eq!(m.len(), 100);
-        assert_eq!(m.get(&(7 % 101)), Some(&1));
+        assert_eq!(m.get(&7), Some(&1), "key of i = 1 is 1 * 7 % 101");
         let m2 = m.remove(&7);
         check_avl(&m2.root);
         assert_eq!(m2.len(), 99);
@@ -682,7 +688,7 @@ mod tests {
         let a: PMap<u32, u32> = (0..10).map(|i| (i, i)).collect();
         let b = a.insert(5, 99);
         assert!(!a.all2(&b, |_, _| true, |_, _| true, |_, x, y| x == y));
-        assert!(a.all2(&b, |_, _| true, |_, _| true, |k, _, _| *k != 3 || true));
+        assert!(a.all2(&b, |_, _| true, |_, _| true, |k, x, y| *k == 5 || x == y));
         let c = a.remove(&9);
         assert!(!a.all2(&c, |_, _| false, |_, _| true, |_, _, _| true));
     }

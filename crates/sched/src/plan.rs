@@ -1,0 +1,157 @@
+//! Stage planning: grouping a statement sequence into parallelizable runs.
+//!
+//! The parallel executor may only run statements concurrently when doing so
+//! is observationally identical to the sequential interpretation. Given a
+//! *conflict oracle* (computed by the semantic layer from read/write
+//! footprints), this module groups a sequence into maximal **contiguous
+//! stages**: within a stage every earlier/later pair is independent, so the
+//! stage's members can be sliced across workers and their state deltas
+//! overlaid in slice order.
+//!
+//! Contiguity matters for determinism: slices are contiguous chunks of the
+//! original order, so "later chunk wins" during the overlay coincides with
+//! "later statement wins" in the sequential run, for any worker count.
+
+use std::ops::Range;
+
+/// A contiguous run of statements executed together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Index of the first statement of the stage.
+    pub start: usize,
+    /// Number of statements in the stage.
+    pub len: usize,
+    /// Whether the members are pairwise independent (a one-statement stage
+    /// is trivially so but is still executed inline).
+    pub parallel: bool,
+}
+
+impl Stage {
+    /// The statement index range covered by this stage.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// Plans `n` statements into contiguous stages.
+///
+/// `barrier(i)` marks statements that must run alone in program order
+/// (clock ticks, returns, anything with global effect). `conflicts(i, j)`
+/// with `i < j` answers whether statement `j` must observe `i`'s effects —
+/// if so they cannot share a stage. The oracle is only consulted for pairs
+/// within a candidate stage.
+pub fn plan_stages(
+    n: usize,
+    barrier: impl Fn(usize) -> bool,
+    conflicts: impl Fn(usize, usize) -> bool,
+) -> Vec<Stage> {
+    let mut stages = Vec::new();
+    let mut start = 0;
+    while start < n {
+        if barrier(start) {
+            stages.push(Stage { start, len: 1, parallel: false });
+            start += 1;
+            continue;
+        }
+        // Grow the stage while the next statement is independent of every
+        // member so far.
+        let mut end = start + 1;
+        while end < n && !barrier(end) && (start..end).all(|i| !conflicts(i, end)) {
+            end += 1;
+        }
+        stages.push(Stage { start, len: end - start, parallel: end - start > 1 });
+        start = end;
+    }
+    stages
+}
+
+/// Splits `0..n` into at most `jobs` contiguous, near-equal, non-empty
+/// chunks, earlier chunks taking the remainder.
+pub fn chunk_ranges(n: usize, jobs: usize) -> Vec<Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = jobs.max(1).min(n);
+    let base = n / k;
+    let rem = n % k;
+    let mut out = Vec::with_capacity(k);
+    let mut at = 0;
+    for i in 0..k {
+        let len = base + usize::from(i < rem);
+        out.push(at..at + len);
+        at += len;
+    }
+    debug_assert_eq!(at, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_sequence_is_one_stage() {
+        let stages = plan_stages(5, |_| false, |_, _| false);
+        assert_eq!(stages, vec![Stage { start: 0, len: 5, parallel: true }]);
+    }
+
+    #[test]
+    fn barriers_split_and_run_alone() {
+        // Statement 2 is a barrier (e.g. `wait`).
+        let stages = plan_stages(5, |i| i == 2, |_, _| false);
+        assert_eq!(
+            stages,
+            vec![
+                Stage { start: 0, len: 2, parallel: true },
+                Stage { start: 2, len: 1, parallel: false },
+                Stage { start: 3, len: 2, parallel: true },
+            ]
+        );
+    }
+
+    #[test]
+    fn conflicts_close_stages() {
+        // 1 depends on 0; 3 depends on 2.
+        let stages = plan_stages(4, |_| false, |i, j| (i, j) == (0, 1) || (i, j) == (2, 3));
+        assert_eq!(
+            stages,
+            vec![
+                Stage { start: 0, len: 1, parallel: false },
+                Stage { start: 1, len: 2, parallel: true },
+                Stage { start: 3, len: 1, parallel: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn fully_dependent_chain_degenerates() {
+        let stages = plan_stages(4, |_| false, |_, _| true);
+        assert_eq!(stages.len(), 4);
+        assert!(stages.iter().all(|s| s.len == 1 && !s.parallel));
+    }
+
+    #[test]
+    fn chunks_cover_exactly() {
+        for n in 0..20 {
+            for jobs in 1..6 {
+                let chunks = chunk_ranges(n, jobs);
+                let total: usize = chunks.iter().map(|r| r.len()).sum();
+                assert_eq!(total, n);
+                assert!(chunks.iter().all(|r| !r.is_empty()));
+                assert!(chunks.len() <= jobs.max(1));
+                // Contiguous and ordered.
+                let mut at = 0;
+                for r in &chunks {
+                    assert_eq!(r.start, at);
+                    at = r.end;
+                }
+                // Near-equal: sizes differ by at most one.
+                if let (Some(min), Some(max)) =
+                    (chunks.iter().map(|r| r.len()).min(), chunks.iter().map(|r| r.len()).max())
+                {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic fork-join over a small set of work items.
+//!
+//! The caller has already partitioned its work (see [`crate::plan`]); this
+//! module only runs the pieces and hands the results back **in input
+//! order**, which is what makes the downstream merge deterministic: slice
+//! `i`'s result is always at position `i` regardless of which worker
+//! finished first.
+
+use std::thread;
+
+/// Runs `f` over `items` on one scoped thread per item and returns the
+/// results in input order.
+///
+/// With zero or one item (or when threads cannot be spawned) the closure
+/// runs inline on the caller's thread, so the sequential path is the exact
+/// same code. A panic in any worker propagates to the caller after all
+/// workers have been joined.
+pub fn scatter<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let f = &f;
+                scope.spawn(move || f(i, item))
+            })
+            .collect();
+        // Joining in spawn order = input order. A panicked worker re-panics
+        // here, after its siblings were joined by the scope.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_in_input_order() {
+        // Make later items finish first: earlier items sleep longer.
+        let items: Vec<u64> = (0..8).collect();
+        let out = scatter(items, |i, x| {
+            std::thread::sleep(std::time::Duration::from_millis(8 - x));
+            i as u64 * 10 + x
+        });
+        assert_eq!(out, (0..8).map(|x| x * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let main_thread = std::thread::current().id();
+        let out = scatter(vec![42], |i, x| {
+            assert_eq!(std::thread::current().id(), main_thread);
+            (i, x)
+        });
+        assert_eq!(out, vec![(0, 42)]);
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let out: Vec<i32> = scatter(Vec::<i32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn all_items_run() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        let _ = scatter((0..16).collect::<Vec<_>>(), |_, _| {
+            RAN.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(RAN.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = scatter(vec![0, 1, 2], |_, x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

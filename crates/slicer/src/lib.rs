@@ -150,11 +150,7 @@ impl Slicer {
         self.slice_with_filter(criterion, Some(interesting))
     }
 
-    fn slice_with_filter(
-        &self,
-        criterion: StmtId,
-        filter: Option<&HashSet<VarId>>,
-    ) -> Slice {
+    fn slice_with_filter(&self, criterion: StmtId, filter: Option<&HashSet<VarId>>) -> Slice {
         // Seed: the variables used at the criterion statement.
         let mut relevant: BTreeSet<VarId> = BTreeSet::new();
         let mut in_slice: BTreeSet<StmtId> = BTreeSet::new();
@@ -250,15 +246,13 @@ impl Slicer {
             }
             StmtKind::Call(ret, callee, args) => {
                 let summary = &self.summaries[callee];
-                let writes_relevant = ret
-                    .as_ref()
-                    .map(|lv| relevant.contains(&lv.base))
-                    .unwrap_or(false)
-                    || summary.writes.iter().any(|w| relevant.contains(w))
-                    || args.iter().any(|a| match a {
-                        CallArg::Ref(lv) => relevant.contains(&lv.base),
-                        CallArg::Value(_) => false,
-                    });
+                let writes_relevant =
+                    ret.as_ref().map(|lv| relevant.contains(&lv.base)).unwrap_or(false)
+                        || summary.writes.iter().any(|w| relevant.contains(w))
+                        || args.iter().any(|a| match a {
+                            CallArg::Ref(lv) => relevant.contains(&lv.base),
+                            CallArg::Value(_) => false,
+                        });
                 if writes_relevant || s.id == criterion || forced {
                     in_slice.insert(s.id);
                     relevant.extend(summary.reads.iter().copied());
@@ -332,9 +326,7 @@ fn stmt_uses(s: &Stmt, summaries: &HashMap<FuncId, FuncSummary>, out: &mut BTree
             expr_uses(e, out);
             lvalue_index_uses(lv, out);
         }
-        StmtKind::If(c, _, _) | StmtKind::While(_, c, _) | StmtKind::Assume(c) => {
-            expr_uses(c, out)
-        }
+        StmtKind::If(c, _, _) | StmtKind::While(_, c, _) | StmtKind::Assume(c) => expr_uses(c, out),
         StmtKind::Call(_, callee, args) => {
             if let Some(s) = summaries.get(callee) {
                 out.extend(s.reads.iter().copied());
@@ -353,11 +345,7 @@ fn stmt_uses(s: &Stmt, summaries: &HashMap<FuncId, FuncSummary>, out: &mut BTree
     }
 }
 
-fn collect_stmt_rw(
-    s: &Stmt,
-    summaries: &HashMap<FuncId, FuncSummary>,
-    out: &mut FuncSummary,
-) {
+fn collect_stmt_rw(s: &Stmt, summaries: &HashMap<FuncId, FuncSummary>, out: &mut FuncSummary) {
     match &s.kind {
         StmtKind::Assign(lv, e) => {
             out.writes.insert(lv.base);

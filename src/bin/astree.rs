@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! astree analyze <file.c>... [options]   statically prove absence of RTEs
+//! astree batch [files...] [options]      analyze a fleet of programs
 //! astree run <file.c> [options]          execute with the reference interpreter
 //! astree slice <file.c> [options]        backward slices from alarm points
 //! astree generate [options]              emit a synthetic family member
@@ -9,27 +10,30 @@
 //!
 //! Run `astree <command> --help` for the options of each command.
 
+use astree::batch::{analyze_fleet, FleetJob};
 use astree::core::{AnalysisConfig, Analyzer};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
 use astree::slicer::Slicer;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: astree <analyze|run|slice|generate> [options]");
+        eprintln!("usage: astree <analyze|batch|run|slice|generate> [options]");
         return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match command.as_str() {
         "analyze" => cmd_analyze(rest),
+        "batch" => cmd_batch(rest),
         "run" => cmd_run(rest),
         "slice" => cmd_slice(rest),
         "generate" => cmd_generate(rest),
         "--help" | "-h" | "help" => {
-            println!("usage: astree <analyze|run|slice|generate> [options]");
+            println!("usage: astree <analyze|batch|run|slice|generate> [options]");
             return ExitCode::SUCCESS;
         }
         other => Err(format!("unknown command `{other}`")),
@@ -75,12 +79,25 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                      \x20      [--no-clock] [--no-linearize] [--baseline]\n\
                      \x20      [--partition FN] [--thresholds ALPHA,LAMBDA,N]\n\
                      \x20      [--pack VAR1,VAR2,...] [--census] [--dump-invariant]\n\
+                     \x20      [--jobs N]\n\
+                     --jobs N analyzes with N worker threads (results are\n\
+                     identical to the sequential analysis for every N)\n\
                      exit status: 0 = proven error-free, 1 = alarms reported"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
-            "--max-clock" => config.max_clock = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--unroll" => config.loop_unroll = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--jobs" => {
+                config.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                if config.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--max-clock" => {
+                config.max_clock = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--unroll" => {
+                config.loop_unroll = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
             "--no-octagons" => config.enable_octagons = false,
             "--no-dtrees" => config.enable_dtrees = false,
             "--no-ellipsoids" => config.enable_ellipsoids = false,
@@ -118,6 +135,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     if !errs.is_empty() {
         return Err(format!("invalid program: {}", errs.join("; ")));
     }
+    let jobs = config.jobs;
     let result = Analyzer::new(&program, config).run();
     println!(
         "analyzed {} ({} cells, {} octagon packs, {} filters, {} decision-tree packs)",
@@ -131,6 +149,12 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         "time: {:.2?} invariant generation + {:.2?} checking",
         result.stats.time_iterate, result.stats.time_check
     );
+    if result.stats.parallel_stages > 0 {
+        println!(
+            "parallel: {} sliced stages, {} slices across {} workers",
+            result.stats.parallel_stages, result.stats.parallel_slices, jobs,
+        );
+    }
     if show_census {
         if let Some(c) = &result.main_census {
             println!("\nmain loop invariant census:\n{c}");
@@ -153,6 +177,145 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let mut files: Vec<String> = Vec::new();
+    let mut gen_count = 0usize;
+    let mut channels = 4usize;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut workers = 2usize;
+    let mut timeout: Option<Duration> = None;
+    let mut json = false;
+    let mut config = AnalysisConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree batch [file.c...] [--gen N] [--channels N]\n\
+                     \x20      [--seeds S1,S2,...] [--jobs N] [--timeout SECS]\n\
+                     \x20      [--analysis-jobs N] [--json]\n\
+                     analyzes each input file, plus N generated family members\n\
+                     (--gen), as independent jobs on a pool of --jobs workers;\n\
+                     a panicking or timed-out job fails alone. --analysis-jobs\n\
+                     additionally parallelizes inside each analysis.\n\
+                     exit status: 0 = all jobs clean, 1 = alarms or failures"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--gen" => gen_count = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => channels = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => {
+                let v = value(&mut i)?;
+                let parsed: Result<Vec<u64>, _> = v.split(',').map(|s| s.trim().parse()).collect();
+                seeds = Some(parsed.map_err(|e| format!("--seeds: {e}"))?);
+            }
+            "--jobs" => workers = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--timeout" => {
+                let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
+                timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--analysis-jobs" => {
+                config.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--json" => json = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    let mut fleet: Vec<FleetJob> = Vec::new();
+    for f in &files {
+        let source = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        fleet.push(FleetJob { name: f.clone(), source });
+    }
+    let seeds = seeds.unwrap_or_else(|| (1..=gen_count as u64).collect());
+    for &seed in &seeds {
+        let cfg = GenConfig { channels, seed, bug: None };
+        fleet.push(FleetJob { name: format!("gen-c{channels}-s{seed}"), source: generate(&cfg) });
+    }
+    if fleet.is_empty() {
+        return Err("no jobs: give input files, --gen N, or --seeds".into());
+    }
+
+    let n = fleet.len();
+    let report = analyze_fleet(fleet, &config, workers, timeout);
+    if json {
+        print!("{}", batch_report_json(&report));
+    } else {
+        println!("batch: {n} jobs on {} workers", report.workers);
+        for o in &report.outcomes {
+            match o.alarms {
+                Some(a) => {
+                    println!("  {:<24} {:>9} {:>4} alarm(s)  {:.2?}", o.name, o.status, a, o.wall)
+                }
+                None => println!(
+                    "  {:<24} {:>9}  {}",
+                    o.name,
+                    o.status,
+                    o.detail.as_deref().unwrap_or("-")
+                ),
+            }
+        }
+        println!(
+            "wall {:.2?}, sequential cost {:.2?}, speedup {:.2}x",
+            report.wall, report.total_job_time, report.speedup
+        );
+        for (w, busy) in report.worker_busy.iter().enumerate() {
+            println!("  worker {w}: busy {busy:.2?}");
+        }
+    }
+    let clean = report.completed() == n && report.total_alarms() == 0;
+    Ok(if clean { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            '\t' => "\\t".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn batch_report_json(report: &astree::batch::FleetReport) -> String {
+    let mut out = String::from("{\n  \"jobs\": [\n");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        let alarms = o.alarms.map_or("null".to_string(), |a| a.to_string());
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"alarms\": {}, \"wall_s\": {:.6}, \"worker\": {}}}{}\n",
+            json_escape(&o.name),
+            json_escape(&o.status),
+            alarms,
+            o.wall.as_secs_f64(),
+            o.worker,
+            if i + 1 < report.outcomes.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"workers\": {},\n", report.workers));
+    out.push_str(&format!("  \"wall_s\": {:.6},\n", report.wall.as_secs_f64()));
+    out.push_str(&format!(
+        "  \"sequential_cost_s\": {:.6},\n",
+        report.total_job_time.as_secs_f64()
+    ));
+    out.push_str(&format!("  \"speedup\": {:.4},\n", report.speedup));
+    let busy: Vec<String> =
+        report.worker_busy.iter().map(|d| format!("{:.6}", d.as_secs_f64())).collect();
+    out.push_str(&format!("  \"worker_busy_s\": [{}]\n", busy.join(", ")));
+    out.push_str("}\n");
+    out
+}
+
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     let mut files = Vec::new();
     let mut seed = 1u64;
@@ -166,11 +329,19 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).ok_or("--seed needs a value")?.parse().map_err(|e| format!("{e}"))?;
+                seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             "--ticks" => {
                 i += 1;
-                ticks = args.get(i).ok_or("--ticks needs a value")?.parse().map_err(|e| format!("{e}"))?;
+                ticks = args
+                    .get(i)
+                    .ok_or("--ticks needs a value")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option {other}")),
@@ -179,11 +350,8 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     }
     let program = compile(&files)?;
     let mut inputs = SeededInputs::new(seed);
-    let mut interp = Interp::new(
-        &program,
-        InterpConfig { max_steps: u64::MAX, max_ticks: ticks },
-        &mut inputs,
-    );
+    let mut interp =
+        Interp::new(&program, InterpConfig { max_steps: u64::MAX, max_ticks: ticks }, &mut inputs);
     match interp.run() {
         Ok(()) => {
             println!("completed {} clock ticks", interp.ticks());
@@ -235,10 +403,8 @@ fn cmd_slice(args: &[String]) -> Result<ExitCode, String> {
     }
     let interesting = if abstract_slice {
         result.main_invariant.as_ref().map(|inv| {
-            let layout = astree::memory::CellLayout::new(
-                &program,
-                &astree::memory::LayoutConfig::default(),
-            );
+            let layout =
+                astree::memory::CellLayout::new(&program, &astree::memory::LayoutConfig::default());
             astree::core::under_constrained_vars(inv, &layout, 1e6)
         })
     } else {
@@ -275,12 +441,19 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
             }
             "--channels" => {
                 i += 1;
-                cfg.channels =
-                    args.get(i).ok_or("--channels needs a value")?.parse().map_err(|e| format!("{e}"))?;
+                cfg.channels = args
+                    .get(i)
+                    .ok_or("--channels needs a value")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             "--seed" => {
                 i += 1;
-                cfg.seed = args.get(i).ok_or("--seed needs a value")?.parse().map_err(|e| format!("{e}"))?;
+                cfg.seed = args
+                    .get(i)
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
             }
             "--bug" => {
                 i += 1;

@@ -14,6 +14,11 @@
 //! - [`core`] — the iterator, fixpoint engine, packing, alarms (Sect. 5, 7)
 //! - [`slicer`] — backward slicing for alarm inspection (Sect. 3.3)
 //! - [`gen`] — the synthetic periodic synchronous program family (Sect. 4)
+//! - [`sched`] — the parallel & batch scheduler (deterministic slice merge
+//!   à la Monniaux's parallel ASTRÉE, plus bounded-worker fleet batches)
+//! - [`batch`] — fleet analysis on top of the scheduler
+
+pub mod batch;
 
 pub use astree_core as core;
 pub use astree_domains as domains;
@@ -23,4 +28,5 @@ pub use astree_gen as gen;
 pub use astree_ir as ir;
 pub use astree_memory as memory;
 pub use astree_pmap as pmap;
+pub use astree_sched as sched;
 pub use astree_slicer as slicer;

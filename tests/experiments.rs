@@ -78,10 +78,7 @@ fn scaling_is_roughly_linear_in_cells() {
     let rb = Analyzer::new(&big, AnalysisConfig::default()).run();
     assert!(rs.alarms.is_empty() && rb.alarms.is_empty());
     let ratio = rb.stats.cells as f64 / rs.stats.cells as f64;
-    assert!(
-        (2.0..8.0).contains(&ratio),
-        "4x channels should give ~4x cells, got ×{ratio:.1}"
-    );
+    assert!((2.0..8.0).contains(&ratio), "4x channels should give ~4x cells, got ×{ratio:.1}");
 }
 
 /// E4: the census finds every assertion family on a full-featured member.

@@ -1,0 +1,117 @@
+//! Determinism of the parallel analysis (Monniaux's partition-and-join
+//! scheme): for every program of the family and every worker count, the
+//! parallel analyzer must produce **bit-identical** results to the
+//! sequential one — the same alarm list (order included) and the same main
+//! loop invariant.
+
+use astree::batch::{analyze_fleet, FleetJob};
+use astree::core::{AnalysisConfig, AnalysisResult, Analyzer};
+use astree::frontend::Frontend;
+use astree::gen::{generate, BugKind, GenConfig};
+use std::time::Duration;
+
+fn run_with_jobs(src: &str, jobs: usize) -> AnalysisResult {
+    let p = Frontend::new().compile_str(src).expect("compiles");
+    let mut cfg = AnalysisConfig::default();
+    cfg.jobs = jobs;
+    Analyzer::new(&p, cfg).run()
+}
+
+/// Asserts bit-identical observables between a sequential and a parallel
+/// run: alarm lists compare by full value (statement, location, kind,
+/// context, order) and invariants by their assertion census.
+fn assert_equivalent(name: &str, seq: &AnalysisResult, par: &AnalysisResult, jobs: usize) {
+    assert_eq!(seq.alarms, par.alarms, "{name}: alarm list differs between jobs=1 and jobs={jobs}");
+    assert_eq!(
+        seq.main_census, par.main_census,
+        "{name}: main-loop invariant census differs between jobs=1 and jobs={jobs}"
+    );
+    assert_eq!(seq.stats.loop_iterations, par.stats.loop_iterations, "{name}: widening schedule");
+    assert_eq!(seq.stats.useful_octagon_packs, par.stats.useful_octagon_packs, "{name}");
+}
+
+/// A mixed-scale corpus: clean programs of several sizes and seeds, plus one
+/// variant per injected bug kind.
+fn corpus() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (channels, seed) in [(1usize, 1u64), (2, 7), (4, 3), (6, 42)] {
+        let cfg = GenConfig { channels, seed, bug: None };
+        out.push((format!("clean-c{channels}-s{seed}"), generate(&cfg)));
+    }
+    for (bug, tag) in
+        [(BugKind::DivByZero, "div"), (BugKind::OutOfBounds, "oob"), (BugKind::IntOverflow, "ovf")]
+    {
+        let cfg = GenConfig { channels: 3, seed: 11, bug: Some(bug) };
+        out.push((format!("bug-{tag}-c3-s11"), generate(&cfg)));
+    }
+    out
+}
+
+#[test]
+fn parallel_analysis_is_bit_identical_to_sequential() {
+    let programs = corpus();
+    assert!(programs.len() >= 5);
+    let mut sliced_somewhere = false;
+    for (name, src) in &programs {
+        let seq = run_with_jobs(src, 1);
+        assert_eq!(seq.stats.parallel_stages, 0, "{name}: sequential run must not slice");
+        for jobs in [2usize, 4] {
+            let par = run_with_jobs(src, jobs);
+            assert_equivalent(name, &seq, &par, jobs);
+            sliced_somewhere |= par.stats.parallel_slices > 0;
+        }
+    }
+    // The corpus must actually exercise the parallel path, not just fall
+    // back to sequential execution everywhere.
+    assert!(sliced_somewhere, "no program in the corpus ran any parallel slice");
+}
+
+#[test]
+fn parallel_analysis_slices_the_channel_dispatch() {
+    // Independent channels make the synchronous loop's dispatch sliceable.
+    let src = generate(&GenConfig { channels: 6, seed: 42, bug: None });
+    let par = run_with_jobs(&src, 4);
+    assert!(
+        par.stats.parallel_slices >= 2,
+        "expected the 6-channel dispatch to slice, got {} slices over {} stages",
+        par.stats.parallel_slices,
+        par.stats.parallel_stages
+    );
+}
+
+#[test]
+fn batch_isolates_a_panicking_job() {
+    // A worker panic (here: a deliberately poisoned job) must fail that job
+    // only; the remaining jobs complete and report normally.
+    let mut fleet: Vec<FleetJob> = vec![
+        FleetJob {
+            name: "clean".into(),
+            source: generate(&GenConfig { channels: 1, seed: 1, bug: None }),
+        },
+        FleetJob {
+            name: "buggy".into(),
+            source: generate(&GenConfig { channels: 1, seed: 2, bug: Some(BugKind::DivByZero) }),
+        },
+    ];
+    fleet.insert(1, FleetJob { name: "poison".into(), source: "int x; @!#".into() });
+
+    let report = analyze_fleet(fleet, &AnalysisConfig::default(), 2, None);
+    assert_eq!(report.outcomes.len(), 3);
+    assert_eq!(report.outcomes[0].name, "clean");
+    assert_eq!(report.outcomes[0].alarms, Some(0), "{:?}", report.outcomes[0]);
+    assert_ne!(report.outcomes[1].status, "done");
+    assert_eq!(report.outcomes[2].name, "buggy");
+    assert!(report.outcomes[2].alarms.unwrap_or(0) >= 1, "{:?}", report.outcomes[2]);
+    assert_eq!(report.completed(), 2);
+}
+
+#[test]
+fn batch_timeout_is_honored() {
+    let fleet = vec![FleetJob {
+        name: "big".into(),
+        source: generate(&GenConfig { channels: 12, seed: 5, bug: None }),
+    }];
+    let report = analyze_fleet(fleet, &AnalysisConfig::default(), 1, Some(Duration::from_nanos(1)));
+    assert_eq!(report.outcomes[0].status, "timed-out");
+    assert_eq!(report.completed(), 0);
+}

@@ -60,11 +60,7 @@ fn injected_div_by_zero_is_reported_and_real() {
     let src = generate(&GenConfig { channels: 2, seed: 5, bug: Some(BugKind::DivByZero) });
     let p = Frontend::new().compile_str(&src).unwrap();
     let result = Analyzer::new(&p, AnalysisConfig::default()).run();
-    assert!(
-        alarm_kinds(&result).contains(&AlarmKind::DivByZero),
-        "{:?}",
-        result.alarms
-    );
+    assert!(alarm_kinds(&result).contains(&AlarmKind::DivByZero), "{:?}", result.alarms);
     let (errors, _) = interp_events(&p, 0..100, 50);
     assert!(
         errors.iter().any(|e| matches!(e, ExecError::DivByZero(_))),
@@ -77,11 +73,7 @@ fn injected_oob_is_reported_and_real() {
     let src = generate(&GenConfig { channels: 2, seed: 5, bug: Some(BugKind::OutOfBounds) });
     let p = Frontend::new().compile_str(&src).unwrap();
     let result = Analyzer::new(&p, AnalysisConfig::default()).run();
-    assert!(
-        alarm_kinds(&result).contains(&AlarmKind::OutOfBounds),
-        "{:?}",
-        result.alarms
-    );
+    assert!(alarm_kinds(&result).contains(&AlarmKind::OutOfBounds), "{:?}", result.alarms);
     let (errors, _) = interp_events(&p, 0..100, 50);
     assert!(
         errors.iter().any(|e| matches!(e, ExecError::OutOfBounds(_))),
@@ -94,11 +86,7 @@ fn injected_overflow_is_reported_and_real() {
     let src = generate(&GenConfig { channels: 1, seed: 5, bug: Some(BugKind::IntOverflow) });
     let p = Frontend::new().compile_str(&src).unwrap();
     let result = Analyzer::new(&p, AnalysisConfig::default()).run();
-    assert!(
-        alarm_kinds(&result).contains(&AlarmKind::IntOverflow),
-        "{:?}",
-        result.alarms
-    );
+    assert!(alarm_kinds(&result).contains(&AlarmKind::IntOverflow), "{:?}", result.alarms);
     let (_, events) = interp_events(&p, 0..1, 3000);
     assert!(
         events.iter().any(|e| matches!(e, RuntimeEvent::IntOverflow)),
@@ -132,11 +120,8 @@ fn loop_invariant_contains_concrete_states() {
 
     for seed in 0..5u64 {
         let mut inputs = SeededInputs::new(seed);
-        let mut it = Interp::new(
-            &p,
-            InterpConfig { max_steps: 50_000_000, max_ticks: 60 },
-            &mut inputs,
-        );
+        let mut it =
+            Interp::new(&p, InterpConfig { max_steps: 50_000_000, max_ticks: 60 }, &mut inputs);
         let snapshots: std::rc::Rc<std::cell::RefCell<Vec<astree::ir::Store>>> =
             std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let sink = snapshots.clone();
@@ -155,10 +140,7 @@ fn loop_invariant_contains_concrete_states() {
             for ((var, path), value) in store {
                 // Map concrete cells to abstract cells by name lookup.
                 let info = p.var(*var);
-                if !matches!(
-                    info.kind,
-                    astree::ir::VarKind::Global | astree::ir::VarKind::Static
-                ) {
+                if !matches!(info.kind, astree::ir::VarKind::Global | astree::ir::VarKind::Static) {
                     continue; // locals may be dead at the loop head
                 }
                 let cells = layout.cells_of_var(*var);

@@ -1,0 +1,223 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal, dependency-free timing harness with the same item names:
+//! `Criterion`, `BenchmarkGroup`, `Bencher`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Compared to upstream it performs a short calibration followed by a small
+//! fixed number of timed samples and prints median/min/max per benchmark —
+//! no statistical analysis, outlier detection, HTML reports, or baselines.
+//! Benchmarks stay runnable (`cargo bench`) and comparable run-to-run on
+//! the same machine, which is all the workspace's perf-trajectory scripts
+//! need.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark `name` at parameter `param` (rendered `name/param`).
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: name.into(), param: Some(param.to_string()) }
+    }
+
+    /// A benchmark identified by parameter only (rendered under the group).
+    pub fn from_parameter(param: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { name: String::new(), param: Some(param.to_string()) }
+    }
+
+    fn render(&self) -> String {
+        match (&self.name[..], &self.param) {
+            ("", Some(p)) => p.clone(),
+            (n, Some(p)) => format!("{}/{}", n, p),
+            (n, None) => n.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { name: name.to_string(), param: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { name, param: None }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample mean durations, filled by `iter`.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count (~10 ms per sample), then times
+    /// `samples` batches of the closure.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Calibrate: grow the batch until it costs >= ~5 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.results.clear();
+        for _ in 0..self.samples.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.results.push(t0.elapsed() / batch as u32);
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.results.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.results.clone();
+        sorted.sort();
+        let med = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!("{label:<40} median {med:>12?}   [{min:?} .. {max:?}]");
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 50);
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.samples, results: Vec::new() };
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.render()));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: self.samples, results: Vec::new() };
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.render()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts CLI arguments for compatibility; filtering is not
+    /// implemented, every benchmark runs.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, _criterion: self }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { samples: 10, results: Vec::new() };
+        f(&mut b);
+        b.report(&id.render());
+        self
+    }
+}
+
+/// Re-export for benches that import `black_box` from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| 1u64.wrapping_add(2)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &n| b.iter(|| n.wrapping_mul(7)));
+        g.finish();
+        c.bench_function("free", |b| b.iter(|| black_box(42)));
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        tiny_bench(&mut c);
+    }
+}
