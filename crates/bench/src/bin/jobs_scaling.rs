@@ -3,7 +3,9 @@
 //! The parallel scheme (Monniaux's partition-and-join) guarantees
 //! bit-identical results for every worker count, so this experiment measures
 //! pure scheduling overhead/speedup on one fixed generated program. Output
-//! is a single JSON object, so runs can be archived and compared.
+//! is a single JSON object; each run embeds its full `astree-metrics/1`
+//! document (the same schema `astree analyze --metrics` writes), so per-slice
+//! scheduler timings can be compared across worker counts.
 //!
 //! ```text
 //! cargo run --release -p astree-bench --bin jobs_scaling [channels] [seed]
@@ -11,6 +13,7 @@
 
 use astree_bench::family_program;
 use astree_core::{AnalysisConfig, Analyzer};
+use astree_obs::{Collector, Json};
 use std::time::Instant;
 
 fn main() {
@@ -21,14 +24,15 @@ fn main() {
     let program = family_program(channels, seed);
     let kloc = astree_bench::family_kloc(channels, seed);
 
-    let mut rows = Vec::new();
+    let mut runs = Vec::new();
     let mut baseline_alarms: Option<Vec<String>> = None;
     let mut base_wall = 0.0f64;
     for jobs in [1usize, 2, 4] {
         let mut cfg = AnalysisConfig::default();
         cfg.jobs = jobs;
+        let collector = Collector::new();
         let t0 = Instant::now();
-        let result = Analyzer::new(&program, cfg).run();
+        let result = Analyzer::new(&program, cfg).run_recorded(&collector);
         let wall = t0.elapsed().as_secs_f64();
 
         let alarms: Vec<String> = result.alarms.iter().map(|a| a.to_string()).collect();
@@ -42,23 +46,23 @@ fn main() {
                 "jobs={jobs} changed the alarm list — determinism violated"
             ),
         }
-        rows.push(format!(
-            "    {{\"jobs\": {jobs}, \"wall_s\": {wall:.6}, \"speedup\": {:.4}, \
-             \"parallel_stages\": {}, \"parallel_slices\": {}}}",
-            base_wall / wall,
-            result.stats.parallel_stages,
-            result.stats.parallel_slices,
-        ));
+        runs.push(Json::obj([
+            ("jobs", Json::UInt(jobs as u64)),
+            ("wall_s", Json::Float(wall)),
+            ("speedup", Json::Float(base_wall / wall)),
+            ("parallel_stages", Json::UInt(result.stats.parallel_stages)),
+            ("parallel_slices", Json::UInt(result.stats.parallel_slices)),
+            ("metrics", collector.to_json()),
+        ]));
     }
 
-    println!("{{");
-    println!("  \"experiment\": \"jobs_scaling\",");
-    println!("  \"channels\": {channels},");
-    println!("  \"seed\": {seed},");
-    println!("  \"kloc\": {kloc:.2},");
-    println!("  \"alarms\": {},", baseline_alarms.map_or(0, |a| a.len()));
-    println!("  \"runs\": [");
-    println!("{}", rows.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    let doc = Json::obj([
+        ("experiment", Json::str("jobs_scaling")),
+        ("channels", Json::UInt(channels as u64)),
+        ("seed", Json::UInt(seed)),
+        ("kloc", Json::Float(kloc)),
+        ("alarms", Json::UInt(baseline_alarms.map_or(0, |a| a.len()) as u64)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    println!("{doc}");
 }

@@ -16,6 +16,8 @@
 //! repro --experiment slice          # Sect. 3.3 classical vs abstract slices
 //! repro --scale 0.2                 # shrink the workloads (default 0.2;
 //!                                   # 1.0 ≈ the paper's 75 kLOC ceiling)
+//! repro --metrics FILE              # (fig2) also write the aggregated
+//!                                   # astree-metrics/1 telemetry document
 //! ```
 //!
 //! The harness does not chase the paper's absolute 2003-hardware numbers;
@@ -34,6 +36,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut experiment = "all".to_string();
     let mut scale = 0.2f64;
+    let mut metrics: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,6 +48,10 @@ fn main() {
                 scale = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0.2);
                 i += 2;
             }
+            "--metrics" | "-m" => {
+                metrics = args.get(i + 1).cloned();
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -53,7 +60,7 @@ fn main() {
     }
     let run = |name: &str| experiment == "all" || experiment == name;
     if run("fig2") {
-        fig2(scale);
+        fig2(scale, metrics.as_deref());
     }
     if run("alarms") {
         alarms(scale);
@@ -90,7 +97,7 @@ fn banner(title: &str, expectation: &str) {
 }
 
 /// Fig. 2: total analysis time against program size.
-fn fig2(scale: f64) {
+fn fig2(scale: f64, metrics: Option<&str>) {
     banner(
         "E1 / Fig. 2 — total analysis time vs kLOC",
         "monotone, near-linear-to-mildly-superlinear growth up to the \
@@ -102,11 +109,22 @@ fn fig2(scale: f64) {
         .iter()
         .map(|f| ((ceiling as f64 * f) as usize).max(2))
         .collect();
+    // One collector spans the whole sweep: domain/phase totals accumulate
+    // across sizes into a single astree-metrics/1 document.
+    let collector = metrics.map(|_| astree_obs::Collector::new());
     let mut rows = Vec::new();
     for &channels in &sizes {
         let kloc = family_kloc(channels, 7);
         let program = family_program(channels, 7);
-        let (result, dt) = timed_analysis(&program, AnalysisConfig::default());
+        let (result, dt) = match &collector {
+            Some(c) => {
+                let t0 = Instant::now();
+                let r = Analyzer::new(&program, AnalysisConfig::default()).run_recorded(c);
+                let dt = t0.elapsed();
+                (r, dt)
+            }
+            None => timed_analysis(&program, AnalysisConfig::default()),
+        };
         rows.push(vec![
             format!("{kloc:.2}"),
             format!("{}", result.stats.cells),
@@ -120,6 +138,13 @@ fn fig2(scale: f64) {
         &["kLOC", "cells", "oct packs", "alarms", "time (s)", "invariant cells (mem proxy)"],
         &rows,
     );
+    if let (Some(path), Some(c)) = (metrics, &collector) {
+        if let Err(e) = std::fs::write(path, c.to_json().to_string()) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("\nmetrics written to {path}");
+    }
 }
 
 /// Sect. 8: the alarm ladder — each refinement removes a class of alarms.

@@ -46,6 +46,33 @@ impl AlarmKind {
         }
         out
     }
+
+    /// Stable snake-case name, used in the metrics schema.
+    pub fn slug(self) -> &'static str {
+        match self {
+            AlarmKind::DivByZero => "div_by_zero",
+            AlarmKind::IntOverflow => "int_overflow",
+            AlarmKind::FloatOverflow => "float_overflow",
+            AlarmKind::InvalidFloatOp => "invalid_float_op",
+            AlarmKind::ShiftRange => "shift_range",
+            AlarmKind::OutOfBounds => "out_of_bounds",
+            AlarmKind::InvalidCast => "invalid_cast",
+        }
+    }
+
+    /// The base domain whose check fails when this alarm survives (the
+    /// provenance attribution used in the metrics schema): integer checks
+    /// are decided by the interval/clocked product, float checks by the
+    /// float intervals, bounds checks by the memory model, and conversions
+    /// by the float→int cast logic.
+    pub fn domain(self) -> &'static str {
+        match self {
+            AlarmKind::DivByZero | AlarmKind::IntOverflow | AlarmKind::ShiftRange => "int_interval",
+            AlarmKind::FloatOverflow | AlarmKind::InvalidFloatOp => "float_interval",
+            AlarmKind::OutOfBounds => "memory",
+            AlarmKind::InvalidCast => "cast",
+        }
+    }
 }
 
 impl fmt::Display for AlarmKind {
@@ -96,13 +123,24 @@ impl AlarmSink {
         AlarmSink::default()
     }
 
-    /// Records the alarms implied by `flags` at a statement.
-    pub fn report(&mut self, stmt: StmtId, loc: Loc, flags: ErrFlags, context: &str) {
+    /// Records the alarms implied by `flags` at a statement. Returns the
+    /// kinds that were *new* for this statement (so callers can emit one
+    /// provenance event per first report, matching the deduplication).
+    pub fn report(
+        &mut self,
+        stmt: StmtId,
+        loc: Loc,
+        flags: ErrFlags,
+        context: &str,
+    ) -> Vec<AlarmKind> {
+        let mut fresh = Vec::new();
         for kind in AlarmKind::from_flags(flags) {
             if self.seen.insert((stmt, kind)) {
                 self.alarms.push(Alarm { stmt, loc, kind, context: context.to_string() });
+                fresh.push(kind);
             }
         }
+        fresh
     }
 
     /// Merges another sink into this one, preserving the per

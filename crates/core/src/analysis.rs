@@ -74,12 +74,19 @@ impl<'a> Analyzer<'a> {
 
     /// Runs both phases (iteration, then checking) and assembles the result.
     pub fn run(&self) -> AnalysisResult {
+        self.run_recorded(&astree_obs::NULL)
+    }
+
+    /// Like [`Analyzer::run`], reporting telemetry events to `rec` along the
+    /// way (fixpoint progress, domain timings, alarm provenance, scheduler
+    /// activity). `run` is exactly this with the no-op recorder.
+    pub fn run_recorded(&self, rec: &dyn astree_obs::Recorder) -> AnalysisResult {
         let layout = CellLayout::new(
             self.program,
             &LayoutConfig { shrink_threshold: self.config.shrink_threshold },
         );
         let packs = Packs::discover(self.program, &layout, &self.config);
-        let mut iter = Iter::new(self.program, &layout, &packs, &self.config);
+        let mut iter = Iter::with_recorder(self.program, &layout, &packs, &self.config, rec);
 
         let t0 = Instant::now();
         let _final_state = iter.run_mode(Mode::Iterate);
@@ -88,6 +95,11 @@ impl<'a> Analyzer<'a> {
         let t1 = Instant::now();
         let _ = iter.run_mode(Mode::Check);
         let time_check = t1.elapsed();
+
+        if rec.enabled() {
+            rec.phase_time("iterate", time_iterate.as_nanos() as u64);
+            rec.phase_time("check", time_check.as_nanos() as u64);
+        }
 
         // The main loop: the first loop of the entry function.
         let main_loop = first_loop_id(self.program);

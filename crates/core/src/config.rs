@@ -73,6 +73,11 @@ pub struct AnalysisConfig {
     /// statement runs across `N` workers and merges the slice deltas in a
     /// fixed order, so alarms and invariants are identical for every value.
     pub jobs: usize,
+    /// Fault injection for tests: the parallel worker running this slice
+    /// index panics, exercising the panic-isolation fallback (the stage is
+    /// replayed sequentially and the reason lands in the metrics output).
+    #[doc(hidden)]
+    pub debug_panic_slice: Option<usize>,
 }
 
 impl Default for AnalysisConfig {
@@ -100,6 +105,7 @@ impl Default for AnalysisConfig {
             octagon_pack_filter: None,
             octagon_packs_extra: Vec::new(),
             jobs: 1,
+            debug_panic_slice: None,
         }
     }
 }

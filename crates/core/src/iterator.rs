@@ -28,8 +28,10 @@ use astree_ir::{
     StmtKind, Unop, VarId,
 };
 use astree_memory::{CellId, CellLayout, CellVal, Evaluator};
+use astree_obs::{AlarmEvent, LoopDoneEvent, LoopIterEvent, Phase, Recorder, SliceEvent};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Analysis mode (paper Sect. 5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +90,15 @@ pub struct Iter<'a> {
     par_enabled: bool,
     /// Cached stage plans, keyed by the first statement of the block.
     plans: HashMap<StmtId, Arc<crate::parallel::BlockPlan>>,
+    /// Telemetry sink (the no-op recorder by default).
+    rec: &'a dyn Recorder,
+    /// Cached `rec.enabled()`: hot paths pay one branch, not a virtual call.
+    rec_on: bool,
+    /// Function-name stack for event attribution (maintained when `rec_on`).
+    func_stack: Vec<&'a str>,
+    /// `(loop id, checking iteration)` context stack (maintained when
+    /// `rec_on`), for alarm provenance.
+    loop_stack: Vec<(u32, u64)>,
 }
 
 /// The set of partitions flowing through a block, plus the accumulated
@@ -98,12 +109,24 @@ struct Flow {
 }
 
 impl<'a> Iter<'a> {
-    /// Creates an iterator over the given program and configuration.
+    /// Creates an iterator over the given program and configuration, with
+    /// the no-op telemetry recorder.
     pub fn new(
         program: &'a Program,
         layout: &'a CellLayout,
         packs: &'a Packs,
         config: &'a AnalysisConfig,
+    ) -> Self {
+        Iter::with_recorder(program, layout, packs, config, &astree_obs::NULL)
+    }
+
+    /// Creates an iterator that reports telemetry events to `rec`.
+    pub fn with_recorder(
+        program: &'a Program,
+        layout: &'a CellLayout,
+        packs: &'a Packs,
+        config: &'a AnalysisConfig,
+        rec: &'a dyn Recorder,
     ) -> Self {
         let mut eval = Evaluator::new(program, layout, config.max_clock);
         eval.linearize = config.enable_linearization;
@@ -121,7 +144,24 @@ impl<'a> Iter<'a> {
             stats: IterStats::default(),
             par_enabled: config.jobs > 1,
             plans: HashMap::new(),
+            rec,
+            rec_on: rec.enabled(),
+            func_stack: Vec::new(),
+            loop_stack: Vec::new(),
         }
+    }
+
+    /// The function currently being analyzed, for event attribution.
+    fn cur_func(&self) -> &'a str {
+        match self.func_stack.last() {
+            Some(name) => name,
+            None => self.program.func(self.program.entry).name.as_str(),
+        }
+    }
+
+    /// Nanoseconds elapsed since `t0` (telemetry helper).
+    fn nanos_since(t0: Instant) -> u64 {
+        t0.elapsed().as_nanos() as u64
     }
 
     /// Runs one full pass from the entry point in the given mode and returns
@@ -146,11 +186,17 @@ impl<'a> Iter<'a> {
         let partitioning = self.config.partitioned_functions.contains(&f.name);
         let body = f.body.clone();
         let bot = state.bottom_like();
+        if self.rec_on {
+            self.func_stack.push(self.program.func(func).name.as_str());
+        }
         let mut flow = Flow { parts: vec![state], returned: bot };
         self.exec_block(&mut flow, &body, ret_target, partitioning, depth);
         let mut out = flow.returned;
         for p in flow.parts {
             out = out.join(&p, self.layout, self.packs);
+        }
+        if self.rec_on {
+            self.func_stack.pop();
         }
         out
     }
@@ -253,6 +299,9 @@ impl<'a> Iter<'a> {
         let stmts = &block[stage.range()];
         let chunks = astree_sched::chunk_ranges(stmts.len(), self.config.jobs);
         if chunks.len() < 2 {
+            if self.rec_on {
+                self.rec.fallback("too_few_chunks");
+            }
             return false;
         }
         let pre = flow.parts[0].clone();
@@ -262,34 +311,70 @@ impl<'a> Iter<'a> {
         let packs = self.packs;
         let config = self.config;
         let seed_invariants = &self.invariants;
+        let panic_slice = self.config.debug_panic_slice;
 
-        let results = astree_sched::scatter(chunks.clone(), |_, r: std::ops::Range<usize>| {
-            let mut w = Iter::new(program, layout, packs, config);
-            w.par_enabled = false;
-            w.mode = mode;
-            if mode == Mode::Check {
-                w.invariants = seed_invariants.clone();
-            }
-            let mut wf = Flow { parts: vec![pre.clone()], returned: pre.bottom_like() };
-            for s in &stmts[r] {
-                w.exec_stmt(&mut wf, s, ret_target, false, depth);
-                wf.parts.retain(|p| !p.is_bottom());
-                if wf.parts.is_empty() {
-                    break;
+        // Each worker runs under `catch_unwind`: a panicking slice must not
+        // take down the analysis, it only forces the sequential replay below
+        // (which is safe — nothing of the stage has been committed yet).
+        // `AssertUnwindSafe` is sound here because a panicked slice's entire
+        // result is discarded and the captured state is read-only.
+        let results = astree_sched::scatter(chunks.clone(), |ci, r: std::ops::Range<usize>| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if panic_slice == Some(ci) {
+                    panic!("injected slice fault (debug_panic_slice)");
                 }
-            }
-            let post = if wf.parts.len() == 1 { Some(wf.parts.pop().unwrap()) } else { None };
-            (post, wf.returned, w.invariants, w.sink, w.stats, w.oct_useful)
+                let t0 = Instant::now();
+                let mut w = Iter::new(program, layout, packs, config);
+                w.par_enabled = false;
+                w.mode = mode;
+                if mode == Mode::Check {
+                    w.invariants = seed_invariants.clone();
+                }
+                let mut wf = Flow { parts: vec![pre.clone()], returned: pre.bottom_like() };
+                for s in &stmts[r] {
+                    w.exec_stmt(&mut wf, s, ret_target, false, depth);
+                    wf.parts.retain(|p| !p.is_bottom());
+                    if wf.parts.is_empty() {
+                        break;
+                    }
+                }
+                let post = if wf.parts.len() == 1 { Some(wf.parts.pop().unwrap()) } else { None };
+                (post, wf.returned, w.invariants, w.sink, w.stats, w.oct_useful, t0.elapsed())
+            }))
+            .ok()
         });
+
+        if results.iter().any(|r| r.is_none()) {
+            if self.rec_on {
+                self.rec.fallback("worker_panic");
+            }
+            return false;
+        }
+        let results: Vec<_> = results.into_iter().map(|r| r.expect("checked above")).collect();
 
         // Any slice that went to bottom, split into partitions, or produced a
         // return state falls outside the overlay model: replay sequentially.
         if results.iter().any(|(post, returned, ..)| post.is_none() || !returned.is_bottom()) {
+            if self.rec_on {
+                self.rec.fallback("slice_shape");
+            }
             return false;
         }
 
+        let stage_no = self.stats.par_stages + 1;
+        if self.rec_on {
+            for (ci, r) in results.iter().enumerate() {
+                self.rec.slice(&SliceEvent {
+                    stage: stage_no,
+                    index: ci,
+                    stmts: chunks[ci].len(),
+                    nanos: r.6.as_nanos() as u64,
+                });
+            }
+        }
+        let t_merge = self.rec_on.then(Instant::now);
         let mut merged = pre.clone();
-        for (ci, (post, _returned, invariants, sink, stats, useful)) in
+        for (ci, (post, _returned, invariants, sink, stats, useful, _wall)) in
             results.into_iter().enumerate()
         {
             let post = post.expect("checked above");
@@ -309,6 +394,9 @@ impl<'a> Iter<'a> {
                 self.oct_useful[pi] += n;
             }
         }
+        if let Some(t0) = t_merge {
+            self.rec.merge(stage_no, chunks.len(), Self::nanos_since(t0));
+        }
         self.stats.par_stages += 1;
         self.stats.par_slices += chunks.len() as u64;
         flow.parts[0] = merged;
@@ -325,6 +413,9 @@ impl<'a> Iter<'a> {
     ) {
         self.stats.stmts_interpreted += flow.parts.len() as u64;
         self.stats.peak_partitions = self.stats.peak_partitions.max(flow.parts.len());
+        if self.rec_on && flow.parts.len() > 1 {
+            self.rec.partitions(self.cur_func(), flow.parts.len() as u64);
+        }
         match &s.kind {
             StmtKind::Assign(lv, e) => {
                 for p in &mut flow.parts {
@@ -444,7 +535,11 @@ impl<'a> Iter<'a> {
         let mut exits = entry.bottom_like();
         let mut cur = entry;
         // Semantic loop unrolling (Sect. 7.1.1).
-        for _ in 0..self.config.unroll_for(id) {
+        let unroll = self.config.unroll_for(id);
+        if self.rec_on && unroll > 0 {
+            self.rec.unroll(self.cur_func(), id.0, unroll);
+        }
+        for _ in 0..unroll {
             exits = exits.join(&self.state_guard(&cur, cond, false), self.layout, self.packs);
             let body_in = self.state_guard(&cur, cond, true);
             if body_in.is_bottom() {
@@ -460,6 +555,7 @@ impl<'a> Iter<'a> {
         let mut grace = self.config.stabilization_grace;
         let mut prev_unstable = usize::MAX;
         let no_thresholds = Thresholds::none();
+        let stabilized_at;
         loop {
             iter += 1;
             self.stats.loop_iterations += 1;
@@ -468,33 +564,130 @@ impl<'a> Iter<'a> {
             self.perturb(&mut body_out);
             let fval = base.join(&body_out, self.layout, self.packs);
             if fval.leq(&inv) {
+                stabilized_at = iter as u64;
                 break;
             }
             let unstable = inv.env.count_diff(&fval.env);
             let stabilizing = unstable < prev_unstable && grace > 0;
             prev_unstable = unstable;
+            // Snapshot the invariant's env (cheap: persistent map) so the
+            // telemetry event can classify which bounds moved and how.
+            let before = self.rec_on.then(|| inv.env.clone());
+            let t0 = self.rec_on.then(Instant::now);
+            let phase;
             if iter <= self.config.widening_delay || stabilizing {
                 if stabilizing && iter > self.config.widening_delay {
                     grace -= 1;
                 }
+                phase = Phase::Union;
                 inv = inv.join(&fval, self.layout, self.packs);
             } else if iter <= self.config.max_iterations {
+                phase = Phase::Widen;
                 inv = inv.widen(&fval, self.layout, self.packs, &self.config.thresholds);
             } else {
                 // Hard cap: finish with threshold-free widening.
+                phase = Phase::WidenTop;
                 inv = inv.widen(&fval, self.layout, self.packs, &no_thresholds);
+            }
+            if let (Some(before), Some(t0)) = (before, t0) {
+                let op = if phase == Phase::Union { "join" } else { "widen" };
+                self.rec.domain_op("state", op, Self::nanos_since(t0));
+                let (threshold_hits, infinity_escapes) = self.widen_deltas(&before, &inv.env);
+                self.rec.loop_iter(&LoopIterEvent {
+                    func: self.cur_func(),
+                    loop_id: id.0,
+                    iteration: iter as u64,
+                    phase,
+                    unstable_cells: unstable as u64,
+                    threshold_hits,
+                    infinity_escapes,
+                });
             }
         }
         // Narrowing iterations (Sect. 5.5).
-        for _ in 0..self.config.narrowing_iterations {
+        for k in 0..self.config.narrowing_iterations {
             let body_in = self.state_guard(&inv, cond, true);
             let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
             let fval = base.join(&body_out, self.layout, self.packs);
+            let t0 = self.rec_on.then(Instant::now);
             inv = inv.narrow(&fval);
+            if let Some(t0) = t0 {
+                self.rec.domain_op("state", "narrow", Self::nanos_since(t0));
+                self.rec.loop_iter(&LoopIterEvent {
+                    func: self.cur_func(),
+                    loop_id: id.0,
+                    iteration: stabilized_at + k as u64 + 1,
+                    phase: Phase::Narrow,
+                    unstable_cells: 0,
+                    threshold_hits: 0,
+                    infinity_escapes: 0,
+                });
+            }
         }
+        let t0 = self.rec_on.then(Instant::now);
         inv.reduce_counting(self.layout, self.packs, Some(&mut self.oct_useful));
+        if let Some(t0) = t0 {
+            self.rec.domain_op("octagon", "closure", Self::nanos_since(t0));
+            self.rec.loop_done(&LoopDoneEvent {
+                func: self.cur_func(),
+                loop_id: id.0,
+                iterations: stabilized_at + self.config.narrowing_iterations as u64,
+                stabilized_at,
+            });
+        }
         self.invariants.insert(id, inv.clone());
         exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
+    }
+
+    /// Diffs the invariant environment across one join/widen step: a bound
+    /// that moved to a finite value is a threshold hit, one that escaped to
+    /// the type's extreme is an infinity escape.
+    fn widen_deltas(
+        &self,
+        before: &astree_memory::AbsEnv,
+        after: &astree_memory::AbsEnv,
+    ) -> (u64, u64) {
+        let mut hits = 0u64;
+        let mut escapes = 0u64;
+        for (id, v) in after.iter() {
+            let old = before.get(*id, self.layout);
+            match (old, v) {
+                (CellVal::Int(o), CellVal::Int(n)) => {
+                    if n.val.lo < o.val.lo {
+                        if n.val.lo == i64::MIN {
+                            escapes += 1
+                        } else {
+                            hits += 1
+                        }
+                    }
+                    if n.val.hi > o.val.hi {
+                        if n.val.hi == i64::MAX {
+                            escapes += 1
+                        } else {
+                            hits += 1
+                        }
+                    }
+                }
+                (CellVal::Float(o), CellVal::Float(n)) => {
+                    if n.lo < o.lo {
+                        if n.lo == f64::NEG_INFINITY {
+                            escapes += 1
+                        } else {
+                            hits += 1
+                        }
+                    }
+                    if n.hi > o.hi {
+                        if n.hi == f64::INFINITY {
+                            escapes += 1
+                        } else {
+                            hits += 1
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        (hits, escapes)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -510,21 +703,37 @@ impl<'a> Iter<'a> {
     ) -> AbsState {
         let mut exits = entry.bottom_like();
         let mut cur = entry;
-        for _ in 0..self.config.unroll_for(id) {
+        let unroll = self.config.unroll_for(id);
+        for k in 0..unroll {
+            if self.rec_on {
+                self.loop_stack.push((id.0, k as u64 + 1));
+            }
             self.check_expr(Some(&cur), cond, s);
             exits = exits.join(&self.state_guard(&cur, cond, false), self.layout, self.packs);
             let body_in = self.state_guard(&cur, cond, true);
             if body_in.is_bottom() {
+                if self.rec_on {
+                    self.loop_stack.pop();
+                }
                 return exits;
             }
             cur = self.exec_loop_body(body_in, body, ret_target, depth);
+            if self.rec_on {
+                self.loop_stack.pop();
+            }
         }
         let inv = self.invariants.get(&id).cloned().unwrap_or(cur);
         // One extra pass in checking mode from the invariant (Sect. 5.4).
+        if self.rec_on {
+            self.loop_stack.push((id.0, unroll as u64 + 1));
+        }
         self.check_expr(Some(&inv), cond, s);
         let body_in = self.state_guard(&inv, cond, true);
         if !body_in.is_bottom() {
             let _ = self.exec_loop_body(body_in, body, ret_target, depth);
+        }
+        if self.rec_on {
+            self.loop_stack.pop();
         }
         exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
     }
@@ -585,8 +794,12 @@ impl<'a> Iter<'a> {
         let mut out = state.clone();
         // Ellipsoid pending computation at the filter group's first stmt.
         if let Some(&pi) = self.packs.ellipse_starts.get(&s.id) {
+            let t0 = self.rec_on.then(Instant::now);
             let d = self.ellipse_delta(&out, pi);
             out.set_pending(pi, d);
+            if let Some(t0) = t0 {
+                self.rec.domain_op("ellipsoid", "delta", Self::nanos_since(t0));
+            }
         }
         let (env, flags) = self.eval.assign(&state.env, lv, e);
         if self.mode == Mode::Check && !flags.is_empty() {
@@ -600,9 +813,21 @@ impl<'a> Iter<'a> {
         let r = self.eval.resolve(&state.env, lv);
         if r.strong && r.cells.len() == 1 {
             let cell = r.cells[0];
-            self.oct_assign(&mut out, state, cell, e);
-            self.dtree_assign(&mut out, state, cell, e);
-            self.ellipse_assign(&mut out, cell, s);
+            if self.rec_on {
+                let t0 = Instant::now();
+                self.oct_assign(&mut out, state, cell, e);
+                self.rec.domain_op("octagon", "assign", Self::nanos_since(t0));
+                let t0 = Instant::now();
+                self.dtree_assign(&mut out, state, cell, e);
+                self.rec.domain_op("dtree", "assign", Self::nanos_since(t0));
+                let t0 = Instant::now();
+                self.ellipse_assign(&mut out, cell, s);
+                self.rec.domain_op("ellipsoid", "commit", Self::nanos_since(t0));
+            } else {
+                self.oct_assign(&mut out, state, cell, e);
+                self.dtree_assign(&mut out, state, cell, e);
+                self.ellipse_assign(&mut out, cell, s);
+            }
         } else {
             for c in &r.cells {
                 out.forget_cell(*c, self.packs);
@@ -869,8 +1094,14 @@ impl<'a> Iter<'a> {
         let body =
             if ref_map.is_empty() { f.body.clone() } else { substitute_block(&f.body, &ref_map) };
         let partitioning = self.config.partitioned_functions.contains(&f.name);
+        if self.rec_on {
+            self.func_stack.push(self.program.func(callee).name.as_str());
+        }
         let mut flow = Flow { parts: vec![cur.clone()], returned: cur.bottom_like() };
         self.exec_block(&mut flow, &body, ret, partitioning, depth + 1);
+        if self.rec_on {
+            self.func_stack.pop();
+        }
         let mut out = flow.returned;
         for p in flow.parts {
             out = out.join(&p, self.layout, self.packs);
@@ -930,15 +1161,23 @@ impl<'a> Iter<'a> {
                 if out.is_bottom() {
                     return out;
                 }
+                let t_guard = self.rec_on.then(Instant::now);
                 self.oct_guard(&mut out, cond);
                 self.dtree_guard(&mut out, cond, true);
+                if let Some(t0) = t_guard {
+                    self.rec.domain_op("octagon", "guard", Self::nanos_since(t0));
+                }
                 // Localized reduction: only the packs the condition touches.
                 let mut cells = Vec::new();
                 cond.for_each_lvalue(&mut |lv| {
                     let r = self.eval.resolve(&state.env, lv);
                     cells.extend(r.cells);
                 });
+                let t_red = self.rec_on.then(Instant::now);
                 out.reduce_local(self.layout, self.packs, &cells, Some(&mut self.oct_useful));
+                if let Some(t0) = t_red {
+                    self.rec.domain_op("octagon", "closure", Self::nanos_since(t0));
+                }
                 out
             }
         }
@@ -1114,7 +1353,8 @@ impl<'a> Iter<'a> {
         let (_, flags) = self.eval.eval(&state.env, e);
         if !flags.is_empty() {
             let ctx = astree_ir::pretty::expr_to_string(self.program, e);
-            self.sink.report(s.id, s.loc, flags, &ctx);
+            let fresh = self.sink.report(s.id, s.loc, flags, &ctx);
+            self.emit_alarms(s, &ctx, fresh);
         }
     }
 
@@ -1124,7 +1364,32 @@ impl<'a> Iter<'a> {
             ctx.push_str(" = ");
             ctx.push_str(&astree_ir::pretty::expr_to_string(self.program, e));
         }
-        self.sink.report(s.id, s.loc, flags, &ctx);
+        let fresh = self.sink.report(s.id, s.loc, flags, &ctx);
+        self.emit_alarms(s, &ctx, fresh);
+    }
+
+    /// Emits one provenance event per freshly reported alarm kind, tagged
+    /// with the surrounding loop context (if any).
+    fn emit_alarms(&self, s: &Stmt, ctx: &str, fresh: Vec<crate::alarms::AlarmKind>) {
+        if !self.rec_on || fresh.is_empty() {
+            return;
+        }
+        let (loop_id, iteration) = match self.loop_stack.last() {
+            Some(&(l, i)) => (Some(l), Some(i)),
+            None => (None, None),
+        };
+        for kind in fresh {
+            self.rec.alarm(&AlarmEvent {
+                func: self.cur_func(),
+                stmt: s.id.0,
+                line: s.loc.line,
+                kind: kind.slug(),
+                domain: kind.domain(),
+                context: ctx,
+                loop_id,
+                iteration,
+            });
+        }
     }
 }
 

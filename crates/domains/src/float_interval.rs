@@ -288,14 +288,24 @@ impl FloatItv {
             return (1, 0, ErrFlags::NONE);
         }
         let mut flags = ErrFlags::NONE;
-        let tlo = self.lo.trunc();
-        let thi = self.hi.trunc();
-        if tlo < min as f64 || thi > max as f64 {
+        // Range-check and clamp in `i128`: comparing against `max as f64`
+        // is off by one ulp near 2⁶³ (`i64::MAX as f64` is 2⁶³, one *past*
+        // the largest value), so a bound of exactly 2⁶³ slipped through
+        // unflagged. A truncated finite f64 converts to `i128` exactly and
+        // the `as` cast saturates ±∞ to the `i128` extremes.
+        let ilo = self.lo.trunc() as i128;
+        let ihi = self.hi.trunc() as i128;
+        if ilo < min as i128 || ihi > max as i128 {
             flags |= ErrFlags::INVALID_CAST;
         }
-        let lo = tlo.max(min as f64) as i64;
-        let hi = thi.min(max as f64) as i64;
-        (lo, hi, flags)
+        let lo = ilo.max(min as i128);
+        let hi = ihi.min(max as i128);
+        if lo > hi {
+            // Entirely out of range: every concrete cast traps, so the
+            // non-erroneous result set is empty.
+            return (1, 0, flags);
+        }
+        (lo as i64, hi as i64, flags)
     }
 }
 
@@ -427,6 +437,31 @@ mod tests {
         let (lo, hi, e) = FloatItv::new(1.9, 2.1).trunc_to_int(-128, 127);
         assert_eq!((lo, hi), (1, 2));
         assert!(e.is_empty());
+    }
+
+    /// A bound of exactly 2⁶³ is out of `i64` range, but comparing against
+    /// `i64::MAX as f64` (== 2⁶³) used to let it pass unflagged — a missed
+    /// alarm. The range check must be exact at the `i64` extremes.
+    #[test]
+    fn trunc_to_int_exact_at_i64_extremes() {
+        let two63 = 9_223_372_036_854_775_808.0; // 2⁶³ == i64::MAX + 1
+        let (lo, hi, e) = FloatItv::singleton(two63).trunc_to_int(i64::MIN, i64::MAX);
+        assert!(e.contains(ErrFlags::INVALID_CAST), "2⁶³ must flag INVALID_CAST");
+        assert!(lo > hi, "entirely out of range: result must be empty");
+        // Straddling the boundary keeps the in-range part and still flags.
+        let (lo, hi, e) = FloatItv::new(0.0, two63).trunc_to_int(i64::MIN, i64::MAX);
+        assert!(e.contains(ErrFlags::INVALID_CAST));
+        assert_eq!((lo, hi), (0, i64::MAX));
+        // The largest double *below* 2⁶³ is in range: no flag.
+        let in_range = 9_223_372_036_854_774_784.0; // 2⁶³ − 1024
+        let (lo, hi, e) = FloatItv::singleton(in_range).trunc_to_int(i64::MIN, i64::MAX);
+        assert!(e.is_empty(), "2⁶³ − 1024 is a valid i64");
+        assert_eq!((lo, hi), (in_range as i64, in_range as i64));
+        // Infinite bounds saturate and flag.
+        let (lo, hi, e) =
+            FloatItv::new(f64::NEG_INFINITY, f64::INFINITY).trunc_to_int(i64::MIN, i64::MAX);
+        assert!(e.contains(ErrFlags::INVALID_CAST));
+        assert_eq!((lo, hi), (i64::MIN, i64::MAX));
     }
 
     #[test]

@@ -98,22 +98,32 @@ impl Thresholds {
     }
 
     /// Integer variant of [`Thresholds::above`], saturating to `i64::MAX`.
+    ///
+    /// The query is rounded toward `+∞` before the ramp lookup and the
+    /// selected threshold is rounded toward `+∞` on the way back, so the
+    /// result is always `≥ x` even within one ulp of `i64::MAX`, where
+    /// `x as f64` rounds down by up to 1023.
     pub fn above_int(&self, x: i64) -> i64 {
-        let t = self.above(x as f64);
+        let t = self.above(f64_at_least(x));
+        // `i64::MAX as f64` is 2⁶³ exactly, one past `i64::MAX`; any finite
+        // threshold below it has an integral ceil representable in `i64`.
         if t >= i64::MAX as f64 {
             i64::MAX
         } else {
-            t.ceil() as i64
+            (t.ceil() as i64).max(x)
         }
     }
 
     /// Integer variant of [`Thresholds::below`], saturating to `i64::MIN`.
+    ///
+    /// Mirror of [`Thresholds::above_int`]: the query rounds toward `−∞`
+    /// so the returned threshold is always `≤ x`.
     pub fn below_int(&self, x: i64) -> i64 {
-        let t = self.below(x as f64);
+        let t = self.below(f64_at_most(x));
         if t <= i64::MIN as f64 {
             i64::MIN
         } else {
-            t.floor() as i64
+            (t.floor() as i64).min(x)
         }
     }
 }
@@ -121,6 +131,28 @@ impl Thresholds {
 impl Default for Thresholds {
     fn default() -> Self {
         Thresholds::geometric_default()
+    }
+}
+
+/// Smallest `f64` that is `≥ x` exactly. `x as f64` rounds to nearest, so
+/// above 2⁵³ it can land *below* `x` (by up to 1023 near `i64::MAX`); the
+/// `i128` comparison is exact for every `f64` in range.
+fn f64_at_least(x: i64) -> f64 {
+    let f = x as f64;
+    if (f as i128) < x as i128 {
+        astree_float::round::next_up(f)
+    } else {
+        f
+    }
+}
+
+/// Largest `f64` that is `≤ x` exactly; mirror of [`f64_at_least`].
+fn f64_at_most(x: i64) -> f64 {
+    let f = x as f64;
+    if (f as i128) > x as i128 {
+        astree_float::round::next_down(f)
+    } else {
+        f
     }
 }
 
@@ -174,5 +206,50 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn rejects_bad_lambda() {
         let _ = Thresholds::geometric(1.0, 1.0, 3);
+    }
+
+    /// `x as f64` rounds `2⁶² + 1` down to `2⁶²`; the naive lookup then
+    /// returns the `2⁶²` threshold, which is *below* `x` — an unsound
+    /// widening bound. The query must round toward `+∞` instead.
+    #[test]
+    fn above_int_never_returns_below_query() {
+        let big = 1i64 << 62;
+        let t = Thresholds::from_values(vec![big as f64]);
+        let x = big + 1;
+        let r = t.above_int(x);
+        assert!(r >= x, "above_int({x}) = {r} is below the query");
+        assert_eq!(r, i64::MAX, "no ramp value fits, must saturate");
+        // The threshold itself is still found when it genuinely fits.
+        assert_eq!(t.above_int(big), big);
+        assert_eq!(t.above_int(big - 1), big);
+    }
+
+    /// Within 1024 of `i64::MAX` the rounding error of `x as f64` exceeds
+    /// the gap to the nearest threshold: `i64::MAX − 512` used to come back
+    /// as the *smaller* threshold `i64::MAX − 1023`.
+    #[test]
+    fn above_int_sound_near_i64_max() {
+        let ramp = i64::MAX - 1023; // == 2⁶³ − 1024, exactly representable
+        let t = Thresholds::from_values(vec![ramp as f64]);
+        let x = i64::MAX - 512;
+        let r = t.above_int(x);
+        assert!(r >= x, "above_int({x}) = {r} is below the query");
+        assert_eq!(t.above_int(ramp), ramp);
+    }
+
+    /// Mirror of the `above_int` extremes for the negative ramp.
+    #[test]
+    fn below_int_never_returns_above_query() {
+        let big = 1i64 << 62;
+        let t = Thresholds::from_values(vec![big as f64]);
+        let x = -big - 1;
+        let r = t.below_int(x);
+        assert!(r <= x, "below_int({x}) = {r} is above the query");
+        assert_eq!(r, i64::MIN, "no ramp value fits, must saturate");
+        assert_eq!(t.below_int(-big), -big);
+        let near_min = -(i64::MAX - 512);
+        let t2 = Thresholds::from_values(vec![(i64::MAX - 1023) as f64]);
+        let r2 = t2.below_int(near_min);
+        assert!(r2 <= near_min, "below_int({near_min}) = {r2} is above the query");
     }
 }

@@ -1,0 +1,156 @@
+//! A minimal JSON tree and writer.
+//!
+//! The telemetry layer must stay zero-dependency (the build environment has
+//! no registry access), so this module provides the small value model the
+//! metrics schema needs: objects keep insertion order, numbers distinguish
+//! signed/unsigned/float, and the writer emits pretty-printed, valid JSON.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A float; non-finite values serialize as `null` (JSON has no ±∞/NaN).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key in an object (None for non-objects/missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string into a JSON string literal body.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Json {
+    fn write(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::UInt(v) => write!(f, "{v}"),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // `{v}` alone prints "1" for 1.0, which JSON would parse
+                    // as an integer; keep that (it is still a valid number).
+                    write!(f, "{v}")
+                } else {
+                    write!(f, "null")
+                }
+            }
+            Json::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    return write!(f, "[]");
+                }
+                writeln!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    write!(f, "{pad}  ")?;
+                    v.write(f, indent + 1)?;
+                    writeln!(f, "{}", if i + 1 < items.len() { "," } else { "" })?;
+                }
+                write!(f, "{pad}]")
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    return write!(f, "{{}}");
+                }
+                writeln!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    write!(f, "{pad}  \"{}\": ", escape(k))?;
+                    v.write(f, indent + 1)?;
+                    writeln!(f, "{}", if i + 1 < pairs.len() { "," } else { "" })?;
+                }
+                write!(f, "{pad}}}")
+            }
+        }
+    }
+}
+
+/// Pretty-prints with two-space indentation.
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Int(-3).to_string(), "-3");
+        assert_eq!(Json::UInt(7).to_string(), "7");
+        assert_eq!(Json::Float(1.5).to_string(), "1.5");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::str("a\"b\n").to_string(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn nested_structure_renders() {
+        let j = Json::obj([
+            ("name", Json::str("x")),
+            ("items", Json::Arr(vec![Json::Int(1), Json::Int(2)])),
+            ("empty", Json::Arr(vec![])),
+            ("obj", Json::obj([("k", Json::Null)])),
+        ]);
+        let s = j.to_string();
+        assert!(s.contains("\"name\": \"x\""));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.starts_with("{\n") && s.ends_with('}'));
+    }
+
+    #[test]
+    fn get_walks_objects() {
+        let j = Json::obj([("a", Json::obj([("b", Json::Int(1))]))]);
+        assert_eq!(j.get("a").and_then(|a| a.get("b")), Some(&Json::Int(1)));
+        assert_eq!(j.get("missing"), None);
+    }
+}

@@ -9,7 +9,9 @@
 
 use astree_core::{AnalysisConfig, Analyzer};
 use astree_frontend::Frontend;
+use astree_obs::{BatchJobEvent, NullRecorder, Recorder};
 use astree_sched::{run_batch, BatchConfig, Job, JobStatus};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One analysis job: a name and the C source to analyze.
@@ -79,15 +81,30 @@ pub fn analyze_fleet(
     workers: usize,
     timeout: Option<Duration>,
 ) -> FleetReport {
+    analyze_fleet_recorded(fleet, config, workers, timeout, Arc::new(NullRecorder))
+}
+
+/// Like [`analyze_fleet`], reporting telemetry to `rec`: each job's analysis
+/// streams fixpoint/domain events into the shared recorder, and one
+/// [`BatchJobEvent`] per job records its scheduling outcome. The recorder is
+/// `Arc`-shared because job closures outlive this call's borrows (`'static`).
+pub fn analyze_fleet_recorded(
+    fleet: Vec<FleetJob>,
+    config: &AnalysisConfig,
+    workers: usize,
+    timeout: Option<Duration>,
+    rec: Arc<dyn Recorder>,
+) -> FleetReport {
     let jobs: Vec<Job<Result<Vec<String>, String>>> = fleet
         .into_iter()
         .map(|fj| {
             let cfg = config.clone();
+            let rec = Arc::clone(&rec);
             Job::new(fj.name, move || {
                 let program = Frontend::new()
                     .compile_str(&fj.source)
                     .map_err(|e| format!("compile error: {e:?}"))?;
-                let result = Analyzer::new(&program, cfg).run();
+                let result = Analyzer::new(&program, cfg).run_recorded(rec.as_ref());
                 Ok(result.alarms.iter().map(|a| a.to_string()).collect())
             })
         })
@@ -106,6 +123,16 @@ pub fn analyze_fleet(
                 JobStatus::Panicked(msg) => ("panicked".to_string(), None, Vec::new(), Some(msg)),
                 JobStatus::TimedOut => ("timed-out".to_string(), None, Vec::new(), None),
             };
+            if rec.enabled() {
+                rec.batch_job(&BatchJobEvent {
+                    name: &r.name,
+                    status: &status,
+                    reason: detail.as_deref(),
+                    wall_nanos: r.wall.as_nanos() as u64,
+                    worker: r.worker,
+                    alarms: alarms.map(|n| n as u64),
+                });
+            }
             FleetOutcome {
                 name: r.name,
                 status,

@@ -10,13 +10,15 @@
 //!
 //! Run `astree <command> --help` for the options of each command.
 
-use astree::batch::{analyze_fleet, FleetJob};
+use astree::batch::{analyze_fleet_recorded, FleetJob};
 use astree::core::{AnalysisConfig, Analyzer};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
+use astree::obs::Collector;
 use astree::slicer::Slicer;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> ExitCode {
@@ -64,6 +66,8 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut config = AnalysisConfig::default();
     let mut show_census = false;
     let mut dump_invariant = false;
+    let mut metrics_path: Option<String> = None;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -79,9 +83,11 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                      \x20      [--no-clock] [--no-linearize] [--baseline]\n\
                      \x20      [--partition FN] [--thresholds ALPHA,LAMBDA,N]\n\
                      \x20      [--pack VAR1,VAR2,...] [--census] [--dump-invariant]\n\
-                     \x20      [--jobs N]\n\
+                     \x20      [--jobs N] [--metrics FILE] [--trace]\n\
                      --jobs N analyzes with N worker threads (results are\n\
                      identical to the sequential analysis for every N)\n\
+                     --metrics FILE writes the astree-metrics/1 JSON document\n\
+                     --trace prints the per-iteration fixpoint log to stderr\n\
                      exit status: 0 = proven error-free, 1 = alarms reported"
                 );
                 return Ok(ExitCode::SUCCESS);
@@ -125,6 +131,8 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             }
             "--census" => show_census = true,
             "--dump-invariant" => dump_invariant = true,
+            "--metrics" => metrics_path = Some(value(&mut i)?),
+            "--trace" => trace = true,
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -136,7 +144,20 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         return Err(format!("invalid program: {}", errs.join("; ")));
     }
     let jobs = config.jobs;
-    let result = Analyzer::new(&program, config).run();
+    let result = if metrics_path.is_some() || trace {
+        let collector = if trace { Collector::with_trace() } else { Collector::new() };
+        let result = Analyzer::new(&program, config).run_recorded(&collector);
+        for line in collector.take_trace() {
+            eprintln!("{line}");
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, collector.to_json().to_string())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        result
+    } else {
+        Analyzer::new(&program, config).run()
+    };
     println!(
         "analyzed {} ({} cells, {} octagon packs, {} filters, {} decision-tree packs)",
         program.metrics(),
@@ -186,6 +207,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut timeout: Option<Duration> = None;
     let mut json = false;
     let mut config = AnalysisConfig::default();
+    let mut metrics_path: Option<String> = None;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -198,11 +221,13 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 println!(
                     "usage: astree batch [file.c...] [--gen N] [--channels N]\n\
                      \x20      [--seeds S1,S2,...] [--jobs N] [--timeout SECS]\n\
-                     \x20      [--analysis-jobs N] [--json]\n\
+                     \x20      [--analysis-jobs N] [--json] [--metrics FILE] [--trace]\n\
                      analyzes each input file, plus N generated family members\n\
                      (--gen), as independent jobs on a pool of --jobs workers;\n\
                      a panicking or timed-out job fails alone. --analysis-jobs\n\
                      additionally parallelizes inside each analysis.\n\
+                     --metrics FILE writes the astree-metrics/1 JSON document\n\
+                     --trace prints the per-iteration fixpoint log to stderr\n\
                      exit status: 0 = all jobs clean, 1 = alarms or failures"
                 );
                 return Ok(ExitCode::SUCCESS);
@@ -223,6 +248,8 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 config.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--json" => json = true,
+            "--metrics" => metrics_path = Some(value(&mut i)?),
+            "--trace" => trace = true,
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -244,7 +271,23 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let n = fleet.len();
-    let report = analyze_fleet(fleet, &config, workers, timeout);
+    let record = metrics_path.is_some() || trace;
+    let collector = Arc::new(if trace { Collector::with_trace() } else { Collector::new() });
+    let report = if record {
+        let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
+        analyze_fleet_recorded(fleet, &config, workers, timeout, rec)
+    } else {
+        astree::batch::analyze_fleet(fleet, &config, workers, timeout)
+    };
+    if record {
+        for line in collector.take_trace() {
+            eprintln!("{line}");
+        }
+        if let Some(path) = &metrics_path {
+            std::fs::write(path, collector.to_json().to_string())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+    }
     if json {
         print!("{}", batch_report_json(&report));
     } else {

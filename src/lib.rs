@@ -16,6 +16,7 @@
 //! - [`gen`] — the synthetic periodic synchronous program family (Sect. 4)
 //! - [`sched`] — the parallel & batch scheduler (deterministic slice merge
 //!   à la Monniaux's parallel ASTRÉE, plus bounded-worker fleet batches)
+//! - [`obs`] — structured analysis telemetry (recorder, metrics schema)
 //! - [`batch`] — fleet analysis on top of the scheduler
 
 pub mod batch;
@@ -27,6 +28,7 @@ pub use astree_frontend as frontend;
 pub use astree_gen as gen;
 pub use astree_ir as ir;
 pub use astree_memory as memory;
+pub use astree_obs as obs;
 pub use astree_pmap as pmap;
 pub use astree_sched as sched;
 pub use astree_slicer as slicer;

@@ -1,0 +1,177 @@
+//! End-to-end telemetry (`astree-obs`) coverage: the collecting recorder
+//! must observe the fixpoint engine, the domains, the parallel scheduler and
+//! the batch runner without changing any analysis result.
+
+use astree::batch::{analyze_fleet_recorded, FleetJob};
+use astree::core::{AnalysisConfig, Analyzer};
+use astree::frontend::Frontend;
+use astree::gen::{generate, BugKind, GenConfig};
+use astree::obs::{Collector, Json, Metrics, SCHEMA};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn collect(src: &str, cfg: AnalysisConfig) -> (astree::core::AnalysisResult, Metrics) {
+    let p = Frontend::new().compile_str(src).expect("compiles");
+    let collector = Collector::new();
+    let result = Analyzer::new(&p, cfg).run_recorded(&collector);
+    (result, collector.snapshot())
+}
+
+#[test]
+fn metrics_cover_fixpoint_domains_and_scheduler() {
+    let src = generate(&GenConfig { channels: 4, seed: 3, bug: None });
+    let mut cfg = AnalysisConfig::default();
+    cfg.jobs = 4;
+    let (result, m) = collect(&src, cfg);
+    assert!(result.alarms.is_empty(), "{:?}", result.alarms);
+
+    // Per-function fixpoint counters: the entry function solves the main
+    // synchronous loop, with union iterations before any widening.
+    let main = m.functions.get("main").expect("main function recorded");
+    assert!(!main.loops.is_empty(), "main's loops recorded");
+    let l = main.loops.values().next().unwrap();
+    assert!(l.iterations > 0 && l.stabilized_at > 0);
+    assert!(l.union_iterations > 0, "delayed widening means unions first");
+    assert_eq!(l.unroll_factor, 1, "default unrolling factor");
+
+    // Per-domain operation counts with wall time.
+    for (domain, op) in
+        [("state", "join"), ("state", "widen"), ("octagon", "closure"), ("octagon", "assign")]
+    {
+        let ops = m.domains.get(domain).unwrap_or_else(|| panic!("domain {domain} recorded"));
+        let op = ops.get(op).unwrap_or_else(|| panic!("{domain}.{op} recorded"));
+        assert!(op.count > 0, "{domain} op applied at least once");
+    }
+
+    // Both analysis phases timed.
+    assert!(m.phases.get("iterate").copied().unwrap_or(0) > 0);
+    assert!(m.phases.get("check").copied().unwrap_or(0) > 0);
+
+    // Scheduler: the 4-channel dispatch slices, each slice is timed, and
+    // every merge is accounted for.
+    assert!(m.scheduler.stages > 0, "the dispatch should slice");
+    assert!(!m.scheduler.slices.is_empty());
+    assert!(m.scheduler.slices.iter().all(|s| s.stmts > 0));
+    assert_eq!(m.scheduler.merges, m.scheduler.slices.len() as u64, "one overlay merge per slice");
+}
+
+#[test]
+fn alarm_provenance_names_statement_domain_and_loop() {
+    let src = generate(&GenConfig { channels: 2, seed: 1, bug: Some(BugKind::DivByZero) });
+    let (result, m) = collect(&src, AnalysisConfig::default());
+    assert_eq!(result.alarms.len(), 1, "{:?}", result.alarms);
+    assert_eq!(m.alarms.len(), 1, "one provenance record per deduplicated alarm");
+    let a = &m.alarms[0];
+    assert_eq!(a.kind, "div_by_zero");
+    assert_eq!(a.domain, "int_interval");
+    assert_eq!(a.stmt, result.alarms[0].stmt.0);
+    assert_eq!(a.line, result.alarms[0].loc.line);
+    assert!(a.loop_id.is_some(), "the injected bug sits inside the reactive loop");
+    assert!(a.iteration.is_some());
+}
+
+#[test]
+fn recording_does_not_change_results() {
+    let src = generate(&GenConfig { channels: 3, seed: 11, bug: Some(BugKind::IntOverflow) });
+    let p = Frontend::new().compile_str(&src).expect("compiles");
+    let plain = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let collector = Collector::with_trace();
+    let recorded = Analyzer::new(&p, AnalysisConfig::default()).run_recorded(&collector);
+    assert_eq!(plain.alarms, recorded.alarms);
+    assert_eq!(plain.main_census, recorded.main_census);
+    assert_eq!(plain.stats.loop_iterations, recorded.stats.loop_iterations);
+    assert!(!collector.take_trace().is_empty(), "tracing collector keeps the iteration log");
+}
+
+#[test]
+fn panicking_slice_falls_back_to_identical_sequential_replay() {
+    let src = generate(&GenConfig { channels: 6, seed: 42, bug: Some(BugKind::DivByZero) });
+    let p = Frontend::new().compile_str(&src).expect("compiles");
+
+    let seq = Analyzer::new(&p, AnalysisConfig::default()).run();
+
+    let mut cfg = AnalysisConfig::default();
+    cfg.jobs = 4;
+    cfg.debug_panic_slice = Some(0);
+    let collector = Collector::new();
+    let par = Analyzer::new(&p, cfg).run_recorded(&collector);
+    let m = collector.snapshot();
+
+    // The injected worker panic must be contained: the stage replays
+    // sequentially and every observable matches the sequential analysis.
+    assert_eq!(seq.alarms, par.alarms, "panic fallback changed the alarm list");
+    assert_eq!(seq.main_census, par.main_census, "panic fallback changed the invariant");
+    assert_eq!(par.stats.parallel_stages, 0, "every sliced stage must have fallen back");
+
+    // ... and the reason is recorded in the metrics.
+    let n = m.scheduler.fallbacks.get("worker_panic").copied().unwrap_or(0);
+    assert!(n > 0, "worker_panic fallback recorded, got {:?}", m.scheduler.fallbacks);
+}
+
+#[test]
+fn batch_metrics_record_job_outcomes_with_reasons() {
+    let fleet = vec![
+        FleetJob {
+            name: "clean".into(),
+            source: generate(&GenConfig { channels: 1, seed: 1, bug: None }),
+        },
+        FleetJob { name: "poison".into(), source: "int x; @!#".into() },
+        FleetJob {
+            name: "buggy".into(),
+            source: generate(&GenConfig { channels: 1, seed: 2, bug: Some(BugKind::DivByZero) }),
+        },
+    ];
+    let collector = Arc::new(Collector::new());
+    let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
+    let report = analyze_fleet_recorded(fleet, &AnalysisConfig::default(), 2, None, rec);
+    assert_eq!(report.outcomes.len(), 3);
+
+    let m = collector.snapshot();
+    assert_eq!(m.scheduler.batch_jobs.len(), 3);
+    let by_name = |n: &str| m.scheduler.batch_jobs.iter().find(|j| j.name == n).unwrap();
+    assert_eq!(by_name("clean").status, "done");
+    assert_eq!(by_name("clean").alarms, Some(0));
+    assert_ne!(by_name("poison").status, "done");
+    assert!(by_name("poison").reason.is_some(), "failure reason recorded");
+    assert_eq!(by_name("buggy").alarms, Some(1));
+}
+
+#[test]
+fn batch_metrics_record_timeouts() {
+    let fleet = vec![FleetJob {
+        name: "big".into(),
+        source: generate(&GenConfig { channels: 12, seed: 5, bug: None }),
+    }];
+    let collector = Arc::new(Collector::new());
+    let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
+    let report = analyze_fleet_recorded(
+        fleet,
+        &AnalysisConfig::default(),
+        1,
+        Some(Duration::from_nanos(1)),
+        rec,
+    );
+    assert_eq!(report.outcomes[0].status, "timed-out");
+    let m = collector.snapshot();
+    assert_eq!(m.scheduler.batch_jobs[0].status, "timed-out");
+}
+
+#[test]
+fn json_document_has_the_documented_shape() {
+    let src = generate(&GenConfig { channels: 2, seed: 1, bug: Some(BugKind::DivByZero) });
+    let mut cfg = AnalysisConfig::default();
+    cfg.jobs = 2;
+    let (_, m) = collect(&src, cfg);
+    let j = m.to_json();
+    assert_eq!(j.get("schema"), Some(&Json::str(SCHEMA)));
+    for key in ["functions", "domains", "phases", "alarms", "scheduler"] {
+        assert!(j.get(key).is_some(), "top-level key {key}");
+    }
+    let sched = j.get("scheduler").unwrap();
+    for key in ["stages", "slices", "merges", "merge_nanos", "fallbacks", "batch_jobs"] {
+        assert!(sched.get(key).is_some(), "scheduler key {key}");
+    }
+    let rendered = j.to_string();
+    assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());
+    assert!(rendered.contains("\"div_by_zero\""));
+}
