@@ -4,7 +4,7 @@
 //! full-size sweep.
 
 use astree_bench::family_program;
-use astree_core::{AnalysisConfig, Analyzer};
+use astree_core::AnalysisSession;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_scaling(c: &mut Criterion) {
@@ -14,7 +14,7 @@ fn bench_scaling(c: &mut Criterion) {
         let program = family_program(channels, 7);
         group.bench_with_input(BenchmarkId::new("full_analysis", channels), &program, |b, p| {
             b.iter(|| {
-                let r = Analyzer::new(p, AnalysisConfig::default()).run();
+                let r = AnalysisSession::builder(p).build().run();
                 assert!(r.alarms.is_empty());
                 r.stats.cells
             })

@@ -3,13 +3,13 @@
 //! day using this list").
 
 use astree_bench::family_program;
-use astree_core::{AnalysisConfig, Analyzer};
+use astree_core::{AnalysisConfig, AnalysisSession};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_packing(c: &mut Criterion) {
     let program = family_program(16, 7);
     // Discover the useful packs once.
-    let full_result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let full_result = AnalysisSession::builder(&program).build().run();
     let useful = full_result.stats.useful_octagon_packs.clone();
     assert!(!useful.is_empty());
     assert!(useful.len() < full_result.stats.octagon_packs);
@@ -18,7 +18,7 @@ fn bench_packing(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("all_packs", |b| {
         b.iter(|| {
-            let r = Analyzer::new(&program, AnalysisConfig::default()).run();
+            let r = AnalysisSession::builder(&program).build().run();
             assert!(r.alarms.is_empty());
         })
     });
@@ -26,7 +26,7 @@ fn bench_packing(c: &mut Criterion) {
         let mut cfg = AnalysisConfig::default();
         cfg.octagon_pack_filter = Some(useful.clone());
         b.iter(|| {
-            let r = Analyzer::new(&program, cfg.clone()).run();
+            let r = AnalysisSession::builder(&program).config(cfg.clone()).build().run();
             assert!(r.alarms.is_empty());
         })
     });
@@ -34,7 +34,7 @@ fn bench_packing(c: &mut Criterion) {
         let mut cfg = AnalysisConfig::default();
         cfg.enable_octagons = false;
         b.iter(|| {
-            let r = Analyzer::new(&program, cfg.clone()).run();
+            let r = AnalysisSession::builder(&program).config(cfg.clone()).build().run();
             // Octagons are load-bearing for the drift monitors.
             assert!(!r.alarms.is_empty());
         })

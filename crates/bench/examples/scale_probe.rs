@@ -10,7 +10,7 @@ fn main() {
         let kloc = astree_gen::line_count(&src) as f64 / 1000.0;
         let p = astree_frontend::Frontend::new().compile_str(&src).unwrap();
         let t0 = std::time::Instant::now();
-        let r = astree_core::Analyzer::new(&p, astree_core::AnalysisConfig::default()).run();
+        let r = astree_core::AnalysisSession::builder(&p).build().run();
         println!(
             "{channels:>8} {kloc:>10.2} {:>10} {:>8} {:>12.2?}",
             r.stats.cells,

@@ -12,7 +12,7 @@
 //! ```
 
 use astree_bench::family_program;
-use astree_core::{AnalysisConfig, Analyzer};
+use astree_core::{AnalysisConfig, AnalysisSession};
 use astree_obs::{Collector, Json};
 use std::time::Instant;
 
@@ -32,7 +32,8 @@ fn main() {
         cfg.jobs = jobs;
         let collector = Collector::new();
         let t0 = Instant::now();
-        let result = Analyzer::new(&program, cfg).run_recorded(&collector);
+        let result =
+            AnalysisSession::builder(&program).config(cfg).recorder(&collector).build().run();
         let wall = t0.elapsed().as_secs_f64();
 
         let alarms: Vec<String> = result.alarms.iter().map(|a| a.to_string()).collect();

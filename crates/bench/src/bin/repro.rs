@@ -25,7 +25,7 @@
 //! behaviour flips. Expected shapes are printed next to each result.
 
 use astree_bench::{family_kloc, family_program, print_table, refinement_ladder, timed_analysis};
-use astree_core::{AnalysisConfig, Analyzer};
+use astree_core::{AnalysisConfig, AnalysisSession};
 use astree_frontend::Frontend;
 use astree_gen::{generate, BugKind, GenConfig};
 use astree_pmap::PMap;
@@ -119,7 +119,7 @@ fn fig2(scale: f64, metrics: Option<&str>) {
         let (result, dt) = match &collector {
             Some(c) => {
                 let t0 = Instant::now();
-                let r = Analyzer::new(&program, AnalysisConfig::default()).run_recorded(c);
+                let r = AnalysisSession::builder(&program).recorder(c).build().run();
                 let dt = t0.elapsed();
                 (r, dt)
             }
@@ -295,10 +295,10 @@ fn thresholds() {
         }
     "#;
     let program = Frontend::new().compile_str(src).unwrap();
-    let with = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let with = AnalysisSession::builder(&program).build().run();
     let mut cfg = AnalysisConfig::default();
     cfg.thresholds = astree_domains::Thresholds::none();
-    let without = Analyzer::new(&program, cfg).run();
+    let without = AnalysisSession::builder(&program).config(cfg).build().run();
     print_table(
         &["widening", "alarms"],
         &[
@@ -459,7 +459,7 @@ fn slice() {
     );
     let src = generate(&GenConfig { channels: 8, seed: 99, bug: Some(BugKind::DivByZero) });
     let program = Frontend::new().compile_str(&src).unwrap();
-    let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&program).build().run();
     let alarm = result.alarms.first().expect("injected bug is reported");
     let slicer = Slicer::new(&program);
     let classical = slicer.slice(alarm.stmt);

@@ -2,7 +2,7 @@
 //! workload construction, configuration ladders, and small measurement
 //! helpers used by both the Criterion benches and the experiment driver.
 
-use astree_core::{AnalysisConfig, AnalysisResult, Analyzer};
+use astree_core::{AnalysisConfig, AnalysisResult, AnalysisSession};
 use astree_frontend::Frontend;
 use astree_gen::{generate, GenConfig};
 use astree_ir::Program;
@@ -23,7 +23,7 @@ pub fn family_kloc(channels: usize, seed: u64) -> f64 {
 /// Runs an analysis and returns (result, wall time).
 pub fn timed_analysis(program: &Program, config: AnalysisConfig) -> (AnalysisResult, Duration) {
     let t0 = Instant::now();
-    let result = Analyzer::new(program, config).run();
+    let result = AnalysisSession::builder(program).config(config).build().run();
     (result, t0.elapsed())
 }
 

@@ -1,23 +1,36 @@
-//! The public analysis entry point: run both phases and assemble the
-//! result (alarms, statistics, invariant census, packing report).
+//! The public analysis entry point: [`AnalysisSession`], a builder-style
+//! session coupling a program with a configuration, an optional telemetry
+//! recorder, an optional incremental invariant cache and intra-analysis
+//! parallelism — all orthogonal options behind one `run()`.
 
 use crate::alarms::Alarm;
+use crate::cache::{
+    config_fingerprint, loops_in_preorder, packs_fingerprint, InvariantStore, StoreKey,
+};
 use crate::census::Census;
 use crate::config::AnalysisConfig;
 use crate::iterator::{Iter, Mode};
 use crate::packs::Packs;
 use crate::state::AbsState;
-use astree_ir::Program;
+use astree_ir::{func_fingerprints, globals_fingerprint, program_fingerprint, LoopId, Program};
 use astree_memory::{CellLayout, LayoutConfig};
+use astree_obs::{CacheCounters, Recorder, NULL};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Aggregated statistics of one analysis run.
 #[derive(Debug, Clone)]
 pub struct AnalysisStats {
-    /// Wall time of the invariant-generation phase.
+    /// Wall time of the invariant-generation phase. On a cache replay this
+    /// is the *stored cold-run* time, so throughput comparisons (e.g. the
+    /// `jobs_scaling` bench) stay meaningful; the actual replay cost is in
+    /// [`AnalysisStats::time_replay`].
     pub time_iterate: Duration,
-    /// Wall time of the checking phase.
+    /// Wall time of the checking phase (stored cold-run time on a replay).
     pub time_check: Duration,
+    /// Wall time spent replaying a cached result (zero on cold runs).
+    pub time_replay: Duration,
     /// Number of abstract cells after array expansion/shrinking.
     pub cells: usize,
     /// Octagon packs used.
@@ -41,6 +54,29 @@ pub struct AnalysisStats {
     pub parallel_stages: u64,
     /// Total worker slices run across all parallel stages.
     pub parallel_slices: u64,
+    /// Loops solved by fixpoint iteration in *this* run.
+    pub loops_solved: u64,
+    /// Loops whose invariant was reused from a verified cache seed.
+    pub loops_replayed: u64,
+}
+
+/// How the incremental cache participated in one analysis run.
+#[derive(Debug, Clone, Default)]
+pub struct CacheReport {
+    /// `true` when the session had a cache store attached.
+    pub enabled: bool,
+    /// `true` when the whole stored result was replayed verbatim (no
+    /// abstract interpretation ran).
+    pub full_hit: bool,
+    /// Functions whose stored invariants were installed as seeds.
+    pub seeded_functions: usize,
+    /// Functions the warm store could not seed (edited, or transitively
+    /// calling something edited).
+    pub invalidated_functions: usize,
+    /// Loops solved by full fixpoint iteration, by enclosing function.
+    pub loops_solved_by_function: BTreeMap<String, u64>,
+    /// Loops replayed from verified seeds, by enclosing function.
+    pub loops_replayed_by_function: BTreeMap<String, u64>,
 }
 
 /// The result of an analysis.
@@ -56,37 +92,165 @@ pub struct AnalysisResult {
     pub main_census: Option<Census>,
     /// The invariant at the main loop head.
     pub main_invariant: Option<AbsState>,
+    /// Cache participation report.
+    pub cache: CacheReport,
 }
 
-/// The analyzer: couples a program with a configuration.
-///
-/// See the [crate root](crate) for an end-to-end example.
-pub struct Analyzer<'a> {
+/// Builder for an [`AnalysisSession`]; see [`AnalysisSession::builder`].
+pub struct AnalysisSessionBuilder<'a> {
     program: &'a Program,
     config: AnalysisConfig,
+    recorder: &'a dyn Recorder,
+    cache: Option<Arc<InvariantStore>>,
+    jobs: Option<usize>,
 }
 
-impl<'a> Analyzer<'a> {
-    /// Creates an analyzer.
-    pub fn new(program: &'a Program, config: AnalysisConfig) -> Self {
-        Analyzer { program, config }
+impl<'a> AnalysisSessionBuilder<'a> {
+    /// Sets the analysis configuration (default: [`AnalysisConfig::default`]).
+    pub fn config(mut self, config: AnalysisConfig) -> Self {
+        self.config = config;
+        self
     }
 
-    /// Runs both phases (iteration, then checking) and assembles the result.
+    /// Attaches a telemetry recorder (default: the no-op recorder).
+    pub fn recorder(mut self, rec: &'a dyn Recorder) -> Self {
+        self.recorder = rec;
+        self
+    }
+
+    /// Attaches an incremental invariant cache store.
+    pub fn cache(mut self, store: Arc<InvariantStore>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// Sets the intra-analysis worker count (overrides the configuration's
+    /// `jobs`, regardless of the `config`/`jobs` call order).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Finalizes the session.
+    pub fn build(self) -> AnalysisSession<'a> {
+        let mut config = self.config;
+        if let Some(jobs) = self.jobs {
+            config.jobs = jobs;
+        }
+        AnalysisSession {
+            program: self.program,
+            config,
+            recorder: self.recorder,
+            cache: self.cache,
+        }
+    }
+}
+
+/// An analysis session: one program plus everything orthogonal to it —
+/// configuration, telemetry, incremental cache, parallelism.
+///
+/// See the [crate root](crate) for an end-to-end example.
+pub struct AnalysisSession<'a> {
+    program: &'a Program,
+    config: AnalysisConfig,
+    recorder: &'a dyn Recorder,
+    cache: Option<Arc<InvariantStore>>,
+}
+
+impl<'a> AnalysisSession<'a> {
+    /// Starts building a session for `program`.
+    pub fn builder(program: &'a Program) -> AnalysisSessionBuilder<'a> {
+        AnalysisSessionBuilder {
+            program,
+            config: AnalysisConfig::default(),
+            recorder: &NULL,
+            cache: None,
+            jobs: None,
+        }
+    }
+
+    /// The effective configuration.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Runs the analysis: replay a stored whole-program result when the
+    /// cache has an exact match, otherwise run both phases (iteration with
+    /// any verified seeds installed, then checking) and update the store.
     pub fn run(&self) -> AnalysisResult {
-        self.run_recorded(&astree_obs::NULL)
-    }
-
-    /// Like [`Analyzer::run`], reporting telemetry events to `rec` along the
-    /// way (fixpoint progress, domain timings, alarm provenance, scheduler
-    /// activity). `run` is exactly this with the no-op recorder.
-    pub fn run_recorded(&self, rec: &dyn astree_obs::Recorder) -> AnalysisResult {
+        let t_start = Instant::now();
+        let rec = self.recorder;
         let layout = CellLayout::new(
             self.program,
             &LayoutConfig { shrink_threshold: self.config.shrink_threshold },
         );
         let packs = Packs::discover(self.program, &layout, &self.config);
+
+        let mut report = CacheReport { enabled: self.cache.is_some(), ..CacheReport::default() };
+        let mut run_counters = CacheCounters::default();
+        let mut seeds: HashMap<LoopId, AbsState> = HashMap::new();
+        let mut cache_ctx: Option<(StoreKey, u64, Vec<u64>, CacheCounters)> = None;
+
+        if let Some(store) = &self.cache {
+            let key = StoreKey {
+                layout_fp: globals_fingerprint(self.program),
+                packs_fp: packs_fingerprint(&packs),
+                config_fp: config_fingerprint(&self.config),
+            };
+            let program_fp = program_fingerprint(self.program);
+            let store_before = store.counters();
+            if let Some(hit) = store.lookup_full(&key, program_fp, &layout, &packs) {
+                let time_replay = t_start.elapsed();
+                let mut stats = hit.stats;
+                stats.time_replay = time_replay;
+                report.full_hit = true;
+                run_counters.full_hits = 1;
+                run_counters.replay_nanos = time_replay.as_nanos() as u64;
+                let cold = stats.time_iterate + stats.time_check;
+                run_counters.saved_nanos =
+                    cold.as_nanos().saturating_sub(time_replay.as_nanos()) as u64;
+                let io = store.counters().since(&store_before);
+                store.absorb_run(&run_counters);
+                run_counters.bytes_read += io.bytes_read;
+                run_counters.bytes_written += io.bytes_written;
+                run_counters.corrupt_files += io.corrupt_files;
+                if rec.enabled() {
+                    rec.phase_time("replay", time_replay.as_nanos() as u64);
+                    rec.cache(&run_counters);
+                }
+                return AnalysisResult {
+                    alarms: hit.alarms,
+                    stats,
+                    main_census: hit.census,
+                    main_invariant: hit.invariant,
+                    cache: report,
+                };
+            }
+            run_counters.misses = 1;
+            let fps = func_fingerprints(self.program);
+            let had_seeds = store.has_seeds(&key);
+            for (fi, func) in self.program.funcs.iter().enumerate() {
+                match store.lookup_seeds(&key, fps[fi], &layout, &packs) {
+                    Some(stored) => {
+                        let loop_ids = loops_in_preorder(func);
+                        for (ordinal, st) in stored {
+                            if let Some(&lid) = loop_ids.get(ordinal as usize) {
+                                seeds.insert(lid, st);
+                            }
+                        }
+                        report.seeded_functions += 1;
+                    }
+                    None if had_seeds => report.invalidated_functions += 1,
+                    None => {}
+                }
+            }
+            run_counters.seeded_functions = report.seeded_functions as u64;
+            run_counters.invalidated_functions = report.invalidated_functions as u64;
+            cache_ctx = Some((key, program_fp, fps, store_before));
+        }
+
         let mut iter = Iter::with_recorder(self.program, &layout, &packs, &self.config, rec);
+        iter.seeds = seeds;
 
         let t0 = Instant::now();
         let _final_state = iter.run_mode(Mode::Iterate);
@@ -113,6 +277,7 @@ impl<'a> Analyzer<'a> {
         let stats = AnalysisStats {
             time_iterate,
             time_check,
+            time_replay: Duration::ZERO,
             cells: layout.num_cells(),
             octagon_packs: packs.octagons.len(),
             useful_octagon_packs: useful,
@@ -124,13 +289,48 @@ impl<'a> Analyzer<'a> {
             invariant_cells,
             parallel_stages: iter.stats.par_stages,
             parallel_slices: iter.stats.par_slices,
+            loops_solved: iter.loops_solved,
+            loops_replayed: iter.loops_replayed,
         };
-        AnalysisResult {
-            alarms: std::mem::take(&mut iter.sink).into_sorted(),
-            stats,
-            main_census,
-            main_invariant,
+        report.loops_solved_by_function = std::mem::take(&mut iter.solved_by_func);
+        report.loops_replayed_by_function = std::mem::take(&mut iter.replayed_by_func);
+        let alarms = std::mem::take(&mut iter.sink).into_sorted();
+
+        if let (Some(store), Some((key, program_fp, fps, store_before))) = (&self.cache, cache_ctx)
+        {
+            let mut seeds_out: Vec<(u64, Vec<(u32, AbsState)>)> =
+                Vec::with_capacity(self.program.funcs.len());
+            for (fi, func) in self.program.funcs.iter().enumerate() {
+                let mut loops = Vec::new();
+                for (ordinal, lid) in loops_in_preorder(func).iter().enumerate() {
+                    if let Some(inv) = iter.invariants.get(lid) {
+                        loops.push((ordinal as u32, inv.clone()));
+                    }
+                }
+                seeds_out.push((fps[fi], loops));
+            }
+            store.update(
+                &key,
+                program_fp,
+                &alarms,
+                main_census,
+                main_invariant.as_ref(),
+                &stats,
+                &seeds_out,
+            );
+            run_counters.loops_replayed = stats.loops_replayed;
+            run_counters.loops_solved = stats.loops_solved;
+            let io = store.counters().since(&store_before);
+            store.absorb_run(&run_counters);
+            run_counters.bytes_read += io.bytes_read;
+            run_counters.bytes_written += io.bytes_written;
+            run_counters.corrupt_files += io.corrupt_files;
+            if rec.enabled() {
+                rec.cache(&run_counters);
+            }
         }
+
+        AnalysisResult { alarms, stats, main_census, main_invariant, cache: report }
     }
 }
 
@@ -174,7 +374,7 @@ mod tests {
 
     fn analyze(src: &str) -> AnalysisResult {
         let p = Frontend::new().compile_str(src).expect("compiles");
-        Analyzer::new(&p, AnalysisConfig::default()).run()
+        AnalysisSession::builder(&p).build().run()
     }
 
     #[test]
@@ -236,11 +436,11 @@ mod tests {
             }
         "#;
         let p = Frontend::new().compile_str(src).unwrap();
-        let default = Analyzer::new(&p, AnalysisConfig::default()).run();
+        let default = AnalysisSession::builder(&p).build().run();
         assert_eq!(default.alarms.len(), 1, "{:?}", default.alarms);
         let mut cfg = AnalysisConfig::default();
         cfg.loop_unroll = 6;
-        let unrolled = Analyzer::new(&p, cfg).run();
+        let unrolled = AnalysisSession::builder(&p).config(cfg).build().run();
         assert!(unrolled.alarms.is_empty(), "{:?}", unrolled.alarms);
     }
 
@@ -277,11 +477,11 @@ mod tests {
             }
         "#;
         let p = Frontend::new().compile_str(src).unwrap();
-        let with_clock = Analyzer::new(&p, AnalysisConfig::default()).run();
+        let with_clock = AnalysisSession::builder(&p).build().run();
         assert!(with_clock.alarms.is_empty(), "{:?}", with_clock.alarms);
         let mut cfg = AnalysisConfig::default();
         cfg.enable_clocked = false;
-        let without = Analyzer::new(&p, cfg).run();
+        let without = AnalysisSession::builder(&p).config(cfg).build().run();
         assert_eq!(without.alarms.len(), 1, "{:?}", without.alarms);
         assert_eq!(without.alarms[0].kind, crate::alarms::AlarmKind::IntOverflow);
     }
@@ -293,5 +493,17 @@ mod tests {
         assert!(r.stats.cells >= 2);
         assert!(r.stats.loop_iterations > 0);
         assert!(r.stats.stmts_interpreted > 0);
+        assert!(r.stats.loops_solved > 0);
+        assert_eq!(r.stats.loops_replayed, 0, "no cache attached");
+        assert!(!r.cache.enabled);
+    }
+
+    #[test]
+    fn builder_jobs_overrides_config_in_any_order() {
+        let p = Frontend::new().compile_str("int x; void main(void) { x = 1; }").unwrap();
+        let s = AnalysisSession::builder(&p).jobs(3).config(AnalysisConfig::default()).build();
+        assert_eq!(s.config().jobs, 3);
+        let s = AnalysisSession::builder(&p).config(AnalysisConfig::default()).jobs(2).build();
+        assert_eq!(s.config().jobs, 2);
     }
 }

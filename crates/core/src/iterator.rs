@@ -29,7 +29,7 @@ use astree_ir::{
 };
 use astree_memory::{CellId, CellLayout, CellVal, Evaluator};
 use astree_obs::{AlarmEvent, LoopDoneEvent, LoopIterEvent, Phase, Recorder, SliceEvent};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -79,6 +79,18 @@ pub struct Iter<'a> {
     /// Loop-head invariants, filled in iteration mode, replayed in checking
     /// mode.
     pub invariants: HashMap<LoopId, AbsState>,
+    /// Candidate loop invariants from the incremental cache. A candidate is
+    /// accepted iff one body pass proves it is still a post-fixpoint
+    /// (`entry ⊔ F(seed) ⊑ seed`); otherwise the loop is solved cold.
+    pub seeds: HashMap<LoopId, AbsState>,
+    /// Loops solved by full widening/narrowing iteration (iteration mode).
+    pub loops_solved: u64,
+    /// Loops whose cached invariant was verified by a single body pass.
+    pub loops_replayed: u64,
+    /// Per-function breakdown of `loops_solved`.
+    pub solved_by_func: BTreeMap<String, u64>,
+    /// Per-function breakdown of `loops_replayed`.
+    pub replayed_by_func: BTreeMap<String, u64>,
     /// The alarm sink (checking mode).
     pub sink: AlarmSink,
     /// Per-octagon-pack usefulness counters (Sect. 7.2.2).
@@ -94,7 +106,7 @@ pub struct Iter<'a> {
     rec: &'a dyn Recorder,
     /// Cached `rec.enabled()`: hot paths pay one branch, not a virtual call.
     rec_on: bool,
-    /// Function-name stack for event attribution (maintained when `rec_on`).
+    /// Function-name stack for event and cache-counter attribution.
     func_stack: Vec<&'a str>,
     /// `(loop id, checking iteration)` context stack (maintained when
     /// `rec_on`), for alarm provenance.
@@ -139,6 +151,11 @@ impl<'a> Iter<'a> {
             eval,
             mode: Mode::Iterate,
             invariants: HashMap::new(),
+            seeds: HashMap::new(),
+            loops_solved: 0,
+            loops_replayed: 0,
+            solved_by_func: BTreeMap::new(),
+            replayed_by_func: BTreeMap::new(),
             sink: AlarmSink::new(),
             oct_useful: vec![0; packs.octagons.len()],
             stats: IterStats::default(),
@@ -186,18 +203,14 @@ impl<'a> Iter<'a> {
         let partitioning = self.config.partitioned_functions.contains(&f.name);
         let body = f.body.clone();
         let bot = state.bottom_like();
-        if self.rec_on {
-            self.func_stack.push(self.program.func(func).name.as_str());
-        }
+        self.func_stack.push(self.program.func(func).name.as_str());
         let mut flow = Flow { parts: vec![state], returned: bot };
         self.exec_block(&mut flow, &body, ret_target, partitioning, depth);
         let mut out = flow.returned;
         for p in flow.parts {
             out = out.join(&p, self.layout, self.packs);
         }
-        if self.rec_on {
-            self.func_stack.pop();
-        }
+        self.func_stack.pop();
         out
     }
 
@@ -311,6 +324,7 @@ impl<'a> Iter<'a> {
         let packs = self.packs;
         let config = self.config;
         let seed_invariants = &self.invariants;
+        let cache_seeds = &self.seeds;
         let panic_slice = self.config.debug_panic_slice;
 
         // Each worker runs under `catch_unwind`: a panicking slice must not
@@ -329,6 +343,8 @@ impl<'a> Iter<'a> {
                 w.mode = mode;
                 if mode == Mode::Check {
                     w.invariants = seed_invariants.clone();
+                } else {
+                    w.seeds = cache_seeds.clone();
                 }
                 let mut wf = Flow { parts: vec![pre.clone()], returned: pre.bottom_like() };
                 for s in &stmts[r] {
@@ -339,7 +355,18 @@ impl<'a> Iter<'a> {
                     }
                 }
                 let post = if wf.parts.len() == 1 { Some(wf.parts.pop().unwrap()) } else { None };
-                (post, wf.returned, w.invariants, w.sink, w.stats, w.oct_useful, t0.elapsed())
+                let cachec =
+                    (w.loops_solved, w.loops_replayed, w.solved_by_func, w.replayed_by_func);
+                (
+                    post,
+                    wf.returned,
+                    w.invariants,
+                    w.sink,
+                    w.stats,
+                    w.oct_useful,
+                    t0.elapsed(),
+                    cachec,
+                )
             }))
             .ok()
         });
@@ -374,7 +401,7 @@ impl<'a> Iter<'a> {
         }
         let t_merge = self.rec_on.then(Instant::now);
         let mut merged = pre.clone();
-        for (ci, (post, _returned, invariants, sink, stats, useful, _wall)) in
+        for (ci, (post, _returned, invariants, sink, stats, useful, _wall, cachec)) in
             results.into_iter().enumerate()
         {
             let post = post.expect("checked above");
@@ -386,6 +413,14 @@ impl<'a> Iter<'a> {
             if mode == Mode::Iterate {
                 for (id, inv) in invariants {
                     self.invariants.insert(id, inv);
+                }
+                self.loops_solved += cachec.0;
+                self.loops_replayed += cachec.1;
+                for (k, v) in cachec.2 {
+                    *self.solved_by_func.entry(k).or_insert(0) += v;
+                }
+                for (k, v) in cachec.3 {
+                    *self.replayed_by_func.entry(k).or_insert(0) += v;
                 }
             }
             self.sink.absorb(sink);
@@ -550,6 +585,39 @@ impl<'a> Iter<'a> {
         }
         // Widening iterations for the residual loop.
         let base = cur.clone();
+        // Incremental replay: a cached candidate invariant is accepted iff
+        // one body pass proves it is still a post-fixpoint of the residual
+        // loop (`entry ⊔ F(seed) ⊑ seed`, sound by Tarski). A stale
+        // candidate costs one pass and falls back to cold iteration.
+        if self.mode == Mode::Iterate {
+            if let Some(seed) = self.seeds.get(&id).cloned() {
+                let body_in = self.state_guard(&seed, cond, true);
+                let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
+                let fval = base.join(&body_out, self.layout, self.packs);
+                if fval.leq(&seed) {
+                    self.loops_replayed += 1;
+                    let f = self.cur_func().to_string();
+                    *self.replayed_by_func.entry(f).or_insert(0) += 1;
+                    if self.rec_on {
+                        self.rec.loop_done(&LoopDoneEvent {
+                            func: self.cur_func(),
+                            loop_id: id.0,
+                            iterations: 1,
+                            stabilized_at: 1,
+                        });
+                    }
+                    self.invariants.insert(id, seed.clone());
+                    return exits.join(
+                        &self.state_guard(&seed, cond, false),
+                        self.layout,
+                        self.packs,
+                    );
+                }
+            }
+            self.loops_solved += 1;
+            let f = self.cur_func().to_string();
+            *self.solved_by_func.entry(f).or_insert(0) += 1;
+        }
         let mut inv = cur;
         let mut iter = 0u32;
         let mut grace = self.config.stabilization_grace;
@@ -1094,14 +1162,10 @@ impl<'a> Iter<'a> {
         let body =
             if ref_map.is_empty() { f.body.clone() } else { substitute_block(&f.body, &ref_map) };
         let partitioning = self.config.partitioned_functions.contains(&f.name);
-        if self.rec_on {
-            self.func_stack.push(self.program.func(callee).name.as_str());
-        }
+        self.func_stack.push(self.program.func(callee).name.as_str());
         let mut flow = Flow { parts: vec![cur.clone()], returned: cur.bottom_like() };
         self.exec_block(&mut flow, &body, ret, partitioning, depth + 1);
-        if self.rec_on {
-            self.func_stack.pop();
-        }
+        self.func_stack.pop();
         let mut out = flow.returned;
         for p in flow.parts {
             out = out.join(&p, self.layout, self.packs);

@@ -15,7 +15,7 @@
 //! # Examples
 //!
 //! ```
-//! use astree_core::{Analyzer, AnalysisConfig};
+//! use astree_core::AnalysisSession;
 //! use astree_frontend::Frontend;
 //!
 //! let src = r#"
@@ -31,12 +31,29 @@
 //!     }
 //! "#;
 //! let program = Frontend::new().compile_str(src).unwrap();
-//! let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+//! let result = AnalysisSession::builder(&program).build().run();
 //! assert_eq!(result.alarms.len(), 0); // no possible run-time error
+//! ```
+//!
+//! Telemetry, an incremental invariant cache and intra-analysis parallelism
+//! are orthogonal builder options:
+//!
+//! ```no_run
+//! # use astree_core::{cache::InvariantStore, AnalysisSession};
+//! # use std::sync::Arc;
+//! # let program = astree_frontend::Frontend::new()
+//! #     .compile_str("int x; void main(void) { x = 1; }").unwrap();
+//! let store = Arc::new(InvariantStore::open("/tmp/astree-cache").unwrap());
+//! let result = AnalysisSession::builder(&program)
+//!     .cache(Arc::clone(&store))
+//!     .jobs(4)
+//!     .build()
+//!     .run();
 //! ```
 
 pub mod alarms;
 pub mod analysis;
+pub mod cache;
 pub mod census;
 pub mod config;
 pub mod iterator;
@@ -46,7 +63,10 @@ pub mod state;
 pub mod substitute;
 
 pub use alarms::{Alarm, AlarmKind};
-pub use analysis::{AnalysisResult, AnalysisStats, Analyzer};
+pub use analysis::{
+    AnalysisResult, AnalysisSession, AnalysisSessionBuilder, AnalysisStats, CacheReport,
+};
+pub use cache::{config_fingerprint, packs_fingerprint, InvariantStore, StoreKey};
 pub use census::{under_constrained_vars, Census, CensusEntry};
 pub use config::AnalysisConfig;
 pub use packs::{DtreePack, EllipsePack, OctPack, Packs};

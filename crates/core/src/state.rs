@@ -225,6 +225,11 @@ impl AbsState {
         self.pending = self.pending.insert(pi as u32, k);
     }
 
+    /// Iterates over octagons.
+    pub fn octs_iter(&self) -> impl Iterator<Item = (usize, &Octagon)> {
+        self.octs.iter().map(|(k, v)| (*k as usize, v))
+    }
+
     /// Iterates over decision trees.
     pub fn dtrees_iter(&self) -> impl Iterator<Item = (usize, &DTree)> {
         self.dtrees.iter().map(|(k, v)| (*k as usize, v))

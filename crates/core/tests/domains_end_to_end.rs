@@ -1,12 +1,12 @@
 //! End-to-end tests: each refinement of the paper removes the class of
 //! false alarms it was designed for (Sect. 3.1's refinement methodology).
 
-use astree_core::{AlarmKind, AnalysisConfig, Analyzer};
+use astree_core::{AlarmKind, AnalysisConfig, AnalysisSession};
 use astree_frontend::Frontend;
 
 fn analyze_with(src: &str, cfg: AnalysisConfig) -> astree_core::AnalysisResult {
     let p = Frontend::new().compile_str(src).expect("compiles");
-    Analyzer::new(&p, cfg).run()
+    AnalysisSession::builder(&p).config(cfg).build().run()
 }
 
 /// Paper Sect. 6.2.3 / Fig. 1: the second-order digital filter. Intervals

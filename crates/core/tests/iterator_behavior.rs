@@ -2,17 +2,17 @@
 //! partitions, assumptions, shrunk arrays, perturbation — the machinery of
 //! paper Sect. 5.3–5.5 beyond the headline domains.
 
-use astree_core::{AlarmKind, AnalysisConfig, Analyzer};
+use astree_core::{AlarmKind, AnalysisConfig, AnalysisSession};
 use astree_frontend::Frontend;
 
 fn analyze(src: &str) -> astree_core::AnalysisResult {
     let p = Frontend::new().compile_str(src).expect("compiles");
-    Analyzer::new(&p, AnalysisConfig::default()).run()
+    AnalysisSession::builder(&p).build().run()
 }
 
 fn analyze_with(src: &str, cfg: AnalysisConfig) -> astree_core::AnalysisResult {
     let p = Frontend::new().compile_str(src).expect("compiles");
-    Analyzer::new(&p, cfg).run()
+    AnalysisSession::builder(&p).config(cfg).build().run()
 }
 
 #[test]
@@ -188,7 +188,7 @@ fn partition_cap_folds_exponential_branches() {
     cfg.partitioned_functions.insert("step".into());
     cfg.max_partitions = 16;
     let p = Frontend::new().compile_str(&src).unwrap();
-    let r = Analyzer::new(&p, cfg).run();
+    let r = AnalysisSession::builder(&p).config(cfg).build().run();
     assert!(r.stats.peak_partitions <= 32, "cap violated: {}", r.stats.peak_partitions);
 }
 

@@ -1,7 +1,7 @@
 //! Tests of the end-user parametrization surface (paper Sect. 3.2):
 //! user-supplied packs, per-loop unrolling, threshold choice, pack caps.
 
-use astree_core::{AnalysisConfig, Analyzer};
+use astree_core::{AnalysisConfig, AnalysisSession};
 use astree_frontend::Frontend;
 use astree_ir::LoopId;
 
@@ -40,13 +40,13 @@ fn user_pack_restores_missed_relation() {
     let mut only_user = AnalysisConfig::default();
     only_user.octagon_packs_extra = vec![vec!["a".into(), "b".into()]];
     only_user.octagon_pack_filter = Some(vec![0]); // keep only the user pack
-    let r = Analyzer::new(&p, only_user).run();
+    let r = AnalysisSession::builder(&p).config(only_user).build().run();
     assert!(r.alarms.is_empty(), "{:?}", r.alarms);
 
     // With octagons disabled entirely the overflow alarm appears.
     let mut no_oct = AnalysisConfig::default();
     no_oct.enable_octagons = false;
-    let r = Analyzer::new(&p, no_oct).run();
+    let r = AnalysisSession::builder(&p).config(no_oct).build().run();
     assert!(!r.alarms.is_empty());
 }
 
@@ -67,7 +67,7 @@ fn per_loop_unrolling_targets_one_loop() {
     let mut cfg = AnalysisConfig::default();
     cfg.loop_unroll = 0;
     cfg.per_loop_unroll.insert(LoopId(0), 4);
-    let r = Analyzer::new(&p, cfg).run();
+    let r = AnalysisSession::builder(&p).config(cfg).build().run();
     let lines: Vec<u32> = r.alarms.iter().map(|a| a.loc.line).collect();
     assert!(!lines.contains(&5), "first loop proven: {:?}", r.alarms);
     assert!(lines.contains(&7), "second loop still alarms: {:?}", r.alarms);
@@ -93,12 +93,12 @@ fn threshold_ceiling_matters() {
     // Ramp topping out below the needed bound: false alarms.
     let mut small = AnalysisConfig::default();
     small.thresholds = astree_domains::Thresholds::geometric(1.0, 10.0, 1); // max 10
-    let r = Analyzer::new(&p, small).run();
+    let r = AnalysisSession::builder(&p).config(small).build().run();
     assert!(!r.alarms.is_empty(), "ramp to 10 cannot hold |x| ≤ 100");
     // Ramp above it: clean.
     let mut big = AnalysisConfig::default();
     big.thresholds = astree_domains::Thresholds::geometric(1.0, 10.0, 4); // max 10^4
-    let r = Analyzer::new(&p, big).run();
+    let r = AnalysisSession::builder(&p).config(big).build().run();
     assert!(r.alarms.is_empty(), "{:?}", r.alarms);
 }
 
@@ -136,7 +136,7 @@ fn dtree_bool_cap_is_respected() {
         assert!(pack.bools.len() <= cfg.dtree_pack_bool_cap, "pack exceeds cap: {pack:?}");
     }
     // The division through b0 is still proven safe.
-    let r = Analyzer::new(&p, cfg).run();
+    let r = AnalysisSession::builder(&p).config(cfg).build().run();
     assert!(
         !r.alarms.iter().any(|a| a.kind == astree_core::AlarmKind::DivByZero),
         "{:?}",

@@ -57,6 +57,26 @@ impl Octagon {
         self.n
     }
 
+    /// The raw representation `(n, bound matrix, closed)`, for serialization.
+    ///
+    /// The matrix is the row-major `(2n)×(2n)` difference-bound matrix; the
+    /// `closed` flag records whether strong closure has been applied. Feeding
+    /// these three values back through [`Octagon::from_raw`] reconstructs a
+    /// physically identical element.
+    pub fn to_raw(&self) -> (usize, &[f64], bool) {
+        (self.n, &self.m, self.closed)
+    }
+
+    /// Rebuilds an octagon from its raw representation (see
+    /// [`Octagon::to_raw`]). Returns `None` if the matrix length is not
+    /// `(2n)²`.
+    pub fn from_raw(n: usize, m: Vec<f64>, closed: bool) -> Option<Octagon> {
+        if m.len() != 4 * n * n {
+            return None;
+        }
+        Some(Octagon { n, m, closed })
+    }
+
     #[inline]
     fn at(&self, i: usize, j: usize) -> f64 {
         self.m[i * 2 * self.n + j]

@@ -256,7 +256,7 @@ fn volatile_reads_are_fresh_each_statement() {
         }
     "#;
     let p = compile(src).unwrap();
-    let r = astree_core::Analyzer::new(&p, astree_core::AnalysisConfig::default()).run();
+    let r = astree_core::AnalysisSession::builder(&p).build().run();
     assert!(r.alarms.is_empty());
     // Concretely, collect different sums across seeds.
     let mut seen = std::collections::BTreeSet::new();

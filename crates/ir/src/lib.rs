@@ -15,6 +15,7 @@
 //! synchronous `wait` primitive.
 
 pub mod expr;
+pub mod fingerprint;
 pub mod interp;
 pub mod pretty;
 pub mod program;
@@ -22,6 +23,7 @@ pub mod stmt;
 pub mod types;
 
 pub use expr::{Access, Binop, Expr, FloatBits, Lvalue, Unop};
+pub use fingerprint::{func_fingerprints, globals_fingerprint, program_fingerprint, Fnv};
 pub use interp::{
     CellKey, ExecError, InputProvider, Interp, InterpConfig, RuntimeEvent, SeededInputs, Store,
     Value,

@@ -138,6 +138,74 @@ pub struct BatchJobEvent<'a> {
     pub alarms: Option<u64>,
 }
 
+/// Invariant-cache counters for one analysis run.
+///
+/// Emitted once per run by the analysis session when a cache store is
+/// attached; the [`Collector`] sums runs field-wise, so a batch over a shared
+/// store reports fleet-wide totals.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Whole-program entries replayed verbatim (warm runs).
+    pub full_hits: u64,
+    /// Runs that found no whole-program entry.
+    pub misses: u64,
+    /// Functions whose stored loop invariants were installed as seeds.
+    pub seeded_functions: u64,
+    /// Functions with no usable stored invariants (stale or never seen).
+    pub invalidated_functions: u64,
+    /// Loop invariants reused after a one-pass soundness check.
+    pub loops_replayed: u64,
+    /// Loop invariants recomputed by fixpoint iteration.
+    pub loops_solved: u64,
+    /// Cache files rejected as corrupt or truncated (clean cold fallback).
+    pub corrupt_files: u64,
+    /// Bytes read from cache files.
+    pub bytes_read: u64,
+    /// Bytes written to cache files.
+    pub bytes_written: u64,
+    /// Wall time spent decoding and replaying stored results.
+    pub replay_nanos: u64,
+    /// Estimated analysis time avoided (stored cold time minus replay time).
+    pub saved_nanos: u64,
+}
+
+impl CacheCounters {
+    /// Field-wise sum.
+    pub fn add(&mut self, o: &CacheCounters) {
+        self.full_hits += o.full_hits;
+        self.misses += o.misses;
+        self.seeded_functions += o.seeded_functions;
+        self.invalidated_functions += o.invalidated_functions;
+        self.loops_replayed += o.loops_replayed;
+        self.loops_solved += o.loops_solved;
+        self.corrupt_files += o.corrupt_files;
+        self.bytes_read += o.bytes_read;
+        self.bytes_written += o.bytes_written;
+        self.replay_nanos += o.replay_nanos;
+        self.saved_nanos += o.saved_nanos;
+    }
+
+    /// Field-wise saturating difference (`self` at a later time minus an
+    /// earlier snapshot of the same cumulative counters).
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            full_hits: self.full_hits.saturating_sub(earlier.full_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            seeded_functions: self.seeded_functions.saturating_sub(earlier.seeded_functions),
+            invalidated_functions: self
+                .invalidated_functions
+                .saturating_sub(earlier.invalidated_functions),
+            loops_replayed: self.loops_replayed.saturating_sub(earlier.loops_replayed),
+            loops_solved: self.loops_solved.saturating_sub(earlier.loops_solved),
+            corrupt_files: self.corrupt_files.saturating_sub(earlier.corrupt_files),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            replay_nanos: self.replay_nanos.saturating_sub(earlier.replay_nanos),
+            saved_nanos: self.saved_nanos.saturating_sub(earlier.saved_nanos),
+        }
+    }
+}
+
 /// The telemetry sink threaded through the analysis pipeline.
 ///
 /// Every hook has an empty default body, so implementations opt into the
@@ -187,6 +255,10 @@ pub trait Recorder: Send + Sync {
 
     /// A batch job finished.
     fn batch_job(&self, _e: &BatchJobEvent) {}
+
+    /// Invariant-cache counters for one analysis run (emitted once per run
+    /// when a cache store is attached to the session).
+    fn cache(&self, _c: &CacheCounters) {}
 
     /// Free-form trace line (only meaningful when [`Recorder::tracing`]).
     fn trace(&self, _line: &str) {}
@@ -325,6 +397,8 @@ pub struct Metrics {
     pub alarms: Vec<AlarmRecord>,
     /// Scheduler counters.
     pub scheduler: SchedulerMetrics,
+    /// Invariant-cache counters, summed across recorded runs.
+    pub cache: CacheCounters,
 }
 
 impl Metrics {
@@ -452,6 +526,20 @@ impl Metrics {
                 ),
             ),
         ]);
+        let c = &self.cache;
+        let cache = Json::obj([
+            ("full_hits", Json::UInt(c.full_hits)),
+            ("misses", Json::UInt(c.misses)),
+            ("seeded_functions", Json::UInt(c.seeded_functions)),
+            ("invalidated_functions", Json::UInt(c.invalidated_functions)),
+            ("loops_replayed", Json::UInt(c.loops_replayed)),
+            ("loops_solved", Json::UInt(c.loops_solved)),
+            ("corrupt_files", Json::UInt(c.corrupt_files)),
+            ("bytes_read", Json::UInt(c.bytes_read)),
+            ("bytes_written", Json::UInt(c.bytes_written)),
+            ("replay_nanos", Json::UInt(c.replay_nanos)),
+            ("saved_nanos", Json::UInt(c.saved_nanos)),
+        ]);
         Json::obj([
             ("schema", Json::str(SCHEMA)),
             ("functions", functions),
@@ -459,6 +547,7 @@ impl Metrics {
             ("phases", phases),
             ("alarms", alarms),
             ("scheduler", scheduler),
+            ("cache", cache),
         ])
     }
 }
@@ -663,6 +752,24 @@ impl Recorder for Collector {
         });
     }
 
+    fn cache(&self, c: &CacheCounters) {
+        {
+            let mut m = self.metrics.lock().expect("collector poisoned");
+            m.cache.add(c);
+        }
+        if self.trace_on {
+            self.push_trace(format!(
+                "cache: full_hits={} misses={} seeded={} replayed={} solved={} corrupt={}",
+                c.full_hits,
+                c.misses,
+                c.seeded_functions,
+                c.loops_replayed,
+                c.loops_solved,
+                c.corrupt_files,
+            ));
+        }
+    }
+
     fn trace(&self, line: &str) {
         if self.trace_on {
             self.push_trace(line.to_string());
@@ -784,9 +891,10 @@ mod tests {
             worker: 0,
             alarms: Some(1),
         });
+        c.cache(&CacheCounters { full_hits: 1, saved_nanos: 500, ..CacheCounters::default() });
         let j = c.to_json();
         assert_eq!(j.get("schema"), Some(&Json::str(SCHEMA)));
-        for key in ["functions", "domains", "phases", "alarms", "scheduler"] {
+        for key in ["functions", "domains", "phases", "alarms", "scheduler", "cache"] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         let rendered = j.to_string();

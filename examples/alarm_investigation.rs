@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --example alarm_investigation`.
 
-use astree::core::{AnalysisConfig, Analyzer};
+use astree::core::AnalysisSession;
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = Frontend::new().compile_str(&source)?;
 
     // 1. The analyzer reports the defect (and nothing else on this family).
-    let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&program).build().run();
     println!("{} alarm(s):", result.alarms.len());
     for alarm in &result.alarms {
         println!("  {alarm}");

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release --example flight_control`.
 
-use astree::core::{AnalysisConfig, Analyzer};
+use astree::core::{AnalysisConfig, AnalysisSession};
 use astree::frontend::Frontend;
 use astree::gen::{generate, GenConfig};
 
@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The baseline analyzer the paper started from ([5]).
     let t0 = std::time::Instant::now();
-    let baseline = Analyzer::new(&program, AnalysisConfig::baseline()).run();
+    let baseline =
+        AnalysisSession::builder(&program).config(AnalysisConfig::baseline()).build().run();
     println!(
         "\nbaseline (intervals + clock):  {:>4} alarms   ({:.2?})",
         baseline.alarms.len(),
@@ -43,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The refined analyzer (Sect. 6-7 domain stack).
     let t0 = std::time::Instant::now();
-    let refined = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let refined = AnalysisSession::builder(&program).build().run();
     println!(
         "\nrefined (full domain stack):   {:>4} alarms   ({:.2?})",
         refined.alarms.len(),
@@ -68,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut optimized = AnalysisConfig::default();
     optimized.octagon_pack_filter = Some(refined.stats.useful_octagon_packs.clone());
     let t0 = std::time::Instant::now();
-    let rerun = Analyzer::new(&program, optimized).run();
+    let rerun = AnalysisSession::builder(&program).config(optimized).build().run();
     println!(
         "\npacking-optimized re-run: {} packs instead of {}, {} alarms ({:.2?})",
         rerun.stats.octagon_packs,

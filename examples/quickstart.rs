@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use astree::core::{AnalysisConfig, Analyzer};
+use astree::core::AnalysisSession;
 use astree::frontend::Frontend;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("compiled: {}", program.metrics());
 
     // Analyze with the full domain stack and default parameters.
-    let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&program).build().run();
 
     println!(
         "analysis: {:?} iterate + {:?} check, {} cells, {} octagon packs",

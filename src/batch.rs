@@ -7,7 +7,7 @@
 //! only. Results are reported in submission order regardless of completion
 //! order.
 
-use astree_core::{AnalysisConfig, Analyzer};
+use astree_core::{AnalysisConfig, AnalysisSession, InvariantStore};
 use astree_frontend::Frontend;
 use astree_obs::{BatchJobEvent, NullRecorder, Recorder};
 use astree_sched::{run_batch, BatchConfig, Job, JobStatus};
@@ -81,30 +81,39 @@ pub fn analyze_fleet(
     workers: usize,
     timeout: Option<Duration>,
 ) -> FleetReport {
-    analyze_fleet_recorded(fleet, config, workers, timeout, Arc::new(NullRecorder))
+    analyze_fleet_recorded(fleet, config, workers, timeout, Arc::new(NullRecorder), None)
 }
 
 /// Like [`analyze_fleet`], reporting telemetry to `rec`: each job's analysis
 /// streams fixpoint/domain events into the shared recorder, and one
 /// [`BatchJobEvent`] per job records its scheduling outcome. The recorder is
 /// `Arc`-shared because job closures outlive this call's borrows (`'static`).
+/// When `cache` is given, every job of the fleet shares the one invariant
+/// store, so a re-run of an unchanged fleet replays from disk.
 pub fn analyze_fleet_recorded(
     fleet: Vec<FleetJob>,
     config: &AnalysisConfig,
     workers: usize,
     timeout: Option<Duration>,
     rec: Arc<dyn Recorder>,
+    cache: Option<Arc<InvariantStore>>,
 ) -> FleetReport {
     let jobs: Vec<Job<Result<Vec<String>, String>>> = fleet
         .into_iter()
         .map(|fj| {
             let cfg = config.clone();
             let rec = Arc::clone(&rec);
+            let cache = cache.clone();
             Job::new(fj.name, move || {
                 let program = Frontend::new()
                     .compile_str(&fj.source)
                     .map_err(|e| format!("compile error: {e:?}"))?;
-                let result = Analyzer::new(&program, cfg).run_recorded(rec.as_ref());
+                let mut builder =
+                    AnalysisSession::builder(&program).config(cfg).recorder(rec.as_ref());
+                if let Some(store) = cache {
+                    builder = builder.cache(store);
+                }
+                let result = builder.build().run();
                 Ok(result.alarms.iter().map(|a| a.to_string()).collect())
             })
         })

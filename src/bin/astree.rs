@@ -11,11 +11,11 @@
 //! Run `astree <command> --help` for the options of each command.
 
 use astree::batch::{analyze_fleet_recorded, FleetJob};
-use astree::core::{AnalysisConfig, Analyzer};
+use astree::core::{AnalysisConfig, AnalysisSession, CacheReport};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
-use astree::obs::Collector;
+use astree::options::{RunOptions, RUN_OPTIONS_HELP};
 use astree::slicer::Slicer;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -66,10 +66,13 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut config = AnalysisConfig::default();
     let mut show_census = false;
     let mut dump_invariant = false;
-    let mut metrics_path: Option<String> = None;
-    let mut trace = false;
+    let mut run = RunOptions::default();
     let mut i = 0;
     while i < args.len() {
+        if run.try_parse(args, &mut i)? {
+            i += 1;
+            continue;
+        }
         let a = &args[i];
         let value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
@@ -83,20 +86,13 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                      \x20      [--no-clock] [--no-linearize] [--baseline]\n\
                      \x20      [--partition FN] [--thresholds ALPHA,LAMBDA,N]\n\
                      \x20      [--pack VAR1,VAR2,...] [--census] [--dump-invariant]\n\
-                     \x20      [--jobs N] [--metrics FILE] [--trace]\n\
+                     \x20      [--jobs N] [--metrics FILE] [--trace] [--cache DIR]\n\
                      --jobs N analyzes with N worker threads (results are\n\
                      identical to the sequential analysis for every N)\n\
-                     --metrics FILE writes the astree-metrics/1 JSON document\n\
-                     --trace prints the per-iteration fixpoint log to stderr\n\
+                     {RUN_OPTIONS_HELP}\n\
                      exit status: 0 = proven error-free, 1 = alarms reported"
                 );
                 return Ok(ExitCode::SUCCESS);
-            }
-            "--jobs" => {
-                config.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
-                if config.jobs == 0 {
-                    return Err("--jobs must be at least 1".into());
-                }
             }
             "--max-clock" => {
                 config.max_clock = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
@@ -131,8 +127,6 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             }
             "--census" => show_census = true,
             "--dump-invariant" => dump_invariant = true,
-            "--metrics" => metrics_path = Some(value(&mut i)?),
-            "--trace" => trace = true,
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -143,20 +137,26 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     if !errs.is_empty() {
         return Err(format!("invalid program: {}", errs.join("; ")));
     }
+    if let Some(j) = run.jobs {
+        config.jobs = j;
+    }
     let jobs = config.jobs;
-    let result = if metrics_path.is_some() || trace {
-        let collector = if trace { Collector::with_trace() } else { Collector::new() };
-        let result = Analyzer::new(&program, config).run_recorded(&collector);
-        for line in collector.take_trace() {
-            eprintln!("{line}");
+    let store = run.open_store()?;
+    let result = if run.record() {
+        let collector = run.collector();
+        let mut builder = AnalysisSession::builder(&program).config(config).recorder(&collector);
+        if let Some(s) = &store {
+            builder = builder.cache(Arc::clone(s));
         }
-        if let Some(path) = &metrics_path {
-            std::fs::write(path, collector.to_json().to_string())
-                .map_err(|e| format!("{path}: {e}"))?;
-        }
+        let result = builder.build().run();
+        run.finish(&collector)?;
         result
     } else {
-        Analyzer::new(&program, config).run()
+        let mut builder = AnalysisSession::builder(&program).config(config);
+        if let Some(s) = &store {
+            builder = builder.cache(Arc::clone(s));
+        }
+        builder.build().run()
     };
     println!(
         "analyzed {} ({} cells, {} octagon packs, {} filters, {} decision-tree packs)",
@@ -166,10 +166,20 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         result.stats.ellipse_packs,
         result.stats.dtree_packs,
     );
-    println!(
-        "time: {:.2?} invariant generation + {:.2?} checking",
-        result.stats.time_iterate, result.stats.time_check
-    );
+    if result.cache.full_hit {
+        println!(
+            "time: {:.2?} replay from cache (cold run: {:.2?} invariant generation + {:.2?} checking)",
+            result.stats.time_replay, result.stats.time_iterate, result.stats.time_check
+        );
+    } else {
+        println!(
+            "time: {:.2?} invariant generation + {:.2?} checking",
+            result.stats.time_iterate, result.stats.time_check
+        );
+    }
+    if result.cache.enabled {
+        print_cache_summary(&result.cache);
+    }
     if result.stats.parallel_stages > 0 {
         println!(
             "parallel: {} sliced stages, {} slices across {} workers",
@@ -198,19 +208,35 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     }
 }
 
+/// One-line cache participation summary for `astree analyze --cache`.
+fn print_cache_summary(c: &CacheReport) {
+    if c.full_hit {
+        println!("cache: full hit, replayed the stored invariants and alarms");
+    } else {
+        let replayed: u64 = c.loops_replayed_by_function.values().sum();
+        let solved: u64 = c.loops_solved_by_function.values().sum();
+        println!(
+            "cache: {} function(s) seeded, {} invalidated; {} loop(s) replayed, {} solved",
+            c.seeded_functions, c.invalidated_functions, replayed, solved
+        );
+    }
+}
+
 fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut files: Vec<String> = Vec::new();
     let mut gen_count = 0usize;
     let mut channels = 4usize;
     let mut seeds: Option<Vec<u64>> = None;
-    let mut workers = 2usize;
     let mut timeout: Option<Duration> = None;
     let mut json = false;
     let mut config = AnalysisConfig::default();
-    let mut metrics_path: Option<String> = None;
-    let mut trace = false;
+    let mut run = RunOptions::default();
     let mut i = 0;
     while i < args.len() {
+        if run.try_parse(args, &mut i)? {
+            i += 1;
+            continue;
+        }
         let a = &args[i];
         let value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
@@ -221,13 +247,14 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 println!(
                     "usage: astree batch [file.c...] [--gen N] [--channels N]\n\
                      \x20      [--seeds S1,S2,...] [--jobs N] [--timeout SECS]\n\
-                     \x20      [--analysis-jobs N] [--json] [--metrics FILE] [--trace]\n\
+                     \x20      [--analysis-jobs N] [--json] [--metrics FILE]\n\
+                     \x20      [--trace] [--cache DIR]\n\
                      analyzes each input file, plus N generated family members\n\
                      (--gen), as independent jobs on a pool of --jobs workers;\n\
                      a panicking or timed-out job fails alone. --analysis-jobs\n\
-                     additionally parallelizes inside each analysis.\n\
-                     --metrics FILE writes the astree-metrics/1 JSON document\n\
-                     --trace prints the per-iteration fixpoint log to stderr\n\
+                     additionally parallelizes inside each analysis; --cache\n\
+                     shares one invariant store across all jobs.\n\
+                     {RUN_OPTIONS_HELP}\n\
                      exit status: 0 = all jobs clean, 1 = alarms or failures"
                 );
                 return Ok(ExitCode::SUCCESS);
@@ -239,7 +266,6 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 let parsed: Result<Vec<u64>, _> = v.split(',').map(|s| s.trim().parse()).collect();
                 seeds = Some(parsed.map_err(|e| format!("--seeds: {e}"))?);
             }
-            "--jobs" => workers = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
             "--timeout" => {
                 let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
                 timeout = Some(Duration::from_secs_f64(secs));
@@ -248,13 +274,12 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 config.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
             "--json" => json = true,
-            "--metrics" => metrics_path = Some(value(&mut i)?),
-            "--trace" => trace = true,
             f if !f.starts_with('-') => files.push(f.to_string()),
             other => return Err(format!("unknown option {other}")),
         }
         i += 1;
     }
+    let workers = run.jobs.unwrap_or(2);
 
     let mut fleet: Vec<FleetJob> = Vec::new();
     for f in &files {
@@ -271,22 +296,27 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     }
 
     let n = fleet.len();
-    let record = metrics_path.is_some() || trace;
-    let collector = Arc::new(if trace { Collector::with_trace() } else { Collector::new() });
+    let store = run.open_store()?;
+    let record = run.record();
+    let collector = Arc::new(run.collector());
     let report = if record {
         let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
-        analyze_fleet_recorded(fleet, &config, workers, timeout, rec)
+        analyze_fleet_recorded(fleet, &config, workers, timeout, rec, store.clone())
+    } else if store.is_some() {
+        let rec: Arc<dyn astree::obs::Recorder> = Arc::new(astree::obs::NullRecorder);
+        analyze_fleet_recorded(fleet, &config, workers, timeout, rec, store.clone())
     } else {
         astree::batch::analyze_fleet(fleet, &config, workers, timeout)
     };
     if record {
-        for line in collector.take_trace() {
-            eprintln!("{line}");
-        }
-        if let Some(path) = &metrics_path {
-            std::fs::write(path, collector.to_json().to_string())
-                .map_err(|e| format!("{path}: {e}"))?;
-        }
+        run.finish(&collector)?;
+    }
+    if let Some(store) = &store {
+        let c = store.counters();
+        println!(
+            "cache: {} full hit(s), {} miss(es), {} seeded, {} invalidated, {} corrupt file(s)",
+            c.full_hits, c.misses, c.seeded_functions, c.invalidated_functions, c.corrupt_files
+        );
     }
     if json {
         print!("{}", batch_report_json(&report));
@@ -439,7 +469,7 @@ fn cmd_slice(args: &[String]) -> Result<ExitCode, String> {
         i += 1;
     }
     let program = compile(&files)?;
-    let result = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&program).build().run();
     if result.alarms.is_empty() {
         println!("no alarms to slice");
         return Ok(ExitCode::SUCCESS);

@@ -18,8 +18,11 @@
 //!   à la Monniaux's parallel ASTRÉE, plus bounded-worker fleet batches)
 //! - [`obs`] — structured analysis telemetry (recorder, metrics schema)
 //! - [`batch`] — fleet analysis on top of the scheduler
+//! - [`options`] — the shared CLI run options (`--jobs`, `--metrics`,
+//!   `--trace`, `--cache`)
 
 pub mod batch;
+pub mod options;
 
 pub use astree_core as core;
 pub use astree_domains as domains;

@@ -1,0 +1,134 @@
+//! Shared run-option plumbing for the CLI.
+//!
+//! `astree analyze` and `astree batch` accept the same cross-cutting flags
+//! (`--jobs`, `--metrics`, `--trace`, `--cache`); [`RunOptions`] parses them
+//! once and owns the derived machinery — the telemetry [`Collector`] and the
+//! on-disk [`InvariantStore`] — so both commands stay in sync.
+
+use astree_core::InvariantStore;
+use astree_obs::Collector;
+use std::sync::Arc;
+
+/// Help text for the flags [`RunOptions`] parses, for `--help` output.
+pub const RUN_OPTIONS_HELP: &str =
+    "--jobs N runs N workers (see the command's help for which pool)\n\
+     --metrics FILE writes the astree-metrics/1 JSON document\n\
+     --trace prints the per-iteration fixpoint log to stderr\n\
+     --cache DIR reuses invariants across runs from the given directory";
+
+/// The cross-cutting options shared by `analyze` and `batch`.
+#[derive(Debug, Default, Clone)]
+pub struct RunOptions {
+    /// `--jobs N`: worker count. `analyze` maps it to intra-analysis
+    /// workers, `batch` to the job pool.
+    pub jobs: Option<usize>,
+    /// `--metrics FILE`: write the astree-metrics/1 JSON document there.
+    pub metrics_path: Option<String>,
+    /// `--trace`: stream the fixpoint log to stderr.
+    pub trace: bool,
+    /// `--cache DIR`: persist and reuse invariants across runs.
+    pub cache_dir: Option<String>,
+}
+
+impl RunOptions {
+    /// Tries to consume the shared option at `args[*i]`. Returns `Ok(true)`
+    /// and advances `*i` past any flag value when the option was one of
+    /// ours; the caller still advances past the flag itself.
+    pub fn try_parse(&mut self, args: &[String], i: &mut usize) -> Result<bool, String> {
+        let a = args[*i].as_str();
+        let mut value = || -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a {
+            "--jobs" => {
+                let n: usize = value()?.parse().map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                self.jobs = Some(n);
+            }
+            "--metrics" => self.metrics_path = Some(value()?),
+            "--trace" => self.trace = true,
+            "--cache" => self.cache_dir = Some(value()?),
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Whether a telemetry collector is needed at all.
+    pub fn record(&self) -> bool {
+        self.metrics_path.is_some() || self.trace
+    }
+
+    /// Builds the collector matching the options.
+    pub fn collector(&self) -> Collector {
+        if self.trace {
+            Collector::with_trace()
+        } else {
+            Collector::new()
+        }
+    }
+
+    /// Opens the invariant store when `--cache` was given.
+    pub fn open_store(&self) -> Result<Option<Arc<InvariantStore>>, String> {
+        match &self.cache_dir {
+            Some(dir) => {
+                let store = InvariantStore::open(dir).map_err(|e| format!("--cache {dir}: {e}"))?;
+                Ok(Some(Arc::new(store)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Flushes the collector: prints the trace (if any) to stderr and writes
+    /// the metrics document (if requested).
+    pub fn finish(&self, collector: &Collector) -> Result<(), String> {
+        for line in collector.take_trace() {
+            eprintln!("{line}");
+        }
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, collector.to_json().to_string())
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(args: &[&str]) -> Result<(RunOptions, Vec<String>), String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut run = RunOptions::default();
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            if !run.try_parse(&args, &mut i)? {
+                rest.push(args[i].clone());
+            }
+            i += 1;
+        }
+        Ok((run, rest))
+    }
+
+    #[test]
+    fn shared_flags_parse_and_leave_the_rest() {
+        let (run, rest) =
+            parse_all(&["a.c", "--jobs", "4", "--trace", "--cache", "/tmp/c", "--census"]).unwrap();
+        assert_eq!(run.jobs, Some(4));
+        assert!(run.trace);
+        assert_eq!(run.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(run.metrics_path, None);
+        assert_eq!(rest, vec!["a.c", "--census"]);
+        assert!(run.record());
+    }
+
+    #[test]
+    fn jobs_zero_and_missing_values_are_rejected() {
+        assert!(parse_all(&["--jobs", "0"]).is_err());
+        assert!(parse_all(&["--metrics"]).is_err());
+        assert!(parse_all(&["--cache"]).is_err());
+    }
+}

@@ -1,7 +1,7 @@
 //! Locks the paper's headline experimental shapes into the test suite
 //! (small-scale versions of the `repro` experiments, cf. EXPERIMENTS.md).
 
-use astree::core::{AnalysisConfig, Analyzer};
+use astree::core::{AnalysisConfig, AnalysisSession};
 use astree::frontend::Frontend;
 use astree::gen::{generate, GenConfig};
 
@@ -38,7 +38,7 @@ fn alarm_ladder_collapses_monotonically() {
     let mut prev = usize::MAX;
     let mut counts = Vec::new();
     for (name, cfg) in ladder {
-        let n = Analyzer::new(&program, cfg).run().alarms.len();
+        let n = AnalysisSession::builder(&program).config(cfg).build().run().alarms.len();
         counts.push((name, n));
         assert!(n <= prev, "ladder not monotone: {counts:?}");
         prev = n;
@@ -51,7 +51,7 @@ fn alarm_ladder_collapses_monotonically() {
 #[test]
 fn packing_optimization_preserves_precision() {
     let program = family(6);
-    let full = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let full = AnalysisSession::builder(&program).build().run();
     assert!(full.alarms.is_empty());
     let useful = full.stats.useful_octagon_packs.clone();
     assert!(!useful.is_empty());
@@ -63,7 +63,7 @@ fn packing_optimization_preserves_precision() {
     );
     let mut cfg = AnalysisConfig::default();
     cfg.octagon_pack_filter = Some(useful.clone());
-    let opt = Analyzer::new(&program, cfg).run();
+    let opt = AnalysisSession::builder(&program).config(cfg).build().run();
     assert_eq!(opt.alarms, full.alarms);
     assert_eq!(opt.stats.octagon_packs, useful.len());
 }
@@ -74,8 +74,8 @@ fn packing_optimization_preserves_precision() {
 fn scaling_is_roughly_linear_in_cells() {
     let small = family(2);
     let big = family(8);
-    let rs = Analyzer::new(&small, AnalysisConfig::default()).run();
-    let rb = Analyzer::new(&big, AnalysisConfig::default()).run();
+    let rs = AnalysisSession::builder(&small).build().run();
+    let rb = AnalysisSession::builder(&big).build().run();
     assert!(rs.alarms.is_empty() && rb.alarms.is_empty());
     let ratio = rb.stats.cells as f64 / rs.stats.cells as f64;
     assert!((2.0..8.0).contains(&ratio), "4x channels should give ~4x cells, got ×{ratio:.1}");
@@ -85,7 +85,7 @@ fn scaling_is_roughly_linear_in_cells() {
 #[test]
 fn census_is_heterogeneous() {
     let program = family(4);
-    let r = Analyzer::new(&program, AnalysisConfig::default()).run();
+    let r = AnalysisSession::builder(&program).build().run();
     let c = r.main_census.expect("reactive loop");
     assert!(c.boolean_intervals > 0, "{c}");
     assert!(c.intervals > 0, "{c}");
@@ -99,7 +99,7 @@ fn census_is_heterogeneous() {
 #[test]
 fn headline_no_false_alarms_no_missed_errors() {
     let clean = family(4);
-    let r = Analyzer::new(&clean, AnalysisConfig::default()).run();
+    let r = AnalysisSession::builder(&clean).build().run();
     assert!(r.alarms.is_empty(), "false alarms: {:?}", r.alarms);
 
     for bug in [
@@ -109,7 +109,7 @@ fn headline_no_false_alarms_no_missed_errors() {
     ] {
         let src = generate(&GenConfig { channels: 2, seed: 7, bug: Some(bug) });
         let p = Frontend::new().compile_str(&src).unwrap();
-        let r = Analyzer::new(&p, AnalysisConfig::default()).run();
+        let r = AnalysisSession::builder(&p).build().run();
         assert!(!r.alarms.is_empty(), "{bug:?} missed");
     }
 }

@@ -5,7 +5,7 @@
 //! loop invariant.
 
 use astree::batch::{analyze_fleet, FleetJob};
-use astree::core::{AnalysisConfig, AnalysisResult, Analyzer};
+use astree::core::{AnalysisConfig, AnalysisResult, AnalysisSession};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use std::time::Duration;
@@ -14,7 +14,7 @@ fn run_with_jobs(src: &str, jobs: usize) -> AnalysisResult {
     let p = Frontend::new().compile_str(src).expect("compiles");
     let mut cfg = AnalysisConfig::default();
     cfg.jobs = jobs;
-    Analyzer::new(&p, cfg).run()
+    AnalysisSession::builder(&p).config(cfg).build().run()
 }
 
 /// Asserts bit-identical observables between a sequential and a parallel

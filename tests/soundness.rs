@@ -9,7 +9,7 @@
 //! 2. **Invariant containment**: every concrete state observed at the main
 //!    loop head lies inside the analyzer's loop invariant.
 
-use astree::core::{AlarmKind, AnalysisConfig, Analyzer};
+use astree::core::{AlarmKind, AnalysisConfig, AnalysisSession};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{ExecError, Interp, InterpConfig, RuntimeEvent, SeededInputs, Value};
@@ -47,7 +47,7 @@ fn clean_family_members_are_clean_concretely_and_abstractly() {
     for seed in [1u64, 17, 99] {
         let src = generate(&GenConfig { channels: 3, seed, bug: None });
         let p = Frontend::new().compile_str(&src).expect("compiles");
-        let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+        let result = AnalysisSession::builder(&p).build().run();
         assert!(result.alarms.is_empty(), "seed {seed}: {:?}", result.alarms);
         let (errors, events) = interp_events(&p, 0..10, 150);
         assert!(errors.is_empty(), "seed {seed}: {errors:?}");
@@ -59,7 +59,7 @@ fn clean_family_members_are_clean_concretely_and_abstractly() {
 fn injected_div_by_zero_is_reported_and_real() {
     let src = generate(&GenConfig { channels: 2, seed: 5, bug: Some(BugKind::DivByZero) });
     let p = Frontend::new().compile_str(&src).unwrap();
-    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&p).build().run();
     assert!(alarm_kinds(&result).contains(&AlarmKind::DivByZero), "{:?}", result.alarms);
     let (errors, _) = interp_events(&p, 0..100, 50);
     assert!(
@@ -72,7 +72,7 @@ fn injected_div_by_zero_is_reported_and_real() {
 fn injected_oob_is_reported_and_real() {
     let src = generate(&GenConfig { channels: 2, seed: 5, bug: Some(BugKind::OutOfBounds) });
     let p = Frontend::new().compile_str(&src).unwrap();
-    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&p).build().run();
     assert!(alarm_kinds(&result).contains(&AlarmKind::OutOfBounds), "{:?}", result.alarms);
     let (errors, _) = interp_events(&p, 0..100, 50);
     assert!(
@@ -85,7 +85,7 @@ fn injected_oob_is_reported_and_real() {
 fn injected_overflow_is_reported_and_real() {
     let src = generate(&GenConfig { channels: 1, seed: 5, bug: Some(BugKind::IntOverflow) });
     let p = Frontend::new().compile_str(&src).unwrap();
-    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&p).build().run();
     assert!(alarm_kinds(&result).contains(&AlarmKind::IntOverflow), "{:?}", result.alarms);
     let (_, events) = interp_events(&p, 0..1, 3000);
     assert!(
@@ -100,7 +100,7 @@ fn injected_overflow_is_reported_and_real() {
 fn loop_invariant_contains_concrete_states() {
     let src = generate(&GenConfig { channels: 2, seed: 23, bug: None });
     let p = Frontend::new().compile_str(&src).unwrap();
-    let result = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let result = AnalysisSession::builder(&p).build().run();
     let inv = result.main_invariant.as_ref().expect("reactive program has a main loop");
     assert!(!inv.is_bottom());
     let layout = CellLayout::new(&p, &LayoutConfig::default());
@@ -201,7 +201,7 @@ fn path_to_cell(
 fn coarser_configurations_only_add_alarms() {
     let src = generate(&GenConfig { channels: 3, seed: 31, bug: Some(BugKind::DivByZero) });
     let p = Frontend::new().compile_str(&src).unwrap();
-    let full = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let full = AnalysisSession::builder(&p).build().run();
     let full_set: std::collections::BTreeSet<_> =
         full.alarms.iter().map(|a| (a.stmt, a.kind)).collect();
     let mut configs: Vec<(&str, AnalysisConfig)> = Vec::new();
@@ -219,7 +219,7 @@ fn coarser_configurations_only_add_alarms() {
     configs.push(("no-linearization", c));
     configs.push(("baseline", AnalysisConfig::baseline()));
     for (name, cfg) in configs {
-        let r = Analyzer::new(&p, cfg).run();
+        let r = AnalysisSession::builder(&p).config(cfg).build().run();
         let set: std::collections::BTreeSet<_> =
             r.alarms.iter().map(|a| (a.stmt, a.kind)).collect();
         assert!(

@@ -3,7 +3,7 @@
 //! the batch runner without changing any analysis result.
 
 use astree::batch::{analyze_fleet_recorded, FleetJob};
-use astree::core::{AnalysisConfig, Analyzer};
+use astree::core::{AnalysisConfig, AnalysisSession};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::obs::{Collector, Json, Metrics, SCHEMA};
@@ -13,7 +13,7 @@ use std::time::Duration;
 fn collect(src: &str, cfg: AnalysisConfig) -> (astree::core::AnalysisResult, Metrics) {
     let p = Frontend::new().compile_str(src).expect("compiles");
     let collector = Collector::new();
-    let result = Analyzer::new(&p, cfg).run_recorded(&collector);
+    let result = AnalysisSession::builder(&p).config(cfg).recorder(&collector).build().run();
     (result, collector.snapshot())
 }
 
@@ -74,9 +74,9 @@ fn alarm_provenance_names_statement_domain_and_loop() {
 fn recording_does_not_change_results() {
     let src = generate(&GenConfig { channels: 3, seed: 11, bug: Some(BugKind::IntOverflow) });
     let p = Frontend::new().compile_str(&src).expect("compiles");
-    let plain = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let plain = AnalysisSession::builder(&p).build().run();
     let collector = Collector::with_trace();
-    let recorded = Analyzer::new(&p, AnalysisConfig::default()).run_recorded(&collector);
+    let recorded = AnalysisSession::builder(&p).recorder(&collector).build().run();
     assert_eq!(plain.alarms, recorded.alarms);
     assert_eq!(plain.main_census, recorded.main_census);
     assert_eq!(plain.stats.loop_iterations, recorded.stats.loop_iterations);
@@ -88,13 +88,13 @@ fn panicking_slice_falls_back_to_identical_sequential_replay() {
     let src = generate(&GenConfig { channels: 6, seed: 42, bug: Some(BugKind::DivByZero) });
     let p = Frontend::new().compile_str(&src).expect("compiles");
 
-    let seq = Analyzer::new(&p, AnalysisConfig::default()).run();
+    let seq = AnalysisSession::builder(&p).build().run();
 
     let mut cfg = AnalysisConfig::default();
     cfg.jobs = 4;
     cfg.debug_panic_slice = Some(0);
     let collector = Collector::new();
-    let par = Analyzer::new(&p, cfg).run_recorded(&collector);
+    let par = AnalysisSession::builder(&p).config(cfg).recorder(&collector).build().run();
     let m = collector.snapshot();
 
     // The injected worker panic must be contained: the stage replays
@@ -123,7 +123,7 @@ fn batch_metrics_record_job_outcomes_with_reasons() {
     ];
     let collector = Arc::new(Collector::new());
     let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
-    let report = analyze_fleet_recorded(fleet, &AnalysisConfig::default(), 2, None, rec);
+    let report = analyze_fleet_recorded(fleet, &AnalysisConfig::default(), 2, None, rec, None);
     assert_eq!(report.outcomes.len(), 3);
 
     let m = collector.snapshot();
@@ -150,6 +150,7 @@ fn batch_metrics_record_timeouts() {
         1,
         Some(Duration::from_nanos(1)),
         rec,
+        None,
     );
     assert_eq!(report.outcomes[0].status, "timed-out");
     let m = collector.snapshot();
