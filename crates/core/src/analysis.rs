@@ -14,7 +14,8 @@ use crate::packs::Packs;
 use crate::state::AbsState;
 use astree_ir::{func_fingerprints, globals_fingerprint, program_fingerprint, LoopId, Program};
 use astree_memory::{CellLayout, LayoutConfig};
-use astree_obs::{CacheCounters, Recorder, NULL};
+use astree_obs::{CacheCounters, PoolCounters, Recorder, NULL};
+use astree_sched::WorkerPool;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -249,7 +250,16 @@ impl<'a> AnalysisSession<'a> {
             cache_ctx = Some((key, program_fp, fps, store_before));
         }
 
+        // One persistent work-stealing pool for the whole session (both
+        // phases): stages pay queue pushes, not thread spawns. Created only
+        // after the cache-hit early return — a replay spawns nothing.
+        let pool = (self.config.jobs > 1).then(|| WorkerPool::new(self.config.jobs));
+        // Reset the thread-local fast-path counter so a previous analysis
+        // on this thread (with telemetry off) cannot leak into this run.
+        let _ = astree_domains::take_saved_closures();
+
         let mut iter = Iter::with_recorder(self.program, &layout, &packs, &self.config, rec);
+        iter.pool = pool.as_ref();
         iter.seeds = seeds;
 
         let t0 = Instant::now();
@@ -260,9 +270,23 @@ impl<'a> AnalysisSession<'a> {
         let _ = iter.run_mode(Mode::Check);
         let time_check = t1.elapsed();
 
+        let saved_closures = astree_domains::take_saved_closures();
         if rec.enabled() {
             rec.phase_time("iterate", time_iterate.as_nanos() as u64);
             rec.phase_time("check", time_check.as_nanos() as u64);
+            if saved_closures > 0 {
+                rec.domain_op_n("octagon", "closure_saved", saved_closures, 0);
+            }
+            if let Some(pool) = &pool {
+                let s = pool.stats();
+                rec.pool(&PoolCounters {
+                    workers: s.workers as u64,
+                    tasks: s.tasks,
+                    steals: s.steals,
+                    max_queue_depth: s.max_queue_depth,
+                    busy_nanos: s.busy_nanos,
+                });
+            }
         }
 
         // The main loop: the first loop of the entry function.

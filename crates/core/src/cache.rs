@@ -66,10 +66,11 @@ pub const CACHE_FORMAT: &str = "astree-cache/1";
 /// Everything that can change a fixpoint is included: thresholds, widening
 /// schedule, unrolling, the physical clock bound, float perturbation, array
 /// shrinking, the domain set, partitioning and packing parameters.
-/// Deliberately excluded: `jobs` (parallel slicing is bit-identical to the
-/// sequential analysis for every worker count, enforced by `tests/parallel`)
-/// and the `debug_panic_slice` fault injection (replayed stages are
-/// bit-identical too).
+/// Deliberately excluded: `jobs`, `nested_slicing`, `nested_cost_fraction`
+/// (parallel slicing — flat or nested, for every worker count — is
+/// bit-identical to the sequential analysis, enforced by `tests/parallel`)
+/// and the `debug_panic_slice` / `debug_force_steal` fault injections
+/// (replayed stages and forced-steal placements are bit-identical too).
 pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
     let mut h = Fnv::new();
     h.str("astree-config");

@@ -78,6 +78,27 @@ pub struct AnalysisConfig {
     /// replayed sequentially and the reason lands in the metrics output).
     #[doc(hidden)]
     pub debug_panic_slice: Option<usize>,
+    /// Recurse one level into fat top-level `if` statements and submit their
+    /// branch-block slices as independently stealable tasks (nested slicing).
+    /// Off means top-level-only slicing, as in previous releases.
+    pub nested_slicing: bool,
+    /// A top-level statement is "fat" (worth nested slicing) when its
+    /// measured cost from the previous iteration exceeds this fraction of
+    /// the stage's total cost. Also the split threshold for cost-guided
+    /// chunking.
+    pub nested_cost_fraction: f64,
+    /// Fault injection for tests: seeds an adversarial pseudo-random initial
+    /// task placement in the worker pool so steals are forced; the result
+    /// must stay bit-identical to the unseeded run.
+    #[doc(hidden)]
+    pub debug_force_steal: Option<u64>,
+    /// Runs every slice of a sliced stage inline on the calling thread, in
+    /// index order, instead of on the pool. Same plan, same chunks, same
+    /// (bit-identical) result — but per-slice timings are uncontaminated by
+    /// preemption, which the scaling benchmark needs for its critical-path
+    /// estimate on CPU-starved hosts, and backtraces stay on one thread.
+    #[doc(hidden)]
+    pub debug_inline_slices: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -106,6 +127,10 @@ impl Default for AnalysisConfig {
             octagon_packs_extra: Vec::new(),
             jobs: 1,
             debug_panic_slice: None,
+            nested_slicing: true,
+            nested_cost_fraction: 0.25,
+            debug_force_steal: None,
+            debug_inline_slices: false,
         }
     }
 }

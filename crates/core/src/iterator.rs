@@ -31,7 +31,7 @@ use astree_memory::{CellId, CellLayout, CellVal, Evaluator};
 use astree_obs::{AlarmEvent, LoopDoneEvent, LoopIterEvent, Phase, Recorder, SliceEvent};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Analysis mode (paper Sect. 5.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +100,22 @@ pub struct Iter<'a> {
     /// Whether the top-level dispatch may be sliced across workers
     /// (Monniaux's partition-and-join scheme); disabled inside workers.
     par_enabled: bool,
+    /// The persistent work-stealing pool slices run on. `None` falls back
+    /// to the per-stage fork-join scatter (and disables nested slicing).
+    pub(crate) pool: Option<&'a astree_sched::WorkerPool>,
+    /// Per-statement cost (nanos) measured the last time the statement ran
+    /// in a staged block; feeds cost-guided chunking and the fat-statement
+    /// test for nested slicing. Purely a scheduling hint: any chunking of a
+    /// parallel stage merges identically.
+    stmt_cost: HashMap<StmtId, u64>,
+    /// How many `if` branch levels below a staged block the current block
+    /// sits at (0 = the staged block itself). Nested slicing recurses one
+    /// level only.
+    branch_level: u32,
+    /// Whether the statement currently executing on the main iterator was
+    /// measured fat enough (cost share ≥ `nested_cost_fraction`) for its
+    /// branch blocks to be worth slicing.
+    nested_fat: bool,
     /// Cached stage plans, keyed by the first statement of the block.
     plans: HashMap<StmtId, Arc<crate::parallel::BlockPlan>>,
     /// Telemetry sink (the no-op recorder by default).
@@ -118,6 +134,27 @@ pub struct Iter<'a> {
 struct Flow {
     parts: Vec<AbsState>,
     returned: AbsState,
+}
+
+/// Everything one slice of a parallel stage sends back to the merger.
+struct SliceOut {
+    /// The slice's post-state (`None` when it went to bottom or split into
+    /// partitions — shapes the overlay model cannot express).
+    post: Option<AbsState>,
+    returned: AbsState,
+    invariants: HashMap<LoopId, AbsState>,
+    sink: AlarmSink,
+    stats: IterStats,
+    oct_useful: Vec<usize>,
+    wall: Duration,
+    /// Per-statement cost, fed back into the chunking heuristic.
+    stmt_nanos: Vec<(StmtId, u64)>,
+    /// Octagon closures the ref fast paths skipped on this slice's thread.
+    saved_closures: u64,
+    loops_solved: u64,
+    loops_replayed: u64,
+    solved_by_func: BTreeMap<String, u64>,
+    replayed_by_func: BTreeMap<String, u64>,
 }
 
 impl<'a> Iter<'a> {
@@ -160,6 +197,10 @@ impl<'a> Iter<'a> {
             oct_useful: vec![0; packs.octagons.len()],
             stats: IterStats::default(),
             par_enabled: config.jobs > 1,
+            pool: None,
+            stmt_cost: HashMap::new(),
+            branch_level: 0,
+            nested_fat: true,
             plans: HashMap::new(),
             rec,
             rec_on: rec.enabled(),
@@ -223,10 +264,18 @@ impl<'a> Iter<'a> {
         depth: u32,
     ) {
         // Top-level blocks (the entry dispatch and the synchronous loop's
-        // body) may be sliced across workers when `jobs > 1`.
+        // body) may be sliced across workers when `jobs > 1`. Branch blocks
+        // of a fat `if` may be sliced one level deeper (nested slicing),
+        // their sub-slices becoming stealable tasks on the pool.
+        let nest_ok = self.branch_level == 0
+            || (self.config.nested_slicing
+                && self.pool.is_some()
+                && self.branch_level == 1
+                && self.nested_fat);
         if self.par_enabled
             && depth == 0
             && !partitioning
+            && nest_ok
             && block.len() >= 2
             && flow.parts.len() == 1
             && !flow.parts[0].is_bottom()
@@ -235,12 +284,28 @@ impl<'a> Iter<'a> {
             return;
         }
         for s in block {
+            // A lone statement is the whole block's cost: always fat.
+            self.nested_fat = true;
             self.exec_stmt(flow, s, ret_target, partitioning, depth);
             flow.parts.retain(|p| !p.is_bottom());
             if flow.parts.is_empty() {
                 return;
             }
         }
+    }
+
+    /// Cost share of `s` within `block` per the last measurements, deciding
+    /// whether its branch blocks are worth nested slicing. Unmeasured blocks
+    /// (first iteration, cold cache) count as fat — recursing is how the
+    /// costs get measured.
+    fn is_fat(&self, block: &Block, s: &Stmt) -> bool {
+        let total: u64 =
+            block.iter().map(|s| self.stmt_cost.get(&s.id).copied().unwrap_or(0)).sum();
+        if total == 0 {
+            return true;
+        }
+        let cost = self.stmt_cost.get(&s.id).copied().unwrap_or(0);
+        cost as f64 >= self.config.nested_cost_fraction.clamp(0.0, 1.0) * total as f64
     }
 
     /// Executes a block stage by stage, slicing parallel stages across
@@ -270,7 +335,7 @@ impl<'a> Iter<'a> {
         if !plan.parallel {
             // No stage can be sliced: plain sequential execution.
             for s in block {
-                self.exec_stmt(flow, s, ret_target, false, depth);
+                self.exec_stmt_timed(flow, block, s, ret_target, depth);
                 flow.parts.retain(|p| !p.is_bottom());
                 if flow.parts.is_empty() {
                     return;
@@ -285,7 +350,7 @@ impl<'a> Iter<'a> {
                 && !flow.parts[0].is_bottom();
             if !run_par || !self.exec_stage_parallel(flow, block, &plan, stage, ret_target, depth) {
                 for s in &block[stage.range()] {
-                    self.exec_stmt(flow, s, ret_target, false, depth);
+                    self.exec_stmt_timed(flow, block, s, ret_target, depth);
                     flow.parts.retain(|p| !p.is_bottom());
                     if flow.parts.is_empty() {
                         return;
@@ -293,6 +358,24 @@ impl<'a> Iter<'a> {
                 }
             }
         }
+    }
+
+    /// Executes one statement of a staged block on the main iterator,
+    /// recording its cost (the chunking heuristic for the next encounter —
+    /// staged blocks re-run every fixpoint iteration) and flagging whether
+    /// it is fat enough for nested slicing of its branch blocks.
+    fn exec_stmt_timed(
+        &mut self,
+        flow: &mut Flow,
+        block: &Block,
+        s: &Stmt,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) {
+        self.nested_fat = self.is_fat(block, s);
+        let t0 = Instant::now();
+        self.exec_stmt(flow, s, ret_target, false, depth);
+        self.stmt_cost.insert(s.id, Self::nanos_since(t0));
     }
 
     /// Runs one parallel stage: the statement range is chunked into
@@ -310,7 +393,17 @@ impl<'a> Iter<'a> {
         depth: u32,
     ) -> bool {
         let stmts = &block[stage.range()];
-        let chunks = astree_sched::chunk_ranges(stmts.len(), self.config.jobs);
+        // Chunk by last-measured statement cost when available (zero-cost
+        // vectors fall back to equal counts); chunks above the cost-fraction
+        // threshold are split further into stealable tasks.
+        let costs: Vec<u64> =
+            stmts.iter().map(|s| self.stmt_cost.get(&s.id).copied().unwrap_or(0)).collect();
+        let chunks = astree_sched::cost_chunk_ranges(
+            stmts.len(),
+            self.config.jobs,
+            Some(&costs),
+            self.config.nested_cost_fraction,
+        );
         if chunks.len() < 2 {
             if self.rec_on {
                 self.rec.fallback("too_few_chunks");
@@ -332,7 +425,7 @@ impl<'a> Iter<'a> {
         // (which is safe — nothing of the stage has been committed yet).
         // `AssertUnwindSafe` is sound here because a panicked slice's entire
         // result is discarded and the captured state is read-only.
-        let results = astree_sched::scatter(chunks.clone(), |ci, r: std::ops::Range<usize>| {
+        let worker = |ci: usize, r: std::ops::Range<usize>| {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if panic_slice == Some(ci) {
                     panic!("injected slice fault (debug_panic_slice)");
@@ -347,29 +440,43 @@ impl<'a> Iter<'a> {
                     w.seeds = cache_seeds.clone();
                 }
                 let mut wf = Flow { parts: vec![pre.clone()], returned: pre.bottom_like() };
+                let mut stmt_nanos = Vec::with_capacity(r.len());
                 for s in &stmts[r] {
+                    let ts = Instant::now();
                     w.exec_stmt(&mut wf, s, ret_target, false, depth);
+                    stmt_nanos.push((s.id, Self::nanos_since(ts)));
                     wf.parts.retain(|p| !p.is_bottom());
                     if wf.parts.is_empty() {
                         break;
                     }
                 }
                 let post = if wf.parts.len() == 1 { Some(wf.parts.pop().unwrap()) } else { None };
-                let cachec =
-                    (w.loops_solved, w.loops_replayed, w.solved_by_func, w.replayed_by_func);
-                (
+                SliceOut {
                     post,
-                    wf.returned,
-                    w.invariants,
-                    w.sink,
-                    w.stats,
-                    w.oct_useful,
-                    t0.elapsed(),
-                    cachec,
-                )
+                    returned: wf.returned,
+                    invariants: w.invariants,
+                    sink: w.sink,
+                    stats: w.stats,
+                    oct_useful: w.oct_useful,
+                    wall: t0.elapsed(),
+                    stmt_nanos,
+                    saved_closures: astree_domains::take_saved_closures(),
+                    loops_solved: w.loops_solved,
+                    loops_replayed: w.loops_replayed,
+                    solved_by_func: w.solved_by_func,
+                    replayed_by_func: w.replayed_by_func,
+                }
             }))
             .ok()
-        });
+        };
+        let results = if config.debug_inline_slices {
+            chunks.iter().cloned().enumerate().map(|(ci, r)| worker(ci, r)).collect()
+        } else {
+            match self.pool {
+                Some(pool) => pool.scatter_seeded(config.debug_force_steal, chunks.clone(), worker),
+                None => astree_sched::scatter(chunks.clone(), worker),
+            }
+        };
 
         if results.iter().any(|r| r.is_none()) {
             if self.rec_on {
@@ -377,11 +484,12 @@ impl<'a> Iter<'a> {
             }
             return false;
         }
-        let results: Vec<_> = results.into_iter().map(|r| r.expect("checked above")).collect();
+        let results: Vec<SliceOut> =
+            results.into_iter().map(|r| r.expect("checked above")).collect();
 
         // Any slice that went to bottom, split into partitions, or produced a
         // return state falls outside the overlay model: replay sequentially.
-        if results.iter().any(|(post, returned, ..)| post.is_none() || !returned.is_bottom()) {
+        if results.iter().any(|r| r.post.is_none() || !r.returned.is_bottom()) {
             if self.rec_on {
                 self.rec.fallback("slice_shape");
             }
@@ -395,39 +503,45 @@ impl<'a> Iter<'a> {
                     stage: stage_no,
                     index: ci,
                     stmts: chunks[ci].len(),
-                    nanos: r.6.as_nanos() as u64,
+                    nanos: r.wall.as_nanos() as u64,
                 });
             }
         }
         let t_merge = self.rec_on.then(Instant::now);
         let mut merged = pre.clone();
-        for (ci, (post, _returned, invariants, sink, stats, useful, _wall, cachec)) in
-            results.into_iter().enumerate()
-        {
-            let post = post.expect("checked above");
+        let mut saved_closures = 0u64;
+        for (ci, out) in results.into_iter().enumerate() {
+            let post = out.post.expect("checked above");
             let r = &chunks[ci];
             let eff = crate::parallel::slice_effects(
                 &plan.footprints[stage.start + r.start..stage.start + r.end],
             );
             merged.overlay_from(&pre, &post, &eff, self.layout);
             if mode == Mode::Iterate {
-                for (id, inv) in invariants {
+                for (id, inv) in out.invariants {
                     self.invariants.insert(id, inv);
                 }
-                self.loops_solved += cachec.0;
-                self.loops_replayed += cachec.1;
-                for (k, v) in cachec.2 {
+                self.loops_solved += out.loops_solved;
+                self.loops_replayed += out.loops_replayed;
+                for (k, v) in out.solved_by_func {
                     *self.solved_by_func.entry(k).or_insert(0) += v;
                 }
-                for (k, v) in cachec.3 {
+                for (k, v) in out.replayed_by_func {
                     *self.replayed_by_func.entry(k).or_insert(0) += v;
                 }
             }
-            self.sink.absorb(sink);
-            self.stats.merge_worker(&stats);
-            for (pi, n) in useful.into_iter().enumerate() {
+            self.sink.absorb(out.sink);
+            self.stats.merge_worker(&out.stats);
+            for (pi, n) in out.oct_useful.into_iter().enumerate() {
                 self.oct_useful[pi] += n;
             }
+            for (sid, ns) in out.stmt_nanos {
+                self.stmt_cost.insert(sid, ns);
+            }
+            saved_closures += out.saved_closures;
+        }
+        if self.rec_on && saved_closures > 0 {
+            self.rec.domain_op_n("octagon", "closure_saved", saved_closures, 0);
         }
         if let Some(t0) = t_merge {
             self.rec.merge(stage_no, chunks.len(), Self::nanos_since(t0));
@@ -469,12 +583,19 @@ impl<'a> Iter<'a> {
                 }
                 let parts = std::mem::take(&mut flow.parts);
                 let mut merged: Vec<AbsState> = Vec::new();
+                // Branch blocks sit one slice level deeper; `nested_fat`
+                // (set for this `if` by the staged caller) must be restored
+                // before each branch since a sliced branch clobbers it.
+                let fat = self.nested_fat;
+                self.branch_level += 1;
                 for p in parts {
                     let t_in = self.state_guard(&p, c, true);
                     let f_in = self.state_guard(&p, c, false);
                     let mut tf = Flow { parts: vec![t_in], returned: p.bottom_like() };
+                    self.nested_fat = fat;
                     self.exec_block(&mut tf, then_b, ret_target, partitioning, depth);
                     let mut ff = Flow { parts: vec![f_in], returned: p.bottom_like() };
+                    self.nested_fat = fat;
                     self.exec_block(&mut ff, else_b, ret_target, partitioning, depth);
                     flow.returned = flow.returned.join(&tf.returned, self.layout, self.packs);
                     flow.returned = flow.returned.join(&ff.returned, self.layout, self.packs);
@@ -489,6 +610,7 @@ impl<'a> Iter<'a> {
                         merged.push(j);
                     }
                 }
+                self.branch_level -= 1;
                 // Cap the number of live partitions.
                 if merged.len() > self.config.max_partitions {
                     let mut j = merged[0].bottom_like();
@@ -693,7 +815,7 @@ impl<'a> Iter<'a> {
             }
         }
         let t0 = self.rec_on.then(Instant::now);
-        inv.reduce_counting(self.layout, self.packs, Some(&mut self.oct_useful));
+        self.reduce_loop_done(&mut inv, cond, body, depth);
         if let Some(t0) = t0 {
             self.rec.domain_op("octagon", "closure", Self::nanos_since(t0));
             self.rec.loop_done(&LoopDoneEvent {
@@ -705,6 +827,31 @@ impl<'a> Iter<'a> {
         }
         self.invariants.insert(id, inv.clone());
         exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
+    }
+
+    /// The reduction closing a loop solve. Depth-0 loops (the synchronous
+    /// loop, entry-block initialization loops) reduce the full state; loops
+    /// inside callees reduce only the packs overlapping the loop's own cells
+    /// (the localized loop-done reduction — cost proportional to the loop,
+    /// and the statement footprint stays local, which is what lets the
+    /// planner slice the top-level dispatch). Falls back to the full
+    /// reduction when the loop's cell set is unbounded (call-depth cap,
+    /// clock tick inside the body).
+    fn reduce_loop_done(&mut self, inv: &mut AbsState, cond: &Expr, body: &Block, depth: u32) {
+        let cells = if depth == 0 {
+            None
+        } else {
+            crate::parallel::loop_touched_cells(self.program, self.layout, cond, body)
+        };
+        match cells {
+            Some(cells) => {
+                let cells: Vec<CellId> = cells.into_iter().collect();
+                inv.reduce_local(self.layout, self.packs, &cells, Some(&mut self.oct_useful));
+            }
+            None => {
+                inv.reduce_counting(self.layout, self.packs, Some(&mut self.oct_useful));
+            }
+        }
     }
 
     /// Diffs the invariant environment across one join/widen step: a bound

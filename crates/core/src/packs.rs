@@ -13,7 +13,8 @@
 
 use crate::config::AnalysisConfig;
 use astree_ir::{
-    Binop, Expr, IntType, Lvalue, Program, ScalarType, Stmt, StmtId, StmtKind, Type, Unop, VarId,
+    Binop, Expr, IntType, Lvalue, ParamKind, Program, ScalarType, Stmt, StmtId, StmtKind, Type,
+    Unop, VarId,
 };
 use astree_memory::{CellId, CellLayout};
 use std::collections::{BTreeSet, HashMap};
@@ -188,6 +189,18 @@ fn discover_octagons(
     layout: &CellLayout,
     config: &AnalysisConfig,
 ) -> Vec<OctPack> {
+    // By-ref parameters are substituted away at every call site — the body
+    // executes against the caller's l-value and the parameter's own cell
+    // never exists at run time — so packing them only couples unrelated
+    // callers of the same helper.
+    let byref: BTreeSet<CellId> = program
+        .funcs
+        .iter()
+        .flat_map(|f| &f.params)
+        .filter(|p| p.kind == ParamKind::ByRef)
+        .filter(|p| matches!(program.var(p.var).ty, Type::Scalar(_)))
+        .map(|p| layout.scalar_cell(p.var))
+        .collect();
     let mut packs: Vec<BTreeSet<CellId>> = Vec::new();
     for f in &program.funcs {
         walk_blocks(&f.body, &mut |block| {
@@ -211,6 +224,7 @@ fn discover_octagons(
                     }
                     _ => {}
                 }
+                g.retain(|c| !byref.contains(c));
                 if !g.is_empty() {
                     groups.push(g);
                 }

@@ -129,6 +129,119 @@ pub(crate) fn plan_block(
     BlockPlan { stages, footprints, parallel }
 }
 
+/// All cells a loop may read or write (guard, body, callees — with by-ref
+/// substitution, exactly like the interpreter's abstract inlining), the
+/// scope of the localized loop-done reduction. `None` when the walk hits
+/// the call-depth cap or a clock tick (whose effect is global): the caller
+/// must fall back to the full-state reduction.
+pub(crate) fn loop_touched_cells(
+    program: &Program,
+    layout: &CellLayout,
+    cond: &Expr,
+    body: &Block,
+) -> Option<BTreeSet<CellId>> {
+    let mut out = BTreeSet::new();
+    touch_expr(program, layout, cond, &mut out);
+    if touch_block(program, layout, body, 0, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+fn touch_lvalue(program: &Program, layout: &CellLayout, lv: &Lvalue, out: &mut BTreeSet<CellId>) {
+    if lv.path.is_empty() && matches!(program.var(lv.base).ty, Type::Scalar(_)) {
+        out.insert(layout.scalar_cell(lv.base));
+    } else {
+        out.extend(layout.cells_of_var(lv.base));
+    }
+    for a in &lv.path {
+        if let Access::Index(e) = a {
+            touch_expr(program, layout, e, out);
+        }
+    }
+}
+
+fn touch_expr(program: &Program, layout: &CellLayout, e: &Expr, out: &mut BTreeSet<CellId>) {
+    let mut lvs: Vec<Lvalue> = Vec::new();
+    e.for_each_lvalue(&mut |lv| lvs.push(lv.clone()));
+    for lv in lvs {
+        touch_lvalue(program, layout, &lv, out);
+    }
+}
+
+fn touch_block(
+    program: &Program,
+    layout: &CellLayout,
+    block: &Block,
+    depth: u32,
+    out: &mut BTreeSet<CellId>,
+) -> bool {
+    for s in block {
+        match &s.kind {
+            StmtKind::Assign(lv, e) => {
+                touch_lvalue(program, layout, lv, out);
+                touch_expr(program, layout, e, out);
+            }
+            StmtKind::If(c, a, b) => {
+                touch_expr(program, layout, c, out);
+                if !touch_block(program, layout, a, depth, out)
+                    || !touch_block(program, layout, b, depth, out)
+                {
+                    return false;
+                }
+            }
+            StmtKind::While(_, c, body) => {
+                touch_expr(program, layout, c, out);
+                if !touch_block(program, layout, body, depth, out) {
+                    return false;
+                }
+            }
+            StmtKind::Call(ret, callee, args) => {
+                if depth >= WALK_DEPTH_CAP {
+                    return false;
+                }
+                if let Some(lv) = ret {
+                    touch_lvalue(program, layout, lv, out);
+                }
+                let f = program.func(*callee);
+                let mut ref_map: HashMap<VarId, Lvalue> = HashMap::new();
+                for (param, arg) in f.params.iter().zip(args) {
+                    match arg {
+                        CallArg::Value(e) => {
+                            out.insert(layout.scalar_cell(param.var));
+                            touch_expr(program, layout, e, out);
+                        }
+                        CallArg::Ref(lv) => {
+                            touch_lvalue(program, layout, lv, out);
+                            ref_map.insert(param.var, lv.clone());
+                        }
+                    }
+                }
+                let body = if ref_map.is_empty() {
+                    f.body.clone()
+                } else {
+                    substitute_block(&f.body, &ref_map)
+                };
+                if !touch_block(program, layout, &body, depth + 1, out) {
+                    return false;
+                }
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    touch_expr(program, layout, e, out);
+                }
+            }
+            StmtKind::Wait => return false,
+            StmtKind::Assume(c) => touch_expr(program, layout, c, out),
+            StmtKind::ReadVolatile(v) => {
+                out.insert(layout.scalar_cell(*v));
+            }
+        }
+    }
+    true
+}
+
 /// The footprint of a single statement.
 pub(crate) fn stmt_footprint(
     program: &Program,
@@ -247,6 +360,29 @@ impl<'a> Walker<'a> {
         self.fp.packs_write.insert(key);
     }
 
+    /// Consulting a pack reads only rows this slice itself wrote when every
+    /// member has been strongly rewritten since slice entry (the same
+    /// freshness rule [`Walker::finalize`] applies to writes): such a consult
+    /// tightens the pack but adds no pre-state dependency.
+    fn pack_consult(&mut self, key: PackKey) {
+        let fresh = match key {
+            PackKey::Oct(pi) => {
+                let members = &self.packs.octagons[pi].cells;
+                self.oct_rewritten.get(&pi).is_some_and(|rw| members.iter().all(|c| rw.contains(c)))
+            }
+            _ => false,
+        };
+        if fresh {
+            self.fp.packs_write.insert(key);
+        } else {
+            self.pack_dep_write(key);
+        }
+        for m in self.pack_members(key) {
+            self.read_cell(m);
+            self.write_cell(m, false);
+        }
+    }
+
     fn pack_members(&self, key: PackKey) -> Vec<CellId> {
         match key {
             PackKey::Oct(pi) => self.packs.octagons[pi].cells.clone(),
@@ -294,11 +430,16 @@ impl<'a> Walker<'a> {
             self.write_cell(c, false);
         }
         for key in self.packs_of(&cells) {
-            self.pack_dep_write(key);
-            for m in self.pack_members(key) {
-                self.read_cell(m);
-                self.write_cell(m, false);
-            }
+            self.pack_consult(key);
+        }
+    }
+
+    /// The localized loop-done reduction (`reduce_local` over the loop's
+    /// touched cells): only the packs containing one of `cells` are
+    /// consulted and tightened, and only their member cells may be refined.
+    fn local_reduce_effect(&mut self, cells: &BTreeSet<CellId>) {
+        for key in self.packs_of(cells) {
+            self.pack_consult(key);
         }
     }
 
@@ -386,8 +527,18 @@ impl<'a> Walker<'a> {
                 for c in mixed {
                     self.fp.pre_reads.insert(c);
                 }
-                // Solving the loop reduces the full state at the head.
-                self.global_reduce_effect();
+                // Solving the loop reduces the state at its head — the full
+                // state for depth-0 loops, only the packs overlapping the
+                // loop's own cells for loops inside callees (the localized
+                // loop-done reduction). Mirrors `Iter::reduce_loop_done`.
+                if frame.depth == 0 {
+                    self.global_reduce_effect();
+                } else {
+                    match loop_touched_cells(self.program, self.layout, c, body) {
+                        Some(cells) => self.local_reduce_effect(&cells),
+                        None => self.global_reduce_effect(),
+                    }
+                }
             }
             StmtKind::Call(ret, callee, args) => {
                 if frame.depth >= WALK_DEPTH_CAP {

@@ -16,9 +16,43 @@
 use crate::float_interval::FloatItv;
 use crate::thresholds::Thresholds;
 use astree_float::round;
+use std::cell::Cell;
 use std::fmt;
 
 const INF: f64 = f64::INFINITY;
+
+thread_local! {
+    /// Clone-then-close operations avoided by the `*_ref` fast paths on
+    /// already-closed operands. Thread-local so parallel slice workers
+    /// count without synchronization; drained per-slice by the iterator
+    /// and reported through `domain_op_n("octagon", "closure_saved", …)`.
+    static SAVED_CLOSURES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drains this thread's saved-closure counter (see [`Octagon::leq_ref`]).
+pub fn take_saved_closures() -> u64 {
+    SAVED_CLOSURES.with(|c| c.replace(0))
+}
+
+fn note_saved_closure() {
+    SAVED_CLOSURES.with(|c| c.set(c.get() + 1));
+}
+
+/// Closure bookkeeping: which part of the matrix may violate strong
+/// closure. `DirtyVars` is the incremental-closure fast path — the matrix
+/// was strongly closed and only entries in the rows/columns of the masked
+/// variables changed since, so re-closing is `O(|V̂|·n²)` instead of the
+/// full `O(n³)` Floyd–Warshall (Miné's incremental strong closure).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Closure {
+    /// Strongly closed.
+    Closed,
+    /// Strongly closed except for constraints touching the masked
+    /// variables (bit `v` = variable `v`; packs are capped well under 32).
+    DirtyVars(u32),
+    /// No closure information (whole-matrix edits: meet, widen, decode).
+    Dirty,
+}
 
 /// An octagon over `n` variables.
 ///
@@ -33,12 +67,23 @@ const INF: f64 = f64::INFINITY;
 /// o.close();
 /// assert!(o.bounds(0).hi <= 5.0 + 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Octagon {
     n: usize,
     /// Row-major `(2n)×(2n)` bound matrix.
     m: Vec<f64>,
-    closed: bool,
+    closure: Closure,
+}
+
+/// Equality compares the matrix and whether strong closure holds — the
+/// same observable distinction the former boolean `closed` flag made (the
+/// two dirty flavors are interchangeable: both just mean "must re-close").
+impl PartialEq for Octagon {
+    fn eq(&self, other: &Octagon) -> bool {
+        self.n == other.n
+            && self.m == other.m
+            && (self.closure == Closure::Closed) == (other.closure == Closure::Closed)
+    }
 }
 
 impl Octagon {
@@ -49,7 +94,7 @@ impl Octagon {
         for i in 0..dim {
             m[i * dim + i] = 0.0;
         }
-        Octagon { n, m, closed: true }
+        Octagon { n, m, closure: Closure::Closed }
     }
 
     /// Number of variables in the pack.
@@ -64,7 +109,7 @@ impl Octagon {
     /// these three values back through [`Octagon::from_raw`] reconstructs a
     /// physically identical element.
     pub fn to_raw(&self) -> (usize, &[f64], bool) {
-        (self.n, &self.m, self.closed)
+        (self.n, &self.m, self.closure == Closure::Closed)
     }
 
     /// Rebuilds an octagon from its raw representation (see
@@ -74,7 +119,22 @@ impl Octagon {
         if m.len() != 4 * n * n {
             return None;
         }
-        Some(Octagon { n, m, closed })
+        Some(Octagon { n, m, closure: if closed { Closure::Closed } else { Closure::Dirty } })
+    }
+
+    /// Marks variable `v`'s rows/columns as modified since the last strong
+    /// closure. Falls back to whole-matrix dirtiness for oversized packs.
+    #[inline]
+    fn taint_var(&mut self, v: usize) {
+        if v >= 32 {
+            self.closure = Closure::Dirty;
+            return;
+        }
+        self.closure = match self.closure {
+            Closure::Closed => Closure::DirtyVars(1 << v),
+            Closure::DirtyVars(mask) => Closure::DirtyVars(mask | (1 << v)),
+            Closure::Dirty => Closure::Dirty,
+        };
     }
 
     #[inline]
@@ -92,7 +152,8 @@ impl Octagon {
     fn tighten(&mut self, i: usize, j: usize, v: f64) {
         if v < self.at(i, j) {
             self.set(i, j, v);
-            self.closed = false;
+            self.taint_var(i / 2);
+            self.taint_var(j / 2);
         }
     }
 
@@ -165,11 +226,24 @@ impl Octagon {
         self.at(2 * j + 1, 2 * i)
     }
 
-    /// Strong closure: propagates all constraints (cubic). Idempotent.
+    /// Strong closure: propagates all constraints. Idempotent.
+    ///
+    /// Dispatches on the closure bookkeeping: a matrix that was strongly
+    /// closed and has since been modified only on a few variables' rows
+    /// and columns pays Miné's `O(|V̂|·n²)` incremental closure instead of
+    /// the full cubic Floyd–Warshall.
     pub fn close(&mut self) {
-        if self.closed {
-            return;
+        match self.closure {
+            Closure::Closed => {}
+            Closure::DirtyVars(mask) if (mask.count_ones() as usize) < self.n => {
+                self.close_incremental(mask);
+            }
+            _ => self.close_full(),
         }
+    }
+
+    /// Full strong closure (cubic Floyd–Warshall + strengthening).
+    fn close_full(&mut self) {
         let dim = 2 * self.n;
         // Floyd–Warshall over all 2n nodes.
         for k in 0..dim {
@@ -186,7 +260,91 @@ impl Octagon {
                 }
             }
         }
-        // Octagon strengthening: combine the two unary chains.
+        self.strengthen();
+        self.closure = Closure::Closed;
+    }
+
+    /// Incremental strong closure for a matrix that was strongly closed
+    /// before entries touching the variables of `mask` were modified.
+    ///
+    /// Correctness follows the standard Floyd–Warshall invariant with the
+    /// node order "interior nodes first, then modified nodes": pairs of
+    /// untouched nodes are already shortest paths through interior
+    /// intermediates (the old closure; loosened V̂ entries only lengthen
+    /// paths, so they stay valid), phase 1 brings every pair touching V̂
+    /// up to date through all intermediates, and phase 2 routes every pair
+    /// through the modified nodes. One strengthening pass then restores
+    /// strong closure exactly as in the full algorithm.
+    fn close_incremental(&mut self, mask: u32) {
+        let dim = 2 * self.n;
+        let nodes: Vec<usize> = (0..self.n.min(32))
+            .filter(|v| mask & (1 << v) != 0)
+            .flat_map(|v| [2 * v, 2 * v + 1])
+            .collect();
+        let touched = |node: usize| mask & (1 << (node / 2)) != 0;
+        // Phase 1: relax every pair with a modified row or column through
+        // every intermediate node.
+        for k in 0..dim {
+            for &i in &nodes {
+                let mik = self.at(i, k);
+                if mik == INF {
+                    continue;
+                }
+                for j in 0..dim {
+                    let v = round::add_up(mik, self.at(k, j));
+                    if v < self.at(i, j) {
+                        self.set(i, j, v);
+                    }
+                }
+            }
+            for i in 0..dim {
+                if touched(i) {
+                    continue;
+                }
+                let mik = self.at(i, k);
+                if mik == INF {
+                    continue;
+                }
+                for &j in &nodes {
+                    let v = round::add_up(mik, self.at(k, j));
+                    if v < self.at(i, j) {
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+        // Phase 2: route every pair through the modified nodes.
+        for &k in &nodes {
+            for i in 0..dim {
+                let mik = self.at(i, k);
+                if mik == INF {
+                    continue;
+                }
+                for j in 0..dim {
+                    let v = round::add_up(mik, self.at(k, j));
+                    if v < self.at(i, j) {
+                        self.set(i, j, v);
+                    }
+                }
+            }
+        }
+        self.strengthen();
+        self.closure = Closure::Closed;
+    }
+
+    /// Test-only bypass of the incremental dispatch: always runs the full
+    /// cubic closure, the reference the equivalence regression compares
+    /// the incremental algorithm against.
+    #[cfg(test)]
+    fn force_full_close(&mut self) {
+        if self.closure != Closure::Closed {
+            self.close_full();
+        }
+    }
+
+    /// Octagon strengthening: combine the two unary chains.
+    fn strengthen(&mut self) {
+        let dim = 2 * self.n;
         for i in 0..dim {
             for j in 0..dim {
                 let v = round::add_up(self.at(i, i ^ 1), self.at(j ^ 1, j)) / 2.0;
@@ -195,7 +353,6 @@ impl Octagon {
                 }
             }
         }
-        self.closed = true;
     }
 
     /// `true` when the constraints are unsatisfiable.
@@ -241,7 +398,6 @@ impl Octagon {
         self.forget(i);
         self.add_diff_le(i, j, chi);
         self.add_diff_le(j, i, -clo);
-        self.closed = false;
     }
 
     /// `x_i := −x_j + [clo, chi]`.
@@ -254,7 +410,6 @@ impl Octagon {
         self.forget(i);
         self.add_sum_le(i, j, chi);
         self.add_neg_sum_le(i, j, -clo);
-        self.closed = false;
     }
 
     /// In-place `x_i := x_i + [clo, chi]`.
@@ -294,7 +449,7 @@ impl Octagon {
         if v != INF {
             self.set(q, p, round::add_up(v, 2.0 * chi));
         }
-        self.closed = false;
+        self.taint_var(i);
     }
 
     /// In-place `x_i := −x_i`: swaps the positive and negative nodes.
@@ -317,29 +472,69 @@ impl Octagon {
         let b = self.at(q, p);
         self.set(p, q, b);
         self.set(q, p, a);
-        self.closed = false;
+        self.taint_var(i);
     }
 
-    /// Least upper bound of immutable operands (clones internally for the
-    /// closures; used by sharing-aware containers whose combinators only see
-    /// `&self`).
+    /// Bottom test on an already-closed matrix (no closure, no clone).
+    fn is_bottom_closed(&self) -> bool {
+        debug_assert_eq!(self.closure, Closure::Closed);
+        let dim = 2 * self.n;
+        (0..dim).any(|i| self.at(i, i) < 0.0)
+    }
+
+    /// Least upper bound of immutable operands. Operands that are already
+    /// strongly closed skip the defensive clone-then-close entirely (the
+    /// avoided work is counted by [`take_saved_closures`]); the result is
+    /// bit-identical to the clone path because closing a closed matrix is
+    /// a no-op.
     #[must_use]
     pub fn join_ref(&self, other: &Octagon) -> Octagon {
+        assert_eq!(self.n, other.n, "pack size mismatch");
+        if self.closure == Closure::Closed && other.closure == Closure::Closed {
+            note_saved_closure();
+            if self.is_bottom_closed() {
+                return other.clone();
+            }
+            if other.is_bottom_closed() {
+                return self.clone();
+            }
+            let m = self.m.iter().zip(&other.m).map(|(a, b)| a.max(*b)).collect();
+            return Octagon { n: self.n, m, closure: Closure::Closed };
+        }
         let mut a = self.clone();
         let mut b = other.clone();
         a.join(&mut b)
     }
 
     /// Widening of immutable operands (see [`Octagon::widen`] for the
-    /// termination contract).
+    /// termination contract). A right operand that is already strongly
+    /// closed skips the defensive clone-then-close.
     #[must_use]
     pub fn widen_ref(&self, other: &Octagon, thresholds: &Thresholds) -> Octagon {
+        assert_eq!(self.n, other.n, "pack size mismatch");
+        if other.closure == Closure::Closed {
+            note_saved_closure();
+            let m = self
+                .m
+                .iter()
+                .zip(&other.m)
+                .map(|(a, b)| if b > a { thresholds.above(*b) } else { *a })
+                .collect();
+            return Octagon { n: self.n, m, closure: Closure::Dirty };
+        }
         let mut b = other.clone();
         self.widen(&mut b, thresholds)
     }
 
-    /// Inclusion test of immutable operands.
+    /// Inclusion test of immutable operands. A left operand that is
+    /// already strongly closed is compared entrywise without the
+    /// defensive clone-then-close.
     pub fn leq_ref(&self, other: &Octagon) -> bool {
+        assert_eq!(self.n, other.n, "pack size mismatch");
+        if self.closure == Closure::Closed {
+            note_saved_closure();
+            return self.m.iter().zip(&other.m).all(|(a, b)| a <= b);
+        }
         let mut a = self.clone();
         a.leq(other)
     }
@@ -357,7 +552,7 @@ impl Octagon {
             return self.clone();
         }
         let m = self.m.iter().zip(&other.m).map(|(a, b)| a.max(*b)).collect();
-        Octagon { n: self.n, m, closed: true }
+        Octagon { n: self.n, m, closure: Closure::Closed }
     }
 
     /// Greatest lower bound (entrywise min).
@@ -365,7 +560,7 @@ impl Octagon {
     pub fn meet(&self, other: &Octagon) -> Octagon {
         assert_eq!(self.n, other.n, "pack size mismatch");
         let m = self.m.iter().zip(&other.m).map(|(a, b)| a.min(*b)).collect();
-        Octagon { n: self.n, m, closed: false }
+        Octagon { n: self.n, m, closure: Closure::Dirty }
     }
 
     /// Widening: entries that grew jump to the next threshold (then +∞).
@@ -383,7 +578,7 @@ impl Octagon {
             .zip(&other.m)
             .map(|(a, b)| if b > a { thresholds.above(*b) } else { *a })
             .collect();
-        Octagon { n: self.n, m, closed: false }
+        Octagon { n: self.n, m, closure: Closure::Dirty }
     }
 
     /// Inclusion test `γ(self) ⊆ γ(other)`.
@@ -609,5 +804,262 @@ mod tests {
         // Closure adds 0.1 + 0.2 on the cycle; the diagonal must not go
         // negative through rounding (0.1+0.2 > 0.3 exactly in f64 rounding).
         assert!(!o.is_bottom());
+    }
+
+    /// Deterministic 64-bit LCG (no external randomness in tests).
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            self.0 >> 33
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound
+        }
+    }
+
+    /// Applies one seeded random mutation to both octagons identically.
+    /// `int_consts` keeps every constant an exact small integer, so the
+    /// incremental and full closures must agree *bitwise* (all f64
+    /// arithmetic on the derived bounds is exact).
+    fn random_mutation(
+        rng: &mut Lcg,
+        a: &mut Octagon,
+        b: &mut Octagon,
+        n: usize,
+        int_consts: bool,
+    ) {
+        let op = rng.below(11);
+        let i = rng.below(n as u64) as usize;
+        let mut j = rng.below(n as u64) as usize;
+        if j == i {
+            j = (i + 1) % n;
+        }
+        let c = if int_consts {
+            rng.below(41) as f64 - 20.0
+        } else {
+            (rng.below(4001) as f64 - 2000.0) / 64.0 + 0.1
+        };
+        match op {
+            0 => {
+                a.add_upper(i, c);
+                b.add_upper(i, c);
+            }
+            1 => {
+                a.add_lower(i, c);
+                b.add_lower(i, c);
+            }
+            2 => {
+                a.add_diff_le(i, j, c);
+                b.add_diff_le(i, j, c);
+            }
+            3 => {
+                a.add_sum_le(i, j, c);
+                b.add_sum_le(i, j, c);
+            }
+            4 => {
+                a.add_neg_sum_le(i, j, c);
+                b.add_neg_sum_le(i, j, c);
+            }
+            5 => {
+                let itv = FloatItv::new(c - 4.0, c + 4.0);
+                a.assign_interval(i, itv);
+                b.assign_interval(i, itv);
+            }
+            6 => {
+                a.assign_var_plus_const(i, j, c - 1.0, c + 1.0);
+                b.assign_var_plus_const(i, j, c - 1.0, c + 1.0);
+            }
+            7 => {
+                a.assign_neg_var_plus_const(i, j, c - 1.0, c + 1.0);
+                b.assign_neg_var_plus_const(i, j, c - 1.0, c + 1.0);
+            }
+            8 => {
+                // In-place shift: x_i := x_i + [c-1, c+1].
+                a.assign_var_plus_const(i, i, c - 1.0, c + 1.0);
+                b.assign_var_plus_const(i, i, c - 1.0, c + 1.0);
+            }
+            9 => {
+                // In-place negation + shift: x_i := −x_i + [c-1, c+1].
+                a.assign_neg_var_plus_const(i, i, c - 1.0, c + 1.0);
+                b.assign_neg_var_plus_const(i, i, c - 1.0, c + 1.0);
+            }
+            _ => {
+                let itv = FloatItv::new(c - 8.0, c + 8.0);
+                a.refine_with_interval(i, itv);
+                b.refine_with_interval(i, itv);
+            }
+        }
+    }
+
+    /// Bottom test on raw entries (no mutation): a closed inconsistent
+    /// matrix has a negative diagonal entry.
+    fn raw_bottom(o: &Octagon) -> bool {
+        let (n, m, _) = o.to_raw();
+        let dim = 2 * n;
+        (0..dim).any(|i| m[i * dim + i] < 0.0)
+    }
+
+    #[test]
+    fn incremental_closure_is_bitwise_equal_to_full_on_integer_constraints() {
+        for seed in 0..64u64 {
+            let mut rng = Lcg(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) + 7);
+            let n = 2 + (seed as usize % 5); // packs of 2..=6 variables
+            let mut inc = Octagon::top(n);
+            let mut full = Octagon::top(n);
+            for step in 0..48 {
+                random_mutation(&mut rng, &mut inc, &mut full, n, true);
+                if rng.below(3) == 0 {
+                    inc.close();
+                    full.force_full_close();
+                    // The canonical (strong) closure is only unique for
+                    // satisfiable systems; with a negative cycle the FW
+                    // values depend on relaxation order, so the contract
+                    // on bottom matrices is bottom-agreement only.
+                    assert_eq!(
+                        raw_bottom(&inc),
+                        raw_bottom(&full),
+                        "seed {seed} step {step}: bottom status diverged"
+                    );
+                    if raw_bottom(&full) {
+                        break;
+                    }
+                    let (_, mi, ci) = inc.to_raw();
+                    let (_, mf, cf) = full.to_raw();
+                    assert_eq!(ci, cf);
+                    assert_eq!(
+                        mi.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        mf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "seed {seed} step {step}: incremental diverged from full closure"
+                    );
+                }
+            }
+            inc.close();
+            full.force_full_close();
+            assert_eq!(inc.is_bottom(), full.is_bottom(), "seed {seed}: bottom status diverged");
+        }
+    }
+
+    #[test]
+    fn incremental_closure_detects_contradictions_like_full() {
+        // Force contradictions: x0 ≤ c then x0 ≥ c + 1, with relational
+        // noise on other variables in between.
+        for seed in 0..16u64 {
+            let mut rng = Lcg(seed + 1000);
+            let mut inc = Octagon::top(4);
+            let mut full = Octagon::top(4);
+            for _ in 0..8 {
+                random_mutation(&mut rng, &mut inc, &mut full, 4, true);
+            }
+            inc.close();
+            full.force_full_close();
+            let c = rng.below(10) as f64;
+            inc.add_upper(0, c);
+            inc.add_lower(0, c + 1.0);
+            full.add_upper(0, c);
+            full.add_lower(0, c + 1.0);
+            assert!(inc.is_bottom(), "seed {seed}");
+            assert!(full.is_bottom(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn incremental_closure_stays_near_full_on_float_constraints() {
+        // With non-integer constants the two relaxation orders may round
+        // differently by ulps; the results must still agree to a tight
+        // relative tolerance and closure must stay idempotent.
+        for seed in 0..32u64 {
+            let mut rng = Lcg(seed.wrapping_mul(31) + 3);
+            let n = 3 + (seed as usize % 3);
+            let mut inc = Octagon::top(n);
+            let mut full = Octagon::top(n);
+            for _ in 0..32 {
+                random_mutation(&mut rng, &mut inc, &mut full, n, false);
+                if rng.below(4) == 0 {
+                    inc.close();
+                    full.force_full_close();
+                    assert_eq!(
+                        raw_bottom(&inc),
+                        raw_bottom(&full),
+                        "seed {seed}: bottom status diverged"
+                    );
+                    if raw_bottom(&full) {
+                        break;
+                    }
+                    let (_, mi, _) = inc.to_raw();
+                    let (_, mf, _) = full.to_raw();
+                    for (a, b) in mi.iter().zip(mf) {
+                        if a.is_finite() || b.is_finite() {
+                            let scale = 1.0 + a.abs().max(b.abs());
+                            assert!(
+                                (a - b).abs() <= 1e-9 * scale,
+                                "seed {seed}: {a} vs {b} diverged beyond rounding noise"
+                            );
+                        }
+                    }
+                }
+            }
+            // Idempotence: closing a closed matrix changes nothing.
+            inc.close();
+            let before = inc.to_raw().1.to_vec();
+            inc.close();
+            assert_eq!(before, inc.to_raw().1);
+        }
+    }
+
+    #[test]
+    fn closure_state_transitions() {
+        let mut o = Octagon::top(3);
+        assert_eq!(o.closure, Closure::Closed);
+        o.add_upper(0, 5.0);
+        assert_eq!(o.closure, Closure::DirtyVars(0b001));
+        o.add_diff_le(1, 2, 3.0);
+        assert_eq!(o.closure, Closure::DirtyVars(0b111));
+        o.close();
+        assert_eq!(o.closure, Closure::Closed);
+        o.forget(1);
+        assert_eq!(o.closure, Closure::Closed, "forget preserves strong closure");
+        o.assign_var_plus_const(0, 1, -1.0, 1.0);
+        assert!(matches!(o.closure, Closure::DirtyVars(_)));
+        let m = o.meet(&Octagon::top(3));
+        assert_eq!(m.closure, Closure::Dirty);
+    }
+
+    #[test]
+    fn ref_fast_paths_match_clone_paths_and_count_savings() {
+        let _ = take_saved_closures();
+        let mut a = Octagon::top(2);
+        a.assign_interval(0, FloatItv::new(0.0, 1.0));
+        a.add_diff_le(0, 1, 2.0);
+        a.close();
+        let mut b = Octagon::top(2);
+        b.assign_interval(0, FloatItv::new(0.5, 3.0));
+        b.close();
+        assert_eq!(take_saved_closures(), 0, "close() itself never counts as saved");
+
+        let j_fast = a.join_ref(&b);
+        assert_eq!(take_saved_closures(), 1);
+        let j_slow = a.clone().join(&mut b.clone());
+        assert_eq!(j_fast, j_slow);
+
+        let t = Thresholds::geometric(1.0, 100.0, 4);
+        let w_fast = a.widen_ref(&b, &t);
+        assert_eq!(take_saved_closures(), 1);
+        let w_slow = a.widen(&mut b.clone(), &t);
+        assert_eq!(w_fast, w_slow);
+
+        assert_eq!(a.leq_ref(&j_fast), a.clone().leq(&j_fast));
+        assert_eq!(take_saved_closures(), 1);
+
+        // A dirty operand falls back to the clone path: nothing saved.
+        let mut dirty = b.clone();
+        dirty.add_upper(1, 7.0);
+        let _ = dirty.leq_ref(&j_fast);
+        assert_eq!(take_saved_closures(), 0);
     }
 }

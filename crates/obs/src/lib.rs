@@ -19,8 +19,10 @@
 //! repository's `DESIGN.md`.
 
 pub mod json;
+pub mod stream;
 
 pub use json::Json;
+pub use stream::{Fanout, StreamSink, EVENT_SCHEMA};
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -206,6 +208,25 @@ impl CacheCounters {
     }
 }
 
+/// Work-stealing pool counters for one analysis run.
+///
+/// Emitted once per run by the analysis session when a worker pool was
+/// active; the [`Collector`] keeps the last report (the pool's counters
+/// are cumulative over the session).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PoolCounters {
+    /// Logical workers (pool threads + the participating caller).
+    pub workers: u64,
+    /// Tasks pushed onto the deques over the session.
+    pub tasks: u64,
+    /// Tasks taken from a deque other than the claiming worker's own.
+    pub steals: u64,
+    /// Deepest any single deque ever got.
+    pub max_queue_depth: u64,
+    /// Per-worker nanoseconds spent executing tasks (index 0 = caller).
+    pub busy_nanos: Vec<u64>,
+}
+
 /// The telemetry sink threaded through the analysis pipeline.
 ///
 /// Every hook has an empty default body, so implementations opt into the
@@ -238,6 +259,11 @@ pub trait Recorder: Send + Sync {
     /// One timed domain operation.
     fn domain_op(&self, _domain: &'static str, _op: &'static str, _nanos: u64) {}
 
+    /// A batched domain-operation report: `count` applications of `op`
+    /// totalling `nanos`, accumulated off the hot path (e.g. per-thread
+    /// saved-closure counters drained once per slice).
+    fn domain_op_n(&self, _domain: &'static str, _op: &'static str, _count: u64, _nanos: u64) {}
+
     /// Wall time of a whole analysis phase (`iterate` / `check`).
     fn phase_time(&self, _phase: &'static str, _nanos: u64) {}
 
@@ -252,6 +278,10 @@ pub trait Recorder: Send + Sync {
 
     /// A stage fell back to sequential execution.
     fn fallback(&self, _reason: &'static str) {}
+
+    /// Work-stealing pool counters for the run (emitted once per run when
+    /// a pool was active).
+    fn pool(&self, _p: &PoolCounters) {}
 
     /// A batch job finished.
     fn batch_job(&self, _e: &BatchJobEvent) {}
@@ -382,6 +412,8 @@ pub struct SchedulerMetrics {
     pub fallbacks: BTreeMap<&'static str, u64>,
     /// Batch job outcomes.
     pub batch_jobs: Vec<BatchJobRecord>,
+    /// Work-stealing pool counters (absent when no pool ran).
+    pub pool: Option<PoolCounters>,
 }
 
 /// The full aggregated metrics document.
@@ -524,6 +556,21 @@ impl Metrics {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "pool",
+                s.pool.as_ref().map_or(Json::Null, |p| {
+                    Json::obj([
+                        ("workers", Json::UInt(p.workers)),
+                        ("tasks", Json::UInt(p.tasks)),
+                        ("steals", Json::UInt(p.steals)),
+                        ("max_queue_depth", Json::UInt(p.max_queue_depth)),
+                        (
+                            "busy_nanos",
+                            Json::Arr(p.busy_nanos.iter().map(|&n| Json::UInt(n)).collect()),
+                        ),
+                    ])
+                }),
             ),
         ]);
         let c = &self.cache;
@@ -686,6 +733,16 @@ impl Recorder for Collector {
         e.nanos += nanos;
     }
 
+    fn domain_op_n(&self, domain: &'static str, op: &'static str, count: u64, nanos: u64) {
+        if count == 0 {
+            return;
+        }
+        let mut m = self.metrics.lock().expect("collector poisoned");
+        let e = m.domains.entry(domain).or_default().entry(op).or_default();
+        e.count += count;
+        e.nanos += nanos;
+    }
+
     fn phase_time(&self, phase: &'static str, nanos: u64) {
         let mut m = self.metrics.lock().expect("collector poisoned");
         *m.phases.entry(phase).or_insert(0) += nanos;
@@ -737,6 +794,19 @@ impl Recorder for Collector {
         }
         if self.trace_on {
             self.push_trace(format!("scheduler: sequential fallback ({reason})"));
+        }
+    }
+
+    fn pool(&self, p: &PoolCounters) {
+        {
+            let mut m = self.metrics.lock().expect("collector poisoned");
+            m.scheduler.pool = Some(p.clone());
+        }
+        if self.trace_on {
+            self.push_trace(format!(
+                "pool: workers={} tasks={} steals={} max_depth={}",
+                p.workers, p.tasks, p.steals, p.max_queue_depth,
+            ));
         }
     }
 

@@ -1,0 +1,393 @@
+//! Streaming JSONL event sink.
+//!
+//! The in-memory [`Collector`](crate::Collector) aggregates everything and
+//! renders one document at the end — fine for a single analysis, but a long
+//! `batch` fleet run wants telemetry on disk *while it runs* and without
+//! unbounded memory. [`StreamSink`] writes one JSON object per line
+//! (`astree-events/1`) as events arrive; [`Fanout`] tees events to several
+//! recorders so a run can stream to disk *and* keep the aggregate document.
+//!
+//! Volume note: the per-operation [`Recorder::domain_op`] hook can fire
+//! millions of times per analysis, so the stream deliberately skips it and
+//! carries the batched [`Recorder::domain_op_n`] reports instead; exact
+//! per-op aggregates stay available in the in-memory document.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+use crate::{
+    AlarmEvent, BatchJobEvent, CacheCounters, LoopDoneEvent, LoopIterEvent, PoolCounters, Recorder,
+    SliceEvent,
+};
+
+/// The schema identifier on the first line of every event stream.
+pub const EVENT_SCHEMA: &str = "astree-events/1";
+
+/// A recorder that appends one JSON line per event to a file.
+pub struct StreamSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl StreamSink {
+    /// Creates (truncating) `path` and writes the schema header line.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<StreamSink> {
+        let mut out = BufWriter::new(File::create(path)?);
+        writeln!(out, "{}", Json::obj([("schema", Json::str(EVENT_SCHEMA))]).to_compact())?;
+        Ok(StreamSink { out: Mutex::new(out) })
+    }
+
+    fn emit(&self, ev: &'static str, fields: Vec<(&'static str, Json)>) {
+        let mut pairs = vec![("ev", Json::str(ev))];
+        pairs.extend(fields);
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{}", Json::obj(pairs).to_compact());
+    }
+
+    /// Flushes buffered lines to the file.
+    pub fn flush(&self) {
+        let _ = self.out.lock().unwrap_or_else(|e| e.into_inner()).flush();
+    }
+}
+
+impl Drop for StreamSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl Recorder for StreamSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn loop_iter(&self, e: &LoopIterEvent) {
+        self.emit(
+            "loop_iter",
+            vec![
+                ("func", Json::str(e.func)),
+                ("loop", Json::UInt(e.loop_id as u64)),
+                ("iteration", Json::UInt(e.iteration)),
+                ("phase", Json::str(e.phase.as_str())),
+                ("unstable_cells", Json::UInt(e.unstable_cells)),
+                ("threshold_hits", Json::UInt(e.threshold_hits)),
+                ("infinity_escapes", Json::UInt(e.infinity_escapes)),
+            ],
+        );
+    }
+
+    fn loop_done(&self, e: &LoopDoneEvent) {
+        self.emit(
+            "loop_done",
+            vec![
+                ("func", Json::str(e.func)),
+                ("loop", Json::UInt(e.loop_id as u64)),
+                ("iterations", Json::UInt(e.iterations)),
+                ("stabilized_at", Json::UInt(e.stabilized_at)),
+            ],
+        );
+    }
+
+    fn unroll(&self, func: &str, loop_id: u32, factor: u32) {
+        self.emit(
+            "unroll",
+            vec![
+                ("func", Json::str(func)),
+                ("loop", Json::UInt(loop_id as u64)),
+                ("factor", Json::UInt(factor as u64)),
+            ],
+        );
+    }
+
+    fn partitions(&self, func: &str, live: u64) {
+        self.emit("partitions", vec![("func", Json::str(func)), ("live", Json::UInt(live))]);
+    }
+
+    fn domain_op_n(&self, domain: &'static str, op: &'static str, count: u64, nanos: u64) {
+        if count == 0 {
+            return;
+        }
+        self.emit(
+            "domain_op",
+            vec![
+                ("domain", Json::str(domain)),
+                ("op", Json::str(op)),
+                ("count", Json::UInt(count)),
+                ("nanos", Json::UInt(nanos)),
+            ],
+        );
+    }
+
+    fn phase_time(&self, phase: &'static str, nanos: u64) {
+        self.emit("phase", vec![("phase", Json::str(phase)), ("nanos", Json::UInt(nanos))]);
+    }
+
+    fn alarm(&self, e: &AlarmEvent) {
+        self.emit(
+            "alarm",
+            vec![
+                ("func", Json::str(e.func)),
+                ("stmt", Json::UInt(e.stmt as u64)),
+                ("line", Json::UInt(e.line as u64)),
+                ("kind", Json::str(e.kind)),
+                ("domain", Json::str(e.domain)),
+                ("context", Json::str(e.context)),
+                ("loop", e.loop_id.map_or(Json::Null, |l| Json::UInt(l as u64))),
+                ("iteration", e.iteration.map_or(Json::Null, Json::UInt)),
+            ],
+        );
+    }
+
+    fn slice(&self, e: &SliceEvent) {
+        self.emit(
+            "slice",
+            vec![
+                ("stage", Json::UInt(e.stage)),
+                ("index", Json::UInt(e.index as u64)),
+                ("stmts", Json::UInt(e.stmts as u64)),
+                ("nanos", Json::UInt(e.nanos)),
+            ],
+        );
+    }
+
+    fn merge(&self, stage: u64, slices: usize, nanos: u64) {
+        self.emit(
+            "merge",
+            vec![
+                ("stage", Json::UInt(stage)),
+                ("slices", Json::UInt(slices as u64)),
+                ("nanos", Json::UInt(nanos)),
+            ],
+        );
+    }
+
+    fn fallback(&self, reason: &'static str) {
+        self.emit("fallback", vec![("reason", Json::str(reason))]);
+    }
+
+    fn pool(&self, p: &PoolCounters) {
+        self.emit(
+            "pool",
+            vec![
+                ("workers", Json::UInt(p.workers)),
+                ("tasks", Json::UInt(p.tasks)),
+                ("steals", Json::UInt(p.steals)),
+                ("max_queue_depth", Json::UInt(p.max_queue_depth)),
+                ("busy_nanos", Json::Arr(p.busy_nanos.iter().map(|&n| Json::UInt(n)).collect())),
+            ],
+        );
+        self.flush();
+    }
+
+    fn batch_job(&self, e: &BatchJobEvent) {
+        self.emit(
+            "batch_job",
+            vec![
+                ("name", Json::str(e.name)),
+                ("status", Json::str(e.status)),
+                ("reason", e.reason.map_or(Json::Null, Json::str)),
+                ("wall_nanos", Json::UInt(e.wall_nanos)),
+                ("worker", Json::UInt(e.worker as u64)),
+                ("alarms", e.alarms.map_or(Json::Null, Json::UInt)),
+            ],
+        );
+        // A finished job is a durability point for fleet runs.
+        self.flush();
+    }
+
+    fn cache(&self, c: &CacheCounters) {
+        self.emit(
+            "cache",
+            vec![
+                ("full_hits", Json::UInt(c.full_hits)),
+                ("misses", Json::UInt(c.misses)),
+                ("seeded_functions", Json::UInt(c.seeded_functions)),
+                ("invalidated_functions", Json::UInt(c.invalidated_functions)),
+                ("loops_replayed", Json::UInt(c.loops_replayed)),
+                ("loops_solved", Json::UInt(c.loops_solved)),
+                ("corrupt_files", Json::UInt(c.corrupt_files)),
+                ("bytes_read", Json::UInt(c.bytes_read)),
+                ("bytes_written", Json::UInt(c.bytes_written)),
+                ("replay_nanos", Json::UInt(c.replay_nanos)),
+                ("saved_nanos", Json::UInt(c.saved_nanos)),
+            ],
+        );
+        self.flush();
+    }
+}
+
+/// Tees every event to a list of recorders, so one run can stream JSONL to
+/// disk while the in-memory collector keeps the aggregate document.
+pub struct Fanout {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl Fanout {
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Fanout {
+        Fanout { sinks }
+    }
+}
+
+macro_rules! fan {
+    ($self:ident, $($call:tt)+) => {
+        for s in &$self.sinks {
+            s.$($call)+;
+        }
+    };
+}
+
+impl Recorder for Fanout {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn tracing(&self) -> bool {
+        self.sinks.iter().any(|s| s.tracing())
+    }
+
+    fn loop_iter(&self, e: &LoopIterEvent) {
+        fan!(self, loop_iter(e));
+    }
+
+    fn loop_done(&self, e: &LoopDoneEvent) {
+        fan!(self, loop_done(e));
+    }
+
+    fn unroll(&self, func: &str, loop_id: u32, factor: u32) {
+        fan!(self, unroll(func, loop_id, factor));
+    }
+
+    fn partitions(&self, func: &str, live: u64) {
+        fan!(self, partitions(func, live));
+    }
+
+    fn domain_op(&self, domain: &'static str, op: &'static str, nanos: u64) {
+        fan!(self, domain_op(domain, op, nanos));
+    }
+
+    fn domain_op_n(&self, domain: &'static str, op: &'static str, count: u64, nanos: u64) {
+        fan!(self, domain_op_n(domain, op, count, nanos));
+    }
+
+    fn phase_time(&self, phase: &'static str, nanos: u64) {
+        fan!(self, phase_time(phase, nanos));
+    }
+
+    fn alarm(&self, e: &AlarmEvent) {
+        fan!(self, alarm(e));
+    }
+
+    fn slice(&self, e: &SliceEvent) {
+        fan!(self, slice(e));
+    }
+
+    fn merge(&self, stage: u64, slices: usize, nanos: u64) {
+        fan!(self, merge(stage, slices, nanos));
+    }
+
+    fn fallback(&self, reason: &'static str) {
+        fan!(self, fallback(reason));
+    }
+
+    fn pool(&self, p: &PoolCounters) {
+        fan!(self, pool(p));
+    }
+
+    fn batch_job(&self, e: &BatchJobEvent) {
+        fan!(self, batch_job(e));
+    }
+
+    fn cache(&self, c: &CacheCounters) {
+        fan!(self, cache(c));
+    }
+
+    fn trace(&self, line: &str) {
+        fan!(self, trace(line));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, Phase};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("astree-obs-stream-{}-{name}.jsonl", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn stream_writes_header_and_events() {
+        let path = tmp("basic");
+        {
+            let sink = StreamSink::create(&path).unwrap();
+            sink.loop_iter(&LoopIterEvent {
+                func: "main",
+                loop_id: 1,
+                iteration: 1,
+                phase: Phase::Widen,
+                unstable_cells: 3,
+                threshold_hits: 1,
+                infinity_escapes: 0,
+            });
+            sink.slice(&SliceEvent { stage: 1, index: 0, stmts: 4, nanos: 10 });
+            sink.fallback("slice_shape");
+            sink.pool(&PoolCounters {
+                workers: 4,
+                tasks: 9,
+                steals: 2,
+                max_queue_depth: 3,
+                busy_nanos: vec![1, 2, 3, 4],
+            });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains(EVENT_SCHEMA));
+        assert!(
+            lines[1].contains("\"ev\": \"loop_iter\"") || lines[1].contains("\"ev\":\"loop_iter\"")
+        );
+        assert!(lines[3].contains("slice_shape"));
+        assert!(lines[4].contains("\"steals\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn high_volume_domain_op_is_not_streamed() {
+        let path = tmp("volume");
+        {
+            let sink = StreamSink::create(&path).unwrap();
+            for _ in 0..1000 {
+                sink.domain_op("octagon", "closure", 5);
+            }
+            sink.domain_op_n("octagon", "closure_saved", 1000, 0);
+            sink.domain_op_n("octagon", "closure_saved", 0, 0);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2, "header + one batched report");
+        assert!(text.contains("closure_saved"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fanout_feeds_every_sink() {
+        let path = tmp("fanout");
+        let collector = Arc::new(Collector::new());
+        let sink = Arc::new(StreamSink::create(&path).unwrap());
+        let tee = Fanout::new(vec![collector.clone() as Arc<dyn Recorder>, sink.clone()]);
+        assert!(tee.enabled());
+        tee.merge(1, 3, 42);
+        tee.fallback("worker_panic");
+        sink.flush();
+        let m = collector.snapshot();
+        assert_eq!(m.scheduler.stages, 1);
+        assert_eq!(m.scheduler.fallbacks["worker_panic"], 1);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"merge\""));
+        assert!(text.contains("worker_panic"));
+        std::fs::remove_file(&path).ok();
+    }
+}

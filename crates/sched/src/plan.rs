@@ -85,6 +85,84 @@ pub fn chunk_ranges(n: usize, jobs: usize) -> Vec<Range<usize>> {
     out
 }
 
+/// Cost-guided variant of [`chunk_ranges`]: splits `0..n` into contiguous
+/// chunks balanced by `costs` (per-statement nanos from a previous
+/// iteration), then keeps splitting any chunk whose cost share exceeds
+/// `split_fraction` of the total so one fat slice cannot serialize a stage
+/// — the extra chunks become stealable tasks on the worker pool.
+///
+/// Falls back to the near-equal [`chunk_ranges`] when `costs` is absent,
+/// mismatched, or all-zero (first iteration, cold cache). The output is a
+/// pure function of the inputs, and since every chunking of a parallel
+/// stage merges identically (stage members are pairwise independent),
+/// cost data may differ run-to-run without affecting results.
+pub fn cost_chunk_ranges(
+    n: usize,
+    jobs: usize,
+    costs: Option<&[u64]>,
+    split_fraction: f64,
+) -> Vec<Range<usize>> {
+    let costs = match costs {
+        Some(c) if c.len() == n && c.iter().any(|&x| x > 0) => c,
+        _ => return chunk_ranges(n, jobs),
+    };
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = jobs.max(1).min(n);
+    let total: u64 = costs.iter().sum();
+
+    // Greedy contiguous fill toward an equal cost share per chunk.
+    let mut out: Vec<Range<usize>> = Vec::with_capacity(k);
+    let mut start = 0;
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        if out.len() + 1 < k && acc * k as u64 >= total {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+
+    // Split pass: any chunk costing more than `split_fraction` of the
+    // total is halved at its cost midpoint, up to a 4×jobs task cap.
+    let threshold = (total as f64 * split_fraction.clamp(0.0, 1.0)).max(1.0);
+    let cap = k * 4;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut next: Vec<Range<usize>> = Vec::with_capacity(out.len());
+        for (idx, r) in out.iter().enumerate() {
+            let chunk_cost: u64 = costs[r.clone()].iter().sum();
+            let unprocessed = out.len() - idx - 1;
+            if r.len() >= 2 && chunk_cost as f64 > threshold && next.len() + 2 + unprocessed <= cap
+            {
+                let mut run = 0u64;
+                let mut cut = r.start + 1;
+                for i in r.clone() {
+                    run += costs[i];
+                    if run * 2 >= chunk_cost {
+                        cut = (i + 1).clamp(r.start + 1, r.end - 1);
+                        break;
+                    }
+                }
+                next.push(r.start..cut);
+                next.push(cut..r.end);
+                changed = true;
+            } else {
+                next.push(r.clone());
+            }
+        }
+        out = next;
+    }
+    debug_assert_eq!(out.iter().map(|r| r.len()).sum::<usize>(), n);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +228,81 @@ mod tests {
                     (chunks.iter().map(|r| r.len()).min(), chunks.iter().map(|r| r.len()).max())
                 {
                     assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    fn assert_partition(chunks: &[Range<usize>], n: usize) {
+        assert_eq!(chunks.iter().map(|r| r.len()).sum::<usize>(), n);
+        assert!(chunks.iter().all(|r| !r.is_empty()));
+        let mut at = 0;
+        for r in chunks {
+            assert_eq!(r.start, at);
+            at = r.end;
+        }
+    }
+
+    #[test]
+    fn cost_chunks_fall_back_without_costs() {
+        assert_eq!(cost_chunk_ranges(10, 4, None, 0.25), chunk_ranges(10, 4));
+        assert_eq!(
+            cost_chunk_ranges(10, 4, Some(&[0; 10]), 0.25),
+            chunk_ranges(10, 4),
+            "all-zero costs carry no signal"
+        );
+        assert_eq!(
+            cost_chunk_ranges(10, 4, Some(&[1, 2, 3]), 0.25),
+            chunk_ranges(10, 4),
+            "stale cost vector of the wrong length is ignored"
+        );
+    }
+
+    #[test]
+    fn cost_chunks_balance_by_cost_not_count() {
+        // One fat statement at the front: equal-count chunking would give
+        // chunk 0 nearly all the work.
+        let costs = [1000u64, 10, 10, 10, 10, 10, 10, 10];
+        let chunks = cost_chunk_ranges(8, 4, Some(&costs), 1.0);
+        assert_partition(&chunks, 8);
+        assert_eq!(chunks[0], 0..1, "the fat statement gets its own chunk");
+    }
+
+    #[test]
+    fn fat_chunk_above_fraction_is_split() {
+        // Uniform costs but jobs=1 would give one huge chunk; a 25%
+        // threshold must carve it into stealable pieces.
+        let costs = [10u64; 16];
+        let chunks = cost_chunk_ranges(16, 2, Some(&costs), 0.25);
+        assert_partition(&chunks, 16);
+        assert!(chunks.len() >= 4, "expected splits, got {chunks:?}");
+        let total: u64 = costs.iter().sum();
+        for r in &chunks {
+            let c: u64 = costs[r.clone()].iter().sum();
+            assert!(
+                r.len() == 1 || (c as f64) <= total as f64 * 0.25 + 10.0,
+                "chunk {r:?} still too fat"
+            );
+        }
+    }
+
+    #[test]
+    fn split_pass_respects_task_cap() {
+        let costs = [10u64; 64];
+        let chunks = cost_chunk_ranges(64, 2, Some(&costs), 0.0);
+        assert_partition(&chunks, 64);
+        assert!(chunks.len() <= 8, "cap is 4×jobs: {}", chunks.len());
+    }
+
+    #[test]
+    fn cost_chunks_cover_for_many_shapes() {
+        for n in 1..24 {
+            for jobs in 1..6 {
+                let costs: Vec<u64> = (0..n).map(|i| (i as u64 * 37 + 11) % 97).collect();
+                for frac in [0.0, 0.25, 0.5, 1.0] {
+                    let chunks = cost_chunk_ranges(n, jobs, Some(&costs), frac);
+                    assert_partition(&chunks, n);
+                    assert!(chunks.len() <= jobs.max(1) * 4);
                 }
             }
         }

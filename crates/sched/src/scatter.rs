@@ -6,15 +6,16 @@
 //! `i`'s result is always at position `i` regardless of which worker
 //! finished first.
 
-use std::thread;
+use crate::pool::WorkerPool;
 
-/// Runs `f` over `items` on one scoped thread per item and returns the
-/// results in input order.
+/// Runs `f` over `items` on an ephemeral [`WorkerPool`] sized to the item
+/// count and returns the results in input order.
 ///
-/// With zero or one item (or when threads cannot be spawned) the closure
-/// runs inline on the caller's thread, so the sequential path is the exact
-/// same code. A panic in any worker propagates to the caller after all
-/// workers have been joined.
+/// With zero or one item the closure runs inline on the caller's thread,
+/// so the sequential path is the exact same code. A panic in any worker
+/// propagates to the caller after all workers have finished. Callers with
+/// a long-lived session should hold a [`WorkerPool`] instead and scatter
+/// onto it, amortizing thread spawns across stages.
 pub fn scatter<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
@@ -24,22 +25,7 @@ where
     if items.len() <= 1 {
         return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
-    thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let f = &f;
-                scope.spawn(move || f(i, item))
-            })
-            .collect();
-        // Joining in spawn order = input order. A panicked worker re-panics
-        // here, after its siblings were joined by the scope.
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    })
+    WorkerPool::new(items.len()).scatter(items, f)
 }
 
 #[cfg(test)]

@@ -86,7 +86,8 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                      \x20      [--no-clock] [--no-linearize] [--baseline]\n\
                      \x20      [--partition FN] [--thresholds ALPHA,LAMBDA,N]\n\
                      \x20      [--pack VAR1,VAR2,...] [--census] [--dump-invariant]\n\
-                     \x20      [--jobs N] [--metrics FILE] [--trace] [--cache DIR]\n\
+                     \x20      [--jobs N] [--metrics FILE] [--metrics-stream FILE]\n\
+                     \x20      [--trace] [--cache DIR]\n\
                      --jobs N analyzes with N worker threads (results are\n\
                      identical to the sequential analysis for every N)\n\
                      {RUN_OPTIONS_HELP}\n\
@@ -143,12 +144,17 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let jobs = config.jobs;
     let store = run.open_store()?;
     let result = if run.record() {
-        let collector = run.collector();
-        let mut builder = AnalysisSession::builder(&program).config(config).recorder(&collector);
+        let collector = Arc::new(run.collector());
+        let stream = run.open_stream()?;
+        let rec = run.recorder(&collector, &stream);
+        let mut builder = AnalysisSession::builder(&program).config(config).recorder(rec.as_ref());
         if let Some(s) = &store {
             builder = builder.cache(Arc::clone(s));
         }
         let result = builder.build().run();
+        if let Some(sink) = &stream {
+            sink.flush();
+        }
         run.finish(&collector)?;
         result
     } else {
@@ -248,7 +254,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                     "usage: astree batch [file.c...] [--gen N] [--channels N]\n\
                      \x20      [--seeds S1,S2,...] [--jobs N] [--timeout SECS]\n\
                      \x20      [--analysis-jobs N] [--json] [--metrics FILE]\n\
-                     \x20      [--trace] [--cache DIR]\n\
+                     \x20      [--metrics-stream FILE] [--trace] [--cache DIR]\n\
                      analyzes each input file, plus N generated family members\n\
                      (--gen), as independent jobs on a pool of --jobs workers;\n\
                      a panicking or timed-out job fails alone. --analysis-jobs\n\
@@ -299,8 +305,9 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let store = run.open_store()?;
     let record = run.record();
     let collector = Arc::new(run.collector());
+    let stream = run.open_stream()?;
     let report = if record {
-        let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
+        let rec = run.recorder(&collector, &stream);
         analyze_fleet_recorded(fleet, &config, workers, timeout, rec, store.clone())
     } else if store.is_some() {
         let rec: Arc<dyn astree::obs::Recorder> = Arc::new(astree::obs::NullRecorder);
@@ -308,6 +315,9 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     } else {
         astree::batch::analyze_fleet(fleet, &config, workers, timeout)
     };
+    if let Some(sink) = &stream {
+        sink.flush();
+    }
     if record {
         run.finish(&collector)?;
     }

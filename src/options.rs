@@ -6,13 +6,14 @@
 //! on-disk [`InvariantStore`] — so both commands stay in sync.
 
 use astree_core::InvariantStore;
-use astree_obs::Collector;
+use astree_obs::{Collector, Fanout, Recorder, StreamSink};
 use std::sync::Arc;
 
 /// Help text for the flags [`RunOptions`] parses, for `--help` output.
 pub const RUN_OPTIONS_HELP: &str =
     "--jobs N runs N workers (see the command's help for which pool)\n\
      --metrics FILE writes the astree-metrics/1 JSON document\n\
+     --metrics-stream FILE appends astree-events/1 JSONL records as they happen\n\
      --trace prints the per-iteration fixpoint log to stderr\n\
      --cache DIR reuses invariants across runs from the given directory";
 
@@ -24,6 +25,9 @@ pub struct RunOptions {
     pub jobs: Option<usize>,
     /// `--metrics FILE`: write the astree-metrics/1 JSON document there.
     pub metrics_path: Option<String>,
+    /// `--metrics-stream FILE`: append astree-events/1 JSONL records there
+    /// as the analysis runs (line-buffered, crash-readable).
+    pub metrics_stream: Option<String>,
     /// `--trace`: stream the fixpoint log to stderr.
     pub trace: bool,
     /// `--cache DIR`: persist and reuse invariants across runs.
@@ -49,6 +53,7 @@ impl RunOptions {
                 self.jobs = Some(n);
             }
             "--metrics" => self.metrics_path = Some(value()?),
+            "--metrics-stream" => self.metrics_stream = Some(value()?),
             "--trace" => self.trace = true,
             "--cache" => self.cache_dir = Some(value()?),
             _ => return Ok(false),
@@ -58,7 +63,7 @@ impl RunOptions {
 
     /// Whether a telemetry collector is needed at all.
     pub fn record(&self) -> bool {
-        self.metrics_path.is_some() || self.trace
+        self.metrics_path.is_some() || self.metrics_stream.is_some() || self.trace
     }
 
     /// Builds the collector matching the options.
@@ -67,6 +72,35 @@ impl RunOptions {
             Collector::with_trace()
         } else {
             Collector::new()
+        }
+    }
+
+    /// Opens the JSONL event stream when `--metrics-stream` was given.
+    pub fn open_stream(&self) -> Result<Option<Arc<StreamSink>>, String> {
+        match &self.metrics_stream {
+            Some(path) => {
+                let sink = StreamSink::create(path)
+                    .map_err(|e| format!("--metrics-stream {path}: {e}"))?;
+                Ok(Some(Arc::new(sink)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Assembles the recorder stack for a run: the collector alone, or a
+    /// [`Fanout`] teeing into the JSONL stream when one is open.
+    pub fn recorder(
+        &self,
+        collector: &Arc<Collector>,
+        stream: &Option<Arc<StreamSink>>,
+    ) -> Arc<dyn Recorder> {
+        match stream {
+            Some(sink) => {
+                let sinks: Vec<Arc<dyn Recorder>> =
+                    vec![Arc::clone(collector) as _, Arc::clone(sink) as _];
+                Arc::new(Fanout::new(sinks))
+            }
+            None => Arc::clone(collector) as _,
         }
     }
 
@@ -129,6 +163,15 @@ mod tests {
     fn jobs_zero_and_missing_values_are_rejected() {
         assert!(parse_all(&["--jobs", "0"]).is_err());
         assert!(parse_all(&["--metrics"]).is_err());
+        assert!(parse_all(&["--metrics-stream"]).is_err());
         assert!(parse_all(&["--cache"]).is_err());
+    }
+
+    #[test]
+    fn metrics_stream_alone_enables_recording() {
+        let (run, rest) = parse_all(&["--metrics-stream", "/tmp/ev.jsonl"]).unwrap();
+        assert_eq!(run.metrics_stream.as_deref(), Some("/tmp/ev.jsonl"));
+        assert!(run.record());
+        assert!(rest.is_empty());
     }
 }

@@ -56,6 +56,63 @@ fn metrics_cover_fixpoint_domains_and_scheduler() {
 }
 
 #[test]
+fn event_stream_parses_back_and_matches_the_collector() {
+    use astree::obs::{Fanout, Recorder, StreamSink, EVENT_SCHEMA};
+
+    let dir = std::env::temp_dir().join(format!("astree-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+
+    let src = generate(&GenConfig { channels: 4, seed: 3, bug: Some(BugKind::DivByZero) });
+    let p = Frontend::new().compile_str(&src).expect("compiles");
+    let collector = Arc::new(Collector::new());
+    let sink = Arc::new(StreamSink::create(&path).unwrap());
+    let fanout = Fanout::new(vec![
+        Arc::clone(&collector) as Arc<dyn Recorder>,
+        Arc::clone(&sink) as Arc<dyn Recorder>,
+    ]);
+    let mut cfg = AnalysisConfig::default();
+    cfg.jobs = 4;
+    let result = AnalysisSession::builder(&p).config(cfg).recorder(&fanout).build().run();
+    sink.flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 1, "stream holds a header plus events");
+
+    // Every line is a self-contained JSON object (crash-readable JSONL).
+    let parsed: Vec<Json> = lines
+        .iter()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("unparseable line {l:?}: {e}")))
+        .collect();
+    assert_eq!(parsed[0].get("schema"), Some(&Json::str(EVENT_SCHEMA)), "header line first");
+
+    // Event counts agree with the aggregating collector fed by the same
+    // fanout: the stream is a faithful serialization, not a sample.
+    let m = collector.snapshot();
+    let count = |ev: &str| {
+        parsed.iter().filter(|j| j.get("ev") == Some(&Json::str(ev.to_string()))).count()
+    };
+    assert_eq!(count("slice"), m.scheduler.slices.len(), "one slice line per recorded slice");
+    assert_eq!(count("alarm"), result.alarms.len(), "one alarm line per reported alarm");
+    assert_eq!(count("pool"), 1, "final pool-counter snapshot streamed once");
+    assert!(count("loop_iter") > 0, "fixpoint iterations streamed");
+
+    // Streamed slice records carry the documented fields with sane values.
+    let slice = parsed
+        .iter()
+        .find(|j| j.get("ev") == Some(&Json::str("slice")))
+        .expect("at least one slice event");
+    for key in ["stage", "index", "stmts", "nanos"] {
+        assert!(
+            matches!(slice.get(key), Some(Json::UInt(_))),
+            "slice event field {key} missing or mistyped in {slice:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn alarm_provenance_names_statement_domain_and_loop() {
     let src = generate(&GenConfig { channels: 2, seed: 1, bug: Some(BugKind::DivByZero) });
     let (result, m) = collect(&src, AnalysisConfig::default());
