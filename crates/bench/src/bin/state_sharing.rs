@@ -1,0 +1,166 @@
+//! `state_sharing` — the cost of physical sharing in the abstract-state
+//! algebra, across family sizes at `--jobs 1`.
+//!
+//! Every binary operation on abstract state (env join/widen/narrow/leq, the
+//! per-pack relational maps, the fixpoint stabilization checks) is
+//! identity-preserving: a merge that changes nothing returns the original
+//! `Arc` subtree, so later operations skip shared regions by pointer
+//! equality. `debug_no_ptr_shortcuts` disables every such fast path while —
+//! by construction — computing bit-identical abstract values. This
+//! experiment runs each family member both ways and reports wall time, pmap
+//! node allocations, and shortcut hit rates; alarms, the main-loop census
+//! and the rendered main invariant must match exactly or the binary panics.
+//!
+//! The JSON document is printed to stdout *and* written to the output file
+//! (default `BENCH_state_sharing.json`, the committed baseline) so CI can
+//! archive it. The `summary` object reports the largest size's wall-time
+//! speedup and node-allocation reduction, the two acceptance quantities.
+//!
+//! ```text
+//! cargo run --release -p astree-bench --bin state_sharing [seed] [out.json]
+//! ```
+
+use astree_bench::{family_kloc, family_program};
+use astree_core::{AnalysisConfig, AnalysisResult, AnalysisSession};
+use astree_ir::Program;
+use astree_obs::{Collector, Json, PmapCounters};
+use std::time::Instant;
+
+/// Timed repetitions per mode; the fastest is reported.
+const ITERATIONS: usize = 3;
+
+/// Family sizes (generator channel counts) on the measurement ladder.
+const CHANNELS: [usize; 3] = [12, 24, 46];
+
+struct ModeRun {
+    wall: f64,
+    pmap: PmapCounters,
+    result: AnalysisResult,
+}
+
+/// Best-of-`ITERATIONS` analysis at jobs=1 with the sharing fast paths on
+/// or off; pmap counters come from the fastest repetition (they are
+/// deterministic per mode, so any repetition reports the same counts).
+fn run_mode(program: &Program, no_shortcuts: bool) -> ModeRun {
+    let mut best: Option<ModeRun> = None;
+    for _ in 0..ITERATIONS {
+        let mut cfg = AnalysisConfig::default();
+        cfg.jobs = 1;
+        cfg.debug_no_ptr_shortcuts = no_shortcuts;
+        let c = Collector::new();
+        let t0 = Instant::now();
+        let result = AnalysisSession::builder(program).config(cfg).recorder(&c).build().run();
+        let wall = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(ModeRun { wall, pmap: c.snapshot().pmap, result });
+        }
+    }
+    best.expect("at least one iteration ran")
+}
+
+fn pmap_json(p: &PmapCounters) -> Json {
+    Json::obj([
+        ("nodes_allocated", Json::UInt(p.nodes_allocated)),
+        ("merge_calls", Json::UInt(p.merge_calls)),
+        ("root_shortcut_hits", Json::UInt(p.root_shortcut_hits)),
+        ("interior_shortcut_hits", Json::UInt(p.interior_shortcut_hits)),
+        ("identity_preserved", Json::UInt(p.identity_preserved)),
+    ])
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_state_sharing.json".into());
+
+    let mut sizes = Vec::new();
+    let mut summary = None;
+    for channels in CHANNELS {
+        let program = family_program(channels, seed);
+        let kloc = family_kloc(channels, seed);
+
+        let on = run_mode(&program, false);
+        let off = run_mode(&program, true);
+
+        // The differential contract: disabling every fast path must not
+        // change a single observable bit.
+        let alarms_on: Vec<String> = on.result.alarms.iter().map(|a| a.to_string()).collect();
+        let alarms_off: Vec<String> = off.result.alarms.iter().map(|a| a.to_string()).collect();
+        assert_eq!(
+            alarms_on, alarms_off,
+            "channels={channels}: debug_no_ptr_shortcuts changed the alarm list"
+        );
+        assert_eq!(
+            on.result.main_census, off.result.main_census,
+            "channels={channels}: debug_no_ptr_shortcuts changed the main-loop census"
+        );
+        assert_eq!(
+            on.result.main_invariant.as_ref().map(|s| format!("{s}")),
+            off.result.main_invariant.as_ref().map(|s| format!("{s}")),
+            "channels={channels}: debug_no_ptr_shortcuts changed the main invariant"
+        );
+        assert!(
+            on.pmap.identity_preserved > 0,
+            "channels={channels}: sharing run preserved no identities"
+        );
+        assert_eq!(
+            off.pmap.root_shortcut_hits
+                + off.pmap.interior_shortcut_hits
+                + off.pmap.identity_preserved,
+            0,
+            "channels={channels}: debug_no_ptr_shortcuts left a fast path armed"
+        );
+
+        let wall_speedup = off.wall / on.wall;
+        let alloc_reduction =
+            1.0 - on.pmap.nodes_allocated as f64 / off.pmap.nodes_allocated as f64;
+        sizes.push(Json::obj([
+            ("channels", Json::UInt(channels as u64)),
+            ("kloc", Json::Float(kloc)),
+            ("alarms", Json::UInt(alarms_on.len() as u64)),
+            ("loop_iterations", Json::UInt(on.result.stats.loop_iterations)),
+            ("sharing_wall_s", Json::Float(on.wall)),
+            ("no_shortcuts_wall_s", Json::Float(off.wall)),
+            ("wall_speedup", Json::Float(wall_speedup)),
+            ("node_alloc_reduction", Json::Float(alloc_reduction)),
+            ("sharing_pmap", pmap_json(&on.pmap)),
+            ("no_shortcuts_pmap", pmap_json(&off.pmap)),
+        ]));
+        summary = Some((channels, wall_speedup, alloc_reduction));
+        eprintln!(
+            "channels={channels}: wall {:.3}s vs {:.3}s ({wall_speedup:.2}x), \
+             nodes {} vs {} ({:.1}% fewer)",
+            on.wall,
+            off.wall,
+            on.pmap.nodes_allocated,
+            off.pmap.nodes_allocated,
+            alloc_reduction * 100.0,
+        );
+    }
+
+    let (channels, wall_speedup, alloc_reduction) = summary.expect("at least one size ran");
+    let doc = Json::obj([
+        ("experiment", Json::str("state_sharing")),
+        (
+            "host_cpus",
+            Json::UInt(std::thread::available_parallelism().map_or(1, |n| n.get() as u64)),
+        ),
+        ("seed", Json::UInt(seed)),
+        ("iterations", Json::UInt(ITERATIONS as u64)),
+        ("sizes", Json::Arr(sizes)),
+        (
+            "summary",
+            Json::obj([
+                ("channels", Json::UInt(channels as u64)),
+                ("wall_speedup", Json::Float(wall_speedup)),
+                ("node_alloc_reduction", Json::Float(alloc_reduction)),
+            ]),
+        ),
+    ]);
+    let rendered = doc.to_string();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("state_sharing: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{rendered}");
+}

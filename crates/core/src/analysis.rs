@@ -14,7 +14,7 @@ use crate::packs::Packs;
 use crate::state::AbsState;
 use astree_ir::{func_fingerprints, globals_fingerprint, program_fingerprint, LoopId, Program};
 use astree_memory::{CellLayout, LayoutConfig};
-use astree_obs::{CacheCounters, PoolCounters, Recorder, NULL};
+use astree_obs::{CacheCounters, PmapCounters, PoolCounters, Recorder, NULL};
 use astree_sched::WorkerPool;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -254,9 +254,16 @@ impl<'a> AnalysisSession<'a> {
         // phases): stages pay queue pushes, not thread spawns. Created only
         // after the cache-hit early return — a replay spawns nothing.
         let pool = (self.config.jobs > 1).then(|| WorkerPool::new(self.config.jobs));
-        // Reset the thread-local fast-path counter so a previous analysis
+        // Reset the thread-local fast-path counters so a previous analysis
         // on this thread (with telemetry off) cannot leak into this run.
         let _ = astree_domains::take_saved_closures();
+        let _ = astree_pmap::take_stats();
+        // Arm (or, for the CI differential, disarm) the pointer shortcuts on
+        // the calling thread; worker slices re-arm their own threads from the
+        // config. Restored below so concurrent sessions on this thread (e.g.
+        // the test harness) are not affected. The flag never changes results
+        // — it is excluded from the cache fingerprint.
+        let prev_shortcuts = astree_pmap::set_ptr_shortcuts(!self.config.debug_no_ptr_shortcuts);
 
         let mut iter = Iter::with_recorder(self.program, &layout, &packs, &self.config, rec);
         iter.pool = pool.as_ref();
@@ -271,12 +278,22 @@ impl<'a> AnalysisSession<'a> {
         let time_check = t1.elapsed();
 
         let saved_closures = astree_domains::take_saved_closures();
+        let mut pmap_stats = astree_pmap::take_stats();
+        pmap_stats.absorb(&iter.pmap_worker_stats);
+        astree_pmap::set_ptr_shortcuts(prev_shortcuts);
         if rec.enabled() {
             rec.phase_time("iterate", time_iterate.as_nanos() as u64);
             rec.phase_time("check", time_check.as_nanos() as u64);
             if saved_closures > 0 {
                 rec.domain_op_n("octagon", "closure_saved", saved_closures, 0);
             }
+            rec.pmap(&PmapCounters {
+                nodes_allocated: pmap_stats.nodes_allocated,
+                merge_calls: pmap_stats.merge_calls,
+                root_shortcut_hits: pmap_stats.root_shortcut_hits,
+                interior_shortcut_hits: pmap_stats.interior_shortcut_hits,
+                identity_preserved: pmap_stats.identity_preserved,
+            });
             if let Some(pool) = &pool {
                 let s = pool.stats();
                 rec.pool(&PoolCounters {

@@ -1052,6 +1052,14 @@ mod tests {
         jobs.jobs = 8;
         assert_eq!(fp, config_fingerprint(&jobs), "jobs is excluded (results identical)");
 
+        let mut no_shortcuts = AnalysisConfig::default();
+        no_shortcuts.debug_no_ptr_shortcuts = true;
+        assert_eq!(
+            fp,
+            config_fingerprint(&no_shortcuts),
+            "debug_no_ptr_shortcuts is excluded (results identical)"
+        );
+
         let mut widen = AnalysisConfig::default();
         widen.widening_delay += 1;
         assert_ne!(fp, config_fingerprint(&widen));

@@ -99,6 +99,15 @@ pub struct AnalysisConfig {
     /// estimate on CPU-starved hosts, and backtraces stay on one thread.
     #[doc(hidden)]
     pub debug_inline_slices: bool,
+    /// Disables every pointer-equality shortcut in the persistent-map layer
+    /// (root/interior merge shortcuts, identity-preserving no-op inserts,
+    /// `diff2`/`all2` shared-subtree skips and the iterator's `ptr_eq` fast
+    /// paths). The analysis recomputes everything the shortcuts would have
+    /// skipped; alarms, census and invariants must stay bit-identical to the
+    /// default run — CI diffs both modes. Purely a validation knob: it is
+    /// excluded from the cache fingerprint.
+    #[doc(hidden)]
+    pub debug_no_ptr_shortcuts: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -131,6 +140,7 @@ impl Default for AnalysisConfig {
             nested_cost_fraction: 0.25,
             debug_force_steal: None,
             debug_inline_slices: false,
+            debug_no_ptr_shortcuts: false,
         }
     }
 }

@@ -97,6 +97,9 @@ pub struct Iter<'a> {
     pub oct_useful: Vec<usize>,
     /// Counters.
     pub stats: IterStats,
+    /// Persistent-map counters drained from worker slices (the main thread's
+    /// own counters stay in its thread-local and are drained by the session).
+    pub(crate) pmap_worker_stats: astree_pmap::PmapStats,
     /// Whether the top-level dispatch may be sliced across workers
     /// (Monniaux's partition-and-join scheme); disabled inside workers.
     par_enabled: bool,
@@ -151,6 +154,8 @@ struct SliceOut {
     stmt_nanos: Vec<(StmtId, u64)>,
     /// Octagon closures the ref fast paths skipped on this slice's thread.
     saved_closures: u64,
+    /// Persistent-map counters drained from this slice's thread.
+    pmap_stats: astree_pmap::PmapStats,
     loops_solved: u64,
     loops_replayed: u64,
     solved_by_func: BTreeMap<String, u64>,
@@ -196,6 +201,7 @@ impl<'a> Iter<'a> {
             sink: AlarmSink::new(),
             oct_useful: vec![0; packs.octagons.len()],
             stats: IterStats::default(),
+            pmap_worker_stats: astree_pmap::PmapStats::default(),
             par_enabled: config.jobs > 1,
             pool: None,
             stmt_cost: HashMap::new(),
@@ -430,6 +436,10 @@ impl<'a> Iter<'a> {
                 if panic_slice == Some(ci) {
                     panic!("injected slice fault (debug_panic_slice)");
                 }
+                // Pool threads keep their own copy of the thread-local
+                // sharing flag: align it with the session's configuration on
+                // every slice (the session only sets the caller's thread).
+                astree_pmap::set_ptr_shortcuts(!config.debug_no_ptr_shortcuts);
                 let t0 = Instant::now();
                 let mut w = Iter::new(program, layout, packs, config);
                 w.par_enabled = false;
@@ -461,6 +471,7 @@ impl<'a> Iter<'a> {
                     wall: t0.elapsed(),
                     stmt_nanos,
                     saved_closures: astree_domains::take_saved_closures(),
+                    pmap_stats: astree_pmap::take_stats(),
                     loops_solved: w.loops_solved,
                     loops_replayed: w.loops_replayed,
                     solved_by_func: w.solved_by_func,
@@ -539,6 +550,7 @@ impl<'a> Iter<'a> {
                 self.stmt_cost.insert(sid, ns);
             }
             saved_closures += out.saved_closures;
+            self.pmap_worker_stats.absorb(&out.pmap_stats);
         }
         if self.rec_on && saved_closures > 0 {
             self.rec.domain_op_n("octagon", "closure_saved", saved_closures, 0);
@@ -680,6 +692,16 @@ impl<'a> Iter<'a> {
 
     // ----- loops (Sect. 5.5, 7.1) ------------------------------------------
 
+    /// Post-fixpoint test with a `ptr_eq` fast path: once merges preserve
+    /// identity, a stabilized iterate is *physically* equal to its
+    /// predecessor and the structural `leq` walk can be skipped outright.
+    /// The fast path is an implication (`ptr_eq ⇒ leq`), never a semantic
+    /// change; `debug_no_ptr_shortcuts` (via the thread-local pmap flag)
+    /// forces the walk for the CI differential.
+    fn post_fixpoint(fval: &AbsState, inv: &AbsState) -> bool {
+        (astree_pmap::ptr_shortcuts_enabled() && fval.ptr_eq(inv)) || fval.leq(inv)
+    }
+
     fn solve_loop(
         &mut self,
         entry: AbsState,
@@ -716,7 +738,7 @@ impl<'a> Iter<'a> {
                 let body_in = self.state_guard(&seed, cond, true);
                 let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
                 let fval = base.join(&body_out, self.layout, self.packs);
-                if fval.leq(&seed) {
+                if Self::post_fixpoint(&fval, &seed) {
                     self.loops_replayed += 1;
                     let f = self.cur_func().to_string();
                     *self.replayed_by_func.entry(f).or_insert(0) += 1;
@@ -753,7 +775,7 @@ impl<'a> Iter<'a> {
             let mut body_out = self.exec_loop_body(body_in, body, ret_target, depth);
             self.perturb(&mut body_out);
             let fval = base.join(&body_out, self.layout, self.packs);
-            if fval.leq(&inv) {
+            if Self::post_fixpoint(&fval, &inv) {
                 stabilized_at = iter as u64;
                 break;
             }
@@ -799,6 +821,11 @@ impl<'a> Iter<'a> {
             let body_in = self.state_guard(&inv, cond, true);
             let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
             let fval = base.join(&body_out, self.layout, self.packs);
+            // Widening-overshoot correction: a physically unchanged iterate
+            // cannot narrow anything (`x Δ x = x`), so skip the walk.
+            if astree_pmap::ptr_shortcuts_enabled() && fval.ptr_eq(&inv) {
+                continue;
+            }
             let t0 = self.rec_on.then(Instant::now);
             inv = inv.narrow(&fval);
             if let Some(t0) = t0 {
@@ -815,7 +842,7 @@ impl<'a> Iter<'a> {
             }
         }
         let t0 = self.rec_on.then(Instant::now);
-        self.reduce_loop_done(&mut inv, cond, body, depth);
+        self.reduce_loop_done(&mut inv, &base.env, cond, body, depth);
         if let Some(t0) = t0 {
             self.rec.domain_op("octagon", "closure", Self::nanos_since(t0));
             self.rec.loop_done(&LoopDoneEvent {
@@ -837,7 +864,14 @@ impl<'a> Iter<'a> {
     /// planner slice the top-level dispatch). Falls back to the full
     /// reduction when the loop's cell set is unbounded (call-depth cap,
     /// clock tick inside the body).
-    fn reduce_loop_done(&mut self, inv: &mut AbsState, cond: &Expr, body: &Block, depth: u32) {
+    fn reduce_loop_done(
+        &mut self,
+        inv: &mut AbsState,
+        entry_env: &astree_memory::AbsEnv,
+        cond: &Expr,
+        body: &Block,
+        depth: u32,
+    ) {
         let cells = if depth == 0 {
             None
         } else {
@@ -845,7 +879,17 @@ impl<'a> Iter<'a> {
         };
         match cells {
             Some(cells) => {
-                let cells: Vec<CellId> = cells.into_iter().collect();
+                let mut cells: Vec<CellId> = cells.into_iter().collect();
+                // Add the cells the solve actually moved, enumerated by
+                // `diff2` at cost proportional to the diff (not the
+                // environment): this catches effects the syntactic walk
+                // cannot attribute while keeping the reduction scope a
+                // superset of the purely syntactic one. The diff is computed
+                // the same way with sharing on and off, so both modes reduce
+                // the same packs.
+                entry_env.changed_cells(&inv.env, &mut cells);
+                cells.sort_unstable();
+                cells.dedup();
                 inv.reduce_local(self.layout, self.packs, &cells, Some(&mut self.oct_useful));
             }
             None => {
@@ -856,7 +900,9 @@ impl<'a> Iter<'a> {
 
     /// Diffs the invariant environment across one join/widen step: a bound
     /// that moved to a finite value is a threshold hit, one that escaped to
-    /// the type's extreme is an infinity escape.
+    /// the type's extreme is an infinity escape. Driven by the changed-cell
+    /// set (`diff2` skips shared subtrees wholesale), not a full env walk —
+    /// bounds can only move at cells whose value changed.
     fn widen_deltas(
         &self,
         before: &astree_memory::AbsEnv,
@@ -864,9 +910,12 @@ impl<'a> Iter<'a> {
     ) -> (u64, u64) {
         let mut hits = 0u64;
         let mut escapes = 0u64;
-        for (id, v) in after.iter() {
-            let old = before.get(*id, self.layout);
-            match (old, v) {
+        let mut changed = Vec::new();
+        before.changed_cells(after, &mut changed);
+        for id in changed {
+            let old = before.get(id, self.layout);
+            let new = after.get(id, self.layout);
+            match (old, &new) {
                 (CellVal::Int(o), CellVal::Int(n)) => {
                     if n.val.lo < o.val.lo {
                         if n.val.lo == i64::MIN {

@@ -12,7 +12,7 @@ use crate::packs::Packs;
 use astree_domains::dtree::Lattice;
 use astree_domains::{Clocked, DecisionTree, Ellipsoid, FloatItv, IntItv, Octagon, Thresholds};
 use astree_memory::{AbsEnv, CellId, CellLayout, CellVal};
-use astree_pmap::PMap;
+use astree_pmap::{MergeOutcome, PMap};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -129,8 +129,67 @@ impl Lattice for PackEnv {
     }
 }
 
+impl PackEnv {
+    /// Bitwise identity (cell values compared via [`CellVal::same`], so
+    /// `-0.0`/`0.0` stay distinct) — see [`dtree_same`].
+    fn same(&self, other: &PackEnv) -> bool {
+        self.unreachable == other.unreachable
+            && self.cells.len() == other.cells.len()
+            && self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .all(|((ca, va), (cb, vb))| ca == cb && va.same(vb))
+    }
+}
+
 /// One decision tree, as stored per pack.
 pub type DTree = DecisionTree<CellId, PackEnv>;
+
+/// Bitwise identity of two decision trees: identical branching structure
+/// and bitwise-identical leaves. The derived `PartialEq` is too coarse for
+/// identity decisions (it identifies `-0.0` with `0.0` in leaf values).
+fn dtree_same(a: &DTree, b: &DTree) -> bool {
+    match (a, b) {
+        (DecisionTree::Leaf(x), DecisionTree::Leaf(y)) => x.same(y),
+        (
+            DecisionTree::Node { var: va, f: fa, t: ta },
+            DecisionTree::Node { var: vb, f: fb, t: tb },
+        ) => va == vb && dtree_same(fa, fb) && dtree_same(ta, tb),
+        _ => false,
+    }
+}
+
+/// Wraps a binary pack operation into an identity-classifying combiner for
+/// [`PMap::union_outcome`]. Bitwise-equal operands short-circuit to `Left`
+/// *before* `op` runs, which is what keeps the sharing and no-sharing modes
+/// bit-identical: a physically shared pack skips the combiner entirely, so
+/// the non-shared path must yield the left operand for bitwise-equal inputs
+/// even when `op` itself is not bitwise-idempotent (e.g. `join_ref` closing
+/// a dirty octagon).
+fn merged<V: Clone>(
+    a: &V,
+    b: &V,
+    same: impl Fn(&V, &V) -> bool,
+    op: impl FnOnce(&V, &V) -> V,
+) -> MergeOutcome<V> {
+    if same(a, b) {
+        return MergeOutcome::Left;
+    }
+    let v = op(a, b);
+    if same(&v, a) {
+        MergeOutcome::Left
+    } else if same(&v, b) {
+        MergeOutcome::Right
+    } else {
+        MergeOutcome::New(v)
+    }
+}
+
+/// Bitwise identity for the `f64` pack maps (ellipsoid bounds, pending δ).
+fn f64_same(a: &f64, b: &f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
 
 /// The complete abstract state.
 #[derive(Debug, Clone)]
@@ -190,9 +249,11 @@ impl AbsState {
         self.octs.get(&(pi as u32)).expect("pack index in range")
     }
 
-    /// Replaces the octagon of pack `pi`.
+    /// Replaces the octagon of pack `pi`. Writing back a bitwise-identical
+    /// octagon (the common case after a reduction that improved nothing)
+    /// keeps the pack tree physically unchanged.
     pub fn set_oct(&mut self, pi: usize, o: Octagon) {
-        self.octs = self.octs.insert(pi as u32, o);
+        self.octs = self.octs.insert_if_changed(pi as u32, o, Octagon::same);
     }
 
     /// The decision tree of pack `pi`.
@@ -200,9 +261,9 @@ impl AbsState {
         self.dtrees.get(&(pi as u32)).expect("pack index in range")
     }
 
-    /// Replaces the decision tree of pack `pi`.
+    /// Replaces the decision tree of pack `pi` (no-op writes preserved).
     pub fn set_dtree(&mut self, pi: usize, t: DTree) {
-        self.dtrees = self.dtrees.insert(pi as u32, t);
+        self.dtrees = self.dtrees.insert_if_changed(pi as u32, t, dtree_same);
     }
 
     /// The ellipsoid bound of pack `pi`.
@@ -210,9 +271,9 @@ impl AbsState {
         *self.ellipses.get(&(pi as u32)).expect("pack index in range")
     }
 
-    /// Replaces the ellipsoid bound of pack `pi`.
+    /// Replaces the ellipsoid bound of pack `pi` (no-op writes preserved).
     pub fn set_ell(&mut self, pi: usize, k: f64) {
-        self.ellipses = self.ellipses.insert(pi as u32, k);
+        self.ellipses = self.ellipses.insert_if_changed(pi as u32, k, f64_same);
     }
 
     /// The pending `δ(k)` of pack `pi`.
@@ -220,9 +281,9 @@ impl AbsState {
         *self.pending.get(&(pi as u32)).expect("pack index in range")
     }
 
-    /// Replaces the pending `δ(k)` of pack `pi`.
+    /// Replaces the pending `δ(k)` of pack `pi` (no-op writes preserved).
     pub fn set_pending(&mut self, pi: usize, k: f64) {
-        self.pending = self.pending.insert(pi as u32, k);
+        self.pending = self.pending.insert_if_changed(pi as u32, k, f64_same);
     }
 
     /// Iterates over octagons.
@@ -251,18 +312,26 @@ impl AbsState {
         if other.is_bottom() {
             return self.clone();
         }
-        let ellipses = self.ellipses.union_with(&other.ellipses, |k, a, b| {
-            let pi = *k as usize;
-            let a = reduce_if_infinite(*a, *b, pi, &self.env, layout, packs);
-            let b = reduce_if_infinite(*b, a, pi, &other.env, layout, packs);
-            a.max(b)
+        let ellipses = self.ellipses.union_outcome(&other.ellipses, |k, a, b| {
+            merged(a, b, f64_same, |a, b| {
+                let pi = *k as usize;
+                let a = reduce_if_infinite(*a, *b, pi, &self.env, layout, packs);
+                let b = reduce_if_infinite(*b, a, pi, &other.env, layout, packs);
+                a.max(b)
+            })
         });
         AbsState {
             env: self.env.join(&other.env),
-            octs: self.octs.union_with(&other.octs, |_, a, b| a.join_ref(b)),
-            dtrees: self.dtrees.union_with(&other.dtrees, |_, a, b| a.join(b)),
+            octs: self.octs.union_outcome(&other.octs, |_, a, b| {
+                merged(a, b, Octagon::same, Octagon::join_ref)
+            }),
+            dtrees: self
+                .dtrees
+                .union_outcome(&other.dtrees, |_, a, b| merged(a, b, dtree_same, DTree::join)),
             ellipses,
-            pending: self.pending.union_with(&other.pending, |_, a, b| a.max(*b)),
+            pending: self
+                .pending
+                .union_outcome(&other.pending, |_, a, b| merged(a, b, f64_same, |a, b| a.max(*b))),
         }
     }
 
@@ -281,18 +350,26 @@ impl AbsState {
         if other.is_bottom() {
             return self.clone();
         }
-        let ellipses = self.ellipses.union_with(&other.ellipses, |k, a, b| {
-            let pi = *k as usize;
-            let b = reduce_if_infinite(*b, *a, pi, &other.env, layout, packs);
-            let p = &packs.ellipses[pi];
-            Ellipsoid { a: p.a, b: p.b, k: *a }.widen(Ellipsoid { a: p.a, b: p.b, k: b }, t).k
+        let ellipses = self.ellipses.union_outcome(&other.ellipses, |k, a, b| {
+            merged(a, b, f64_same, |a, b| {
+                let pi = *k as usize;
+                let b = reduce_if_infinite(*b, *a, pi, &other.env, layout, packs);
+                let p = &packs.ellipses[pi];
+                Ellipsoid { a: p.a, b: p.b, k: *a }.widen(Ellipsoid { a: p.a, b: p.b, k: b }, t).k
+            })
         });
         AbsState {
             env: self.env.widen(&other.env, t),
-            octs: self.octs.union_with(&other.octs, |_, a, b| a.widen_ref(b, t)),
-            dtrees: self.dtrees.union_with(&other.dtrees, |_, a, b| a.widen(b, t)),
+            octs: self.octs.union_outcome(&other.octs, |_, a, b| {
+                merged(a, b, Octagon::same, |a, b| a.widen_ref(b, t))
+            }),
+            dtrees: self.dtrees.union_outcome(&other.dtrees, |_, a, b| {
+                merged(a, b, dtree_same, |a, b| a.widen(b, t))
+            }),
             ellipses,
-            pending: self.pending.union_with(&other.pending, |_, a, b| a.max(*b)),
+            pending: self
+                .pending
+                .union_outcome(&other.pending, |_, a, b| merged(a, b, f64_same, |a, b| a.max(*b))),
         }
     }
 
@@ -307,18 +384,30 @@ impl AbsState {
             env: self.env.narrow(&other.env),
             octs: self.octs.clone(),
             dtrees: self.dtrees.clone(),
-            ellipses: self.ellipses.union_with(&other.ellipses, |_, a, b| {
-                if a.is_infinite() {
-                    *b
-                } else {
-                    *a
-                }
+            ellipses: self.ellipses.union_outcome(&other.ellipses, |_, a, b| {
+                merged(a, b, f64_same, |a, b| if a.is_infinite() { *b } else { *a })
             }),
             pending: self.pending.clone(),
         }
     }
 
-    /// Inclusion `⊑`.
+    /// `true` when every component of the two states is the same physical
+    /// tree — constant time, `true` implies semantic equality. The iterator
+    /// uses this (when pointer shortcuts are enabled) to recognize a
+    /// stabilized loop iterate without any structural walk.
+    pub fn ptr_eq(&self, other: &AbsState) -> bool {
+        self.env.ptr_eq(&other.env)
+            && self.octs.ptr_eq(&other.octs)
+            && self.dtrees.ptr_eq(&other.dtrees)
+            && self.ellipses.ptr_eq(&other.ellipses)
+            && self.pending.ptr_eq(&other.pending)
+    }
+
+    /// Inclusion `⊑`. A pack present on one side only reads as ⊤ there, so
+    /// left-only packs are always included; in practice every state carries
+    /// the full fixed `0..npacks` key set and the one-sided closures never
+    /// fire (right-only keeps its historical permissive answer for the
+    /// ellipse map, where ⊤ = +∞ is checkable).
     pub fn leq(&self, other: &AbsState) -> bool {
         if self.is_bottom() {
             return true;
@@ -327,9 +416,14 @@ impl AbsState {
             return false;
         }
         self.env.leq(&other.env)
-            && self.octs.all2(&other.octs, |_, _| false, |_, _| true, |_, a, b| a.leq_ref(b))
-            && self.dtrees.all2(&other.dtrees, |_, _| false, |_, _| true, |_, a, b| a.leq(b))
-            && self.ellipses.all2(&other.ellipses, |_, _| false, |_, _| true, |_, a, b| a <= b)
+            && self.octs.all2(&other.octs, |_, _| true, |_, _| true, |_, a, b| a.leq_ref(b))
+            && self.dtrees.all2(&other.dtrees, |_, _| true, |_, _| true, |_, a, b| a.leq(b))
+            && self.ellipses.all2(
+                &other.ellipses,
+                |_, _| true,
+                |_, b| b.is_infinite(),
+                |_, a, b| a <= b,
+            )
     }
 
     /// Bidirectional reduction between the environment and every relational

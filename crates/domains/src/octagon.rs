@@ -482,6 +482,20 @@ impl Octagon {
         (0..dim).any(|i| self.at(i, i) < 0.0)
     }
 
+    /// Bitwise identity: same pack size, same closure bookkeeping, and
+    /// every matrix entry bit-identical (`to_bits`, which distinguishes
+    /// `-0.0` from `0.0` and is reflexive on infinities). The
+    /// sharing-preserving state merges use this to decide "keep the
+    /// original octagon" — it must be bitwise, because substituting a
+    /// `PartialEq`-equal octagon with a different `-0.0`/closure state
+    /// could change downstream bit patterns.
+    pub fn same(&self, other: &Octagon) -> bool {
+        self.n == other.n
+            && self.closure == other.closure
+            && self.m.len() == other.m.len()
+            && self.m.iter().zip(&other.m).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
     /// Least upper bound of immutable operands. Operands that are already
     /// strongly closed skip the defensive clone-then-close entirely (the
     /// avoided work is counted by [`take_saved_closures`]); the result is

@@ -2,8 +2,8 @@
 
 use crate::layout::{CellId, CellLayout};
 use astree_domains::{Clocked, FloatItv, IntItv, Thresholds};
-use astree_ir::ScalarType;
-use astree_pmap::PMap;
+use astree_ir::{FloatKind, ScalarType};
+use astree_pmap::{MergeOutcome, PMap};
 use std::fmt;
 
 /// The abstract value of one cell.
@@ -89,6 +89,57 @@ impl CellVal {
             _ => panic!("cell kind mismatch in leq"),
         }
     }
+
+    /// Bitwise identity — the `same` check the sharing-preserving map
+    /// operations use to decide "this merge changed nothing, keep the
+    /// original subtree".
+    ///
+    /// Deliberately *bitwise*, not `PartialEq`: float bounds are compared
+    /// via [`f64::to_bits`], which distinguishes `-0.0` from `0.0` and is
+    /// reflexive on NaN, so substituting the old value for the "equal" new
+    /// one can never alter a downstream bit pattern (`PartialEq` would let
+    /// `-0.0` masquerade as `0.0` and corrupt bit-identical replay).
+    /// Integer bounds are exact, so plain equality is already bitwise.
+    pub fn same(&self, other: &CellVal) -> bool {
+        match (self, other) {
+            (CellVal::Int(a), CellVal::Int(b)) => a == b,
+            (CellVal::Float(a), CellVal::Float(b)) => {
+                a.lo.to_bits() == b.lo.to_bits() && a.hi.to_bits() == b.hi.to_bits()
+            }
+            _ => false,
+        }
+    }
+
+    /// Classifies a combined value against its two operands for the
+    /// identity-preserving merge: keep left if bitwise-unchanged, else keep
+    /// right, else bind the fresh value.
+    fn outcome(self, a: &CellVal, b: &CellVal) -> MergeOutcome<CellVal> {
+        if self.same(a) {
+            MergeOutcome::Left
+        } else if self.same(b) {
+            MergeOutcome::Right
+        } else {
+            MergeOutcome::New(self)
+        }
+    }
+
+    /// Wraps a binary lattice operation into an identity-classifying
+    /// combiner. Bitwise-equal operands short-circuit to `Left` *before*
+    /// `op` runs — this is what keeps the sharing and no-sharing modes
+    /// bit-identical (a physically shared subtree skips the combiner
+    /// entirely, so the non-shared path must produce the left operand for
+    /// bitwise-equal inputs no matter what `op` would compute).
+    fn merged(
+        a: &CellVal,
+        b: &CellVal,
+        op: impl FnOnce(&CellVal, &CellVal) -> CellVal,
+    ) -> MergeOutcome<CellVal> {
+        if a.same(b) {
+            MergeOutcome::Left
+        } else {
+            op(a, b).outcome(a, b)
+        }
+    }
 }
 
 /// An abstract environment: cell values plus the hidden clock interval.
@@ -141,7 +192,10 @@ impl AbsEnv {
         self.cells.get(&id).copied().unwrap_or_else(|| CellVal::top_of(layout.info(id).ty))
     }
 
-    /// Strong update.
+    /// Strong update. Writing a value bitwise-identical to the current one
+    /// returns the same cell tree (no path copy), so a statement that
+    /// rewrites a cell to its old value keeps the environment `ptr_eq` to
+    /// its input.
     #[must_use]
     pub fn set(&self, id: CellId, val: CellVal) -> AbsEnv {
         if self.bottom {
@@ -150,7 +204,11 @@ impl AbsEnv {
         if val.is_bottom() {
             return AbsEnv::bottom();
         }
-        AbsEnv { cells: self.cells.insert(id, val), clock: self.clock, bottom: false }
+        AbsEnv {
+            cells: self.cells.insert_if_changed(id, val, CellVal::same),
+            clock: self.clock,
+            bottom: false,
+        }
     }
 
     /// Weak update: the cell may or may not have been written.
@@ -178,7 +236,20 @@ impl AbsEnv {
         self.cells.iter()
     }
 
+    /// `true` when the two environments are the same physical cell tree
+    /// (and agree on clock/reachability) — constant time, `true` implies
+    /// semantic equality.
+    pub fn ptr_eq(&self, other: &AbsEnv) -> bool {
+        self.bottom == other.bottom && self.clock == other.clock && self.cells.ptr_eq(&other.cells)
+    }
+
     /// Abstract union `⊔` (cell-wise, sharing-aware).
+    ///
+    /// Identity-preserving: joining in an environment that adds no
+    /// information returns a result whose cell tree is `ptr_eq` to `self`'s
+    /// (the merge classifies each combined value bitwise via
+    /// [`CellVal::same`] and keeps original subtrees), so a stabilized loop
+    /// iterate stays physically equal to its predecessor.
     #[must_use]
     pub fn join(&self, other: &AbsEnv) -> AbsEnv {
         if self.bottom {
@@ -188,13 +259,16 @@ impl AbsEnv {
             return self.clone();
         }
         AbsEnv {
-            cells: self.cells.union_with(&other.cells, |_, a, b| a.join(b)),
+            cells: self
+                .cells
+                .union_outcome(&other.cells, |_, a, b| CellVal::merged(a, b, |a, b| a.join(b))),
             clock: self.clock.join(other.clock),
             bottom: false,
         }
     }
 
-    /// Widening (cell-wise with thresholds).
+    /// Widening (cell-wise with thresholds, identity-preserving like
+    /// [`AbsEnv::join`]).
     #[must_use]
     pub fn widen(&self, other: &AbsEnv, t: &Thresholds) -> AbsEnv {
         if self.bottom {
@@ -204,26 +278,40 @@ impl AbsEnv {
             return self.clone();
         }
         AbsEnv {
-            cells: self.cells.union_with(&other.cells, |_, a, b| a.widen(b, t)),
+            cells: self
+                .cells
+                .union_outcome(&other.cells, |_, a, b| CellVal::merged(a, b, |a, b| a.widen(b, t))),
             clock: self.clock.widen(other.clock, t),
             bottom: false,
         }
     }
 
-    /// Narrowing (cell-wise).
+    /// Narrowing (cell-wise, identity-preserving like [`AbsEnv::join`]).
     #[must_use]
     pub fn narrow(&self, other: &AbsEnv) -> AbsEnv {
         if self.bottom || other.bottom {
             return AbsEnv::bottom();
         }
         AbsEnv {
-            cells: self.cells.union_with(&other.cells, |_, a, b| a.narrow(b)),
+            cells: self
+                .cells
+                .union_outcome(&other.cells, |_, a, b| CellVal::merged(a, b, |a, b| a.narrow(b))),
             clock: self.clock.narrow(other.clock),
             bottom: false,
         }
     }
 
-    /// Inclusion test `⊑` (with the physical-equality shortcut).
+    /// Inclusion test `⊑` (with the physical-equality shortcut at every
+    /// level of the cell-tree walk).
+    ///
+    /// Untracked cells read as ⊤ (see [`AbsEnv::get`]), which settles the
+    /// one-sided cases: a cell tracked only on the left is included in the
+    /// right's implicit ⊤, so it answers `true`; a cell tracked only on the
+    /// right requires the right-hand value to cover the left's implicit ⊤,
+    /// which without the layout at hand we approximate soundly by testing
+    /// against the widest ⊤ of the value's kind (conservatively `false` for
+    /// narrower float kinds). In practice every non-⊥ environment tracks
+    /// the full fixed cell layout, so neither closure fires.
     pub fn leq(&self, other: &AbsEnv) -> bool {
         if self.bottom {
             return true;
@@ -234,8 +322,11 @@ impl AbsEnv {
         self.clock.leq(other.clock)
             && self.cells.all2(
                 &other.cells,
-                |_, _| false, // a cell tracked only on the left: right is ⊤ there — fine
                 |_, _| true,
+                |_, w| match w {
+                    CellVal::Int(c) => Clocked::TOP.leq(*c),
+                    CellVal::Float(x) => FloatItv::top_of(FloatKind::F64).leq(*x),
+                },
                 |_, a, b| a.leq(b),
             )
     }
@@ -253,7 +344,7 @@ impl AbsEnv {
     pub fn overlay_changed(&mut self, pre: &AbsEnv, post: &AbsEnv) {
         debug_assert!(!self.bottom && !pre.bottom && !post.bottom);
         let mut cells = self.cells.clone();
-        post.cells.for_each_diff(&pre.cells, |k, post_v, pre_v| {
+        post.cells.diff2(&pre.cells, |k, post_v, pre_v| {
             if let Some(v) = post_v {
                 if pre_v != Some(v) {
                     cells = cells.insert(*k, *v);
@@ -267,13 +358,19 @@ impl AbsEnv {
     /// Counts cells whose value differs from `other` (diagnostics, packing
     /// usefulness reports).
     pub fn count_diff(&self, other: &AbsEnv) -> usize {
-        let mut n = 0;
-        self.cells.for_each_diff(&other.cells, |_, a, b| {
+        self.cells.fold2(&other.cells, 0, |n, _, a, b| n + usize::from(a != b))
+    }
+
+    /// Collects the cells whose value differs from `other`, skipping shared
+    /// subtrees wholesale — the changed-cell set the iterator feeds into
+    /// localized pack reduction. Cost is proportional to the diff, not the
+    /// environment size.
+    pub fn changed_cells(&self, other: &AbsEnv, out: &mut Vec<CellId>) {
+        self.cells.diff2(&other.cells, |k, a, b| {
             if a != b {
-                n += 1;
+                out.push(*k);
             }
         });
-        n
     }
 }
 
@@ -417,6 +514,65 @@ mod tests {
         }
         // A later slice that did not touch cell 0 must not revert it.
         assert_eq!(merged.count_diff(&pre), 2);
+    }
+
+    #[test]
+    fn leq_with_strict_superset_of_cells() {
+        // Regression: `a` tracks a strict superset of `b`'s cells. The
+        // untracked cells read as ⊤ on `b`'s side, so `a ⊑ b` must hold
+        // whenever the common cells are included — the left-only closure
+        // used to answer `false` against its own comment.
+        let (_, l) = small_layout();
+        let a = AbsEnv::initial(&l);
+        let mut b = a.clone();
+        b.cells = b.cells.remove(&CellId(0));
+        assert_eq!(b.len() + 1, a.len(), "b must track strictly fewer cells");
+        assert!(a.leq(&b), "tracked ⊑ implicit ⊤ on the right");
+        // The reverse direction: `b` reads ⊤ at cell 0 while `a` pins it to
+        // zero, so `b ⊑ a` must be false.
+        assert!(!b.leq(&a), "implicit ⊤ on the left is not below a finite value");
+        // And a genuine value violation on a common cell still fails.
+        let wide = a.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::new(0, 100), a.clock)));
+        assert!(!wide.leq(&a));
+    }
+
+    #[test]
+    fn merge_identity_is_preserved() {
+        let (_, l) = small_layout();
+        let base = AbsEnv::initial(&l);
+        let grown =
+            base.set(CellId(0), CellVal::Int(Clocked::of_val(IntItv::new(0, 9), base.clock)));
+        // Joining in an env that adds no information returns self's tree.
+        let j = grown.join(&base);
+        assert!(j.ptr_eq(&grown), "no-op join must preserve identity");
+        // Rewriting a cell to its current value is physically a no-op.
+        let rewrite = grown.set(CellId(0), grown.get(CellId(0), &l));
+        assert!(rewrite.ptr_eq(&grown), "no-op set must preserve identity");
+        // A narrow that changes nothing also preserves identity.
+        let n = grown.narrow(&grown.clone());
+        assert!(n.ptr_eq(&grown));
+    }
+
+    #[test]
+    fn same_is_bitwise_on_floats() {
+        let pos = CellVal::Float(FloatItv::new(0.0, 1.0));
+        let neg = CellVal::Float(FloatItv::new(-0.0, 1.0));
+        assert!(pos.same(&pos));
+        assert!(!pos.same(&neg), "-0.0 and 0.0 must not be identified");
+        assert_eq!(pos, neg, "PartialEq is coarser — that is the point");
+    }
+
+    #[test]
+    fn changed_cells_matches_count_diff() {
+        let (_, l) = small_layout();
+        let env = AbsEnv::initial(&l);
+        let changed =
+            env.set(CellId(2), CellVal::Int(Clocked::of_val(IntItv::singleton(4), env.clock)));
+        let mut cells = Vec::new();
+        env.changed_cells(&changed, &mut cells);
+        assert_eq!(cells, vec![CellId(2)]);
+        assert_eq!(env.count_diff(&changed), 1);
+        let _ = l;
     }
 
     #[test]

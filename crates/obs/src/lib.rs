@@ -208,6 +208,37 @@ impl CacheCounters {
     }
 }
 
+/// Persistent-map sharing counters for one analysis run.
+///
+/// Emitted once per run by the analysis session; the totals cover the main
+/// thread and every worker slice (per-thread counters are drained once per
+/// slice and summed at the merge). The [`Collector`] sums runs field-wise.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PmapCounters {
+    /// Tree nodes allocated (every path copy and rebalance).
+    pub nodes_allocated: u64,
+    /// Binary merge operations started (`union_with` / `union_outcome`).
+    pub merge_calls: u64,
+    /// Merges answered entirely at the root by pointer equality.
+    pub root_shortcut_hits: u64,
+    /// Shared subtrees skipped inside merges and diff traversals.
+    pub interior_shortcut_hits: u64,
+    /// Public operations that returned an input physically unchanged
+    /// (no-op inserts, merges whose result is one of the operands).
+    pub identity_preserved: u64,
+}
+
+impl PmapCounters {
+    /// Field-wise sum.
+    pub fn add(&mut self, o: &PmapCounters) {
+        self.nodes_allocated += o.nodes_allocated;
+        self.merge_calls += o.merge_calls;
+        self.root_shortcut_hits += o.root_shortcut_hits;
+        self.interior_shortcut_hits += o.interior_shortcut_hits;
+        self.identity_preserved += o.identity_preserved;
+    }
+}
+
 /// Work-stealing pool counters for one analysis run.
 ///
 /// Emitted once per run by the analysis session when a worker pool was
@@ -289,6 +320,10 @@ pub trait Recorder: Send + Sync {
     /// Invariant-cache counters for one analysis run (emitted once per run
     /// when a cache store is attached to the session).
     fn cache(&self, _c: &CacheCounters) {}
+
+    /// Persistent-map sharing counters for one analysis run (emitted once
+    /// per run by the analysis session).
+    fn pmap(&self, _c: &PmapCounters) {}
 
     /// Free-form trace line (only meaningful when [`Recorder::tracing`]).
     fn trace(&self, _line: &str) {}
@@ -431,6 +466,8 @@ pub struct Metrics {
     pub scheduler: SchedulerMetrics,
     /// Invariant-cache counters, summed across recorded runs.
     pub cache: CacheCounters,
+    /// Persistent-map sharing counters, summed across recorded runs.
+    pub pmap: PmapCounters,
 }
 
 impl Metrics {
@@ -587,6 +624,14 @@ impl Metrics {
             ("replay_nanos", Json::UInt(c.replay_nanos)),
             ("saved_nanos", Json::UInt(c.saved_nanos)),
         ]);
+        let p = &self.pmap;
+        let pmap = Json::obj([
+            ("nodes_allocated", Json::UInt(p.nodes_allocated)),
+            ("merge_calls", Json::UInt(p.merge_calls)),
+            ("root_shortcut_hits", Json::UInt(p.root_shortcut_hits)),
+            ("interior_shortcut_hits", Json::UInt(p.interior_shortcut_hits)),
+            ("identity_preserved", Json::UInt(p.identity_preserved)),
+        ]);
         Json::obj([
             ("schema", Json::str(SCHEMA)),
             ("functions", functions),
@@ -595,6 +640,7 @@ impl Metrics {
             ("alarms", alarms),
             ("scheduler", scheduler),
             ("cache", cache),
+            ("pmap", pmap),
         ])
     }
 }
@@ -840,6 +886,23 @@ impl Recorder for Collector {
         }
     }
 
+    fn pmap(&self, c: &PmapCounters) {
+        {
+            let mut m = self.metrics.lock().expect("collector poisoned");
+            m.pmap.add(c);
+        }
+        if self.trace_on {
+            self.push_trace(format!(
+                "pmap: allocated={} merges={} root_hits={} interior_hits={} identity={}",
+                c.nodes_allocated,
+                c.merge_calls,
+                c.root_shortcut_hits,
+                c.interior_shortcut_hits,
+                c.identity_preserved,
+            ));
+        }
+    }
+
     fn trace(&self, line: &str) {
         if self.trace_on {
             self.push_trace(line.to_string());
@@ -962,9 +1025,10 @@ mod tests {
             alarms: Some(1),
         });
         c.cache(&CacheCounters { full_hits: 1, saved_nanos: 500, ..CacheCounters::default() });
+        c.pmap(&PmapCounters { nodes_allocated: 10, identity_preserved: 3, ..Default::default() });
         let j = c.to_json();
         assert_eq!(j.get("schema"), Some(&Json::str(SCHEMA)));
-        for key in ["functions", "domains", "phases", "alarms", "scheduler", "cache"] {
+        for key in ["functions", "domains", "phases", "alarms", "scheduler", "cache", "pmap"] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         let rendered = j.to_string();

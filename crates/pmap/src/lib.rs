@@ -27,6 +27,8 @@
 
 mod map;
 mod set;
+mod stats;
 
-pub use map::{Iter, PMap};
+pub use map::{Iter, MergeOutcome, PMap};
 pub use set::PSet;
+pub use stats::{ptr_shortcuts_enabled, set_ptr_shortcuts, take_stats, PmapStats};

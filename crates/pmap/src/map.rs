@@ -1,5 +1,6 @@
 //! The persistent AVL map.
 
+use crate::stats;
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
@@ -26,8 +27,10 @@ fn size<K, V>(t: &Link<K, V>) -> usize {
 }
 
 /// Builds a node assuming `left` and `right` are already balanced relative to
-/// each other (height difference at most 2).
+/// each other (height difference at most 2). The single allocation site for
+/// tree nodes, so [`stats::take_stats`] counts every path copy.
 fn create<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K, V> {
+    stats::note_node_alloc();
     let height = height(&left).max(height(&right)) + 1;
     let size = size(&left) + size(&right) + 1;
     Some(Arc::new(Node { key, value, height, size, left, right }))
@@ -120,16 +123,8 @@ fn min_binding<K, V>(t: &Arc<Node<K, V>>) -> (&K, &V) {
 fn remove_min<K: Clone, V: Clone>(t: &Arc<Node<K, V>>) -> Link<K, V> {
     match &t.left {
         None => t.right.clone(),
-        Some(l) => {
-            balance(t.key.clone(), t.value.clone(), remove_min(l).map(strip), t.right.clone())
-        }
+        Some(l) => balance(t.key.clone(), t.value.clone(), remove_min(l), t.right.clone()),
     }
-}
-
-// `remove_min` may return `None` directly; this identity helper only exists to
-// keep the call above readable.
-fn strip<K, V>(n: Arc<Node<K, V>>) -> Arc<Node<K, V>> {
-    n
 }
 
 /// Concatenates two trees of arbitrary relative height with no middle binding.
@@ -145,6 +140,14 @@ fn concat<K: Clone + Ord, V: Clone>(left: Link<K, V>, right: Link<K, V>) -> Link
     }
 }
 
+// Path-copy audit: `insert_at` copies exactly the root-to-key path (one
+// `create`/`balance` per level) and reuses both child `Arc`s at the found
+// node, so a value replacement preserves the tree *shape*. That shape
+// stability is what keeps environments over a fixed cell layout permanently
+// root-aligned, which the merge operations below exploit. Replacing a value
+// with an identical one still copies the path — callers that can check value
+// identity cheaply should use [`PMap::insert_if_changed`], which returns
+// `self` untouched instead.
 fn insert_at<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: K, value: V) -> Link<K, V> {
     match t {
         None => create(key, value, None, None),
@@ -166,6 +169,8 @@ fn insert_at<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: K, value: V) -> Link
     }
 }
 
+// Path-copy audit: removing an absent key allocates nothing — the `removed`
+// flag propagates up and every level returns the original `Arc` unchanged.
 fn remove_at<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: &K) -> (Link<K, V>, bool) {
     match t {
         None => (None, false),
@@ -219,40 +224,118 @@ fn links_eq<K, V>(a: &Link<K, V>, b: &Link<K, V>) -> bool {
     }
 }
 
-fn union_with<K: Clone + Ord, V: Clone>(
+/// `links_eq` gated by the thread's shortcut switch, counting interior hits.
+/// Every *semantic-shortcut* use of physical equality inside the bulk
+/// operations goes through here, so `debug_no_ptr_shortcuts` turns all of
+/// them off at once.
+fn shared<K, V>(a: &Link<K, V>, b: &Link<K, V>) -> bool {
+    if stats::ptr_shortcuts_enabled() && links_eq(a, b) {
+        stats::note_interior_shortcut();
+        true
+    } else {
+        false
+    }
+}
+
+/// How a combiner wants a binding present on both sides resolved.
+///
+/// `Left`/`Right` keep the existing value *and its identity*: when every
+/// child of a subtree also kept its identity, the merge returns the original
+/// `Arc` instead of allocating, which is what lets a stabilized fixpoint
+/// iterate stay physically equal to its predecessor. `New` supplies a
+/// combined value and always rebuilds the spine node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeOutcome<V> {
+    /// Keep the left value (and, transitively, the left subtree).
+    Left,
+    /// Keep the right value (and, transitively, the right subtree).
+    Right,
+    /// Bind this fresh value.
+    New(V),
+}
+
+fn union_outcome<K: Clone + Ord, V: Clone>(
     a: &Link<K, V>,
     b: &Link<K, V>,
-    f: &mut impl FnMut(&K, &V, &V) -> V,
+    f: &mut impl FnMut(&K, &V, &V) -> MergeOutcome<V>,
 ) -> Link<K, V> {
-    if links_eq(a, b) {
+    if shared(a, b) {
         return a.clone();
     }
     match (a, b) {
         (None, _) => b.clone(),
         (_, None) => a.clone(),
-        (Some(an), Some(_)) => {
-            let (bl, bm, br) = split(b, &an.key);
-            let left = union_with(&an.left, &bl, f);
-            let right = union_with(&an.right, &br, f);
-            let value = match &bm {
-                Some(bv) => f(&an.key, &an.value, bv),
-                None => an.value.clone(),
-            };
-            join(an.key.clone(), value, left, right)
+        (Some(an), Some(bn)) => {
+            if an.key == bn.key {
+                // Aligned roots: both trees partition the key space at the
+                // same pivot, so children merge pairwise with no `split`
+                // allocations — and identity can be preserved from *either*
+                // side. Environments over a fixed cell layout are aligned
+                // all the way down (value replacement preserves shape), so
+                // this is the analyzer's hot path.
+                let left = union_outcome(&an.left, &bn.left, f);
+                let right = union_outcome(&an.right, &bn.right, f);
+                match f(&an.key, &an.value, &bn.value) {
+                    MergeOutcome::Left => {
+                        if stats::ptr_shortcuts_enabled()
+                            && links_eq(&left, &an.left)
+                            && links_eq(&right, &an.right)
+                        {
+                            return Some(an.clone());
+                        }
+                        join(an.key.clone(), an.value.clone(), left, right)
+                    }
+                    MergeOutcome::Right => {
+                        if stats::ptr_shortcuts_enabled()
+                            && links_eq(&left, &bn.left)
+                            && links_eq(&right, &bn.right)
+                        {
+                            return Some(bn.clone());
+                        }
+                        join(bn.key.clone(), bn.value.clone(), left, right)
+                    }
+                    MergeOutcome::New(v) => join(an.key.clone(), v, left, right),
+                }
+            } else {
+                // Misaligned roots: split the right tree around the left
+                // pivot. Only left identity is recoverable here (the right
+                // tree was taken apart), which is fine — misalignment only
+                // arises for maps with differing key sets.
+                let (bl, bm, br) = split(b, &an.key);
+                let left = union_outcome(&an.left, &bl, f);
+                let right = union_outcome(&an.right, &br, f);
+                if let Some(bv) = &bm {
+                    match f(&an.key, &an.value, bv) {
+                        MergeOutcome::Left => {}
+                        MergeOutcome::Right => {
+                            return join(an.key.clone(), bv.clone(), left, right);
+                        }
+                        MergeOutcome::New(v) => {
+                            return join(an.key.clone(), v, left, right);
+                        }
+                    }
+                }
+                // The left value survives (key absent on the right, or the
+                // combiner kept it).
+                if stats::ptr_shortcuts_enabled()
+                    && links_eq(&left, &an.left)
+                    && links_eq(&right, &an.right)
+                {
+                    return Some(an.clone());
+                }
+                join(an.key.clone(), an.value.clone(), left, right)
+            }
         }
     }
 }
 
-fn all2<K: Ord, V>(
+fn all2_lockstep<K: Ord, V>(
     a: &Link<K, V>,
     b: &Link<K, V>,
     only_a: &mut impl FnMut(&K, &V) -> bool,
     only_b: &mut impl FnMut(&K, &V) -> bool,
     both: &mut impl FnMut(&K, &V, &V) -> bool,
 ) -> bool {
-    if links_eq(a, b) {
-        return true;
-    }
     // Iterate in lockstep over both trees' in-order sequences.
     let mut ia = Iter::from_link(a);
     let mut ib = Iter::from_link(b);
@@ -298,6 +381,109 @@ fn all2<K: Ord, V>(
                     nb = ib.next();
                 }
             },
+        }
+    }
+}
+
+fn all2<K: Ord, V>(
+    a: &Link<K, V>,
+    b: &Link<K, V>,
+    only_a: &mut impl FnMut(&K, &V) -> bool,
+    only_b: &mut impl FnMut(&K, &V) -> bool,
+    both: &mut impl FnMut(&K, &V, &V) -> bool,
+) -> bool {
+    if shared(a, b) {
+        return true;
+    }
+    match (a, b) {
+        (None, None) => true,
+        (Some(_), None) => Iter::from_link(a).all(|(k, v)| only_a(k, v)),
+        (None, Some(_)) => Iter::from_link(b).all(|(k, v)| only_b(k, v)),
+        (Some(an), Some(bn)) => {
+            if an.key == bn.key {
+                // Aligned roots: recurse so shared subtrees are skipped at
+                // *every* level, preserving ascending-key callback order.
+                all2(&an.left, &bn.left, only_a, only_b, both)
+                    && both(&an.key, &an.value, &bn.value)
+                    && all2(&an.right, &bn.right, only_a, only_b, both)
+            } else {
+                all2_lockstep(a, b, only_a, only_b, both)
+            }
+        }
+    }
+}
+
+fn diff2_lockstep<'a, K: Ord, V>(
+    a: &'a Link<K, V>,
+    b: &'a Link<K, V>,
+    f: &mut impl FnMut(&'a K, Option<&'a V>, Option<&'a V>),
+) {
+    let mut ia = Iter::from_link(a);
+    let mut ib = Iter::from_link(b);
+    let mut na = ia.next();
+    let mut nb = ib.next();
+    loop {
+        match (na, nb) {
+            (None, None) => return,
+            (Some((k, v)), None) => {
+                f(k, Some(v), None);
+                na = ia.next();
+                nb = None;
+            }
+            (None, Some((k, v))) => {
+                f(k, None, Some(v));
+                na = None;
+                nb = ib.next();
+            }
+            (Some((ka, va)), Some((kb, vb))) => match ka.cmp(kb) {
+                Ordering::Less => {
+                    f(ka, Some(va), None);
+                    na = ia.next();
+                    nb = Some((kb, vb));
+                }
+                Ordering::Greater => {
+                    f(kb, None, Some(vb));
+                    na = Some((ka, va));
+                    nb = ib.next();
+                }
+                Ordering::Equal => {
+                    f(ka, Some(va), Some(vb));
+                    na = ia.next();
+                    nb = ib.next();
+                }
+            },
+        }
+    }
+}
+
+fn diff2<'a, K: Ord, V>(
+    a: &'a Link<K, V>,
+    b: &'a Link<K, V>,
+    f: &mut impl FnMut(&'a K, Option<&'a V>, Option<&'a V>),
+) {
+    if shared(a, b) {
+        return;
+    }
+    match (a, b) {
+        (None, None) => {}
+        (Some(_), None) => {
+            for (k, v) in Iter::from_link(a) {
+                f(k, Some(v), None);
+            }
+        }
+        (None, Some(_)) => {
+            for (k, v) in Iter::from_link(b) {
+                f(k, None, Some(v));
+            }
+        }
+        (Some(an), Some(bn)) => {
+            if an.key == bn.key {
+                diff2(&an.left, &bn.left, f);
+                f(&an.key, Some(&an.value), Some(&bn.value));
+                diff2(&an.right, &bn.right, f);
+            } else {
+                diff2_lockstep(a, b, f);
+            }
         }
     }
 }
@@ -353,7 +539,9 @@ impl<K, V> PMap<K, V> {
     /// Returns `true` if `self` and `other` are the same physical tree.
     ///
     /// This is a constant-time conservative equality: `true` implies the maps
-    /// are equal, `false` implies nothing.
+    /// are equal, `false` implies nothing. Unlike the internal shortcuts this
+    /// primitive is *not* disabled by `debug_no_ptr_shortcuts` — callers that
+    /// use it as a semantic fast path must gate themselves.
     pub fn ptr_eq(&self, other: &Self) -> bool {
         links_eq(&self.root, &other.root)
     }
@@ -392,6 +580,35 @@ impl<K: Ord, V> PMap<K, V> {
     pub fn contains_key(&self, key: &K) -> bool {
         self.get(key).is_some()
     }
+
+    /// Walks the whole tree and panics unless every structural invariant
+    /// holds: AVL balance (sibling heights differ by at most 2), correct
+    /// cached heights and sizes, and strict key ordering within bounds.
+    ///
+    /// O(n) test support — the property suite runs it after every mutation.
+    #[doc(hidden)]
+    pub fn assert_invariants(&self) {
+        fn go<K: Ord, V>(t: &Link<K, V>, lo: Option<&K>, hi: Option<&K>) -> u8 {
+            match t {
+                None => 0,
+                Some(n) => {
+                    if let Some(lo) = lo {
+                        assert!(*lo < n.key, "key below subtree lower bound");
+                    }
+                    if let Some(hi) = hi {
+                        assert!(n.key < *hi, "key above subtree upper bound");
+                    }
+                    let hl = go(&n.left, lo, Some(&n.key));
+                    let hr = go(&n.right, Some(&n.key), hi);
+                    assert!(hl.abs_diff(hr) <= 2, "unbalanced node");
+                    assert_eq!(n.height, hl.max(hr) + 1, "wrong cached height");
+                    assert_eq!(n.size, size(&n.left) + size(&n.right) + 1, "wrong cached size");
+                    n.height
+                }
+            }
+        }
+        go(&self.root, None, None);
+    }
 }
 
 impl<K: Clone + Ord, V: Clone> PMap<K, V> {
@@ -400,6 +617,28 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
     #[must_use]
     pub fn insert(&self, key: K, value: V) -> Self {
         PMap { root: insert_at(&self.root, key, value) }
+    }
+
+    /// Returns a map with `key` bound to `value`, or `self` physically
+    /// unchanged when `key` is already bound to a value for which
+    /// `same(old, &value)` holds — the no-op insert then costs one lookup
+    /// and zero allocations.
+    ///
+    /// `same` may be any conservative identity check (`true` implies the
+    /// values are interchangeable); bitwise comparisons are ideal. Under
+    /// `debug_no_ptr_shortcuts` the fast path is disabled and this behaves
+    /// exactly like [`PMap::insert`].
+    #[must_use]
+    pub fn insert_if_changed(&self, key: K, value: V, same: impl FnOnce(&V, &V) -> bool) -> Self {
+        if stats::ptr_shortcuts_enabled() {
+            if let Some(old) = self.get(&key) {
+                if same(old, &value) {
+                    stats::note_identity_preserved();
+                    return self.clone();
+                }
+            }
+        }
+        self.insert(key, value)
     }
 
     /// Returns a map without `key`. Returns a clone of `self` if absent.
@@ -424,10 +663,47 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
     /// Physically shared subtrees are returned unchanged without calling `f`,
     /// so `f` must satisfy `f(k, v, v) == v` for the result to be a correct
     /// pointwise merge — which holds for every lattice join/meet/widening the
-    /// analyzer uses (they are idempotent).
+    /// analyzer uses (they are idempotent). Because `f` returns a bare value,
+    /// this merge cannot tell "combined to the same thing" from "changed" and
+    /// always rebuilds spine nodes outside shared regions; combiners that can
+    /// classify cheaply should use [`PMap::union_outcome`], which preserves
+    /// input identity.
     #[must_use]
     pub fn union_with(&self, other: &Self, mut f: impl FnMut(&K, &V, &V) -> V) -> Self {
-        PMap { root: union_with(&self.root, &other.root, &mut f) }
+        self.union_outcome(other, |k, a, b| MergeOutcome::New(f(k, a, b)))
+    }
+
+    /// Merges two maps with an identity-aware combiner.
+    ///
+    /// Like [`PMap::union_with`], but `f` returns a [`MergeOutcome`] so it
+    /// can say "keep the left/right value" without a value-equality bound.
+    /// Whenever a subtree's merged children are physically equal to one
+    /// input's children and the combiner kept that input's value, the
+    /// original `Arc` subtree is returned — so a merge that changes nothing
+    /// returns a map `ptr_eq` to its input, restoring sharing that later
+    /// joins, inclusion tests, and diffs exploit.
+    ///
+    /// The same idempotence contract as `union_with` applies: on physically
+    /// shared subtrees `f` is never called, so `f(k, v, v)` must keep `v`
+    /// (either side) for the two modes of `debug_no_ptr_shortcuts` to agree.
+    #[must_use]
+    pub fn union_outcome(
+        &self,
+        other: &Self,
+        mut f: impl FnMut(&K, &V, &V) -> MergeOutcome<V>,
+    ) -> Self {
+        stats::note_merge_call();
+        if stats::ptr_shortcuts_enabled() && links_eq(&self.root, &other.root) {
+            stats::note_root_shortcut();
+            return self.clone();
+        }
+        let root = union_outcome(&self.root, &other.root, &mut f);
+        if stats::ptr_shortcuts_enabled()
+            && (links_eq(&root, &self.root) || links_eq(&root, &other.root))
+        {
+            stats::note_identity_preserved();
+        }
+        PMap { root }
     }
 
     /// Returns a map retaining only bindings for which `f` returns `Some`,
@@ -448,6 +724,7 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
     pub fn map_values(&self, mut f: impl FnMut(&K, &V) -> V) -> Self {
         fn go<K: Clone, V: Clone>(t: &Link<K, V>, f: &mut impl FnMut(&K, &V) -> V) -> Link<K, V> {
             t.as_ref().map(|n| {
+                stats::note_node_alloc();
                 Arc::new(Node {
                     key: n.key.clone(),
                     value: f(&n.key, &n.value),
@@ -466,9 +743,10 @@ impl<K: Ord, V> PMap<K, V> {
     /// Checks a pointwise predicate across two maps, in ascending key order.
     ///
     /// `only_a` / `only_b` are applied to bindings present on a single side,
-    /// `both` to bindings present on both. Physically shared trees are assumed
-    /// to satisfy the predicate (shortcut), so `both(k, v, v)` must be `true`
-    /// — which holds for the reflexive orderings (`⊑`) the analyzer checks.
+    /// `both` to bindings present on both. Physically shared subtrees are
+    /// assumed to satisfy the predicate and skipped at every level of the
+    /// walk (not just the root), so `both(k, v, v)` must be `true` — which
+    /// holds for the reflexive orderings (`⊑`) the analyzer checks.
     pub fn all2(
         &self,
         other: &Self,
@@ -476,58 +754,45 @@ impl<K: Ord, V> PMap<K, V> {
         mut only_b: impl FnMut(&K, &V) -> bool,
         mut both: impl FnMut(&K, &V, &V) -> bool,
     ) -> bool {
+        if stats::ptr_shortcuts_enabled() && links_eq(&self.root, &other.root) {
+            stats::note_root_shortcut();
+            return true;
+        }
         all2(&self.root, &other.root, &mut only_a, &mut only_b, &mut both)
     }
 
-    /// Visits the bindings where the two maps differ (or exist on one side
-    /// only), skipping physically shared subtrees.
-    pub fn for_each_diff(&self, other: &Self, mut f: impl FnMut(&K, Option<&V>, Option<&V>)) {
-        fn go<'a, K: Ord, V>(
-            a: &'a Link<K, V>,
-            b: &'a Link<K, V>,
-            f: &mut impl FnMut(&'a K, Option<&'a V>, Option<&'a V>),
-        ) {
-            if links_eq(a, b) {
-                return;
-            }
-            let mut ia = Iter::from_link(a);
-            let mut ib = Iter::from_link(b);
-            let mut na = ia.next();
-            let mut nb = ib.next();
-            loop {
-                match (na, nb) {
-                    (None, None) => return,
-                    (Some((k, v)), None) => {
-                        f(k, Some(v), None);
-                        na = ia.next();
-                        nb = None;
-                    }
-                    (None, Some((k, v))) => {
-                        f(k, None, Some(v));
-                        na = None;
-                        nb = ib.next();
-                    }
-                    (Some((ka, va)), Some((kb, vb))) => match ka.cmp(kb) {
-                        Ordering::Less => {
-                            f(ka, Some(va), None);
-                            na = ia.next();
-                            nb = Some((kb, vb));
-                        }
-                        Ordering::Greater => {
-                            f(kb, None, Some(vb));
-                            na = Some((ka, va));
-                            nb = ib.next();
-                        }
-                        Ordering::Equal => {
-                            f(ka, Some(va), Some(vb));
-                            na = ia.next();
-                            nb = ib.next();
-                        }
-                    },
-                }
-            }
+    /// Visits, in ascending key order, the bindings of the two maps that lie
+    /// in non-shared subtrees — bindings differing or present on one side
+    /// only, plus any equal-valued bindings whose surrounding spine was path
+    /// copied (callers filter by value when they care). Physically shared
+    /// regions are skipped wholesale at every level, so the cost is
+    /// proportional to the *diff* between the maps, not their size.
+    pub fn diff2(&self, other: &Self, mut f: impl FnMut(&K, Option<&V>, Option<&V>)) {
+        if stats::ptr_shortcuts_enabled() && links_eq(&self.root, &other.root) {
+            stats::note_root_shortcut();
+            return;
         }
-        go(&self.root, &other.root, &mut f)
+        diff2(&self.root, &other.root, &mut f)
+    }
+
+    /// [`PMap::diff2`] under its historical name.
+    pub fn for_each_diff(&self, other: &Self, f: impl FnMut(&K, Option<&V>, Option<&V>)) {
+        self.diff2(other, f)
+    }
+
+    /// Folds an accumulator over the [`PMap::diff2`] traversal.
+    pub fn fold2<A>(
+        &self,
+        other: &Self,
+        init: A,
+        mut f: impl FnMut(A, &K, Option<&V>, Option<&V>) -> A,
+    ) -> A {
+        let mut acc = Some(init);
+        self.diff2(other, |k, va, vb| {
+            let a = acc.take().expect("fold2 accumulator always present");
+            acc = Some(f(a, k, va, vb));
+        });
+        acc.expect("fold2 accumulator always present")
     }
 }
 
@@ -652,6 +917,20 @@ mod tests {
         let m = PMap::new().insert(1, 1);
         let m2 = m.remove(&42);
         assert_eq!(m, m2);
+        assert!(m.ptr_eq(&m2), "absent-key removal must not copy the path");
+    }
+
+    #[test]
+    fn insert_if_changed_preserves_identity() {
+        let m: PMap<u32, u32> = (0..100).map(|i| (i, i)).collect();
+        let same = m.insert_if_changed(7, 7, |a, b| a == b);
+        assert!(m.ptr_eq(&same), "no-op insert must return self");
+        let changed = m.insert_if_changed(7, 99, |a, b| a == b);
+        assert!(!m.ptr_eq(&changed));
+        assert_eq!(changed.get(&7), Some(&99));
+        let fresh = m.insert_if_changed(1000, 1, |a, b| a == b);
+        assert_eq!(fresh.len(), 101);
+        check_avl(&fresh.root);
     }
 
     #[test]
@@ -684,6 +963,82 @@ mod tests {
     }
 
     #[test]
+    fn union_outcome_preserves_left_identity() {
+        let a: PMap<u32, u32> = (0..500).map(|i| (i, i)).collect();
+        let b = a.insert(250, 0);
+        // A combiner that always keeps the left value: merging any map into
+        // `a` this way is a no-op, so the result must be `a` itself.
+        let u = a.union_outcome(&b, |_, _, _| MergeOutcome::Left);
+        assert!(u.ptr_eq(&a), "identity-preserving merge must return the left input");
+        // Symmetrically for the right side.
+        let u = b.union_outcome(&a, |_, _, _| MergeOutcome::Right);
+        assert!(u.ptr_eq(&a), "identity-preserving merge must return the right input");
+    }
+
+    #[test]
+    fn union_outcome_rebuilds_only_changed_paths() {
+        let a: PMap<u32, u32> = (0..1000).map(|i| (i, i)).collect();
+        let b = a.insert(123, 9999);
+        let _ = stats::take_stats();
+        let u = a.union_outcome(
+            &b,
+            |_, x, y| {
+                if x >= y {
+                    MergeOutcome::Left
+                } else {
+                    MergeOutcome::Right
+                }
+            },
+        );
+        let after = stats::take_stats();
+        assert_eq!(u.get(&123), Some(&9999));
+        assert_eq!(u.len(), 1000);
+        check_avl(&u.root);
+        // Only the path to key 123 may be rebuilt: O(log n), not O(n).
+        assert!(after.nodes_allocated < 32, "allocated {}", after.nodes_allocated);
+        assert!(after.interior_shortcut_hits > 0);
+    }
+
+    #[test]
+    fn union_outcome_misaligned_roots() {
+        // Different key sets force the split fallback; results must still be
+        // correct and balanced, and a no-op merge keeps left identity.
+        let a: PMap<u32, u32> = (0..100).map(|i| (2 * i, i)).collect();
+        let b: PMap<u32, u32> = (0..100).map(|i| (2 * i + 1, 1000 + i)).collect();
+        let u = a.union_outcome(&b, |_, _, _| MergeOutcome::Left);
+        assert_eq!(u.len(), 200);
+        assert_eq!(u.get(&4), Some(&2));
+        assert_eq!(u.get(&5), Some(&1002));
+        check_avl(&u.root);
+        let empty = PMap::new();
+        let v = a.union_outcome(&empty, |_, _, _| MergeOutcome::Left);
+        assert!(v.ptr_eq(&a));
+    }
+
+    #[test]
+    fn disabled_shortcuts_same_logical_result() {
+        let a: PMap<u32, u32> = (0..200).map(|i| (i, i)).collect();
+        let b = a.insert(50, 500).insert(150, 1);
+        let max = |_: &u32, x: &u32, y: &u32| {
+            if x >= y {
+                MergeOutcome::Left
+            } else {
+                MergeOutcome::Right
+            }
+        };
+        let fast = a.union_outcome(&b, max);
+        let was = stats::set_ptr_shortcuts(false);
+        let slow = a.union_outcome(&b, max);
+        let slow_ins = a.insert_if_changed(7, 7, |x, y| x == y);
+        stats::set_ptr_shortcuts(was);
+        assert_eq!(fast, slow, "shortcut and no-shortcut merges must agree");
+        assert!(!slow.ptr_eq(&a) && !slow.ptr_eq(&b), "no identity without shortcuts");
+        assert_eq!(slow_ins, a);
+        assert!(!slow_ins.ptr_eq(&a), "no-op insert fast path must be off");
+        check_avl(&slow.root);
+    }
+
+    #[test]
     fn all2_lockstep() {
         let a: PMap<u32, u32> = (0..10).map(|i| (i, i)).collect();
         let b = a.insert(5, 99);
@@ -694,12 +1049,30 @@ mod tests {
     }
 
     #[test]
-    fn for_each_diff_reports_changes_only() {
+    fn all2_skips_shared_interior() {
+        use std::cell::Cell;
+        let base: PMap<u32, u32> = (0..1000).map(|i| (i, i)).collect();
+        let b = base.insert(700, 0);
+        let visited = Cell::new(0u32);
+        assert!(base.all2(
+            &b,
+            |_, _| false,
+            |_, _| false,
+            |_, x, y| {
+                visited.set(visited.get() + 1);
+                x >= y
+            }
+        ));
+        assert!(visited.get() < 32, "visited {} bindings", visited.get());
+    }
+
+    #[test]
+    fn diff2_reports_changes_only() {
         let base: PMap<u32, u32> = (0..100).map(|i| (i, 0)).collect();
         let a = base.insert(3, 1);
         let b = base.insert(3, 2).remove(&50);
         let mut diffs = Vec::new();
-        a.for_each_diff(&b, |k, va, vb| {
+        a.diff2(&b, |k, va, vb| {
             if va != vb {
                 diffs.push((*k, va.copied(), vb.copied()));
             }
@@ -707,6 +1080,28 @@ mod tests {
         assert!(diffs.contains(&(3, Some(1), Some(2))));
         assert!(diffs.contains(&(50, Some(0), None)));
         assert_eq!(diffs.len(), 2);
+    }
+
+    #[test]
+    fn diff2_visits_diff_not_size() {
+        use std::cell::Cell;
+        let base: PMap<u32, u32> = (0..2000).map(|i| (i, 0)).collect();
+        let b = base.insert(1234, 7);
+        let visited = Cell::new(0u32);
+        base.diff2(&b, |_, _, _| visited.set(visited.get() + 1));
+        assert!(visited.get() < 48, "visited {} bindings", visited.get());
+        // Identical maps: nothing visited at all.
+        visited.set(0);
+        base.diff2(&base.clone(), |_, _, _| visited.set(visited.get() + 1));
+        assert_eq!(visited.get(), 0);
+    }
+
+    #[test]
+    fn fold2_accumulates() {
+        let base: PMap<u32, u32> = (0..100).map(|i| (i, 0)).collect();
+        let b = base.insert(10, 1).insert(90, 2);
+        let changed = base.fold2(&b, 0u32, |acc, _, va, vb| acc + u32::from(va != vb));
+        assert_eq!(changed, 2);
     }
 
     #[test]
@@ -738,6 +1133,20 @@ mod tests {
         check_avl(&d.root);
         assert_eq!(d.get(&21), Some(&42));
         assert_eq!(d.len(), 100);
+    }
+
+    #[test]
+    fn stats_count_allocations_and_shortcuts() {
+        let _ = stats::take_stats();
+        let m: PMap<u32, u32> = (0..10).map(|i| (i, i)).collect();
+        let s = stats::take_stats();
+        assert!(s.nodes_allocated >= 10, "10 inserts allocate at least 10 nodes");
+        let u = m.union_outcome(&m.clone(), |_, _, _| MergeOutcome::Left);
+        assert!(u.ptr_eq(&m));
+        let s = stats::take_stats();
+        assert_eq!(s.merge_calls, 1);
+        assert_eq!(s.root_shortcut_hits, 1);
+        assert_eq!(s.nodes_allocated, 0);
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Thread-local sharing telemetry and the pointer-shortcut kill switch.
+//!
+//! Every counter is a plain thread-local `Cell` so the persistent-map hot
+//! path (node allocation, merge recursion) counts without synchronization;
+//! parallel slice workers each accumulate privately and the iterator drains
+//! them per slice with [`take_stats`], exactly like the octagon crate's
+//! saved-closure counter. The aggregate surfaces as the `pmap` section of
+//! the `astree-metrics/1` document.
+//!
+//! The kill switch ([`set_ptr_shortcuts`]) disables every physical-equality
+//! fast path (root and interior subtree skips, identity-preserving merge
+//! returns, the no-op-insert return of `self`). Disabling is always
+//! semantics-preserving — the combiners the analyzer passes are idempotent
+//! (`f(k, v, v) == v`) and the predicates reflexive — so CI can diff
+//! alarms/invariants bit-for-bit between the two modes while the allocation
+//! counters expose how much work sharing actually saves. Thread-local (not
+//! a process global) so concurrently running tests cannot perturb each
+//! other; the analysis session propagates the flag into its worker pool.
+
+use std::cell::Cell;
+
+thread_local! {
+    static NODES_ALLOCATED: Cell<u64> = const { Cell::new(0) };
+    static MERGE_CALLS: Cell<u64> = const { Cell::new(0) };
+    static ROOT_SHORTCUT_HITS: Cell<u64> = const { Cell::new(0) };
+    static INTERIOR_SHORTCUT_HITS: Cell<u64> = const { Cell::new(0) };
+    static IDENTITY_PRESERVED: Cell<u64> = const { Cell::new(0) };
+    static PTR_SHORTCUTS: Cell<bool> = const { Cell::new(true) };
+}
+
+/// A drained snapshot of this thread's persistent-map counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PmapStats {
+    /// Tree nodes allocated (`Arc<Node>` constructions).
+    pub nodes_allocated: u64,
+    /// Binary merge entry points (`union_with` / `union_outcome`).
+    pub merge_calls: u64,
+    /// Merges/walks answered entirely by root physical equality.
+    pub root_shortcut_hits: u64,
+    /// Shared subtrees skipped inside a merge/walk recursion.
+    pub interior_shortcut_hits: u64,
+    /// Operations that returned an *input* tree unchanged without the root
+    /// shortcut: identity-preserving merges and no-op inserts.
+    pub identity_preserved: u64,
+}
+
+impl PmapStats {
+    /// Accumulates `other` into `self` (merging per-thread drains).
+    pub fn absorb(&mut self, other: &PmapStats) {
+        self.nodes_allocated += other.nodes_allocated;
+        self.merge_calls += other.merge_calls;
+        self.root_shortcut_hits += other.root_shortcut_hits;
+        self.interior_shortcut_hits += other.interior_shortcut_hits;
+        self.identity_preserved += other.identity_preserved;
+    }
+}
+
+/// Drains this thread's counters, resetting them to zero.
+pub fn take_stats() -> PmapStats {
+    PmapStats {
+        nodes_allocated: NODES_ALLOCATED.with(|c| c.replace(0)),
+        merge_calls: MERGE_CALLS.with(|c| c.replace(0)),
+        root_shortcut_hits: ROOT_SHORTCUT_HITS.with(|c| c.replace(0)),
+        interior_shortcut_hits: INTERIOR_SHORTCUT_HITS.with(|c| c.replace(0)),
+        identity_preserved: IDENTITY_PRESERVED.with(|c| c.replace(0)),
+    }
+}
+
+/// `true` while physical-equality fast paths are enabled on this thread.
+pub fn ptr_shortcuts_enabled() -> bool {
+    PTR_SHORTCUTS.with(|c| c.get())
+}
+
+/// Enables or disables the pointer shortcuts on this thread; returns the
+/// previous setting so callers can save/restore around a scope.
+pub fn set_ptr_shortcuts(enabled: bool) -> bool {
+    PTR_SHORTCUTS.with(|c| c.replace(enabled))
+}
+
+pub(crate) fn note_node_alloc() {
+    NODES_ALLOCATED.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_merge_call() {
+    MERGE_CALLS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_root_shortcut() {
+    ROOT_SHORTCUT_HITS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_interior_shortcut() {
+    INTERIOR_SHORTCUT_HITS.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_identity_preserved() {
+    IDENTITY_PRESERVED.with(|c| c.set(c.get() + 1));
+}

@@ -1,6 +1,12 @@
 //! Property tests checking `PMap` against a `BTreeMap` model.
+//!
+//! Two kinds of inputs: independently built maps (no physical sharing, so
+//! every combiner call is observable) and *derived* maps (`ops_b` applied on
+//! top of a common ancestor, so subtrees really are shared and the
+//! identity/shortcut machinery is exercised). The structural invariant
+//! checker runs after every single mutation.
 
-use astree_pmap::{PMap, PSet};
+use astree_pmap::{MergeOutcome, PMap, PSet};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -20,9 +26,13 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn run(ops: &[Op]) -> (PMap<u16, i32>, BTreeMap<u16, i32>) {
-    let mut p = PMap::new();
-    let mut m = BTreeMap::new();
+/// Applies `ops` to an existing map/model pair, checking the AVL balance,
+/// cached-size, and ordering invariants after every mutation.
+fn apply(
+    mut p: PMap<u16, i32>,
+    mut m: BTreeMap<u16, i32>,
+    ops: &[Op],
+) -> (PMap<u16, i32>, BTreeMap<u16, i32>) {
     for op in ops {
         match op {
             Op::Insert(k, v) => {
@@ -34,8 +44,13 @@ fn run(ops: &[Op]) -> (PMap<u16, i32>, BTreeMap<u16, i32>) {
                 m.remove(k);
             }
         }
+        p.assert_invariants();
     }
     (p, m)
+}
+
+fn run(ops: &[Op]) -> (PMap<u16, i32>, BTreeMap<u16, i32>) {
+    apply(PMap::new(), BTreeMap::new(), ops)
 }
 
 proptest! {
@@ -56,6 +71,7 @@ proptest! {
         let (pa, ma) = run(&ops_a);
         let (pb, mb) = run(&ops_b);
         let pu = pa.union_with(&pb, |_, a, b| a.wrapping_add(*b));
+        pu.assert_invariants();
         let mut mu = ma.clone();
         for (k, v) in &mb {
             mu.entry(*k).and_modify(|x| *x = x.wrapping_add(*v)).or_insert(*v);
@@ -70,12 +86,62 @@ proptest! {
         }
     }
 
+    /// Keep-the-max merge over maps derived from a common ancestor: the
+    /// combiner is idempotent, so the result must match the model *despite*
+    /// shared subtrees being skipped, and the result must stay balanced.
+    #[test]
+    fn union_outcome_matches_model_on_derived_maps(ops_a in ops(), ops_b in ops()) {
+        let (pa, ma) = run(&ops_a);
+        let (pb, mb) = apply(pa.clone(), ma.clone(), &ops_b);
+        let pu = pa.union_outcome(&pb, |_, a, b| {
+            if a >= b { MergeOutcome::Left } else { MergeOutcome::Right }
+        });
+        pu.assert_invariants();
+        let mut mu = ma.clone();
+        for (k, v) in &mb {
+            mu.entry(*k).and_modify(|x| *x = (*x).max(*v)).or_insert(*v);
+        }
+        let got: Vec<(u16, i32)> = pu.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<(u16, i32)> = mu.iter().map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Identity preservation: merging a map with itself, keeping either
+    /// side, or re-inserting a value already bound must return the input
+    /// physically unchanged.
+    #[test]
+    fn identity_preserving_operations(ops_a in ops()) {
+        let (pa, ma) = run(&ops_a);
+        prop_assert!(pa.union_with(&pa.clone(), |_, a, _| *a).ptr_eq(&pa));
+        prop_assert!(pa.union_outcome(&pa.clone(), |_, _, _| MergeOutcome::Left).ptr_eq(&pa));
+        for (k, v) in ma.iter().take(16) {
+            let p2 = pa.insert_if_changed(*k, *v, |a, b| a == b);
+            prop_assert!(p2.ptr_eq(&pa), "no-op insert of ({}, {}) copied the path", k, v);
+        }
+        // Key 999 is outside the generated 0..256 range, so this insert is
+        // never a no-op.
+        let p3 = pa.insert_if_changed(999, 1, |a, b| a == b);
+        p3.assert_invariants();
+        prop_assert_eq!(p3.len(), ma.len() + 1);
+    }
+
     #[test]
     fn all2_agrees_with_pointwise(ops_a in ops(), ops_b in ops()) {
         let (pa, ma) = run(&ops_a);
         let (pb, mb) = run(&ops_b);
         let got = pa.all2(&pb, |_, _| false, |_, _| false, |_, x, y| x == y);
         let want = ma == mb;
+        prop_assert_eq!(got, want);
+    }
+
+    /// `all2` as a pointwise `≤` over derived maps — the shape the
+    /// analyzer's inclusion tests take, where interior sharing is real.
+    #[test]
+    fn all2_leq_on_derived_maps(ops_a in ops(), ops_b in ops()) {
+        let (pa, ma) = run(&ops_a);
+        let (pb, mb) = apply(pa.clone(), ma.clone(), &ops_b);
+        let got = pa.all2(&pb, |_, _| false, |_, _| true, |_, x, y| x <= y);
+        let want = ma.iter().all(|(k, v)| mb.get(k).is_some_and(|w| v <= w));
         prop_assert_eq!(got, want);
     }
 
@@ -93,6 +159,27 @@ proptest! {
         let want: BTreeSet<u16> =
             keys.into_iter().filter(|k| ma.get(k) != mb.get(k)).collect();
         prop_assert_eq!(seen, want);
+    }
+
+    /// `diff2`/`fold2` over derived maps: shared regions are skipped, yet
+    /// every differing binding must still be reported exactly once.
+    #[test]
+    fn diff2_exact_on_derived_maps(ops_a in ops(), ops_b in ops()) {
+        let (pa, ma) = run(&ops_a);
+        let (pb, mb) = apply(pa.clone(), ma.clone(), &ops_b);
+        let mut seen = BTreeSet::new();
+        pa.diff2(&pb, |k, va, vb| {
+            if va != vb {
+                let fresh = seen.insert(*k);
+                assert!(fresh, "binding {k} reported twice");
+            }
+        });
+        let keys: BTreeSet<u16> = ma.keys().chain(mb.keys()).copied().collect();
+        let want: BTreeSet<u16> =
+            keys.into_iter().filter(|k| ma.get(k) != mb.get(k)).collect();
+        prop_assert_eq!(&seen, &want);
+        let n = pa.fold2(&pb, 0usize, |acc, _, va, vb| acc + usize::from(va != vb));
+        prop_assert_eq!(n, want.len());
     }
 
     #[test]
