@@ -1,0 +1,165 @@
+//! `serve_throughput` — warm resident daemon vs. cold per-request sessions.
+//!
+//! The experiment the `astree serve` subsystem exists for: a fleet of
+//! generated family members is analyzed three ways and the per-request
+//! latency distribution compared.
+//!
+//! - **cold** — every request compiles the source and builds a fresh
+//!   `AnalysisSession` (spinning and tearing down its own worker pool, no
+//!   invariant store), the way one `astree analyze` process per member
+//!   would. This is deliberately *conservative*: real per-process cold
+//!   starts also pay exec + binary load, which this in-process replay
+//!   skips, so beating it understates the daemon's advantage.
+//! - **warm pass 1** — the same fleet through a resident daemon over its
+//!   Unix socket: one warm worker pool and one shared invariant store,
+//!   but the store starts empty, so every request still iterates.
+//! - **warm pass 2** — the fleet again; now every request replays from the
+//!   shared store (the daemon's steady state for a stable fleet).
+//!
+//! Every request's alarms and rendered main-loop invariant must be
+//! bit-identical across all three modes or the binary panics — the speedup
+//! is only interesting if the answers are the same. The JSON document is
+//! printed to stdout and written to the output file (default
+//! `BENCH_serve.json`, the committed baseline).
+//!
+//! ```text
+//! cargo run --release -p astree-bench --bin serve_throughput [members] [jobs] [out.json]
+//! ```
+
+use astree_core::{AnalysisConfig, AnalysisSession};
+use astree_frontend::Frontend;
+use astree_gen::{generate, GenConfig};
+use astree_obs::Json;
+use astree_serve::client::AnalyzeRequest;
+use astree_serve::{Client, Endpoint, ServeOptions, Server};
+use std::time::Instant;
+
+/// Alarms + rendered invariant: the observables every mode must agree on.
+type Observed = (Vec<String>, Option<String>);
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((p / 100.0) * (sorted_ms.len() as f64 - 1.0)).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn summarize(label: &str, latencies_s: &[f64]) -> (Json, f64) {
+    let wall: f64 = latencies_s.iter().sum();
+    let rps = latencies_s.len() as f64 / wall;
+    let mut ms: Vec<f64> = latencies_s.iter().map(|s| s * 1e3).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (p50, p99) = (percentile(&ms, 50.0), percentile(&ms, 99.0));
+    println!(
+        "{label:<12} {:>3} requests  {wall:7.3}s  {rps:7.2} req/s  p50 {p50:8.2}ms  p99 {p99:8.2}ms",
+        latencies_s.len()
+    );
+    let summary = Json::obj([
+        ("requests", Json::UInt(latencies_s.len() as u64)),
+        ("wall_s", Json::Float(wall)),
+        ("requests_per_sec", Json::Float(rps)),
+        ("p50_ms", Json::Float(p50)),
+        ("p99_ms", Json::Float(p99)),
+    ]);
+    (summary, rps)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let members: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let jobs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
+    assert!(members >= 8, "the fleet must have at least 8 members");
+
+    // A mixed-size fleet: channel counts cycle through 2..=5 so the store
+    // sees distinct programs, not one program repeated.
+    let fleet: Vec<String> = (0..members)
+        .map(|i| generate(&GenConfig { channels: 2 + i % 4, seed: 100 + i as u64, bug: None }))
+        .collect();
+
+    // --- cold: fresh session (own pool, no store) per request ------------
+    let mut cold_lat = Vec::with_capacity(members);
+    let mut expected: Vec<Observed> = Vec::with_capacity(members);
+    for src in &fleet {
+        let t0 = Instant::now();
+        let program = Frontend::new().compile_str(src).expect("fleet member compiles");
+        let mut cfg = AnalysisConfig::default();
+        cfg.jobs = jobs;
+        let result = AnalysisSession::builder(&program).config(cfg).build().run();
+        cold_lat.push(t0.elapsed().as_secs_f64());
+        expected.push((
+            result.alarms.iter().map(|a| a.to_string()).collect(),
+            result.main_invariant.as_ref().map(|s| s.to_string()),
+        ));
+    }
+
+    // --- warm: one resident daemon, two passes over the same fleet -------
+    let mut cache_dir = std::env::temp_dir();
+    cache_dir.push(format!("astree-serve-bench-{}", std::process::id()));
+    std::fs::remove_dir_all(&cache_dir).ok();
+    let mut sock = std::env::temp_dir();
+    sock.push(format!("astree-serve-bench-{}.sock", std::process::id()));
+    let server = Server::bind(
+        Endpoint::Unix(sock),
+        ServeOptions { jobs, max_inflight: members, cache_dir: Some(cache_dir.clone()) },
+    )
+    .expect("bind bench daemon");
+    let endpoint = server.endpoint().clone();
+    let handle = server.spawn();
+    let mut client = Client::connect(&endpoint).expect("connect");
+
+    let mut warm_pass = |pass: usize, want_full_hits: bool| -> Vec<f64> {
+        let mut lat = Vec::with_capacity(members);
+        for (i, src) in fleet.iter().enumerate() {
+            let req =
+                AnalyzeRequest { source: src.clone(), events: Some("none"), ..Default::default() };
+            let t0 = Instant::now();
+            let outcome = client.analyze(&req).expect("warm analyze");
+            lat.push(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                (&outcome.alarms, &outcome.main_invariant),
+                (&expected[i].0, &expected[i].1),
+                "pass {pass}, member {i}: warm result differs from cold run"
+            );
+            assert_eq!(
+                outcome.cache_full_hit, want_full_hits,
+                "pass {pass}, member {i}: unexpected store temperature"
+            );
+        }
+        lat
+    };
+    let warm1_lat = warm_pass(1, false);
+    let warm2_lat = warm_pass(2, true);
+
+    let status = client.status().expect("status");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("clean daemon exit");
+    std::fs::remove_dir_all(&cache_dir).ok();
+
+    // --- report -----------------------------------------------------------
+    println!("serve_throughput: {members}-member fleet, jobs={jobs}");
+    let (cold, cold_rps) = summarize("cold", &cold_lat);
+    let (warm1, warm1_rps) = summarize("warm pass 1", &warm1_lat);
+    let (warm2, warm2_rps) = summarize("warm pass 2", &warm2_lat);
+    assert!(
+        warm2_rps > cold_rps,
+        "steady-state daemon throughput ({warm2_rps:.2} req/s) must beat cold ({cold_rps:.2})"
+    );
+    let doc = Json::obj([
+        ("experiment", Json::str("serve_throughput")),
+        (
+            "host_cpus",
+            Json::UInt(std::thread::available_parallelism().map_or(1, |n| n.get() as u64)),
+        ),
+        ("members", Json::UInt(members as u64)),
+        ("jobs", Json::UInt(jobs as u64)),
+        ("bit_identical", Json::Bool(true)),
+        ("cold", cold),
+        ("warm_pass_1", warm1),
+        ("warm_pass_2", warm2),
+        ("warm1_speedup_vs_cold", Json::Float(warm1_rps / cold_rps)),
+        ("warm2_speedup_vs_cold", Json::Float(warm2_rps / cold_rps)),
+        ("daemon_status", status),
+    ]);
+    let rendered = doc.to_string();
+    std::fs::write(&out_path, &rendered).expect("write output file");
+    println!("\nwarm steady state is {:.2}x cold; wrote {out_path}", warm2_rps / cold_rps);
+}

@@ -104,6 +104,7 @@ pub struct AnalysisSessionBuilder<'a> {
     recorder: &'a dyn Recorder,
     cache: Option<Arc<InvariantStore>>,
     jobs: Option<usize>,
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> AnalysisSessionBuilder<'a> {
@@ -132,17 +133,32 @@ impl<'a> AnalysisSessionBuilder<'a> {
         self
     }
 
+    /// Hands the session an external, already-warm [`WorkerPool`] instead
+    /// of letting it construct (and tear down) its own. The session clamps
+    /// its effective `jobs` to the pool's worker count, and per-run pool
+    /// counters are reported as deltas over the pool's cumulative totals,
+    /// so a long-lived pool (the `serve` daemon's) can be shared by many
+    /// sessions — concurrently: [`WorkerPool::scatter`] takes `&self`.
+    pub fn pool(mut self, pool: &'a WorkerPool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> AnalysisSession<'a> {
         let mut config = self.config;
         if let Some(jobs) = self.jobs {
             config.jobs = jobs;
         }
+        if let Some(pool) = self.pool {
+            config.jobs = config.jobs.min(pool.workers()).max(1);
+        }
         AnalysisSession {
             program: self.program,
             config,
             recorder: self.recorder,
             cache: self.cache,
+            pool: self.pool,
         }
     }
 }
@@ -156,6 +172,7 @@ pub struct AnalysisSession<'a> {
     config: AnalysisConfig,
     recorder: &'a dyn Recorder,
     cache: Option<Arc<InvariantStore>>,
+    pool: Option<&'a WorkerPool>,
 }
 
 impl<'a> AnalysisSession<'a> {
@@ -167,6 +184,7 @@ impl<'a> AnalysisSession<'a> {
             recorder: &NULL,
             cache: None,
             jobs: None,
+            pool: None,
         }
     }
 
@@ -251,9 +269,18 @@ impl<'a> AnalysisSession<'a> {
         }
 
         // One persistent work-stealing pool for the whole session (both
-        // phases): stages pay queue pushes, not thread spawns. Created only
-        // after the cache-hit early return — a replay spawns nothing.
-        let pool = (self.config.jobs > 1).then(|| WorkerPool::new(self.config.jobs));
+        // phases): stages pay queue pushes, not thread spawns. An external
+        // pool (the daemon's warm one) is reused as-is; otherwise one is
+        // created only when `jobs > 1` *and* only after the cache-hit early
+        // return — a `--jobs 1` session or a replay spawns no threads.
+        let own_pool = match self.pool {
+            Some(_) => None,
+            None => (self.config.jobs > 1).then(|| WorkerPool::new(self.config.jobs)),
+        };
+        let pool: Option<&WorkerPool> = self.pool.or(own_pool.as_ref());
+        // Pool counters are cumulative over the pool's lifetime; snapshot
+        // them so a shared pool reports per-run deltas.
+        let pool_before = pool.map(|p| p.stats());
         // Reset the thread-local fast-path counters so a previous analysis
         // on this thread (with telemetry off) cannot leak into this run.
         let _ = astree_domains::take_saved_closures();
@@ -266,7 +293,7 @@ impl<'a> AnalysisSession<'a> {
         let prev_shortcuts = astree_pmap::set_ptr_shortcuts(!self.config.debug_no_ptr_shortcuts);
 
         let mut iter = Iter::with_recorder(self.program, &layout, &packs, &self.config, rec);
-        iter.pool = pool.as_ref();
+        iter.pool = pool;
         iter.seeds = seeds;
 
         let t0 = Instant::now();
@@ -294,8 +321,11 @@ impl<'a> AnalysisSession<'a> {
                 interior_shortcut_hits: pmap_stats.interior_shortcut_hits,
                 identity_preserved: pmap_stats.identity_preserved,
             });
-            if let Some(pool) = &pool {
-                let s = pool.stats();
+            if let Some(pool) = pool {
+                let s = match &pool_before {
+                    Some(before) => pool.stats().since(before),
+                    None => pool.stats(),
+                };
                 rec.pool(&PoolCounters {
                     workers: s.workers as u64,
                     tasks: s.tasks,

@@ -317,7 +317,7 @@ impl AbsState {
                 let pi = *k as usize;
                 let a = reduce_if_infinite(*a, *b, pi, &self.env, layout, packs);
                 let b = reduce_if_infinite(*b, a, pi, &other.env, layout, packs);
-                a.max(b)
+                astree_float::max_total(a, b)
             })
         });
         AbsState {
@@ -329,9 +329,9 @@ impl AbsState {
                 .dtrees
                 .union_outcome(&other.dtrees, |_, a, b| merged(a, b, dtree_same, DTree::join)),
             ellipses,
-            pending: self
-                .pending
-                .union_outcome(&other.pending, |_, a, b| merged(a, b, f64_same, |a, b| a.max(*b))),
+            pending: self.pending.union_outcome(&other.pending, |_, a, b| {
+                merged(a, b, f64_same, |a, b| astree_float::max_total(*a, *b))
+            }),
         }
     }
 
@@ -367,9 +367,9 @@ impl AbsState {
                 merged(a, b, dtree_same, |a, b| a.widen(b, t))
             }),
             ellipses,
-            pending: self
-                .pending
-                .union_outcome(&other.pending, |_, a, b| merged(a, b, f64_same, |a, b| a.max(*b))),
+            pending: self.pending.union_outcome(&other.pending, |_, a, b| {
+                merged(a, b, f64_same, |a, b| astree_float::max_total(*a, *b))
+            }),
         }
     }
 

@@ -87,7 +87,10 @@ impl FloatItv {
         if other.is_bottom() {
             return self;
         }
-        FloatItv { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        FloatItv {
+            lo: astree_float::min_total(self.lo, other.lo),
+            hi: astree_float::max_total(self.hi, other.hi),
+        }
     }
 
     /// Greatest lower bound.
@@ -96,7 +99,10 @@ impl FloatItv {
         if self.is_bottom() || other.is_bottom() {
             return FloatItv::BOTTOM;
         }
-        FloatItv { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        FloatItv {
+            lo: astree_float::max_total(self.lo, other.lo),
+            hi: astree_float::min_total(self.hi, other.hi),
+        }
     }
 
     /// Widening with thresholds (paper Sect. 7.1.2).

@@ -512,7 +512,8 @@ impl Octagon {
             if other.is_bottom_closed() {
                 return self.clone();
             }
-            let m = self.m.iter().zip(&other.m).map(|(a, b)| a.max(*b)).collect();
+            let m =
+                self.m.iter().zip(&other.m).map(|(a, b)| astree_float::max_total(*a, *b)).collect();
             return Octagon { n: self.n, m, closure: Closure::Closed };
         }
         let mut a = self.clone();
@@ -565,7 +566,7 @@ impl Octagon {
         if other.is_bottom() {
             return self.clone();
         }
-        let m = self.m.iter().zip(&other.m).map(|(a, b)| a.max(*b)).collect();
+        let m = self.m.iter().zip(&other.m).map(|(a, b)| astree_float::max_total(*a, *b)).collect();
         Octagon { n: self.n, m, closure: Closure::Closed }
     }
 
@@ -573,7 +574,7 @@ impl Octagon {
     #[must_use]
     pub fn meet(&self, other: &Octagon) -> Octagon {
         assert_eq!(self.n, other.n, "pack size mismatch");
-        let m = self.m.iter().zip(&other.m).map(|(a, b)| a.min(*b)).collect();
+        let m = self.m.iter().zip(&other.m).map(|(a, b)| astree_float::min_total(*a, *b)).collect();
         Octagon { n: self.n, m, closure: Closure::Dirty }
     }
 

@@ -63,6 +63,65 @@ pub fn ulp(x: f64) -> f64 {
     }
 }
 
+/// Total-order minimum: like `f64::min`, but deterministic on signed zeros —
+/// a `±0.0` tie always yields `-0.0`, whichever operand carried it.
+///
+/// `f64::min`/`f64::max` may return either zero for `min(-0.0, +0.0)`
+/// (IEEE-754 `minNum` leaves it unspecified), so reductions over them are
+/// *order-sensitive at the bit level*. Abstract joins must be bit-for-bit
+/// commutative for the analyzer's cross-`jobs` determinism contract (slicing
+/// reorders joins), so every bound reduction goes through these instead.
+/// NaN handling matches `f64::min`: the non-NaN operand wins.
+///
+/// # Examples
+///
+/// ```
+/// use astree_float::{max_total, min_total};
+/// assert_eq!(min_total(-0.0, 0.0).to_bits(), (-0.0f64).to_bits());
+/// assert_eq!(min_total(0.0, -0.0).to_bits(), (-0.0f64).to_bits());
+/// assert_eq!(max_total(-0.0, 0.0).to_bits(), 0.0f64.to_bits());
+/// assert_eq!(max_total(0.0, -0.0).to_bits(), 0.0f64.to_bits());
+/// assert_eq!(min_total(1.0, 2.0), 1.0);
+/// ```
+pub fn min_total(a: f64, b: f64) -> f64 {
+    if a < b {
+        return a;
+    }
+    if b < a {
+        return b;
+    }
+    if a == b {
+        // Equal operands share a bit pattern except for the ±0.0 pair;
+        // canonicalize the tie to the negative zero.
+        return if a.is_sign_negative() { a } else { b };
+    }
+    // At least one operand is NaN: keep the other, like `f64::min`.
+    if a.is_nan() {
+        b
+    } else {
+        a
+    }
+}
+
+/// Total-order maximum: like `f64::max`, but a `±0.0` tie always yields
+/// `+0.0`. See [`min_total`] for why.
+pub fn max_total(a: f64, b: f64) -> f64 {
+    if a > b {
+        return a;
+    }
+    if b > a {
+        return b;
+    }
+    if a == b {
+        return if a.is_sign_positive() { a } else { b };
+    }
+    if a.is_nan() {
+        b
+    } else {
+        a
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +136,22 @@ mod tests {
     fn min_subnormal_is_smallest() {
         assert!(MIN_SUBNORMAL > 0.0);
         assert_eq!(MIN_SUBNORMAL / 2.0, 0.0);
+    }
+
+    #[test]
+    fn total_order_min_max_are_commutative_on_zeros_and_nan() {
+        for (a, b) in [(-0.0f64, 0.0f64), (0.0, -0.0), (-0.0, -0.0), (0.0, 0.0)] {
+            assert_eq!(min_total(a, b).to_bits(), min_total(b, a).to_bits());
+            assert_eq!(max_total(a, b).to_bits(), max_total(b, a).to_bits());
+        }
+        assert!(min_total(-0.0, 0.0).is_sign_negative());
+        assert!(max_total(-0.0, 0.0).is_sign_positive());
+        assert_eq!(min_total(f64::NAN, 3.0), 3.0);
+        assert_eq!(max_total(3.0, f64::NAN), 3.0);
+        assert_eq!(min_total(-1.0, 2.0), -1.0);
+        assert_eq!(max_total(-1.0, 2.0), 2.0);
+        assert_eq!(min_total(f64::NEG_INFINITY, 0.0), f64::NEG_INFINITY);
+        assert_eq!(max_total(f64::INFINITY, 0.0), f64::INFINITY);
     }
 
     #[test]

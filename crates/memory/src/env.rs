@@ -346,7 +346,11 @@ impl AbsEnv {
         let mut cells = self.cells.clone();
         post.cells.diff2(&pre.cells, |k, post_v, pre_v| {
             if let Some(v) = post_v {
-                if pre_v != Some(v) {
+                // Bitwise comparison, not `PartialEq`: a slice that flips
+                // only a zero sign (+0.0 → -0.0) still shadows earlier
+                // slices, exactly as the sequential execution would.
+                let unchanged = matches!(pre_v, Some(p) if p.same(v));
+                if !unchanged {
                     cells = cells.insert(*k, *v);
                 }
             }
@@ -367,7 +371,14 @@ impl AbsEnv {
     /// environment size.
     pub fn changed_cells(&self, other: &AbsEnv, out: &mut Vec<CellId>) {
         self.cells.diff2(&other.cells, |k, a, b| {
-            if a != b {
+            // Bitwise: a zero-sign flip is a change (its bounds feed the
+            // total-order pack reductions, which distinguish -0.0 from 0.0).
+            let differ = match (a, b) {
+                (Some(a), Some(b)) => !a.same(b),
+                (None, None) => false,
+                _ => true,
+            };
+            if differ {
                 out.push(*k);
             }
         });

@@ -47,6 +47,31 @@ impl Json {
         }
     }
 
+    /// The string payload, when this is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::UInt(v) => Some(v),
+            Json::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when this is a [`Json::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Renders on a single line with no indentation — the JSONL form used
     /// by the streaming event sink.
     pub fn to_compact(&self) -> String {

@@ -18,6 +18,7 @@
 //! The JSON schema (`astree-metrics/1`) is documented field by field in the
 //! repository's `DESIGN.md`.
 
+pub mod events;
 pub mod json;
 pub mod stream;
 
@@ -256,6 +257,55 @@ pub struct PoolCounters {
     pub max_queue_depth: u64,
     /// Per-worker nanoseconds spent executing tasks (index 0 = caller).
     pub busy_nanos: Vec<u64>,
+}
+
+/// Daemon-lifetime counters for the resident `astree serve` service.
+///
+/// Unlike the per-run counters above these describe the *service*, not an
+/// analysis: they are cumulative from daemon start and are reported through
+/// `status` responses rather than the [`Recorder`] hooks.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Requests received (admitted or rejected).
+    pub requests: u64,
+    /// Requests that ran to completion and returned a `result` frame.
+    pub completed: u64,
+    /// Requests rejected with `overloaded` by the admission gate.
+    pub rejected_overloaded: u64,
+    /// Requests that failed with `bad_request` (malformed frame or program).
+    pub bad_requests: u64,
+    /// Requests whose analysis panicked (isolated; daemon kept serving).
+    pub panicked: u64,
+    /// Event frames streamed to clients.
+    pub events_streamed: u64,
+    /// High-water mark of concurrently admitted requests.
+    pub max_inflight_seen: u64,
+}
+
+impl ServeCounters {
+    /// Field-wise sum.
+    pub fn add(&mut self, o: &ServeCounters) {
+        self.requests += o.requests;
+        self.completed += o.completed;
+        self.rejected_overloaded += o.rejected_overloaded;
+        self.bad_requests += o.bad_requests;
+        self.panicked += o.panicked;
+        self.events_streamed += o.events_streamed;
+        self.max_inflight_seen = self.max_inflight_seen.max(o.max_inflight_seen);
+    }
+
+    /// Renders the counters as a JSON object (used in `status` responses).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", Json::UInt(self.requests)),
+            ("completed", Json::UInt(self.completed)),
+            ("rejected_overloaded", Json::UInt(self.rejected_overloaded)),
+            ("bad_requests", Json::UInt(self.bad_requests)),
+            ("panicked", Json::UInt(self.panicked)),
+            ("events_streamed", Json::UInt(self.events_streamed)),
+            ("max_inflight_seen", Json::UInt(self.max_inflight_seen)),
+        ])
+    }
 }
 
 /// The telemetry sink threaded through the analysis pipeline.

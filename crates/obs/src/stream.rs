@@ -19,8 +19,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
 use crate::{
-    AlarmEvent, BatchJobEvent, CacheCounters, LoopDoneEvent, LoopIterEvent, PoolCounters, Recorder,
-    SliceEvent,
+    events, AlarmEvent, BatchJobEvent, CacheCounters, LoopDoneEvent, LoopIterEvent, PoolCounters,
+    Recorder, SliceEvent,
 };
 
 /// The schema identifier on the first line of every event stream.
@@ -39,11 +39,9 @@ impl StreamSink {
         Ok(StreamSink { out: Mutex::new(out) })
     }
 
-    fn emit(&self, ev: &'static str, fields: Vec<(&'static str, Json)>) {
-        let mut pairs = vec![("ev", Json::str(ev))];
-        pairs.extend(fields);
+    fn write(&self, record: &Json) {
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(out, "{}", Json::obj(pairs).to_compact());
+        let _ = writeln!(out, "{}", record.to_compact());
     }
 
     /// Flushes buffered lines to the file.
@@ -64,156 +62,61 @@ impl Recorder for StreamSink {
     }
 
     fn loop_iter(&self, e: &LoopIterEvent) {
-        self.emit(
-            "loop_iter",
-            vec![
-                ("func", Json::str(e.func)),
-                ("loop", Json::UInt(e.loop_id as u64)),
-                ("iteration", Json::UInt(e.iteration)),
-                ("phase", Json::str(e.phase.as_str())),
-                ("unstable_cells", Json::UInt(e.unstable_cells)),
-                ("threshold_hits", Json::UInt(e.threshold_hits)),
-                ("infinity_escapes", Json::UInt(e.infinity_escapes)),
-            ],
-        );
+        self.write(&events::loop_iter(e));
     }
 
     fn loop_done(&self, e: &LoopDoneEvent) {
-        self.emit(
-            "loop_done",
-            vec![
-                ("func", Json::str(e.func)),
-                ("loop", Json::UInt(e.loop_id as u64)),
-                ("iterations", Json::UInt(e.iterations)),
-                ("stabilized_at", Json::UInt(e.stabilized_at)),
-            ],
-        );
+        self.write(&events::loop_done(e));
     }
 
     fn unroll(&self, func: &str, loop_id: u32, factor: u32) {
-        self.emit(
-            "unroll",
-            vec![
-                ("func", Json::str(func)),
-                ("loop", Json::UInt(loop_id as u64)),
-                ("factor", Json::UInt(factor as u64)),
-            ],
-        );
+        self.write(&events::unroll(func, loop_id, factor));
     }
 
     fn partitions(&self, func: &str, live: u64) {
-        self.emit("partitions", vec![("func", Json::str(func)), ("live", Json::UInt(live))]);
+        self.write(&events::partitions(func, live));
     }
 
     fn domain_op_n(&self, domain: &'static str, op: &'static str, count: u64, nanos: u64) {
         if count == 0 {
             return;
         }
-        self.emit(
-            "domain_op",
-            vec![
-                ("domain", Json::str(domain)),
-                ("op", Json::str(op)),
-                ("count", Json::UInt(count)),
-                ("nanos", Json::UInt(nanos)),
-            ],
-        );
+        self.write(&events::domain_op_n(domain, op, count, nanos));
     }
 
     fn phase_time(&self, phase: &'static str, nanos: u64) {
-        self.emit("phase", vec![("phase", Json::str(phase)), ("nanos", Json::UInt(nanos))]);
+        self.write(&events::phase_time(phase, nanos));
     }
 
     fn alarm(&self, e: &AlarmEvent) {
-        self.emit(
-            "alarm",
-            vec![
-                ("func", Json::str(e.func)),
-                ("stmt", Json::UInt(e.stmt as u64)),
-                ("line", Json::UInt(e.line as u64)),
-                ("kind", Json::str(e.kind)),
-                ("domain", Json::str(e.domain)),
-                ("context", Json::str(e.context)),
-                ("loop", e.loop_id.map_or(Json::Null, |l| Json::UInt(l as u64))),
-                ("iteration", e.iteration.map_or(Json::Null, Json::UInt)),
-            ],
-        );
+        self.write(&events::alarm(e));
     }
 
     fn slice(&self, e: &SliceEvent) {
-        self.emit(
-            "slice",
-            vec![
-                ("stage", Json::UInt(e.stage)),
-                ("index", Json::UInt(e.index as u64)),
-                ("stmts", Json::UInt(e.stmts as u64)),
-                ("nanos", Json::UInt(e.nanos)),
-            ],
-        );
+        self.write(&events::slice(e));
     }
 
     fn merge(&self, stage: u64, slices: usize, nanos: u64) {
-        self.emit(
-            "merge",
-            vec![
-                ("stage", Json::UInt(stage)),
-                ("slices", Json::UInt(slices as u64)),
-                ("nanos", Json::UInt(nanos)),
-            ],
-        );
+        self.write(&events::merge(stage, slices, nanos));
     }
 
     fn fallback(&self, reason: &'static str) {
-        self.emit("fallback", vec![("reason", Json::str(reason))]);
+        self.write(&events::fallback(reason));
     }
 
     fn pool(&self, p: &PoolCounters) {
-        self.emit(
-            "pool",
-            vec![
-                ("workers", Json::UInt(p.workers)),
-                ("tasks", Json::UInt(p.tasks)),
-                ("steals", Json::UInt(p.steals)),
-                ("max_queue_depth", Json::UInt(p.max_queue_depth)),
-                ("busy_nanos", Json::Arr(p.busy_nanos.iter().map(|&n| Json::UInt(n)).collect())),
-            ],
-        );
+        self.write(&events::pool(p));
         self.flush();
     }
 
     fn batch_job(&self, e: &BatchJobEvent) {
-        self.emit(
-            "batch_job",
-            vec![
-                ("name", Json::str(e.name)),
-                ("status", Json::str(e.status)),
-                ("reason", e.reason.map_or(Json::Null, Json::str)),
-                ("wall_nanos", Json::UInt(e.wall_nanos)),
-                ("worker", Json::UInt(e.worker as u64)),
-                ("alarms", e.alarms.map_or(Json::Null, Json::UInt)),
-            ],
-        );
+        self.write(&events::batch_job(e));
         // A finished job is a durability point for fleet runs.
         self.flush();
     }
 
     fn cache(&self, c: &CacheCounters) {
-        self.emit(
-            "cache",
-            vec![
-                ("full_hits", Json::UInt(c.full_hits)),
-                ("misses", Json::UInt(c.misses)),
-                ("seeded_functions", Json::UInt(c.seeded_functions)),
-                ("invalidated_functions", Json::UInt(c.invalidated_functions)),
-                ("loops_replayed", Json::UInt(c.loops_replayed)),
-                ("loops_solved", Json::UInt(c.loops_solved)),
-                ("corrupt_files", Json::UInt(c.corrupt_files)),
-                ("bytes_read", Json::UInt(c.bytes_read)),
-                ("bytes_written", Json::UInt(c.bytes_written)),
-                ("replay_nanos", Json::UInt(c.replay_nanos)),
-                ("saved_nanos", Json::UInt(c.saved_nanos)),
-            ],
-        );
+        self.write(&events::cache(c));
         self.flush();
     }
 }

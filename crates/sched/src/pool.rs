@@ -145,6 +145,29 @@ pub struct PoolStats {
     pub busy_nanos: Vec<u64>,
 }
 
+impl PoolStats {
+    /// Counters accumulated since an `earlier` snapshot of the same pool.
+    ///
+    /// A pool can outlive one analysis (the `serve` daemon keeps a warm pool
+    /// across requests), so per-run reporting subtracts the snapshot taken
+    /// at session start. `max_queue_depth` is a high-water mark, not a sum,
+    /// and is carried over as-is.
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            max_queue_depth: self.max_queue_depth,
+            busy_nanos: self
+                .busy_nanos
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| n.saturating_sub(earlier.busy_nanos.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
 /// A persistent pool of `workers - 1` OS threads plus the caller.
 ///
 /// `new(1)` spawns nothing and [`WorkerPool::scatter`] runs inline, so a

@@ -1,0 +1,200 @@
+//! A thin blocking client for the `astree-serve/1` protocol.
+//!
+//! One [`Client`] owns one connection and issues requests sequentially
+//! (the protocol allows pipelining, but every caller here wants the answer
+//! before the next question). Event frames arriving before the final
+//! `result` are handed to a callback as they come, so a CLI can print
+//! telemetry live.
+
+use crate::proto::{read_frame, write_frame, Conn, Endpoint, PROTO};
+use astree_obs::Json;
+use std::io::{BufReader, Read, Write};
+
+/// What went wrong with a request.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The daemon answered, but not with a frame this client understands.
+    Protocol(String),
+    /// The daemon answered with an `error` frame (`overloaded`,
+    /// `bad_request`, `panicked`, `internal`).
+    Server { code: String, message: String },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// An analyze request; `Default` analyzes with the daemon's defaults and
+/// coarse event streaming.
+#[derive(Debug, Default, Clone)]
+pub struct AnalyzeRequest {
+    /// C source text of the program.
+    pub source: String,
+    /// Optional `config` object (see `DESIGN.md` for the keys).
+    pub config: Option<Json>,
+    /// Event mode: `"none"`, `"coarse"` (default) or `"all"`.
+    pub events: Option<&'static str>,
+    /// Debug: hold the admission slot for this long before analyzing.
+    pub hold_ms: Option<u64>,
+}
+
+/// The parsed `result` frame of an analyze request.
+#[derive(Debug)]
+pub struct RequestOutcome {
+    /// Alarms, rendered exactly as the one-shot CLI renders them.
+    pub alarms: Vec<String>,
+    /// The main loop invariant, rendered exactly as `--dump-invariant`.
+    pub main_invariant: Option<String>,
+    /// The main loop invariant census, rendered exactly as `--census`.
+    pub main_census: Option<String>,
+    /// Whether the daemon's shared store replayed the whole result.
+    pub cache_full_hit: bool,
+    /// Event frames received before the result.
+    pub events: Vec<Json>,
+    /// The whole `result` frame, for fields not parsed above.
+    pub raw: Json,
+}
+
+/// A blocking protocol client over one connection.
+pub struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a serving daemon.
+    pub fn connect(endpoint: &Endpoint) -> std::io::Result<Client> {
+        let conn = Conn::connect(endpoint)?;
+        Ok(Client { reader: BufReader::new(conn.reader), writer: conn.writer, next_id: 1 })
+    }
+
+    fn request(&mut self, mut fields: Vec<(&'static str, Json)>) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut all = vec![("proto", Json::str(PROTO)), ("id", Json::UInt(id))];
+        all.append(&mut fields);
+        write_frame(&mut self.writer, &Json::obj(all))?;
+        Ok(id)
+    }
+
+    /// Reads frames for `id` until a final (non-event) frame arrives.
+    /// Event frames are appended to `events`.
+    fn final_frame(&mut self, id: u64, events: &mut Vec<Json>) -> Result<Json, ClientError> {
+        loop {
+            let frame = read_frame(&mut self.reader)?
+                .ok_or_else(|| ClientError::Protocol("daemon closed the connection".into()))?;
+            if frame.get("id").and_then(Json::as_u64) != Some(id) {
+                continue; // stale frame from an abandoned request
+            }
+            match frame.get("frame").and_then(Json::as_str) {
+                Some("event") => {
+                    if let Some(ev) = frame.get("event") {
+                        events.push(ev.clone());
+                    }
+                }
+                Some("error") => {
+                    let code =
+                        frame.get("code").and_then(Json::as_str).unwrap_or("internal").to_string();
+                    let message =
+                        frame.get("message").and_then(Json::as_str).unwrap_or_default().to_string();
+                    return Err(ClientError::Server { code, message });
+                }
+                Some(_) => return Ok(frame),
+                None => return Err(ClientError::Protocol("frame without a `frame` tag".into())),
+            }
+        }
+    }
+
+    /// Analyzes one program on the daemon.
+    pub fn analyze(&mut self, req: &AnalyzeRequest) -> Result<RequestOutcome, ClientError> {
+        let mut fields =
+            vec![("req", Json::str("analyze")), ("source", Json::str(req.source.clone()))];
+        if let Some(config) = &req.config {
+            fields.push(("config", config.clone()));
+        }
+        if let Some(mode) = req.events {
+            fields.push(("events", Json::str(mode)));
+        }
+        if let Some(ms) = req.hold_ms {
+            fields.push(("hold_ms", Json::UInt(ms)));
+        }
+        let id = self.request(fields)?;
+        let mut events = Vec::new();
+        let frame = self.final_frame(id, &mut events)?;
+        if frame.get("frame").and_then(Json::as_str) != Some("result") {
+            return Err(ClientError::Protocol(format!("unexpected frame {}", frame.to_compact())));
+        }
+        let strings = |key: &str| -> Vec<String> {
+            match frame.get(key) {
+                Some(Json::Arr(items)) => {
+                    items.iter().filter_map(|v| v.as_str().map(str::to_string)).collect()
+                }
+                _ => Vec::new(),
+            }
+        };
+        let opt_string = |key: &str| frame.get(key).and_then(Json::as_str).map(str::to_string);
+        Ok(RequestOutcome {
+            alarms: strings("alarms"),
+            main_invariant: opt_string("main_invariant"),
+            main_census: opt_string("main_census"),
+            cache_full_hit: frame
+                .get("cache")
+                .and_then(|c| c.get("full_hit"))
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            events,
+            raw: frame,
+        })
+    }
+
+    /// Analyzes a list of `(name, source)` jobs in one request; returns the
+    /// raw `result` frame (its `batch` array holds per-job outcomes).
+    pub fn batch(&mut self, jobs: &[(String, String)]) -> Result<Json, ClientError> {
+        let items = jobs
+            .iter()
+            .map(|(name, source)| {
+                Json::obj([
+                    ("name", Json::str(name.clone())),
+                    ("source", Json::str(source.clone())),
+                ])
+            })
+            .collect();
+        let id = self.request(vec![
+            ("req", Json::str("batch")),
+            ("jobs", Json::Arr(items)),
+            ("events", Json::str("none")),
+        ])?;
+        self.final_frame(id, &mut Vec::new())
+    }
+
+    /// Fetches the daemon's `status` frame.
+    pub fn status(&mut self) -> Result<Json, ClientError> {
+        let id = self.request(vec![("req", Json::str("status"))])?;
+        self.final_frame(id, &mut Vec::new())
+    }
+
+    /// Asks the daemon to shut down; returns once it acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let id = self.request(vec![("req", Json::str("shutdown"))])?;
+        let frame = self.final_frame(id, &mut Vec::new())?;
+        match frame.get("frame").and_then(Json::as_str) {
+            Some("bye") => Ok(()),
+            _ => Err(ClientError::Protocol(format!("unexpected frame {}", frame.to_compact()))),
+        }
+    }
+}

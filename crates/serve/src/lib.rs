@@ -1,0 +1,33 @@
+//! `astree-serve` — the resident analysis service.
+//!
+//! The one-shot CLI pays the whole start-up bill on every invocation: spawn
+//! a process, build a worker pool, open the invariant store, analyze, tear
+//! everything down. A control-room workflow — re-analyzing a family of
+//! periodic synchronous programs after every small edit — wants those costs
+//! paid *once*. This crate provides:
+//!
+//! * [`Server`]: a daemon that listens on a Unix domain socket (default) or
+//!   a TCP address, owns one warm [`WorkerPool`](astree_sched::WorkerPool)
+//!   and one shared [`InvariantStore`](astree_core::InvariantStore), and
+//!   multiplexes concurrent analysis requests over them. Admission control
+//!   bounds concurrent work (`max_inflight`) with an explicit `overloaded`
+//!   rejection, and a panicking analysis fails alone — the daemon keeps
+//!   serving.
+//! * [`Client`]: a thin blocking client for the wire protocol, used by the
+//!   `astree client` subcommand and the integration tests/benches.
+//! * [`proto`]: the `astree-serve/1` protocol itself — length-delimited
+//!   compact-JSON frames, reusing the zero-dependency JSON tree from
+//!   `astree-obs`. Per-request telemetry streams back to the client as
+//!   `astree-events/1` records wrapped in `event` frames, built by the same
+//!   `astree_obs::events` builders the on-disk JSONL sink uses.
+//!
+//! The protocol is specified in `DESIGN.md` ("The astree-serve/1 wire
+//! protocol").
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, RequestOutcome};
+pub use proto::{read_frame, write_frame, Endpoint, PROTO};
+pub use server::{ServeOptions, Server, ServerHandle};

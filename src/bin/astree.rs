@@ -3,6 +3,8 @@
 //! ```text
 //! astree analyze <file.c>... [options]   statically prove absence of RTEs
 //! astree batch [files...] [options]      analyze a fleet of programs
+//! astree serve [options]                 resident analysis daemon (warm pool)
+//! astree client [files...] [options]     send requests to a serving daemon
 //! astree run <file.c> [options]          execute with the reference interpreter
 //! astree slice <file.c> [options]        backward slices from alarm points
 //! astree generate [options]              emit a synthetic family member
@@ -16,6 +18,8 @@ use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
 use astree::options::{RunOptions, RUN_OPTIONS_HELP};
+use astree::serve::client::AnalyzeRequest;
+use astree::serve::{Client, ClientError, Endpoint, ServeOptions, Server};
 use astree::slicer::Slicer;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -24,18 +28,20 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: astree <analyze|batch|run|slice|generate> [options]");
+        eprintln!("usage: astree <analyze|batch|serve|client|run|slice|generate> [options]");
         return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match command.as_str() {
         "analyze" => cmd_analyze(rest),
         "batch" => cmd_batch(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "run" => cmd_run(rest),
         "slice" => cmd_slice(rest),
         "generate" => cmd_generate(rest),
         "--help" | "-h" | "help" => {
-            println!("usage: astree <analyze|batch|run|slice|generate> [options]");
+            println!("usage: astree <analyze|batch|serve|client|run|slice|generate> [options]");
             return ExitCode::SUCCESS;
         }
         other => Err(format!("unknown command `{other}`")),
@@ -400,6 +406,186 @@ fn batch_report_json(report: &astree::batch::FleetReport) -> String {
     out.push_str(&format!("  \"worker_busy_s\": [{}]\n", busy.join(", ")));
     out.push_str("}\n");
     out
+}
+
+/// Parses the shared `--socket PATH` / `--listen`/`--connect ADDR` endpoint
+/// flags; `addr_flag` names the TCP flag of the calling command.
+fn parse_endpoint_flag(
+    args: &[String],
+    i: &mut usize,
+    addr_flag: &str,
+    endpoint: &mut Endpoint,
+) -> Result<bool, String> {
+    let a = &args[*i];
+    if a == "--socket" {
+        *i += 1;
+        let path = args.get(*i).ok_or("--socket needs a value")?;
+        *endpoint = Endpoint::Unix(path.into());
+        Ok(true)
+    } else if a == addr_flag {
+        *i += 1;
+        let addr = args.get(*i).ok_or_else(|| format!("{addr_flag} needs a value"))?;
+        *endpoint = Endpoint::Tcp(addr.clone());
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint = Endpoint::default_socket();
+    let mut opts = ServeOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        if parse_endpoint_flag(args, &mut i, "--listen", &mut endpoint)? {
+            i += 1;
+            continue;
+        }
+        let a = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree serve [--socket PATH | --listen HOST:PORT]\n\
+                     \x20      [--jobs N] [--max-inflight N] [--cache DIR]\n\
+                     runs the resident analysis daemon: one warm worker pool\n\
+                     (--jobs) and one shared invariant store (--cache) serve\n\
+                     every request; past --max-inflight concurrent requests\n\
+                     new ones are rejected with `overloaded`. The default\n\
+                     endpoint is a Unix socket in the temp directory; see\n\
+                     `astree client --help` for talking to it.\n\
+                     exit status: 0 after a clean `shutdown` request"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--jobs" => opts.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--max-inflight" => {
+                opts.max_inflight = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--cache" => opts.cache_dir = Some(value(&mut i)?.into()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    let (jobs, max_inflight) = (opts.jobs, opts.max_inflight);
+    let server = Server::bind(endpoint, opts).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "astree serve: listening on {} ({jobs} analysis worker(s), max {max_inflight} in flight)",
+        server.endpoint()
+    );
+    server.serve().map_err(|e| format!("serve: {e}"))?;
+    println!("astree serve: shut down cleanly");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint = Endpoint::default_socket();
+    let mut files = Vec::new();
+    let mut status = false;
+    let mut shutdown = false;
+    let mut show_events = false;
+    let mut events_mode: Option<&'static str> = None;
+    let mut dump_invariant = false;
+    let mut show_census = false;
+    let mut i = 0;
+    while i < args.len() {
+        if parse_endpoint_flag(args, &mut i, "--connect", &mut endpoint)? {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree client [--socket PATH | --connect HOST:PORT]\n\
+                     \x20      [<file.c>...] [--census] [--dump-invariant]\n\
+                     \x20      [--events none|coarse|all] [--show-events]\n\
+                     \x20      [--status] [--shutdown]\n\
+                     sends each file to a running `astree serve` daemon and\n\
+                     prints the verdict exactly as `astree analyze` would;\n\
+                     --show-events mirrors streamed astree-events/1 records\n\
+                     to stderr. --status and --shutdown talk to the daemon\n\
+                     itself (after any file analyses).\n\
+                     exit status: 0 = all proven error-free, 1 = alarms,\n\
+                     2 = transport or daemon error"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--status" => status = true,
+            "--shutdown" => shutdown = true,
+            "--show-events" => show_events = true,
+            "--events" => {
+                i += 1;
+                events_mode = Some(match args.get(i).map(|s| s.as_str()) {
+                    Some("none") => "none",
+                    Some("coarse") => "coarse",
+                    Some("all") => "all",
+                    other => return Err(format!("--events: unknown mode {other:?}")),
+                });
+            }
+            "--dump-invariant" => dump_invariant = true,
+            "--census" => show_census = true,
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    if files.is_empty() && !status && !shutdown {
+        return Err("nothing to do: give input files, --status or --shutdown".into());
+    }
+    let mut client =
+        Client::connect(&endpoint).map_err(|e| format!("connect to {endpoint}: {e}"))?;
+    let mut alarmed = false;
+    for f in &files {
+        let source = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
+        let req = AnalyzeRequest {
+            source,
+            events: events_mode.or(if show_events { Some("coarse") } else { Some("none") }),
+            ..AnalyzeRequest::default()
+        };
+        let outcome = match client.analyze(&req) {
+            Ok(o) => o,
+            Err(ClientError::Server { code, message }) => {
+                return Err(format!("{f}: daemon answered {code}: {message}"))
+            }
+            Err(e) => return Err(format!("{f}: {e}")),
+        };
+        if show_events {
+            for ev in &outcome.events {
+                eprintln!("{}", ev.to_compact());
+            }
+        }
+        if show_census {
+            if let Some(c) = &outcome.main_census {
+                println!("\nmain loop invariant census:\n{c}");
+            }
+        }
+        if dump_invariant {
+            if let Some(inv) = &outcome.main_invariant {
+                println!("\nmain loop invariant:\n{inv}");
+            }
+        }
+        if outcome.alarms.is_empty() {
+            println!("\nno alarms: the program is proven free of run-time errors");
+        } else {
+            alarmed = true;
+            println!("\n{} alarm(s):", outcome.alarms.len());
+            for a in &outcome.alarms {
+                println!("  {a}");
+            }
+        }
+    }
+    if status {
+        let frame = client.status().map_err(|e| format!("status: {e}"))?;
+        println!("{frame}");
+    }
+    if shutdown {
+        client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        println!("daemon shut down");
+    }
+    Ok(if alarmed { ExitCode::from(1) } else { ExitCode::SUCCESS })
 }
 
 fn cmd_run(args: &[String]) -> Result<ExitCode, String> {

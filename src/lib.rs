@@ -17,6 +17,8 @@
 //! - [`sched`] — the parallel & batch scheduler (deterministic slice merge
 //!   à la Monniaux's parallel ASTRÉE, plus bounded-worker fleet batches)
 //! - [`obs`] — structured analysis telemetry (recorder, metrics schema)
+//! - [`serve`] — the resident analysis service (warm pool, shared invariant
+//!   store, `astree-serve/1` wire protocol)
 //! - [`batch`] — fleet analysis on top of the scheduler
 //! - [`options`] — the shared CLI run options (`--jobs`, `--metrics`,
 //!   `--trace`, `--cache`)
@@ -34,4 +36,5 @@ pub use astree_memory as memory;
 pub use astree_obs as obs;
 pub use astree_pmap as pmap;
 pub use astree_sched as sched;
+pub use astree_serve as serve;
 pub use astree_slicer as slicer;

@@ -19,12 +19,19 @@ fn run_with_jobs(src: &str, jobs: usize) -> AnalysisResult {
 
 /// Asserts bit-identical observables between a sequential and a parallel
 /// run: alarm lists compare by full value (statement, location, kind,
-/// context, order) and invariants by their assertion census.
+/// context, order), invariants both by their assertion census and by their
+/// rendered text — every bound byte-identical, signed zeros included (the
+/// joins use total-order min/max, so they are bitwise-commutative).
 fn assert_equivalent(name: &str, seq: &AnalysisResult, par: &AnalysisResult, jobs: usize) {
     assert_eq!(seq.alarms, par.alarms, "{name}: alarm list differs between jobs=1 and jobs={jobs}");
     assert_eq!(
         seq.main_census, par.main_census,
         "{name}: main-loop invariant census differs between jobs=1 and jobs={jobs}"
+    );
+    assert_eq!(
+        seq.main_invariant.as_ref().map(|s| s.to_string()),
+        par.main_invariant.as_ref().map(|s| s.to_string()),
+        "{name}: rendered main-loop invariant differs between jobs=1 and jobs={jobs}"
     );
     assert_eq!(seq.stats.loop_iterations, par.stats.loop_iterations, "{name}: widening schedule");
     assert_eq!(seq.stats.useful_octagon_packs, par.stats.useful_octagon_packs, "{name}");
