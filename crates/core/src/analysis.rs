@@ -12,7 +12,9 @@ use crate::config::AnalysisConfig;
 use crate::iterator::{Iter, Mode};
 use crate::packs::Packs;
 use crate::state::AbsState;
-use astree_ir::{func_fingerprints, globals_fingerprint, program_fingerprint, LoopId, Program};
+use astree_ir::{
+    func_fingerprints, globals_fingerprint, program_fingerprint, LoopId, Program, StmtId,
+};
 use astree_memory::{CellLayout, LayoutConfig};
 use astree_obs::{CacheCounters, PmapCounters, PoolCounters, Recorder, NULL};
 use astree_sched::WorkerPool;
@@ -59,6 +61,11 @@ pub struct AnalysisStats {
     pub loops_solved: u64,
     /// Loops whose invariant was reused from a verified cache seed.
     pub loops_replayed: u64,
+    /// Loops re-solved during the checking pass because the stored
+    /// invariant did not cover the arriving context (nested loops are
+    /// re-solved per outer iteration in iteration mode, so the stored
+    /// invariant describes only the *last* visit's context).
+    pub loops_rechecked: u64,
 }
 
 /// How the incremental cache participated in one analysis run.
@@ -95,6 +102,11 @@ pub struct AnalysisResult {
     pub main_invariant: Option<AbsState>,
     /// Cache participation report.
     pub cache: CacheReport,
+    /// Joined abstract state per statement from the Check pass, present only
+    /// when [`AnalysisConfig::collect_stmt_invariants`] was set. A statement
+    /// absent from the map is claimed unreachable. Consumed by the
+    /// differential soundness oracle (`astree-oracle`).
+    pub stmt_invariants: Option<HashMap<StmtId, AbsState>>,
 }
 
 /// Builder for an [`AnalysisSession`]; see [`AnalysisSession::builder`].
@@ -218,7 +230,14 @@ impl<'a> AnalysisSession<'a> {
             };
             let program_fp = program_fingerprint(self.program);
             let store_before = store.counters();
-            if let Some(hit) = store.lookup_full(&key, program_fp, &layout, &packs) {
+            // A verbatim replay carries no per-statement states, so the
+            // collection flag forces the full pipeline (seeds still apply).
+            let full_hit = if self.config.collect_stmt_invariants {
+                None
+            } else {
+                store.lookup_full(&key, program_fp, &layout, &packs)
+            };
+            if let Some(hit) = full_hit {
                 let time_replay = t_start.elapsed();
                 let mut stats = hit.stats;
                 stats.time_replay = time_replay;
@@ -243,6 +262,7 @@ impl<'a> AnalysisSession<'a> {
                     main_census: hit.census,
                     main_invariant: hit.invariant,
                     cache: report,
+                    stmt_invariants: None,
                 };
             }
             run_counters.misses = 1;
@@ -362,6 +382,7 @@ impl<'a> AnalysisSession<'a> {
             parallel_slices: iter.stats.par_slices,
             loops_solved: iter.loops_solved,
             loops_replayed: iter.loops_replayed,
+            loops_rechecked: iter.loops_rechecked,
         };
         report.loops_solved_by_function = std::mem::take(&mut iter.solved_by_func);
         report.loops_replayed_by_function = std::mem::take(&mut iter.replayed_by_func);
@@ -401,7 +422,17 @@ impl<'a> AnalysisSession<'a> {
             }
         }
 
-        AnalysisResult { alarms, stats, main_census, main_invariant, cache: report }
+        let stmt_invariants =
+            self.config.collect_stmt_invariants.then(|| std::mem::take(&mut iter.stmt_invariants));
+
+        AnalysisResult {
+            alarms,
+            stats,
+            main_census,
+            main_invariant,
+            cache: report,
+            stmt_invariants,
+        }
     }
 }
 

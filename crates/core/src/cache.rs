@@ -563,6 +563,7 @@ fn decode_stats(line: &str, useful: &[usize]) -> Option<AnalysisStats> {
         parallel_slices: t.u64()?,
         loops_solved: 0,
         loops_replayed: 0,
+        loops_rechecked: 0,
     })
 }
 

@@ -108,6 +108,16 @@ pub struct AnalysisConfig {
     /// excluded from the cache fingerprint.
     #[doc(hidden)]
     pub debug_no_ptr_shortcuts: bool,
+    /// Records the joined abstract state observed at *every* statement during
+    /// the Check pass (not just loop heads) into
+    /// [`AnalysisResult::stmt_invariants`]. Used by the differential
+    /// soundness oracle to compare concrete interpreter states against the
+    /// claimed invariants at each program point. Collection forces the Check
+    /// pass to run sequentially (parallel slices would drop their captures)
+    /// and bypasses verbatim cache replay (a replayed result carries no
+    /// per-statement states); alarms and invariants are unaffected, so the
+    /// flag is excluded from the cache fingerprint.
+    pub collect_stmt_invariants: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -141,6 +151,7 @@ impl Default for AnalysisConfig {
             debug_force_steal: None,
             debug_inline_slices: false,
             debug_no_ptr_shortcuts: false,
+            collect_stmt_invariants: false,
         }
     }
 }

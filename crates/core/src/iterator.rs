@@ -83,10 +83,33 @@ pub struct Iter<'a> {
     /// accepted iff one body pass proves it is still a post-fixpoint
     /// (`entry ⊔ F(seed) ⊑ seed`); otherwise the loop is solved cold.
     pub seeds: HashMap<LoopId, AbsState>,
+    /// Per-loop *coverage witness*: the post-unroll entry iterate (`base`)
+    /// of the **last** iteration-mode visit, recorded alongside the stored
+    /// invariant. The checking pass replays a loop against the stored
+    /// invariant only when its own post-unroll iterate is below this
+    /// witness — the stored invariant is a post-fixpoint of the body
+    /// transfer above it, so it soundly describes exactly those contexts.
+    /// Any other context (nested loops re-solved per outer iteration,
+    /// shared bodies reached from several call statements) is re-solved by
+    /// [`Iter::recheck_invariant`]. The invariant itself cannot serve as
+    /// the witness: the loop-done reduction preserves concretizations but
+    /// can tighten the invariant below `base` in the abstract order, which
+    /// would flag every single-visit loop as uncovered.
+    pub cover: HashMap<LoopId, AbsState>,
+    /// Joined abstract state observed at each statement during the Check
+    /// pass, filled only when `config.collect_stmt_invariants` is set. For a
+    /// `while` statement this additionally accumulates every loop-head
+    /// arrival (unrolled passes and the residual invariant), matching the
+    /// concrete interpreter's per-arrival observer.
+    pub stmt_invariants: HashMap<StmtId, AbsState>,
     /// Loops solved by full widening/narrowing iteration (iteration mode).
     pub loops_solved: u64,
     /// Loops whose cached invariant was verified by a single body pass.
     pub loops_replayed: u64,
+    /// Loops re-solved during the checking pass because the stored
+    /// invariant did not cover the arriving context (see
+    /// [`Iter::recheck_invariant`]).
+    pub loops_rechecked: u64,
     /// Per-function breakdown of `loops_solved`.
     pub solved_by_func: BTreeMap<String, u64>,
     /// Per-function breakdown of `loops_replayed`.
@@ -146,6 +169,7 @@ struct SliceOut {
     post: Option<AbsState>,
     returned: AbsState,
     invariants: HashMap<LoopId, AbsState>,
+    cover: HashMap<LoopId, AbsState>,
     sink: AlarmSink,
     stats: IterStats,
     oct_useful: Vec<usize>,
@@ -158,6 +182,7 @@ struct SliceOut {
     pmap_stats: astree_pmap::PmapStats,
     loops_solved: u64,
     loops_replayed: u64,
+    loops_rechecked: u64,
     solved_by_func: BTreeMap<String, u64>,
     replayed_by_func: BTreeMap<String, u64>,
 }
@@ -193,16 +218,22 @@ impl<'a> Iter<'a> {
             eval,
             mode: Mode::Iterate,
             invariants: HashMap::new(),
+            cover: HashMap::new(),
             seeds: HashMap::new(),
+            stmt_invariants: HashMap::new(),
             loops_solved: 0,
             loops_replayed: 0,
+            loops_rechecked: 0,
             solved_by_func: BTreeMap::new(),
             replayed_by_func: BTreeMap::new(),
             sink: AlarmSink::new(),
             oct_useful: vec![0; packs.octagons.len()],
             stats: IterStats::default(),
             pmap_worker_stats: astree_pmap::PmapStats::default(),
-            par_enabled: config.jobs > 1,
+            // Parallel slices run on worker `Iter`s whose per-statement
+            // captures would be dropped at merge; collection forces the
+            // sequential interpreter (alarms are identical either way).
+            par_enabled: config.jobs > 1 && !config.collect_stmt_invariants,
             pool: None,
             stmt_cost: HashMap::new(),
             branch_level: 0,
@@ -423,6 +454,7 @@ impl<'a> Iter<'a> {
         let packs = self.packs;
         let config = self.config;
         let seed_invariants = &self.invariants;
+        let cover_map = &self.cover;
         let cache_seeds = &self.seeds;
         let panic_slice = self.config.debug_panic_slice;
 
@@ -444,10 +476,13 @@ impl<'a> Iter<'a> {
                 let mut w = Iter::new(program, layout, packs, config);
                 w.par_enabled = false;
                 w.mode = mode;
+                // Cache seeds feed both iteration-mode solves and the
+                // checking pass's context re-solves; share them either way
+                // so worker and sequential solves stay identical.
+                w.seeds = cache_seeds.clone();
                 if mode == Mode::Check {
                     w.invariants = seed_invariants.clone();
-                } else {
-                    w.seeds = cache_seeds.clone();
+                    w.cover = cover_map.clone();
                 }
                 let mut wf = Flow { parts: vec![pre.clone()], returned: pre.bottom_like() };
                 let mut stmt_nanos = Vec::with_capacity(r.len());
@@ -465,6 +500,7 @@ impl<'a> Iter<'a> {
                     post,
                     returned: wf.returned,
                     invariants: w.invariants,
+                    cover: w.cover,
                     sink: w.sink,
                     stats: w.stats,
                     oct_useful: w.oct_useful,
@@ -474,6 +510,7 @@ impl<'a> Iter<'a> {
                     pmap_stats: astree_pmap::take_stats(),
                     loops_solved: w.loops_solved,
                     loops_replayed: w.loops_replayed,
+                    loops_rechecked: w.loops_rechecked,
                     solved_by_func: w.solved_by_func,
                     replayed_by_func: w.replayed_by_func,
                 }
@@ -528,9 +565,13 @@ impl<'a> Iter<'a> {
                 &plan.footprints[stage.start + r.start..stage.start + r.end],
             );
             merged.overlay_from(&pre, &post, &eff, self.layout);
+            self.loops_rechecked += out.loops_rechecked;
             if mode == Mode::Iterate {
                 for (id, inv) in out.invariants {
                     self.invariants.insert(id, inv);
+                }
+                for (id, c) in out.cover {
+                    self.cover.insert(id, c);
                 }
                 self.loops_solved += out.loops_solved;
                 self.loops_replayed += out.loops_replayed;
@@ -576,6 +617,11 @@ impl<'a> Iter<'a> {
         self.stats.peak_partitions = self.stats.peak_partitions.max(flow.parts.len());
         if self.rec_on && flow.parts.len() > 1 {
             self.rec.partitions(self.cur_func(), flow.parts.len() as u64);
+        }
+        if self.config.collect_stmt_invariants && self.mode == Mode::Check {
+            for p in &flow.parts {
+                self.note_stmt_state(s.id, p);
+            }
         }
         match &s.kind {
             StmtKind::Assign(lv, e) => {
@@ -723,6 +769,9 @@ impl<'a> Iter<'a> {
             let body_in = self.state_guard(&cur, cond, true);
             if body_in.is_bottom() {
                 self.invariants.insert(id, body_in.bottom_like());
+                // Residual unreachable in this context: a checking-mode
+                // context that *does* reach the residual is uncovered.
+                self.cover.insert(id, body_in.bottom_like());
                 return exits;
             }
             cur = self.exec_loop_body(body_in, body, ret_target, depth);
@@ -751,6 +800,8 @@ impl<'a> Iter<'a> {
                         });
                     }
                     self.invariants.insert(id, seed.clone());
+                    // The acceptance test proved `base ⊑ seed`.
+                    self.cover.insert(id, base.clone());
                     return exits.join(
                         &self.state_guard(&seed, cond, false),
                         self.layout,
@@ -853,6 +904,7 @@ impl<'a> Iter<'a> {
             });
         }
         self.invariants.insert(id, inv.clone());
+        self.cover.insert(id, base);
         exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
     }
 
@@ -954,6 +1006,26 @@ impl<'a> Iter<'a> {
         (hits, escapes)
     }
 
+    /// Joins `st` into the per-statement invariant record for `id` (Check
+    /// mode with `collect_stmt_invariants` only; bottom states — claimed
+    /// unreachable — are skipped so absence in the map means "the analyzer
+    /// claims no execution reaches this point").
+    fn note_stmt_state(&mut self, id: StmtId, st: &AbsState) {
+        if !self.config.collect_stmt_invariants || self.mode != Mode::Check || st.is_bottom() {
+            return;
+        }
+        let (layout, packs) = (self.layout, self.packs);
+        match self.stmt_invariants.entry(id) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let joined = e.get().join(st, layout, packs);
+                e.insert(joined);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(st.clone());
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn check_loop(
         &mut self,
@@ -966,6 +1038,7 @@ impl<'a> Iter<'a> {
         depth: u32,
     ) -> AbsState {
         let mut exits = entry.bottom_like();
+        let entry0 = entry.clone();
         let mut cur = entry;
         let unroll = self.config.unroll_for(id);
         for k in 0..unroll {
@@ -982,11 +1055,32 @@ impl<'a> Iter<'a> {
                 return exits;
             }
             cur = self.exec_loop_body(body_in, body, ret_target, depth);
+            // Each back edge of an unrolled pass arrives at the loop head
+            // with `cur`; record it so the soundness oracle can check the
+            // concrete per-arrival observations of early iterations.
+            self.note_stmt_state(s.id, &cur);
             if self.rec_on {
                 self.loop_stack.pop();
             }
         }
-        let inv = self.invariants.get(&id).cloned().unwrap_or(cur);
+        let covered = self.cover.get(&id).is_some_and(|c| Self::post_fixpoint(&cur, c));
+        let inv = match self.invariants.get(&id) {
+            // The stored invariant is a post-fixpoint of the body transfer
+            // above the recorded coverage witness, so it soundly describes
+            // the residual iterations of any context at or below it.
+            Some(stored) if covered => stored.clone(),
+            // Uncovered context: iteration mode stores loop invariants by
+            // overwrite, so a loop revisited under several contexts (nested
+            // loops re-solved per outer iteration, shared bodies reached
+            // from several call statements) keeps only the *last* visit's
+            // invariant. Checking this context against it would be unsound
+            // — reproduce the iteration-mode in-context solve instead.
+            Some(_) => self.recheck_invariant(entry0, id, cond, body, ret_target, depth),
+            None => cur,
+        };
+        // All residual loop-head arrivals (beyond the unrolled prefix) are
+        // covered by the loop invariant.
+        self.note_stmt_state(s.id, &inv);
         // One extra pass in checking mode from the invariant (Sect. 5.4).
         if self.rec_on {
             self.loop_stack.push((id.0, unroll as u64 + 1));
@@ -1000,6 +1094,69 @@ impl<'a> Iter<'a> {
             self.loop_stack.pop();
         }
         exits.join(&self.state_guard(&inv, cond, false), self.layout, self.packs)
+    }
+
+    /// Re-solves a loop during the checking pass, for a context the stored
+    /// invariant does not cover.
+    ///
+    /// Iteration mode stores `invariants[id]` by overwrite, so a loop
+    /// visited under several contexts keeps only the last one: a nested
+    /// loop re-solved on every outer iteration ends up described by the
+    /// residual outer invariant alone, losing the unrolled first outer
+    /// iterations (the differential soundness oracle caught this — a
+    /// concrete first-tick store escaped the claimed exit state of an inner
+    /// history-shift loop). Checking an uncovered context against the
+    /// stored invariant could miss real errors.
+    ///
+    /// The cure reproduces what iteration mode computed when it visited the
+    /// loop under *this* context: run [`Iter::solve_loop`] from the same
+    /// entry state, in iteration mode (alarms and per-statement captures
+    /// suppressed), and hand the resulting in-context invariant to the
+    /// caller's single checking pass. Because the entry state is
+    /// bit-identical to the iteration-mode visit's, so is the re-solved
+    /// invariant — exit states match the fixpoint phase exactly and the
+    /// mismatch does not cascade into enclosing loops. The invariant and
+    /// coverage maps are snapshotted around the solve: checking mode must
+    /// not perturb stored results (parallel check slices drop their local
+    /// maps, and sequential runs must stay bit-identical to them).
+    fn recheck_invariant(
+        &mut self,
+        entry: AbsState,
+        id: LoopId,
+        cond: &Expr,
+        body: &Block,
+        ret_target: Option<&Lvalue>,
+        depth: u32,
+    ) -> AbsState {
+        let saved_invariants = self.invariants.clone();
+        let saved_cover = self.cover.clone();
+        // The re-solve is also counter- and telemetry-neutral: parallel
+        // check slices execute from the stage's entry state, so their
+        // off-footprint cells can spuriously fail the coverage test and
+        // re-solve loops the sequential pass accepted (harmless — by slice
+        // disjointness the re-solved invariant agrees on every cell the
+        // slice touches). Letting those solves bump the widening counters
+        // would break the bit-identical parallel-vs-sequential contract.
+        let saved_stats = self.stats.clone();
+        let saved_solved = (self.loops_solved, self.loops_replayed);
+        let saved_solved_func = self.solved_by_func.clone();
+        let saved_replayed_func = self.replayed_by_func.clone();
+        let prev_rec = self.rec_on;
+        self.rec_on = false;
+        let prev_mode = self.mode;
+        self.mode = Mode::Iterate;
+        let _ = self.solve_loop(entry, id, cond, body, ret_target, depth);
+        self.mode = prev_mode;
+        self.rec_on = prev_rec;
+        let inv = self.invariants.get(&id).cloned().expect("solve_loop stores an invariant");
+        self.invariants = saved_invariants;
+        self.cover = saved_cover;
+        self.stats = saved_stats;
+        (self.loops_solved, self.loops_replayed) = saved_solved;
+        self.solved_by_func = saved_solved_func;
+        self.replayed_by_func = saved_replayed_func;
+        self.loops_rechecked += 1;
+        inv
     }
 
     fn exec_loop_body(

@@ -118,6 +118,18 @@ impl Thresholds {
     ///
     /// Mirror of [`Thresholds::above_int`]: the query rounds toward `−∞`
     /// so the returned threshold is always `≤ x`.
+    ///
+    /// Soundness at the negative extreme differs from the positive one in a
+    /// way that happens to be benign. `i64::MAX as f64` rounds *up* to 2⁶³
+    /// (one past the type), so `above_int` needs the explicit `>=`
+    /// saturation test; `i64::MIN as f64` is `−2⁶³` *exactly*, so here
+    /// every step is exact at the boundary: `f64_at_most(i64::MIN)` returns
+    /// `−2⁶³` unchanged, any ramp mirror `−t ≥ −2⁶³` keeps
+    /// `t.floor() as i64` in range (the cast saturates rather than wraps
+    /// for the `−2⁶³` threshold itself, which the `<=` test already maps to
+    /// `i64::MIN`), and queries within one ulp of `i64::MIN` (spacing 1024
+    /// there) round toward `−∞` to `−2⁶³`, which only *loosens* the bound.
+    /// The boundary tests below pin each of these cases.
     pub fn below_int(&self, x: i64) -> i64 {
         let t = self.below(f64_at_most(x));
         if t <= i64::MIN as f64 {
@@ -251,5 +263,39 @@ mod tests {
         let t2 = Thresholds::from_values(vec![(i64::MAX - 1023) as f64]);
         let r2 = t2.below_int(near_min);
         assert!(r2 <= near_min, "below_int({near_min}) = {r2} is above the query");
+    }
+
+    /// Boundary audit at `i64::MIN` itself (see the `below_int` docs):
+    /// unlike `i64::MAX`, the minimum converts to `f64` exactly, so every
+    /// path through the lookup is exact — but only these tests keep that
+    /// guarantee from silently eroding if the conversion helpers change.
+    #[test]
+    fn below_int_sound_at_i64_min() {
+        // Exact conversion: no rounding adjustment at the boundary.
+        assert_eq!(f64_at_most(i64::MIN), i64::MIN as f64);
+        assert_eq!(f64_at_least(i64::MIN), i64::MIN as f64);
+
+        // A ramp value of exactly 2⁶³ mirrors to −2⁶³ = i64::MIN; the
+        // saturation test must map it to i64::MIN, not wrap in the cast.
+        let t = Thresholds::from_values(vec![(1u64 << 63) as f64]);
+        assert_eq!(t.below_int(i64::MIN), i64::MIN);
+        assert_eq!(t.below_int(-1), i64::MIN);
+
+        // No ramp value fits below the query: saturate.
+        let t = Thresholds::geometric_default();
+        assert_eq!(t.below_int(i64::MIN), i64::MIN);
+        assert_eq!(t.below_int(i64::MIN + 1), i64::MIN);
+
+        // Within one ulp of i64::MIN (f64 spacing is 1024 there) the query
+        // rounds toward −∞; the result must stay ≤ x for every offset.
+        let ramp = -(i64::MIN + 1024) as u64; // 2⁶³ − 1024, representable
+        let t = Thresholds::from_values(vec![ramp as f64]);
+        for off in [0i64, 1, 511, 512, 1023, 1024, 1025] {
+            let x = i64::MIN + off;
+            let r = t.below_int(x);
+            assert!(r <= x, "below_int({x}) = {r} is above the query");
+        }
+        // The mirrored threshold is found exactly when it fits.
+        assert_eq!(t.below_int(i64::MIN + 1024), i64::MIN + 1024);
     }
 }

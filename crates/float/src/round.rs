@@ -414,8 +414,13 @@ mod tests {
 
     #[test]
     fn subnormal_region_is_sound() {
-        let tiny = 2f64.powi(-1060); // exact 0 after underflow? no: 2^-1060 == 0
-        assert_eq!(tiny, 0.0);
+        // 2^-1060 sits inside the subnormal range (the smallest subnormal
+        // is 2^-1074): representable, positive, below MIN_POSITIVE. (An
+        // earlier revision asserted it underflows to 0 — that only holds
+        // for `powi` implementations computing `1 / 2^1060` through an
+        // infinite intermediate, not for direct negative-exponent squaring.)
+        let tiny = 2f64.powi(-1060);
+        assert!(tiny > 0.0 && tiny < f64::MIN_POSITIVE);
         let a = 1e-300;
         let b = 1e-10;
         let lo = mul_down(a, b);

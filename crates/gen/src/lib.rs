@@ -66,6 +66,32 @@ impl Default for GenConfig {
     }
 }
 
+/// Structural knobs varying the *shape* of family members beyond channel
+/// count — deeper delay lines, wider interpolation tables, different phase
+/// periods, and cross-channel coupling. Kept separate from [`GenConfig`] so
+/// existing construction sites are untouched; [`generate`] uses the default
+/// knobs, whose output is byte-identical to previous releases (the golden
+/// digests pin this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructKnobs {
+    /// Shift-register (delay-line) depth; `HIST` in the emitted source.
+    pub hist_depth: usize,
+    /// Interpolation-table length; `TBL_SIZE` in the emitted source.
+    pub tbl_size: usize,
+    /// Modulus of the phase counter gating the output stage.
+    pub phase_mod: usize,
+    /// Feeds 1% of the previous channel's saturated output into each
+    /// integrator, giving the corpus inter-channel dataflow (still
+    /// alarm-free: the coupling input is bounded by the saturator).
+    pub cross_couple: bool,
+}
+
+impl Default for StructKnobs {
+    fn default() -> Self {
+        StructKnobs { hist_depth: 4, tbl_size: 16, phase_mod: 8, cross_couple: false }
+    }
+}
+
 /// Approximate generated lines of C per channel (for sizing experiments).
 pub const LINES_PER_CHANNEL: usize = 75;
 
@@ -74,17 +100,28 @@ pub fn channels_for_kloc(kloc: f64) -> usize {
     ((kloc * 1000.0) / LINES_PER_CHANNEL as f64).max(1.0) as usize
 }
 
-/// Generates one member of the program family as C source text.
+/// Generates one member of the program family as C source text, with the
+/// default structural knobs.
 pub fn generate(cfg: &GenConfig) -> String {
+    generate_with(cfg, &StructKnobs::default())
+}
+
+/// Generates one member of the program family with explicit structural
+/// knobs. `generate_with(cfg, &StructKnobs::default())` is byte-identical
+/// to [`generate`].
+pub fn generate_with(cfg: &GenConfig, knobs: &StructKnobs) -> String {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut out = String::new();
     let w = &mut out;
     let n = cfg.channels.max(1);
+    let hist = knobs.hist_depth.max(1);
+    let tbl = knobs.tbl_size.max(1);
+    let phase_mod = knobs.phase_mod.max(1);
 
     let _ = writeln!(w, "/* generated periodic synchronous controller: {n} channels */");
-    let _ = writeln!(w, "#define TBL_SIZE 16");
+    let _ = writeln!(w, "#define TBL_SIZE {tbl}");
     let _ = writeln!(w, "#define SAT(v, lo, hi) ((v) > (hi) ? (hi) : ((v) < (lo) ? (lo) : (v)))");
-    let _ = writeln!(w, "#define HIST 4");
+    let _ = writeln!(w, "#define HIST {hist}");
     let _ = writeln!(w, "typedef unsigned char BYTE;");
     let _ = writeln!(w, "enum Mode {{ MODE_OFF, MODE_INIT, MODE_RUN }};");
     let _ = writeln!(w, "struct Range {{ double lo; double hi; }};");
@@ -158,6 +195,13 @@ pub fn generate(cfg: &GenConfig) -> String {
         let _ = writeln!(w, "    }}");
         // Contracting integrator (linearization + thresholds).
         let _ = writeln!(w, "    integ{i} = integ{i} - {k_contract} * integ{i} + in{i};");
+        if knobs.cross_couple && n > 1 {
+            // Bounded inter-channel feedback: the coupled term is the
+            // previous channel's saturated output, so contraction still
+            // bounds the integrator.
+            let prev = (i + n - 1) % n;
+            let _ = writeln!(w, "    integ{i} = integ{i} + 0.01 * out{prev};");
+        }
         // Rate limiter through a by-reference helper (octagons in callee).
         let _ = writeln!(w, "    rate_limit(&rate{i}, in{i}, {rate_max}.0);");
         let _ = writeln!(w, "    rate{i} = clampf(rate{i}, -100.0, 100.0);");
@@ -189,15 +233,13 @@ pub fn generate(cfg: &GenConfig) -> String {
         let _ = writeln!(w, "            hist{i}[k] = hist{i}[k - 1];");
         let _ = writeln!(w, "        }}");
         let _ = writeln!(w, "        hist{i}[0] = in{i};");
-        let _ = writeln!(
-            w,
-            "        avg{i} = (hist{i}[0] + hist{i}[1] + hist{i}[2] + hist{i}[3]) * 0.25;"
-        );
+        let sum = (0..hist).map(|k| format!("hist{i}[{k}]")).collect::<Vec<_>>().join(" + ");
+        let _ = writeln!(w, "        avg{i} = ({sum}) * {};", 1.0 / hist as f64);
         let _ = writeln!(w, "    }}");
         // Min/max tracker through a by-reference struct parameter.
         let _ = writeln!(w, "    track(&range{i}, rate{i});");
         // Modulo phase counter gating the output stage.
-        let _ = writeln!(w, "    phase{i} = (phase{i} + 1) % 8;");
+        let _ = writeln!(w, "    phase{i} = (phase{i} + 1) % {phase_mod};");
         // Output mix, saturated.
         let _ = writeln!(w, "    if (phase{i} == 0) {{");
         let _ = writeln!(
@@ -329,6 +371,49 @@ mod tests {
                 "generator output drifted for channels={channels} seed={seed} bug={bug:?}: \
                  digest {got:#018x} (expected {want:#018x})"
             );
+        }
+    }
+
+    #[test]
+    fn default_knobs_match_plain_generate() {
+        let cfg = GenConfig { channels: 3, seed: 9, bug: None };
+        assert_eq!(generate(&cfg), generate_with(&cfg, &StructKnobs::default()));
+    }
+
+    #[test]
+    fn knob_variants_compile_and_validate() {
+        let variants = [
+            StructKnobs { hist_depth: 8, ..StructKnobs::default() },
+            StructKnobs { tbl_size: 64, ..StructKnobs::default() },
+            StructKnobs { phase_mod: 3, ..StructKnobs::default() },
+            StructKnobs { cross_couple: true, ..StructKnobs::default() },
+            StructKnobs { hist_depth: 2, tbl_size: 4, phase_mod: 5, cross_couple: true },
+        ];
+        for knobs in variants {
+            let src = generate_with(&GenConfig { channels: 3, seed: 7, bug: None }, &knobs);
+            let p =
+                Frontend::new().compile_str(&src).unwrap_or_else(|e| panic!("{knobs:?}: {e:?}"));
+            let errs = p.validate();
+            assert!(errs.is_empty(), "{knobs:?}: {errs:?}");
+        }
+    }
+
+    #[test]
+    fn knob_variants_run_clean() {
+        // Structural variants must stay alarm-free by construction: the
+        // concrete interpreter sees no errors and no overflow events.
+        let knobs = StructKnobs { hist_depth: 6, tbl_size: 32, phase_mod: 5, cross_couple: true };
+        let src = generate_with(&GenConfig { channels: 3, seed: 13, bug: None }, &knobs);
+        let p = Frontend::new().compile_str(&src).unwrap();
+        for seed in 0..10 {
+            let mut inputs = SeededInputs::new(seed);
+            let mut it = Interp::new(
+                &p,
+                InterpConfig { max_steps: 10_000_000, max_ticks: 100 },
+                &mut inputs,
+            );
+            it.run().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(it.events().is_empty(), "seed {seed}: {:?}", it.events());
         }
     }
 

@@ -25,8 +25,8 @@ pub mod types;
 pub use expr::{Access, Binop, Expr, FloatBits, Lvalue, Unop};
 pub use fingerprint::{func_fingerprints, globals_fingerprint, program_fingerprint, Fnv};
 pub use interp::{
-    CellKey, ExecError, InputProvider, Interp, InterpConfig, RuntimeEvent, SeededInputs, Store,
-    Value,
+    is_persistent, CellKey, ExecError, InputProvider, Interp, InterpConfig, RuntimeEvent,
+    SeededInputs, Store, Value,
 };
 pub use program::{
     ConstValue, FuncId, Function, InputRange, Metrics, Param, ParamKind, Program, VarId, VarInfo,

@@ -1,0 +1,97 @@
+//! Counterexample shrinking: reduce a divergence to the smallest member,
+//! earliest execution seed and shortest input stream that still exhibits it.
+//!
+//! The procedure is deterministic, so a shrunk counterexample is a stable
+//! regression-test fixture:
+//!
+//! 1. **Fewest channels** — retry the divergence with `1, 2, …` channels
+//!    (same generator seed, knobs and fault), keeping the first channel
+//!    count that still diverges.
+//! 2. **Smallest execution seed** — retry seeds in ascending order.
+//! 3. **Shortest input stream** — rerun with the tick budget cut to just
+//!    past the recorded failing tick, keeping the earliest observed tick.
+//!
+//! Each trial re-analyzes the candidate member, so shrinking is only paid on
+//! divergence (a healthy campaign never shrinks anything).
+
+use crate::campaign::{analyze_member, run_execution, Divergence, MemberSpec, OracleConfig};
+
+/// Upper bound on channel counts tried during step 1; members bigger than
+/// this shrink toward it but no further (re-analysis cost grows with size).
+const MAX_CHANNEL_TRIALS: usize = 8;
+
+/// Upper bound on execution seeds tried per candidate member.
+const MAX_SEED_TRIALS: u64 = 16;
+
+/// Whether `spec` still diverges for `exec_seed` within `ticks`, returning
+/// the observed divergence.
+fn reproduces(
+    spec: &MemberSpec,
+    exec_seed: u64,
+    ticks: u64,
+    cfg: &OracleConfig,
+) -> Option<(u32, u64, crate::campaign::DivergenceKind)> {
+    let am = analyze_member(spec, cfg).ok()?;
+    run_execution(&am, exec_seed, ticks, cfg.max_steps).divergence
+}
+
+/// Shrinks a divergence (see the module docs). The returned counterexample
+/// is marked `shrunk` — it is the smallest witness the pass could confirm
+/// (possibly the original, when nothing smaller reproduces).
+pub fn shrink_divergence(div: Divergence, cfg: &OracleConfig) -> Divergence {
+    let mut best = div.clone();
+    let mut found_smaller = false;
+
+    // 1. Fewest channels.
+    let channel_cap = div.member.channels.min(MAX_CHANNEL_TRIALS);
+    let seed_cap = cfg.seeds.clamp(1, MAX_SEED_TRIALS);
+    'channels: for channels in 1..=channel_cap {
+        if channels == div.member.channels {
+            break;
+        }
+        let candidate = MemberSpec { channels, ..div.member.clone() };
+        for exec_seed in 0..seed_cap {
+            if let Some((stmt, tick, kind)) = reproduces(&candidate, exec_seed, cfg.ticks, cfg) {
+                best = Divergence { member: candidate, exec_seed, stmt, tick, kind, shrunk: true };
+                found_smaller = true;
+                break 'channels;
+            }
+        }
+    }
+
+    // 2. Smallest execution seed on the (possibly reduced) member.
+    if !found_smaller {
+        for exec_seed in 0..best.exec_seed.min(seed_cap) {
+            if let Some((stmt, tick, kind)) = reproduces(&best.member, exec_seed, cfg.ticks, cfg) {
+                best = Divergence {
+                    member: best.member.clone(),
+                    exec_seed,
+                    stmt,
+                    tick,
+                    kind,
+                    shrunk: true,
+                };
+                break;
+            }
+        }
+    }
+
+    // 3. Shortest input stream: cut the horizon to just past the failing
+    // tick and keep the earliest tick the divergence is still observed at.
+    let horizon = best.tick + 1;
+    if horizon < cfg.ticks {
+        if let Some((stmt, tick, kind)) = reproduces(&best.member, best.exec_seed, horizon, cfg) {
+            best = Divergence {
+                member: best.member.clone(),
+                exec_seed: best.exec_seed,
+                stmt,
+                tick,
+                kind,
+                shrunk: true,
+            };
+        }
+    }
+
+    best.shrunk = true;
+    best
+}

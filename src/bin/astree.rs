@@ -8,6 +8,7 @@
 //! astree run <file.c> [options]          execute with the reference interpreter
 //! astree slice <file.c> [options]        backward slices from alarm points
 //! astree generate [options]              emit a synthetic family member
+//! astree fuzz [options]                  differential soundness campaign
 //! ```
 //!
 //! Run `astree <command> --help` for the options of each command.
@@ -18,6 +19,7 @@ use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
 use astree::options::{RunOptions, RUN_OPTIONS_HELP};
+use astree::oracle::{campaign_to_json, run_campaign, DivergenceKind, OracleConfig};
 use astree::serve::client::AnalyzeRequest;
 use astree::serve::{Client, ClientError, Endpoint, ServeOptions, Server};
 use astree::slicer::Slicer;
@@ -28,7 +30,7 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: astree <analyze|batch|serve|client|run|slice|generate> [options]");
+        eprintln!("usage: astree <analyze|batch|serve|client|run|slice|generate|fuzz> [options]");
         return ExitCode::from(2);
     };
     let rest = &args[1..];
@@ -40,8 +42,11 @@ fn main() -> ExitCode {
         "run" => cmd_run(rest),
         "slice" => cmd_slice(rest),
         "generate" => cmd_generate(rest),
+        "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
-            println!("usage: astree <analyze|batch|serve|client|run|slice|generate> [options]");
+            println!(
+                "usage: astree <analyze|batch|serve|client|run|slice|generate|fuzz> [options]"
+            );
             return ExitCode::SUCCESS;
         }
         other => Err(format!("unknown command `{other}`")),
@@ -750,4 +755,102 @@ fn cmd_generate(args: &[String]) -> Result<ExitCode, String> {
         None => print!("{src}"),
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = OracleConfig::default();
+    let mut report: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree fuzz [--members N] [--seeds N] [--ticks N]\n\
+                     \x20      [--channels-max N] [--no-bugs] [--no-shrink] [--quiet]\n\
+                     \x20      [--report FILE] [--baseline FILE]\n\
+                     Generates a corpus of family members, analyzes each with\n\
+                     per-statement invariant collection, then fuzzes the concrete\n\
+                     interpreter against the claimed invariants: every observed\n\
+                     concrete state must lie inside the abstract one, and every\n\
+                     concrete run-time error must be covered by an alarm of the\n\
+                     same kind at the same statement. Counterexamples are shrunk\n\
+                     (fewest channels, smallest seed, earliest tick) and reported\n\
+                     through the astree-campaign/1 JSON schema.\n\
+                     --baseline FILE adds an alarm-census delta vs a prior report\n\
+                     exit status: 0 = no divergence, 1 = divergences found"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--members" => cfg.members = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => cfg.seeds = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--ticks" => cfg.ticks = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--channels-max" => {
+                cfg.channels_max = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--no-bugs" => cfg.include_bugs = false,
+            "--no-shrink" => cfg.shrink = false,
+            "--quiet" => quiet = true,
+            "--report" => report = Some(value(&mut i)?),
+            "--baseline" => baseline = Some(value(&mut i)?),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    let base_json = match &baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(astree::obs::Json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let campaign = run_campaign(&cfg, |outcome| {
+        if quiet {
+            return;
+        }
+        let verdict = if outcome.divergences.is_empty() { "ok" } else { "DIVERGED" };
+        println!(
+            "{:24} {} executions, {} states checked, {} alarms: {verdict}",
+            outcome.spec.label(),
+            outcome.executions,
+            outcome.states_checked,
+            outcome.alarms.values().sum::<u64>(),
+        );
+    });
+    for d in &campaign.divergences {
+        let what = match &d.kind {
+            DivergenceKind::Escape { cell, value, abs } => {
+                format!("cell {cell} = {value} escapes {abs}")
+            }
+            DivergenceKind::Unreachable => "reached a claimed-unreachable statement".to_string(),
+            DivergenceKind::MissedError { kind } => format!("uncovered {kind} error"),
+        };
+        eprintln!(
+            "divergence: {} seed {} stmt {} tick {}: {what}",
+            d.member.label(),
+            d.exec_seed,
+            d.stmt,
+            d.tick
+        );
+    }
+    println!(
+        "campaign: {} members, {} executions, {} states checked, {} divergences",
+        campaign.members,
+        campaign.executions,
+        campaign.states_checked,
+        campaign.divergences.len()
+    );
+    let json = campaign_to_json(&campaign, base_json.as_ref());
+    if let Some(path) = report {
+        let mut text = json.to_compact();
+        text.push('\n');
+        std::fs::write(&path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    Ok(if campaign.divergences.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }

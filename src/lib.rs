@@ -19,6 +19,8 @@
 //! - [`obs`] — structured analysis telemetry (recorder, metrics schema)
 //! - [`serve`] — the resident analysis service (warm pool, shared invariant
 //!   store, `astree-serve/1` wire protocol)
+//! - [`oracle`] — the differential soundness oracle (corpus fuzzing of
+//!   concrete executions against claimed invariants, `astree-campaign/1`)
 //! - [`batch`] — fleet analysis on top of the scheduler
 //! - [`options`] — the shared CLI run options (`--jobs`, `--metrics`,
 //!   `--trace`, `--cache`)
@@ -34,6 +36,7 @@ pub use astree_gen as gen;
 pub use astree_ir as ir;
 pub use astree_memory as memory;
 pub use astree_obs as obs;
+pub use astree_oracle as oracle;
 pub use astree_pmap as pmap;
 pub use astree_sched as sched;
 pub use astree_serve as serve;

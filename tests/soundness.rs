@@ -12,8 +12,7 @@
 use astree::core::{AlarmKind, AnalysisConfig, AnalysisSession};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
-use astree::ir::{ExecError, Interp, InterpConfig, RuntimeEvent, SeededInputs, Value};
-use astree::memory::{CellLayout, CellVal, LayoutConfig};
+use astree::ir::{ExecError, Interp, InterpConfig, RuntimeEvent, SeededInputs};
 
 fn interp_events(
     program: &astree::ir::Program,
@@ -94,104 +93,33 @@ fn injected_overflow_is_reported_and_real() {
     );
 }
 
-/// Every concrete value observed at the main loop head must lie inside the
-/// analyzer's invariant for the corresponding cell.
+/// Every concrete value observed at *every executed statement* must lie
+/// inside the analyzer's per-statement invariant for the corresponding
+/// cell. This test rides the oracle's containment walker (which owns the
+/// concrete-to-abstract cell mapping and the per-domain notion of
+/// "inside"); the main-loop-head special case the test used to hand-roll
+/// is subsumed by the statement-level sweep.
 #[test]
-fn loop_invariant_contains_concrete_states() {
-    let src = generate(&GenConfig { channels: 2, seed: 23, bug: None });
-    let p = Frontend::new().compile_str(&src).unwrap();
-    let result = AnalysisSession::builder(&p).build().run();
-    let inv = result.main_invariant.as_ref().expect("reactive program has a main loop");
-    assert!(!inv.is_bottom());
-    let layout = CellLayout::new(&p, &LayoutConfig::default());
-
-    // Identify the main loop head statement: the While itself observes the
-    // store each time control reaches the loop test.
-    let mut loop_stmt = None;
-    let entry = p.func(p.entry);
-    for s in &entry.body {
-        if let astree::ir::StmtKind::While(_, c, _) = &s.kind {
-            if matches!(c, astree::ir::Expr::Int(v, _) if *v != 0) {
-                loop_stmt = Some(s.id);
-            }
-        }
-    }
-    let loop_stmt = loop_stmt.expect("main loop");
-
+fn statement_invariants_contain_concrete_states() {
+    use astree::oracle::{analyze_member, run_execution, MemberSpec, OracleConfig};
+    let spec = MemberSpec {
+        channels: 2,
+        gen_seed: 23,
+        bug: None,
+        knobs: astree::gen::StructKnobs::default(),
+    };
+    let cfg = OracleConfig::default();
+    let am = analyze_member(&spec, &cfg).expect("analyzes");
     for seed in 0..5u64 {
-        let mut inputs = SeededInputs::new(seed);
-        let mut it =
-            Interp::new(&p, InterpConfig { max_steps: 50_000_000, max_ticks: 60 }, &mut inputs);
-        let snapshots: std::rc::Rc<std::cell::RefCell<Vec<astree::ir::Store>>> =
-            std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
-        let sink = snapshots.clone();
-        it.set_observer(move |stmt, store| {
-            if stmt == loop_stmt {
-                sink.borrow_mut().push(store.clone());
-            }
-        });
-        it.run().unwrap();
-        drop(it);
-        let snapshots = snapshots.borrow();
-        // Skip the first visit (before any tick) — the invariant is computed
-        // for the residual loop after the unrolled first iteration
-        // (Sect. 7.1.1), whose states have clock ≥ 1.
-        for store in snapshots.iter().skip(1) {
-            for ((var, path), value) in store {
-                // Map concrete cells to abstract cells by name lookup.
-                let info = p.var(*var);
-                if !matches!(info.kind, astree::ir::VarKind::Global | astree::ir::VarKind::Static) {
-                    continue; // locals may be dead at the loop head
-                }
-                let cells = layout.cells_of_var(*var);
-                // Find the cell whose path matches (expanded arrays) or the
-                // shrunk cell.
-                let target = if cells.len() == 1 {
-                    cells[0]
-                } else {
-                    // Expanded: linearize the path the same way the layout
-                    // does (paths are in declaration order).
-                    match path_to_cell(&layout, *var, path) {
-                        Some(c) => c,
-                        None => continue,
-                    }
-                };
-                let abs = inv.env.get(target, &layout);
-                let ok = match (abs, value) {
-                    (CellVal::Int(c), Value::Int(v)) => c.val.contains(*v),
-                    (CellVal::Float(f), Value::Float(v)) => f.contains(*v),
-                    _ => false,
-                };
-                assert!(
-                    ok,
-                    "seed {seed}: concrete {}{:?} = {value:?} escapes invariant {abs:?}",
-                    info.name, path
-                );
-            }
-        }
+        let rec = run_execution(&am, seed, 60, 50_000_000);
+        assert!(rec.states_checked > 0, "seed {seed}: observer never fired");
+        assert!(!rec.inconclusive, "seed {seed}: run was inconclusive");
+        assert!(
+            rec.divergence.is_none(),
+            "seed {seed}: concrete state escapes invariant: {:?}",
+            rec.divergence
+        );
     }
-}
-
-/// Finds the expanded cell for a concrete path by matching the generated
-/// cell names (e.g. `tbl0[3]`).
-fn path_to_cell(
-    layout: &CellLayout,
-    var: astree::ir::VarId,
-    path: &[u32],
-) -> Option<astree::memory::CellId> {
-    let cells = layout.cells_of_var(var);
-    if path.is_empty() {
-        return cells.first().copied();
-    }
-    // Shrunk array: single cell for all paths.
-    if cells.len() == 1 {
-        return Some(cells[0]);
-    }
-    // Expanded one-dimensional array: index directly.
-    if path.len() == 1 && (path[0] as usize) < cells.len() {
-        return Some(cells[path[0] as usize]);
-    }
-    None
 }
 
 /// Disabling each domain must never *remove* alarms relative to the full
