@@ -1,0 +1,174 @@
+//! `fleet_scaling` — wall time of the same 24-member fleet at
+//! `--workers 0, 1, 2, 4` worker *processes*.
+//!
+//! The fleet coordinator guarantees bit-identical outcomes for every worker
+//! count (submission-order reporting, deterministic per-job analyses), so
+//! this experiment measures pure distribution overhead/speedup: the corpus
+//! is scattered round-robin over local `astree worker --stdio` children and
+//! idle workers steal from the richest queue. Every run's stable report is
+//! diffed against the in-process (`--workers 0`) baseline; any byte of
+//! difference panics.
+//!
+//! `speedup` is the measured wall-clock ratio against the in-process run
+//! and is only meaningful when the host grants the process that many CPUs
+//! (`host_cpus` records what it actually granted — the committed baseline
+//! was produced on a single-CPU container, where real process parallelism
+//! cannot beat 1×). `effective_speedup` is therefore also recorded: a
+//! list-schedule of the baseline per-job wall times over N lanes (greedy,
+//! least-loaded lane first — the schedule work stealing converges to),
+//! whose makespan is what the fleet would cost with one core per worker.
+//! The curve saturates once the longest job dominates the makespan.
+//!
+//! ```text
+//! cargo run --release -p astree-bench --bin fleet_scaling [members] [out.json] [astree-bin]
+//! ```
+//!
+//! The `astree` binary (for worker children) defaults to the sibling of
+//! this binary in the cargo target directory; build it first with
+//! `cargo build --release`.
+
+use astree_fleet::{FleetSession, JobSpec};
+use astree_obs::{FleetCounters, Json};
+use std::time::Instant;
+
+/// Channel counts cycled across the corpus: mixed sizes so queues drain
+/// unevenly and stealing actually happens.
+const CHANNELS: [usize; 4] = [1, 2, 4, 6];
+
+fn corpus(members: usize) -> Vec<JobSpec> {
+    let seeds: Vec<u64> = (1..=members as u64).collect();
+    astree_fleet::generated_jobs(&CHANNELS, &seeds)
+}
+
+/// Greedy list-schedule of `walls` (submission order) over `lanes` lanes;
+/// returns the makespan in seconds.
+fn list_schedule(walls: &[f64], lanes: usize) -> f64 {
+    let mut load = vec![0.0f64; lanes.max(1)];
+    for &w in walls {
+        let min = load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite loads"))
+            .map(|(i, _)| i)
+            .expect("at least one lane");
+        load[min] += w;
+    }
+    load.iter().cloned().fold(0.0, f64::max)
+}
+
+fn counters_json(c: &FleetCounters) -> Json {
+    Json::obj([
+        ("processes", Json::Bool(c.processes)),
+        ("steals", Json::UInt(c.steals)),
+        ("resent", Json::UInt(c.resent)),
+        ("crashes", Json::UInt(c.crashes)),
+        ("timeouts", Json::UInt(c.timeouts)),
+        ("respawns", Json::UInt(c.respawns)),
+        ("store_full_hits", Json::UInt(c.store_full_hits)),
+        (
+            "per_worker",
+            Json::Arr(
+                c.per_worker
+                    .iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("jobs", Json::UInt(w.jobs)),
+                            ("steals", Json::UInt(w.steals)),
+                            ("busy_s", Json::Float(w.busy_nanos as f64 / 1e9)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let members: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(24);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_fleet.json".into());
+    let astree_bin = args.next().unwrap_or_else(|| {
+        let exe = std::env::current_exe().expect("current exe");
+        let sibling = exe.with_file_name("astree");
+        if !sibling.exists() {
+            eprintln!(
+                "fleet_scaling: {} not found — build it first (`cargo build --release`) \
+                 or pass the astree binary path as the third argument",
+                sibling.display()
+            );
+            std::process::exit(1);
+        }
+        sibling.to_string_lossy().into_owned()
+    });
+
+    let jobs = corpus(members);
+    assert!(jobs.len() >= 24, "fleet must have at least 24 members");
+
+    // In-process baseline: the reference outcomes and per-job costs.
+    let t0 = Instant::now();
+    let baseline = FleetSession::builder().jobs(jobs.clone()).run();
+    let base_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(baseline.completed(), jobs.len(), "baseline fleet completes");
+    let base_report = baseline.stable_report();
+    let job_walls: Vec<f64> = baseline.outcomes.iter().map(|o| o.wall.as_secs_f64()).collect();
+    let total_job_time: f64 = job_walls.iter().sum();
+
+    let mut runs = vec![Json::obj([
+        ("workers", Json::UInt(0)),
+        ("wall_s", Json::Float(base_wall)),
+        ("speedup", Json::Float(1.0)),
+        ("est_wall_s", Json::Float(total_job_time)),
+        ("effective_speedup", Json::Float(1.0)),
+        ("fleet", counters_json(&baseline.counters)),
+    ])];
+
+    for workers in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let report = FleetSession::builder()
+            .jobs(jobs.clone())
+            .workers(workers)
+            .worker_cmd(vec![astree_bin.clone(), "worker".into(), "--stdio".into()])
+            .run();
+        let wall = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            base_report,
+            report.stable_report(),
+            "workers={workers} changed the fleet outcomes — determinism violated"
+        );
+        let est_wall = list_schedule(&job_walls, workers).max(f64::EPSILON);
+        let effective = total_job_time / est_wall;
+        if workers == 2 {
+            assert!(
+                effective > 1.8,
+                "2-worker list schedule must beat 1.8x (got {effective:.2}x) — \
+                 corpus too skewed"
+            );
+        }
+        runs.push(Json::obj([
+            ("workers", Json::UInt(workers as u64)),
+            ("wall_s", Json::Float(wall)),
+            ("speedup", Json::Float(base_wall / wall)),
+            ("est_wall_s", Json::Float(est_wall)),
+            ("effective_speedup", Json::Float(effective)),
+            ("fleet", counters_json(&report.counters)),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("experiment", Json::str("fleet_scaling")),
+        (
+            "host_cpus",
+            Json::UInt(std::thread::available_parallelism().map_or(1, |n| n.get() as u64)),
+        ),
+        ("members", Json::UInt(jobs.len() as u64)),
+        ("channels", Json::Arr(CHANNELS.iter().map(|&c| Json::UInt(c as u64)).collect())),
+        ("total_job_time_s", Json::Float(total_job_time)),
+        ("runs", Json::Arr(runs)),
+    ]);
+    let rendered = doc.to_string();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("fleet_scaling: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{rendered}");
+}

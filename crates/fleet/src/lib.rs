@@ -1,0 +1,57 @@
+//! Distributed fleet sharding: a process-level coordinator with work
+//! stealing and a shared warm store, behind one unified Fleet API.
+//!
+//! The analyzer's fan-out surfaces — `astree batch`, the serve daemon's
+//! batch request, and `astree fuzz` — all describe their work as
+//! [`JobSpec`]s and run them through a [`FleetSession`]:
+//!
+//! ```
+//! use astree_fleet::{FleetSession, JobSpec};
+//!
+//! let report = FleetSession::builder()
+//!     .job(JobSpec::new("clean", "int x; void main(void) { x = 1; }"))
+//!     .job(JobSpec::new("div", "int x; int d; void main(void) { d = 0; x = 1 / d; }"))
+//!     .run();
+//! assert_eq!(report.completed(), 2);
+//! assert_eq!(report.total_alarms(), 1);
+//! ```
+//!
+//! The same builder scales from that in-process run to a fleet of worker
+//! processes (`.workers(4)`) and remote machines (`.connect(endpoint)`)
+//! without changing what comes back: outcomes in submission order,
+//! byte-identical at any worker count ([`FleetReport::stable_report`] is
+//! the canonical digest). Workers share one content-addressed
+//! [`InvariantStore`](astree_core::InvariantStore), so invariants converged
+//! by one process warm every other.
+//!
+//! Module map — the layers of the fleet:
+//!
+//! - [`job`]: the vocabulary ([`JobSpec`], [`JobOutcome`], [`JobStatus`],
+//!   [`FleetReport`]);
+//! - [`exec`]: runs one job (shared by in-process and worker paths);
+//! - [`proto`]: length-delimited JSON framing and [`Endpoint`]s (also
+//!   reused by the serve daemon's `astree-serve/1`);
+//! - [`wire`]: bit-exact codecs for configs, specs, and outcomes;
+//! - [`coordinator`]: lanes, stealing, crash re-scatter ([`Transport`],
+//!   [`ProcessTransport`], [`SocketTransport`]);
+//! - [`worker`]: the `astree worker` serve loop;
+//! - [`session`]: the [`FleetSession`] builder tying it together;
+//! - [`corpus`]: fleet construction for generated members and oracle
+//!   campaigns.
+
+pub mod coordinator;
+pub mod corpus;
+pub mod exec;
+pub mod job;
+pub mod proto;
+pub mod session;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{run_fleet, FleetConfig, ProcessTransport, SocketTransport, Transport};
+pub use corpus::{campaign_from_outcomes, campaign_jobs, generated_jobs, parse_channels};
+pub use exec::{execute, ExecContext};
+pub use job::{ConfigOverrides, FleetReport, JobOutcome, JobSpec, JobStatus, OracleJob};
+pub use proto::{read_frame, write_frame, Conn, Endpoint, FLEET_PROTO, MAX_FRAME};
+pub use session::{FleetSession, FleetSessionBuilder};
+pub use worker::{serve_listener, serve_stdio};

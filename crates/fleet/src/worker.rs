@@ -1,0 +1,211 @@
+//! The worker side of the `astree-fleet/1` protocol.
+//!
+//! A worker is a dumb executor: it decodes the coordinator's `init` frame
+//! into a base configuration and a shared store, then answers each `job`
+//! frame with a `done` frame until `bye` or EOF. All scheduling lives in
+//! the coordinator; the worker's only policy is panic containment (a
+//! panicking job becomes a [`JobStatus::Panicked`] outcome, the worker
+//! survives).
+//!
+//! Two entry points: [`serve_stdio`] speaks over stdin/stdout for local
+//! child processes, [`serve_listener`] accepts fleet connections on a Unix
+//! or TCP socket for remote workers, one thread per connection.
+
+use crate::exec::{execute, ExecContext};
+use crate::job::{JobOutcome, JobStatus};
+use crate::proto::{read_frame, write_frame, Endpoint, FLEET_PROTO};
+use crate::wire::{config_from_json, outcome_to_json, spec_from_json};
+use astree_core::InvariantStore;
+use astree_obs::Json;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Serves one fleet conversation over stdin/stdout. Returns when the
+/// coordinator says `bye` or closes the pipe.
+pub fn serve_stdio() -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    serve_conn(&mut reader, &mut writer)
+}
+
+/// Binds `endpoint` and serves fleet conversations forever, one thread per
+/// connection. A stale Unix socket file from a dead worker is replaced.
+pub fn serve_listener(endpoint: &Endpoint) -> io::Result<()> {
+    match endpoint {
+        Endpoint::Unix(path) => {
+            if path.exists() && UnixListener::bind(path).is_err() {
+                std::fs::remove_file(path)?;
+            }
+            let listener = UnixListener::bind(path)?;
+            eprintln!("astree worker listening on {endpoint}");
+            for conn in listener.incoming() {
+                let conn = conn?;
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone unix socket"));
+                    let mut writer = conn;
+                    let _ = serve_conn(&mut reader, &mut writer);
+                });
+            }
+        }
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr.as_str())?;
+            eprintln!("astree worker listening on tcp:{}", listener.local_addr()?);
+            for conn in listener.incoming() {
+                let conn = conn?;
+                conn.set_nodelay(true).ok();
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(conn.try_clone().expect("clone tcp socket"));
+                    let mut writer = conn;
+                    let _ = serve_conn(&mut reader, &mut writer);
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn bad_proto(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// The per-connection loop shared by both entry points.
+pub fn serve_conn(reader: &mut dyn BufRead, writer: &mut dyn Write) -> io::Result<()> {
+    let Some(init) = read_frame(reader)? else {
+        return Ok(()); // coordinator went away before init
+    };
+    if init.get("proto").and_then(Json::as_str) != Some(FLEET_PROTO) {
+        return Err(bad_proto(format!("expected proto {FLEET_PROTO:?} in init frame")));
+    }
+    let config = init
+        .get("config")
+        .ok_or_else(|| bad_proto("init frame without config".into()))
+        .and_then(|c| config_from_json(c).map_err(bad_proto))?;
+    let cache = match init.get("cache_dir").and_then(Json::as_str) {
+        Some(dir) => Some(Arc::new(InvariantStore::open(dir)?)),
+        None => None,
+    };
+    let crash_on = init.get("crash_on").and_then(Json::as_str).map(str::to_string);
+
+    write_frame(
+        writer,
+        &Json::obj([("frame", Json::str("ready")), ("pid", Json::UInt(std::process::id() as u64))]),
+    )?;
+
+    while let Some(frame) = read_frame(reader)? {
+        match frame.get("frame").and_then(Json::as_str) {
+            Some("job") => {
+                let seq = frame
+                    .get("seq")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| bad_proto("job frame without seq".into()))?;
+                let spec = frame
+                    .get("spec")
+                    .ok_or_else(|| bad_proto("job frame without spec".into()))
+                    .and_then(|s| spec_from_json(s).map_err(bad_proto))?;
+                if crash_on.as_deref() == Some(spec.name.as_str()) {
+                    // Fault injection: die exactly like a segfaulting worker
+                    // would — no unwinding, no reply, no cleanup.
+                    std::process::abort();
+                }
+                let ctx = ExecContext {
+                    config: &config,
+                    cache: cache.clone(),
+                    recorder: None,
+                    pool: None,
+                };
+                let outcome = catch_unwind(AssertUnwindSafe(|| execute(&spec, &ctx)))
+                    .unwrap_or_else(|payload| {
+                        let mut out = JobOutcome::empty(spec.name.clone(), JobStatus::Panicked);
+                        out.detail = Some(panic_message(payload.as_ref()));
+                        out
+                    });
+                write_frame(
+                    writer,
+                    &Json::obj([
+                        ("frame", Json::str("done")),
+                        ("seq", Json::UInt(seq)),
+                        ("outcome", outcome_to_json(&outcome)),
+                    ]),
+                )?;
+            }
+            Some("bye") => return Ok(()),
+            other => return Err(bad_proto(format!("unexpected frame kind {other:?}"))),
+        }
+    }
+    Ok(())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSpec;
+    use crate::wire::{config_to_json, outcome_from_json, spec_to_json};
+    use astree_core::AnalysisConfig;
+    use std::io::BufReader;
+
+    #[test]
+    fn conversation_over_in_memory_pipes() {
+        let config = AnalysisConfig::default();
+        let spec = JobSpec::new("ok", "int main() { int x = 1; return x; }\n");
+        let mut request = Vec::new();
+        write_frame(
+            &mut request,
+            &Json::obj([
+                ("proto", Json::str(FLEET_PROTO)),
+                ("frame", Json::str("init")),
+                ("config", config_to_json(&config)),
+                ("cache_dir", Json::Null),
+                ("crash_on", Json::Null),
+            ]),
+        )
+        .unwrap();
+        write_frame(
+            &mut request,
+            &Json::obj([
+                ("frame", Json::str("job")),
+                ("seq", Json::UInt(0)),
+                ("spec", spec_to_json(&spec)),
+            ]),
+        )
+        .unwrap();
+        write_frame(&mut request, &Json::obj([("frame", Json::str("bye"))])).unwrap();
+
+        let mut reader = BufReader::new(&request[..]);
+        let mut response = Vec::new();
+        serve_conn(&mut reader, &mut response).unwrap();
+
+        let mut r = BufReader::new(&response[..]);
+        let ready = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(ready.get("frame").and_then(Json::as_str), Some("ready"));
+        let done = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(done.get("frame").and_then(Json::as_str), Some("done"));
+        assert_eq!(done.get("seq").and_then(Json::as_u64), Some(0));
+        let outcome = outcome_from_json(done.get("outcome").unwrap()).unwrap();
+        assert_eq!(outcome.status, JobStatus::Done);
+        assert_eq!(outcome.alarms, Some(0));
+    }
+
+    #[test]
+    fn wrong_proto_is_rejected() {
+        let mut request = Vec::new();
+        write_frame(&mut request, &Json::obj([("proto", Json::str("bogus/9"))])).unwrap();
+        let mut reader = BufReader::new(&request[..]);
+        let mut response = Vec::new();
+        assert!(serve_conn(&mut reader, &mut response).is_err());
+    }
+}

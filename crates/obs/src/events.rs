@@ -8,8 +8,8 @@
 
 use crate::json::Json;
 use crate::{
-    AlarmEvent, BatchJobEvent, CacheCounters, LoopDoneEvent, LoopIterEvent, PoolCounters,
-    SliceEvent,
+    AlarmEvent, BatchJobEvent, CacheCounters, FleetCounters, LoopDoneEvent, LoopIterEvent,
+    PoolCounters, SliceEvent,
 };
 
 fn record(ev: &'static str, fields: Vec<(&'static str, Json)>) -> Json {
@@ -154,6 +154,24 @@ pub fn batch_job(e: &BatchJobEvent) -> Json {
             ("wall_nanos", Json::UInt(e.wall_nanos)),
             ("worker", Json::UInt(e.worker as u64)),
             ("alarms", e.alarms.map_or(Json::Null, Json::UInt)),
+        ],
+    )
+}
+
+/// Fleet coordinator counters for a fleet run.
+pub fn fleet(c: &FleetCounters) -> Json {
+    record(
+        "fleet",
+        vec![
+            ("workers", Json::UInt(c.workers)),
+            ("processes", Json::Bool(c.processes)),
+            ("jobs", Json::UInt(c.jobs)),
+            ("steals", Json::UInt(c.steals)),
+            ("resent", Json::UInt(c.resent)),
+            ("crashes", Json::UInt(c.crashes)),
+            ("timeouts", Json::UInt(c.timeouts)),
+            ("respawns", Json::UInt(c.respawns)),
+            ("store_full_hits", Json::UInt(c.store_full_hits)),
         ],
     )
 }

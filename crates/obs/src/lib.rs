@@ -259,6 +259,47 @@ pub struct PoolCounters {
     pub busy_nanos: Vec<u64>,
 }
 
+/// Per-worker counters of one fleet run (one entry per coordinator lane).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FleetWorkerCounters {
+    /// Jobs this worker completed.
+    pub jobs: u64,
+    /// Jobs this worker took from another worker's queue.
+    pub steals: u64,
+    /// Wall time the worker spent executing jobs.
+    pub busy_nanos: u64,
+}
+
+/// Process-fleet coordinator counters for one fleet run.
+///
+/// Emitted once per run by the fleet session; the [`Collector`] keeps the
+/// last report (the counters are cumulative over the run).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct FleetCounters {
+    /// Worker lanes (processes, or in-process threads when `processes` is
+    /// `false`).
+    pub workers: u64,
+    /// `true` when jobs were scattered to worker *processes*; `false` for
+    /// the in-process executor.
+    pub processes: bool,
+    /// Jobs submitted.
+    pub jobs: u64,
+    /// Jobs taken from a queue other than the executing worker's own.
+    pub steals: u64,
+    /// Jobs re-scattered after their worker died mid-job.
+    pub resent: u64,
+    /// Worker processes that died mid-job (crash or lost connection).
+    pub crashes: u64,
+    /// Jobs killed for exceeding the per-job timeout.
+    pub timeouts: u64,
+    /// Dead local worker processes replaced with a fresh child.
+    pub respawns: u64,
+    /// Jobs answered verbatim by the shared invariant store.
+    pub store_full_hits: u64,
+    /// Per-worker breakdown, indexed by lane.
+    pub per_worker: Vec<FleetWorkerCounters>,
+}
+
 /// Daemon-lifetime counters for the resident `astree serve` service.
 ///
 /// Unlike the per-run counters above these describe the *service*, not an
@@ -366,6 +407,10 @@ pub trait Recorder: Send + Sync {
 
     /// A batch job finished.
     fn batch_job(&self, _e: &BatchJobEvent) {}
+
+    /// Fleet coordinator counters for one fleet run (emitted once per run
+    /// by the fleet session).
+    fn fleet(&self, _c: &FleetCounters) {}
 
     /// Invariant-cache counters for one analysis run (emitted once per run
     /// when a cache store is attached to the session).
@@ -518,6 +563,9 @@ pub struct Metrics {
     pub cache: CacheCounters,
     /// Persistent-map sharing counters, summed across recorded runs.
     pub pmap: PmapCounters,
+    /// Fleet coordinator counters (absent when no fleet ran; the last
+    /// reported run wins).
+    pub fleet: Option<FleetCounters>,
 }
 
 impl Metrics {
@@ -682,6 +730,34 @@ impl Metrics {
             ("interior_shortcut_hits", Json::UInt(p.interior_shortcut_hits)),
             ("identity_preserved", Json::UInt(p.identity_preserved)),
         ]);
+        let fleet = self.fleet.as_ref().map_or(Json::Null, |f| {
+            Json::obj([
+                ("workers", Json::UInt(f.workers)),
+                ("processes", Json::Bool(f.processes)),
+                ("jobs", Json::UInt(f.jobs)),
+                ("steals", Json::UInt(f.steals)),
+                ("resent", Json::UInt(f.resent)),
+                ("crashes", Json::UInt(f.crashes)),
+                ("timeouts", Json::UInt(f.timeouts)),
+                ("respawns", Json::UInt(f.respawns)),
+                ("store_full_hits", Json::UInt(f.store_full_hits)),
+                (
+                    "per_worker",
+                    Json::Arr(
+                        f.per_worker
+                            .iter()
+                            .map(|w| {
+                                Json::obj([
+                                    ("jobs", Json::UInt(w.jobs)),
+                                    ("steals", Json::UInt(w.steals)),
+                                    ("busy_nanos", Json::UInt(w.busy_nanos)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        });
         Json::obj([
             ("schema", Json::str(SCHEMA)),
             ("functions", functions),
@@ -691,6 +767,7 @@ impl Metrics {
             ("scheduler", scheduler),
             ("cache", cache),
             ("pmap", pmap),
+            ("fleet", fleet),
         ])
     }
 }
@@ -953,6 +1030,19 @@ impl Recorder for Collector {
         }
     }
 
+    fn fleet(&self, c: &FleetCounters) {
+        {
+            let mut m = self.metrics.lock().expect("collector poisoned");
+            m.fleet = Some(c.clone());
+        }
+        if self.trace_on {
+            self.push_trace(format!(
+                "fleet: workers={} jobs={} steals={} resent={} crashes={} store_hits={}",
+                c.workers, c.jobs, c.steals, c.resent, c.crashes, c.store_full_hits,
+            ));
+        }
+    }
+
     fn trace(&self, line: &str) {
         if self.trace_on {
             self.push_trace(line.to_string());
@@ -1076,14 +1166,25 @@ mod tests {
         });
         c.cache(&CacheCounters { full_hits: 1, saved_nanos: 500, ..CacheCounters::default() });
         c.pmap(&PmapCounters { nodes_allocated: 10, identity_preserved: 3, ..Default::default() });
+        c.fleet(&FleetCounters {
+            workers: 2,
+            processes: true,
+            jobs: 3,
+            steals: 1,
+            per_worker: vec![FleetWorkerCounters { jobs: 2, steals: 1, busy_nanos: 9 }],
+            ..FleetCounters::default()
+        });
         let j = c.to_json();
         assert_eq!(j.get("schema"), Some(&Json::str(SCHEMA)));
-        for key in ["functions", "domains", "phases", "alarms", "scheduler", "cache", "pmap"] {
+        for key in
+            ["functions", "domains", "phases", "alarms", "scheduler", "cache", "pmap", "fleet"]
+        {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         let rendered = j.to_string();
         assert!(rendered.contains("\"div_by_zero\""));
         assert!(rendered.contains("\"batch_jobs\""));
+        assert!(rendered.contains("\"store_full_hits\""));
         // The document round-trips through a strict JSON reader shape: no
         // trailing commas, balanced braces.
         assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());

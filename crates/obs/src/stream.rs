@@ -19,8 +19,8 @@ use std::sync::{Arc, Mutex};
 
 use crate::json::Json;
 use crate::{
-    events, AlarmEvent, BatchJobEvent, CacheCounters, LoopDoneEvent, LoopIterEvent, PoolCounters,
-    Recorder, SliceEvent,
+    events, AlarmEvent, BatchJobEvent, CacheCounters, FleetCounters, LoopDoneEvent, LoopIterEvent,
+    PoolCounters, Recorder, SliceEvent,
 };
 
 /// The schema identifier on the first line of every event stream.
@@ -119,6 +119,11 @@ impl Recorder for StreamSink {
         self.write(&events::cache(c));
         self.flush();
     }
+
+    fn fleet(&self, c: &FleetCounters) {
+        self.write(&events::fleet(c));
+        self.flush();
+    }
 }
 
 /// Tees every event to a list of recorders, so one run can stream JSONL to
@@ -204,6 +209,10 @@ impl Recorder for Fanout {
 
     fn cache(&self, c: &CacheCounters) {
         fan!(self, cache(c));
+    }
+
+    fn fleet(&self, c: &FleetCounters) {
+        fan!(self, fleet(c));
     }
 
     fn trace(&self, line: &str) {

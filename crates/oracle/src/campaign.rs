@@ -176,6 +176,53 @@ pub struct Campaign {
     pub divergences: Vec<Divergence>,
 }
 
+impl Campaign {
+    /// Folds one member's outcome into the aggregate.
+    pub fn absorb(&mut self, outcome: &MemberOutcome) {
+        self.members += 1;
+        self.executions += outcome.executions;
+        self.states_checked += outcome.states_checked;
+        self.inconclusive += outcome.inconclusive;
+        for (k, n) in &outcome.alarms {
+            *self.alarm_census.entry(k).or_insert(0) += n;
+        }
+        self.divergences.extend(outcome.divergences.iter().cloned());
+    }
+
+    /// Folds a member that failed to compile or analyze into the aggregate.
+    /// Such a member is itself a corpus bug; it surfaces as an escape-kind
+    /// divergence at the entry so campaigns never silently drop members.
+    pub fn absorb_failure(&mut self, spec: &MemberSpec, error: String) {
+        self.divergences.push(Divergence {
+            member: spec.clone(),
+            exec_seed: 0,
+            stmt: 0,
+            tick: 0,
+            kind: DivergenceKind::Escape {
+                cell: "<member>".into(),
+                value: error,
+                abs: "<analysis failed>".into(),
+            },
+            shrunk: false,
+        });
+    }
+
+    /// Ranks the divergences for reporting: minimized counterexamples
+    /// first, then smallest member, earliest seed/tick — the order a
+    /// developer should look at them. Call once after the last absorb.
+    pub fn finish(&mut self) {
+        self.divergences.sort_by(|a, b| {
+            (!a.shrunk, a.member.channels, a.member.gen_seed, a.exec_seed, a.tick).cmp(&(
+                !b.shrunk,
+                b.member.channels,
+                b.member.gen_seed,
+                b.exec_seed,
+                b.tick,
+            ))
+        });
+    }
+}
+
 /// The deterministic corpus for a configuration: sweeps channel counts
 /// `1..=channels_max`, advances the generator seed, cycles through
 /// structural-knob variants, and (when `include_bugs` is set) injects each
@@ -433,45 +480,12 @@ pub fn run_campaign(cfg: &OracleConfig, mut progress: impl FnMut(&MemberOutcome)
     for spec in &corpus {
         match run_member(spec, cfg) {
             Ok(outcome) => {
-                campaign.members += 1;
-                campaign.executions += outcome.executions;
-                campaign.states_checked += outcome.states_checked;
-                campaign.inconclusive += outcome.inconclusive;
-                for (k, n) in &outcome.alarms {
-                    *campaign.alarm_census.entry(k).or_insert(0) += n;
-                }
-                campaign.divergences.extend(outcome.divergences.iter().cloned());
+                campaign.absorb(&outcome);
                 progress(&outcome);
             }
-            Err(e) => {
-                // A member that fails to compile/analyze is itself a corpus
-                // bug; surface it as an unreachable-kind divergence at the
-                // entry so campaigns never silently drop members.
-                campaign.divergences.push(Divergence {
-                    member: spec.clone(),
-                    exec_seed: 0,
-                    stmt: 0,
-                    tick: 0,
-                    kind: DivergenceKind::Escape {
-                        cell: "<member>".into(),
-                        value: e,
-                        abs: "<analysis failed>".into(),
-                    },
-                    shrunk: false,
-                });
-            }
+            Err(e) => campaign.absorb_failure(spec, e),
         }
     }
-    // Rank: minimized counterexamples first, then smallest member, earliest
-    // seed/tick — the order a developer should look at them.
-    campaign.divergences.sort_by(|a, b| {
-        (!a.shrunk, a.member.channels, a.member.gen_seed, a.exec_seed, a.tick).cmp(&(
-            !b.shrunk,
-            b.member.channels,
-            b.member.gen_seed,
-            b.exec_seed,
-            b.tick,
-        ))
-    });
+    campaign.finish();
     campaign
 }

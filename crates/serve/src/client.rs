@@ -7,6 +7,7 @@
 //! telemetry live.
 
 use crate::proto::{read_frame, write_frame, Conn, Endpoint, PROTO};
+use astree_fleet::JobSpec;
 use astree_obs::Json;
 use std::io::{BufReader, Read, Write};
 
@@ -162,15 +163,17 @@ impl Client {
         })
     }
 
-    /// Analyzes a list of `(name, source)` jobs in one request; returns the
-    /// raw `result` frame (its `batch` array holds per-job outcomes).
-    pub fn batch(&mut self, jobs: &[(String, String)]) -> Result<Json, ClientError> {
+    /// Analyzes a fleet of jobs in one request; returns the raw `result`
+    /// frame (its `batch` array holds per-job outcomes keyed by the fleet
+    /// status slugs). Only each job's name and source travel — overrides
+    /// ride in the request-level `config`, oracle jobs are not served.
+    pub fn batch(&mut self, jobs: &[JobSpec]) -> Result<Json, ClientError> {
         let items = jobs
             .iter()
-            .map(|(name, source)| {
+            .map(|job| {
                 Json::obj([
-                    ("name", Json::str(name.clone())),
-                    ("source", Json::str(source.clone())),
+                    ("name", Json::str(job.name.clone())),
+                    ("source", Json::str(job.source.clone())),
                 ])
             })
             .collect();

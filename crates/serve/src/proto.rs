@@ -1,167 +1,12 @@
 //! The `astree-serve/1` wire protocol: framing and endpoints.
 //!
-//! A frame is one JSON value, length-delimited so neither side ever needs a
-//! streaming JSON parser:
-//!
-//! ```text
-//! <payload length in bytes, ASCII decimal>\n
-//! <payload: one compact JSON value>\n
-//! ```
-//!
-//! The payload length counts the JSON bytes only (not the trailing
-//! newline). The newlines make a captured conversation readable with plain
-//! text tools while keeping the framing unambiguous — the reader trusts the
-//! length, not the line structure. Requests and responses are JSON objects;
-//! see `DESIGN.md` for the full schemas.
+//! The framing itself (length-delimited JSON frames, [`Endpoint`],
+//! [`Conn`]) lives in [`astree_fleet::proto`] — it is shared with the
+//! coordinator↔worker `astree-fleet/1` protocol — and is re-exported here
+//! so serve's callers keep one import path. This module only adds the
+//! serve protocol identifier.
 
-use astree_obs::Json;
-use std::io::{self, BufRead, Write};
-use std::net::TcpStream;
-use std::os::unix::net::UnixStream;
-use std::path::PathBuf;
+pub use astree_fleet::proto::{read_frame, write_frame, Conn, Endpoint, MAX_FRAME};
 
 /// The protocol identifier carried by every request.
 pub const PROTO: &str = "astree-serve/1";
-
-/// Frames larger than this are rejected as malformed (64 MiB — far above
-/// any real request, small enough to bound a hostile allocation).
-pub const MAX_FRAME: usize = 64 << 20;
-
-/// Where a server listens or a client connects.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Endpoint {
-    /// A Unix domain socket at the given path (the default transport).
-    Unix(PathBuf),
-    /// A TCP address, e.g. `127.0.0.1:7878`.
-    Tcp(String),
-}
-
-impl Endpoint {
-    /// The default socket path: `astree-serve-<uid or "user">.sock` in the
-    /// system temp directory.
-    pub fn default_socket() -> Endpoint {
-        let user = std::env::var("USER").unwrap_or_else(|_| "user".into());
-        Endpoint::Unix(std::env::temp_dir().join(format!("astree-serve-{user}.sock")))
-    }
-}
-
-impl std::fmt::Display for Endpoint {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
-            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
-        }
-    }
-}
-
-/// A bidirectional connection split into independently-owned halves, so a
-/// handler can block reading the next request while telemetry frames are
-/// written from the analysis it is running.
-pub struct Conn {
-    pub reader: Box<dyn io::Read + Send>,
-    pub writer: Box<dyn Write + Send>,
-}
-
-impl Conn {
-    pub fn from_unix(s: UnixStream) -> io::Result<Conn> {
-        let r = s.try_clone()?;
-        Ok(Conn { reader: Box::new(r), writer: Box::new(s) })
-    }
-
-    pub fn from_tcp(s: TcpStream) -> io::Result<Conn> {
-        s.set_nodelay(true).ok();
-        let r = s.try_clone()?;
-        Ok(Conn { reader: Box::new(r), writer: Box::new(s) })
-    }
-
-    /// Connects to an endpoint.
-    pub fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
-        match endpoint {
-            Endpoint::Unix(path) => Conn::from_unix(UnixStream::connect(path)?),
-            Endpoint::Tcp(addr) => Conn::from_tcp(TcpStream::connect(addr.as_str())?),
-        }
-    }
-}
-
-/// Writes one frame and flushes it (a frame is a durability point: the peer
-/// may act on it immediately).
-pub fn write_frame(w: &mut dyn Write, value: &Json) -> io::Result<()> {
-    let payload = value.to_compact();
-    let mut buf = Vec::with_capacity(payload.len() + 16);
-    buf.extend_from_slice(payload.len().to_string().as_bytes());
-    buf.push(b'\n');
-    buf.extend_from_slice(payload.as_bytes());
-    buf.push(b'\n');
-    w.write_all(&buf)?;
-    w.flush()
-}
-
-/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (the peer
-/// closed before a length line started) and an error on anything malformed.
-pub fn read_frame(r: &mut dyn BufRead) -> io::Result<Option<Json>> {
-    let mut len_line = String::new();
-    if r.read_line(&mut len_line)? == 0 {
-        return Ok(None);
-    }
-    let len: usize = len_line
-        .trim()
-        .parse()
-        .map_err(|_| bad_data(format!("bad frame length line {len_line:?}")))?;
-    if len > MAX_FRAME {
-        return Err(bad_data(format!("frame of {len} bytes exceeds the {MAX_FRAME} byte cap")));
-    }
-    let mut payload = vec![0u8; len + 1]; // + trailing newline
-    r.read_exact(&mut payload)?;
-    if payload.pop() != Some(b'\n') {
-        return Err(bad_data("frame payload not newline-terminated".into()));
-    }
-    let text = String::from_utf8(payload).map_err(|e| bad_data(format!("frame not UTF-8: {e}")))?;
-    Json::parse(&text).map(Some).map_err(|e| bad_data(format!("frame not JSON: {e}")))
-}
-
-fn bad_data(msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::io::BufReader;
-
-    #[test]
-    fn frames_round_trip() {
-        let v = Json::obj([
-            ("proto", Json::str(PROTO)),
-            ("req", Json::str("analyze")),
-            ("id", Json::UInt(7)),
-            ("source", Json::str("int main() { return 0; }\n")),
-        ]);
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &v).unwrap();
-        write_frame(&mut buf, &Json::obj([("frame", Json::str("bye"))])).unwrap();
-        let mut r = BufReader::new(&buf[..]);
-        assert_eq!(read_frame(&mut r).unwrap(), Some(v));
-        let second = read_frame(&mut r).unwrap().unwrap();
-        assert_eq!(second.get("frame").and_then(Json::as_str), Some("bye"));
-        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF after the last frame");
-    }
-
-    #[test]
-    fn newlines_inside_strings_do_not_break_framing() {
-        let v = Json::obj([("source", Json::str("line1\nline2\n\"quoted\"\n"))]);
-        let mut buf = Vec::new();
-        write_frame(&mut buf, &v).unwrap();
-        let got = read_frame(&mut BufReader::new(&buf[..])).unwrap().unwrap();
-        assert_eq!(got, v);
-    }
-
-    #[test]
-    fn oversized_and_garbage_frames_are_rejected() {
-        let mut r = BufReader::new(&b"99999999999\n"[..]);
-        assert!(read_frame(&mut r).is_err());
-        let mut r = BufReader::new(&b"not-a-length\n{}\n"[..]);
-        assert!(read_frame(&mut r).is_err());
-        let mut r = BufReader::new(&b"2\n{}X"[..]);
-        assert!(read_frame(&mut r).is_err(), "missing newline terminator");
-    }
-}

@@ -13,10 +13,11 @@
 
 use crate::proto::{read_frame, write_frame, Conn, Endpoint, PROTO};
 use astree_core::{AnalysisConfig, AnalysisResult, AnalysisSession, InvariantStore};
+use astree_fleet::{FleetSession, JobOutcome, JobSpec, JobStatus};
 use astree_frontend::Frontend;
 use astree_obs::{
-    events, AlarmEvent, BatchJobEvent, CacheCounters, Json, LoopDoneEvent, LoopIterEvent,
-    PoolCounters, Recorder, ServeCounters, SliceEvent,
+    events, AlarmEvent, BatchJobEvent, CacheCounters, FleetCounters, Json, LoopDoneEvent,
+    LoopIterEvent, PoolCounters, Recorder, ServeCounters, SliceEvent,
 };
 use astree_sched::WorkerPool;
 use std::io::{BufReader, Write};
@@ -411,6 +412,10 @@ impl Recorder for FrameRecorder {
     fn cache(&self, c: &CacheCounters) {
         self.event(events::cache(c));
     }
+
+    fn fleet(&self, c: &FleetCounters) {
+        self.event(events::fleet(c));
+    }
 }
 
 /// Applies the request's optional `config` object on top of the defaults.
@@ -611,7 +616,7 @@ fn handle_batch(daemon: &Arc<Daemon>, writer: &SharedWriter, id: u64, req: &Json
         send(writer, &error_frame(id, "overloaded", &msg));
         return;
     };
-    let setup = || -> Result<(Vec<(String, String)>, AnalysisConfig, EventMode), String> {
+    let setup = || -> Result<(Vec<JobSpec>, AnalysisConfig, EventMode), String> {
         let Some(Json::Arr(items)) = req.get("jobs") else {
             return Err("batch needs a `jobs` array".into());
         };
@@ -626,7 +631,7 @@ fn handle_batch(daemon: &Arc<Daemon>, writer: &SharedWriter, id: u64, req: &Json
                 .get("source")
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("batch job {i} needs a `source` string"))?;
-            jobs.push((name, source.to_string()));
+            jobs.push(JobSpec::new(name, source));
         }
         Ok((jobs, parse_config(daemon, req)?, parse_event_mode(req)?))
     };
@@ -638,35 +643,35 @@ fn handle_batch(daemon: &Arc<Daemon>, writer: &SharedWriter, id: u64, req: &Json
             return;
         }
     };
-    let recorder =
-        FrameRecorder { writer: Arc::clone(writer), id, mode, streamed: AtomicU64::new(0) };
-    let mut outcomes = Vec::with_capacity(jobs.len());
-    for (name, source) in &jobs {
-        let run = catch_unwind(AssertUnwindSafe(|| {
-            run_analysis(daemon, source, config.clone(), &recorder)
-        }));
-        let mut fields = vec![("name", Json::str(name.clone()))];
-        match run {
-            Ok(Ok(result)) => {
-                fields.push(("status", Json::str("ok")));
-                fields.extend(result_fields(&result));
-            }
-            Ok(Err(msg)) => {
-                fields.push(("status", Json::str("bad_request")));
-                fields.push(("message", Json::str(msg)));
-            }
-            Err(panic) => {
-                daemon.count(|c| c.panicked += 1);
-                fields.push(("status", Json::str("panicked")));
-                fields.push(("message", Json::str(panic_message(&panic))));
-            }
-        }
-        outcomes.push(Json::obj(fields));
+    // The daemon's batch is a FleetSession on its resident machinery: jobs
+    // run in-process (sequentially, on the warm pool), share the daemon's
+    // store, and stream through the connection's recorder — same outcomes
+    // as `astree batch` at any distribution, per the fleet contract.
+    let recorder = Arc::new(FrameRecorder {
+        writer: Arc::clone(writer),
+        id,
+        mode,
+        streamed: AtomicU64::new(0),
+    });
+    let mut builder = FleetSession::builder()
+        .jobs(jobs)
+        .config(config)
+        .recorder(Arc::clone(&recorder) as Arc<dyn Recorder>);
+    if let Some(pool) = &daemon.pool {
+        builder = builder.pool(pool);
     }
+    if let Some(store) = &daemon.store {
+        builder = builder.cache(Arc::clone(store));
+    }
+    let report = builder.run();
+    let panicked =
+        report.outcomes.iter().filter(|o| o.status == JobStatus::Panicked).count() as u64;
+    let outcomes: Vec<Json> = report.outcomes.iter().map(batch_outcome_fields).collect();
     let streamed = recorder.streamed.load(Ordering::Relaxed);
     daemon.count(|c| {
         c.events_streamed += streamed;
         c.completed += 1;
+        c.panicked += panicked;
     });
     drop(guard);
     send(
@@ -678,6 +683,22 @@ fn handle_batch(daemon: &Arc<Daemon>, writer: &SharedWriter, id: u64, req: &Json
             ("events_streamed", Json::UInt(streamed)),
         ]),
     );
+}
+
+/// Renders one fleet outcome as a `batch` array entry: `done` jobs carry
+/// the analysis fields, everything else carries a `message`.
+fn batch_outcome_fields(o: &JobOutcome) -> Json {
+    let mut fields =
+        vec![("name", Json::str(o.name.clone())), ("status", Json::str(o.status.slug()))];
+    if o.status == JobStatus::Done {
+        fields.push(("alarms", Json::Arr(o.alarm_lines.iter().map(Json::str).collect())));
+        fields.push(("main_invariant", o.main_invariant.as_deref().map_or(Json::Null, Json::str)));
+        fields.push(("main_census", o.main_census.as_deref().map_or(Json::Null, Json::str)));
+        fields.push(("cache", Json::obj([("full_hit", Json::Bool(o.cache_full_hit))])));
+    } else {
+        fields.push(("message", Json::str(o.detail.clone().unwrap_or_default())));
+    }
+    Json::obj(fields)
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

@@ -1,188 +1,65 @@
-//! Batch analysis of program fleets.
+//! Deprecated aliases for the fleet job vocabulary.
 //!
-//! A fleet is a set of independent analysis jobs — generated family members,
-//! a regression corpus, or source files from disk. Jobs are executed by
-//! [`astree_sched::run_batch`]: a bounded worker pool with per-job panic and
-//! timeout isolation, so one diverging or crashing analysis fails that job
-//! only. Results are reported in submission order regardless of completion
-//! order.
+//! Batch analysis grew into the [`fleet`](crate::fleet) crate: one
+//! [`JobSpec`]/[`JobOutcome`] shape for every fan-out surface, and the
+//! `FleetSession` builder instead of free functions. These aliases and
+//! wrappers keep old callers compiling for one release; new code should
+//! use `astree::fleet` directly.
 
-use astree_core::{AnalysisConfig, AnalysisSession, InvariantStore};
-use astree_frontend::Frontend;
-use astree_obs::{BatchJobEvent, NullRecorder, Recorder};
-use astree_sched::{run_batch, BatchConfig, Job, JobStatus};
+use astree_core::{AnalysisConfig, InvariantStore};
+use astree_fleet::{FleetSession, JobSpec};
+use astree_obs::Recorder;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// One analysis job: a name and the C source to analyze.
-#[derive(Debug, Clone)]
-pub struct FleetJob {
-    /// Display name (file name or generated-program identifier).
-    pub name: String,
-    /// C source text.
-    pub source: String,
-}
+/// Deprecated alias: the fleet job spec (construct with `JobSpec::new`).
+#[deprecated(note = "use astree::fleet::JobSpec")]
+pub type FleetJob = astree_fleet::JobSpec;
 
-/// Outcome of one fleet job.
-#[derive(Debug, Clone)]
-pub struct FleetOutcome {
-    /// Job name as submitted.
-    pub name: String,
-    /// `"done"`, `"panicked"` or `"timed-out"`.
-    pub status: String,
-    /// Number of alarms, when the job completed.
-    pub alarms: Option<usize>,
-    /// First alarm lines, when the job completed (for reporting).
-    pub alarm_lines: Vec<String>,
-    /// Wall-clock time the job occupied a worker.
-    pub wall: Duration,
-    /// Worker index that ran the job (informational).
-    pub worker: usize,
-    /// Error detail for failed jobs (panic message or compile error).
-    pub detail: Option<String>,
-}
+/// Deprecated alias: the fleet job outcome (`status` is now a real
+/// `JobStatus` enum, not a string).
+#[deprecated(note = "use astree::fleet::JobOutcome")]
+pub type FleetOutcome = astree_fleet::JobOutcome;
 
-/// Aggregated outcome of a fleet run.
-#[derive(Debug)]
-pub struct FleetReport {
-    /// Per-job outcomes in submission order.
-    pub outcomes: Vec<FleetOutcome>,
-    /// Wall-clock time of the whole batch.
-    pub wall: Duration,
-    /// Busy time per worker.
-    pub worker_busy: Vec<Duration>,
-    /// Workers spawned.
-    pub workers: usize,
-    /// Sum of per-job wall times (the sequential cost).
-    pub total_job_time: Duration,
-    /// Observed speedup (sequential cost over batch wall time).
-    pub speedup: f64,
-}
+/// Deprecated alias: the fleet report.
+#[deprecated(note = "use astree::fleet::FleetReport")]
+pub type FleetReport = astree_fleet::FleetReport;
 
-impl FleetReport {
-    /// Number of jobs that completed.
-    pub fn completed(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.status == "done").count()
-    }
-
-    /// Total alarms across completed jobs.
-    pub fn total_alarms(&self) -> usize {
-        self.outcomes.iter().filter_map(|o| o.alarms).sum()
-    }
-}
-
-/// Analyzes a fleet with at most `workers` jobs in flight and an optional
-/// per-job timeout. Each job compiles its source and runs the full two-phase
-/// analysis under the shared configuration (including `config.jobs` worker
-/// threads *inside* each analysis).
+/// Deprecated wrapper over `FleetSession::builder()`.
+#[deprecated(note = "use astree::fleet::FleetSession::builder()")]
 pub fn analyze_fleet(
-    fleet: Vec<FleetJob>,
+    fleet: Vec<JobSpec>,
     config: &AnalysisConfig,
     workers: usize,
     timeout: Option<Duration>,
-) -> FleetReport {
-    analyze_fleet_recorded(fleet, config, workers, timeout, Arc::new(NullRecorder), None)
+) -> astree_fleet::FleetReport {
+    FleetSession::builder()
+        .jobs(fleet)
+        .config(config.clone())
+        .threads(workers)
+        .timeout(timeout)
+        .run()
 }
 
-/// Like [`analyze_fleet`], reporting telemetry to `rec`: each job's analysis
-/// streams fixpoint/domain events into the shared recorder, and one
-/// [`BatchJobEvent`] per job records its scheduling outcome. The recorder is
-/// `Arc`-shared because job closures outlive this call's borrows (`'static`).
-/// When `cache` is given, every job of the fleet shares the one invariant
-/// store, so a re-run of an unchanged fleet replays from disk.
+/// Deprecated wrapper over `FleetSession::builder()` with a recorder and a
+/// shared store.
+#[deprecated(note = "use astree::fleet::FleetSession::builder()")]
 pub fn analyze_fleet_recorded(
-    fleet: Vec<FleetJob>,
+    fleet: Vec<JobSpec>,
     config: &AnalysisConfig,
     workers: usize,
     timeout: Option<Duration>,
     rec: Arc<dyn Recorder>,
     cache: Option<Arc<InvariantStore>>,
-) -> FleetReport {
-    let jobs: Vec<Job<Result<Vec<String>, String>>> = fleet
-        .into_iter()
-        .map(|fj| {
-            let cfg = config.clone();
-            let rec = Arc::clone(&rec);
-            let cache = cache.clone();
-            Job::new(fj.name, move || {
-                let program = Frontend::new()
-                    .compile_str(&fj.source)
-                    .map_err(|e| format!("compile error: {e:?}"))?;
-                let mut builder =
-                    AnalysisSession::builder(&program).config(cfg).recorder(rec.as_ref());
-                if let Some(store) = cache {
-                    builder = builder.cache(store);
-                }
-                let result = builder.build().run();
-                Ok(result.alarms.iter().map(|a| a.to_string()).collect())
-            })
-        })
-        .collect();
-
-    let report = run_batch(&BatchConfig { workers, timeout }, jobs);
-    let total_job_time = report.total_job_time();
-    let speedup = report.speedup();
-    let outcomes = report
-        .results
-        .into_iter()
-        .map(|r| {
-            let (status, alarms, alarm_lines, detail) = match r.status {
-                JobStatus::Done(Ok(lines)) => ("done".to_string(), Some(lines.len()), lines, None),
-                JobStatus::Done(Err(e)) => ("failed".to_string(), None, Vec::new(), Some(e)),
-                JobStatus::Panicked(msg) => ("panicked".to_string(), None, Vec::new(), Some(msg)),
-                JobStatus::TimedOut => ("timed-out".to_string(), None, Vec::new(), None),
-            };
-            if rec.enabled() {
-                rec.batch_job(&BatchJobEvent {
-                    name: &r.name,
-                    status: &status,
-                    reason: detail.as_deref(),
-                    wall_nanos: r.wall.as_nanos() as u64,
-                    worker: r.worker,
-                    alarms: alarms.map(|n| n as u64),
-                });
-            }
-            FleetOutcome {
-                name: r.name,
-                status,
-                alarms,
-                alarm_lines,
-                wall: r.wall,
-                worker: r.worker,
-                detail,
-            }
-        })
-        .collect();
-    FleetReport {
-        outcomes,
-        wall: report.wall,
-        worker_busy: report.worker_busy,
-        workers: report.workers,
-        total_job_time,
-        speedup,
+) -> astree_fleet::FleetReport {
+    let mut builder = FleetSession::builder()
+        .jobs(fleet)
+        .config(config.clone())
+        .threads(workers)
+        .timeout(timeout)
+        .recorder(rec);
+    if let Some(store) = cache {
+        builder = builder.cache(store);
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fleet_of_tiny_programs() {
-        let fleet = vec![
-            FleetJob { name: "clean".into(), source: "int x; void main(void) { x = 1; }".into() },
-            FleetJob {
-                name: "div".into(),
-                source: "int x; int d; void main(void) { d = 0; x = 1 / d; }".into(),
-            },
-            FleetJob { name: "broken".into(), source: "not C at all".into() },
-        ];
-        let report = analyze_fleet(fleet, &AnalysisConfig::default(), 2, None);
-        assert_eq!(report.outcomes.len(), 3);
-        assert_eq!(report.outcomes[0].alarms, Some(0));
-        assert_eq!(report.outcomes[1].alarms, Some(1));
-        assert_eq!(report.outcomes[2].status, "failed");
-        assert_eq!(report.completed(), 2);
-        assert_eq!(report.total_alarms(), 1);
-    }
+    builder.run()
 }

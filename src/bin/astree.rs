@@ -4,6 +4,7 @@
 //! astree analyze <file.c>... [options]   statically prove absence of RTEs
 //! astree batch [files...] [options]      analyze a fleet of programs
 //! astree serve [options]                 resident analysis daemon (warm pool)
+//! astree worker [options]                fleet worker process (spawned/remote)
 //! astree client [files...] [options]     send requests to a serving daemon
 //! astree run <file.c> [options]          execute with the reference interpreter
 //! astree slice <file.c> [options]        backward slices from alarm points
@@ -13,13 +14,13 @@
 //!
 //! Run `astree <command> --help` for the options of each command.
 
-use astree::batch::{analyze_fleet_recorded, FleetJob};
 use astree::core::{AnalysisConfig, AnalysisSession, CacheReport};
+use astree::fleet::{self, FleetSession, JobSpec};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::ir::{Interp, InterpConfig, SeededInputs};
 use astree::options::{RunOptions, RUN_OPTIONS_HELP};
-use astree::oracle::{campaign_to_json, run_campaign, DivergenceKind, OracleConfig};
+use astree::oracle::{campaign_to_json, DivergenceKind, OracleConfig};
 use astree::serve::client::AnalyzeRequest;
 use astree::serve::{Client, ClientError, Endpoint, ServeOptions, Server};
 use astree::slicer::Slicer;
@@ -30,7 +31,9 @@ use std::time::Duration;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        eprintln!("usage: astree <analyze|batch|serve|client|run|slice|generate|fuzz> [options]");
+        eprintln!(
+            "usage: astree <analyze|batch|serve|worker|client|run|slice|generate|fuzz> [options]"
+        );
         return ExitCode::from(2);
     };
     let rest = &args[1..];
@@ -38,6 +41,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(rest),
         "batch" => cmd_batch(rest),
         "serve" => cmd_serve(rest),
+        "worker" => cmd_worker(rest),
         "client" => cmd_client(rest),
         "run" => cmd_run(rest),
         "slice" => cmd_slice(rest),
@@ -45,7 +49,7 @@ fn main() -> ExitCode {
         "fuzz" => cmd_fuzz(rest),
         "--help" | "-h" | "help" => {
             println!(
-                "usage: astree <analyze|batch|serve|client|run|slice|generate|fuzz> [options]"
+                "usage: astree <analyze|batch|serve|worker|client|run|slice|generate|fuzz> [options]"
             );
             return ExitCode::SUCCESS;
         }
@@ -245,10 +249,16 @@ fn print_cache_summary(c: &CacheReport) {
 fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut files: Vec<String> = Vec::new();
     let mut gen_count = 0usize;
-    let mut channels = 4usize;
+    let mut channels = vec![4usize];
     let mut seeds: Option<Vec<u64>> = None;
     let mut timeout: Option<Duration> = None;
     let mut json = false;
+    let mut workers = 0usize;
+    let mut worker_cmd: Option<Vec<String>> = None;
+    let mut connect: Vec<Endpoint> = Vec::new();
+    let mut retry_budget = 2u32;
+    let mut crash_on: Option<String> = None;
+    let mut report_path: Option<String> = None;
     let mut config = AnalysisConfig::default();
     let mut run = RunOptions::default();
     let mut i = 0;
@@ -265,22 +275,30 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         match a.as_str() {
             "--help" | "-h" => {
                 println!(
-                    "usage: astree batch [file.c...] [--gen N] [--channels N]\n\
+                    "usage: astree batch [file.c...] [--gen N] [--channels N1,N2,...]\n\
                      \x20      [--seeds S1,S2,...] [--jobs N] [--timeout SECS]\n\
-                     \x20      [--analysis-jobs N] [--json] [--metrics FILE]\n\
-                     \x20      [--metrics-stream FILE] [--trace] [--cache DIR]\n\
+                     \x20      [--workers N] [--worker-cmd CMD] [--connect ADDR]\n\
+                     \x20      [--retry-budget N] [--report FILE] [--analysis-jobs N]\n\
+                     \x20      [--json] [--metrics FILE] [--metrics-stream FILE]\n\
+                     \x20      [--trace] [--cache DIR]\n\
                      analyzes each input file, plus N generated family members\n\
-                     (--gen), as independent jobs on a pool of --jobs workers;\n\
-                     a panicking or timed-out job fails alone. --analysis-jobs\n\
+                     (--gen, cycling --channels), as independent jobs; a panicking\n\
+                     or timed-out job fails alone. --jobs N shards over N threads\n\
+                     in this process; --workers N shards over N worker processes\n\
+                     (spawned from --worker-cmd, default `astree worker --stdio`);\n\
+                     --connect adds remote workers (unix:PATH or tcp:HOST:PORT,\n\
+                     repeatable). Outcomes are reported in submission order and\n\
+                     are identical for every worker count. --report writes the\n\
+                     deterministic fleet report to FILE. --analysis-jobs\n\
                      additionally parallelizes inside each analysis; --cache\n\
-                     shares one invariant store across all jobs.\n\
+                     shares one invariant store across all jobs and workers.\n\
                      {RUN_OPTIONS_HELP}\n\
                      exit status: 0 = all jobs clean, 1 = alarms or failures"
                 );
                 return Ok(ExitCode::SUCCESS);
             }
             "--gen" => gen_count = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
-            "--channels" => channels = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--channels" => channels = fleet::parse_channels(&value(&mut i)?)?,
             "--seeds" => {
                 let v = value(&mut i)?;
                 let parsed: Result<Vec<u64>, _> = v.split(',').map(|s| s.trim().parse()).collect();
@@ -290,6 +308,21 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("{e}"))?;
                 timeout = Some(Duration::from_secs_f64(secs));
             }
+            "--workers" => workers = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--worker-cmd" => {
+                let cmd: Vec<String> =
+                    value(&mut i)?.split_whitespace().map(str::to_string).collect();
+                if cmd.is_empty() {
+                    return Err("--worker-cmd: empty command".into());
+                }
+                worker_cmd = Some(cmd);
+            }
+            "--connect" => connect.push(Endpoint::parse(&value(&mut i)?)),
+            "--retry-budget" => {
+                retry_budget = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--crash-on" => crash_on = Some(value(&mut i)?), // debug: crash-isolation tests
+            "--report" => report_path = Some(value(&mut i)?),
             "--analysis-jobs" => {
                 config.jobs = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
@@ -299,36 +332,45 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         }
         i += 1;
     }
-    let workers = run.jobs.unwrap_or(2);
+    let threads = run.jobs.unwrap_or(2);
 
-    let mut fleet: Vec<FleetJob> = Vec::new();
+    let mut jobs: Vec<JobSpec> = Vec::new();
     for f in &files {
         let source = std::fs::read_to_string(f).map_err(|e| format!("{f}: {e}"))?;
-        fleet.push(FleetJob { name: f.clone(), source });
+        jobs.push(JobSpec::new(f.clone(), source));
     }
     let seeds = seeds.unwrap_or_else(|| (1..=gen_count as u64).collect());
-    for &seed in &seeds {
-        let cfg = GenConfig { channels, seed, bug: None };
-        fleet.push(FleetJob { name: format!("gen-c{channels}-s{seed}"), source: generate(&cfg) });
-    }
-    if fleet.is_empty() {
+    jobs.extend(fleet::generated_jobs(&channels, &seeds));
+    if jobs.is_empty() {
         return Err("no jobs: give input files, --gen N, or --seeds".into());
     }
 
-    let n = fleet.len();
+    let n = jobs.len();
     let store = run.open_store()?;
     let record = run.record();
     let collector = Arc::new(run.collector());
     let stream = run.open_stream()?;
-    let report = if record {
-        let rec = run.recorder(&collector, &stream);
-        analyze_fleet_recorded(fleet, &config, workers, timeout, rec, store.clone())
-    } else if store.is_some() {
-        let rec: Arc<dyn astree::obs::Recorder> = Arc::new(astree::obs::NullRecorder);
-        analyze_fleet_recorded(fleet, &config, workers, timeout, rec, store.clone())
-    } else {
-        astree::batch::analyze_fleet(fleet, &config, workers, timeout)
-    };
+    let mut builder = FleetSession::builder()
+        .jobs(jobs)
+        .config(config)
+        .threads(threads)
+        .workers(workers)
+        .timeout(timeout)
+        .retry_budget(retry_budget)
+        .crash_on(crash_on);
+    if let Some(cmd) = worker_cmd {
+        builder = builder.worker_cmd(cmd);
+    }
+    for endpoint in connect {
+        builder = builder.connect(endpoint);
+    }
+    if let Some(store) = &store {
+        builder = builder.cache(Arc::clone(store));
+    }
+    if record {
+        builder = builder.recorder(run.recorder(&collector, &stream));
+    }
+    let report = builder.run();
     if let Some(sink) = &stream {
         sink.flush();
     }
@@ -342,10 +384,14 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
             c.full_hits, c.misses, c.seeded_functions, c.invalidated_functions, c.corrupt_files
         );
     }
+    if let Some(path) = &report_path {
+        std::fs::write(path, report.stable_report()).map_err(|e| format!("{path}: {e}"))?;
+    }
     if json {
         print!("{}", batch_report_json(&report));
     } else {
-        println!("batch: {n} jobs on {} workers", report.workers);
+        let kind = if report.counters.processes { "worker process(es)" } else { "worker(s)" };
+        println!("batch: {n} jobs on {} {kind}", report.workers);
         for o in &report.outcomes {
             match o.alarms {
                 Some(a) => {
@@ -361,14 +407,63 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         }
         println!(
             "wall {:.2?}, sequential cost {:.2?}, speedup {:.2}x",
-            report.wall, report.total_job_time, report.speedup
+            report.wall,
+            report.total_job_time,
+            report.speedup()
         );
-        for (w, busy) in report.worker_busy.iter().enumerate() {
-            println!("  worker {w}: busy {busy:.2?}");
+        let c = &report.counters;
+        if c.processes {
+            println!(
+                "fleet: {} steal(s), {} resent, {} crash(es), {} timeout(s), {} respawn(s), \
+                 {} store hit(s)",
+                c.steals, c.resent, c.crashes, c.timeouts, c.respawns, c.store_full_hits
+            );
+        }
+        for (w, pw) in c.per_worker.iter().enumerate() {
+            println!(
+                "  worker {w}: {} job(s), {} steal(s), busy {:.2?}",
+                pw.jobs,
+                pw.steals,
+                Duration::from_nanos(pw.busy_nanos)
+            );
         }
     }
     let clean = report.completed() == n && report.total_alarms() == 0;
     Ok(if clean { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn cmd_worker(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{a} needs a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: astree worker [--stdio | --socket PATH | --listen HOST:PORT]\n\
+                     runs a fleet worker speaking astree-fleet/1: --stdio (default)\n\
+                     serves one coordinator over stdin/stdout (how `astree batch\n\
+                     --workers N` spawns local workers); --socket/--listen accept\n\
+                     coordinator connections for `astree batch --connect`."
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--stdio" => endpoint = None,
+            "--socket" => endpoint = Some(Endpoint::Unix(value(&mut i)?.into())),
+            "--listen" => endpoint = Some(Endpoint::Tcp(value(&mut i)?)),
+            other => return Err(format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+    match endpoint {
+        None => fleet::serve_stdio().map_err(|e| format!("worker: {e}"))?,
+        Some(endpoint) => fleet::serve_listener(&endpoint).map_err(|e| format!("worker: {e}"))?,
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn json_escape(s: &str) -> String {
@@ -384,17 +479,18 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn batch_report_json(report: &astree::batch::FleetReport) -> String {
+fn batch_report_json(report: &fleet::FleetReport) -> String {
     let mut out = String::from("{\n  \"jobs\": [\n");
     for (i, o) in report.outcomes.iter().enumerate() {
         let alarms = o.alarms.map_or("null".to_string(), |a| a.to_string());
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"status\": \"{}\", \"alarms\": {}, \"wall_s\": {:.6}, \"worker\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"status\": \"{}\", \"alarms\": {}, \"wall_s\": {:.6}, \"worker\": {}, \"resent\": {}}}{}\n",
             json_escape(&o.name),
-            json_escape(&o.status),
+            o.status.slug(),
             alarms,
             o.wall.as_secs_f64(),
             o.worker,
+            o.resent,
             if i + 1 < report.outcomes.len() { "," } else { "" },
         ));
     }
@@ -405,10 +501,26 @@ fn batch_report_json(report: &astree::batch::FleetReport) -> String {
         "  \"sequential_cost_s\": {:.6},\n",
         report.total_job_time.as_secs_f64()
     ));
-    out.push_str(&format!("  \"speedup\": {:.4},\n", report.speedup));
-    let busy: Vec<String> =
-        report.worker_busy.iter().map(|d| format!("{:.6}", d.as_secs_f64())).collect();
-    out.push_str(&format!("  \"worker_busy_s\": [{}]\n", busy.join(", ")));
+    out.push_str(&format!("  \"speedup\": {:.4},\n", report.speedup()));
+    let c = &report.counters;
+    out.push_str(&format!(
+        "  \"fleet\": {{\"processes\": {}, \"steals\": {}, \"resent\": {}, \"crashes\": {}, \
+         \"timeouts\": {}, \"respawns\": {}, \"store_full_hits\": {}}},\n",
+        c.processes, c.steals, c.resent, c.crashes, c.timeouts, c.respawns, c.store_full_hits
+    ));
+    let per_worker: Vec<String> = c
+        .per_worker
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"jobs\": {}, \"steals\": {}, \"busy_s\": {:.6}}}",
+                w.jobs,
+                w.steals,
+                Duration::from_nanos(w.busy_nanos).as_secs_f64()
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"per_worker\": [{}]\n", per_worker.join(", ")));
     out.push_str("}\n");
     out
 }
@@ -762,6 +874,10 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     let mut report: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut quiet = false;
+    let mut threads = 1usize;
+    let mut workers = 0usize;
+    let mut worker_cmd: Option<Vec<String>> = None;
+    let mut connect: Vec<Endpoint> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -774,6 +890,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                 println!(
                     "usage: astree fuzz [--members N] [--seeds N] [--ticks N]\n\
                      \x20      [--channels-max N] [--no-bugs] [--no-shrink] [--quiet]\n\
+                     \x20      [--jobs N] [--workers N] [--worker-cmd CMD] [--connect ADDR]\n\
                      \x20      [--report FILE] [--baseline FILE]\n\
                      Generates a corpus of family members, analyzes each with\n\
                      per-statement invariant collection, then fuzzes the concrete\n\
@@ -782,7 +899,10 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                      concrete run-time error must be covered by an alarm of the\n\
                      same kind at the same statement. Counterexamples are shrunk\n\
                      (fewest channels, smallest seed, earliest tick) and reported\n\
-                     through the astree-campaign/1 JSON schema.\n\
+                     through the astree-campaign/1 JSON schema. Members are fleet\n\
+                     jobs: --jobs shards over threads, --workers over worker\n\
+                     processes, --connect over remote workers; the campaign is\n\
+                     identical for every sharding.\n\
                      --baseline FILE adds an alarm-census delta vs a prior report\n\
                      exit status: 0 = no divergence, 1 = divergences found"
                 );
@@ -797,6 +917,17 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
             "--no-bugs" => cfg.include_bugs = false,
             "--no-shrink" => cfg.shrink = false,
             "--quiet" => quiet = true,
+            "--jobs" => threads = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--workers" => workers = value(&mut i)?.parse().map_err(|e| format!("{e}"))?,
+            "--worker-cmd" => {
+                let cmd: Vec<String> =
+                    value(&mut i)?.split_whitespace().map(str::to_string).collect();
+                if cmd.is_empty() {
+                    return Err("--worker-cmd: empty command".into());
+                }
+                worker_cmd = Some(cmd);
+            }
+            "--connect" => connect.push(Endpoint::parse(&value(&mut i)?)),
             "--report" => report = Some(value(&mut i)?),
             "--baseline" => baseline = Some(value(&mut i)?),
             other => return Err(format!("unknown option {other}")),
@@ -810,19 +941,39 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         }
         None => None,
     };
-    let campaign = run_campaign(&cfg, |outcome| {
-        if quiet {
-            return;
+    let jobs = fleet::campaign_jobs(&cfg);
+    let mut builder = FleetSession::builder()
+        .jobs(jobs.clone())
+        .config(cfg.analysis.clone())
+        .threads(threads)
+        .workers(workers);
+    if let Some(cmd) = worker_cmd {
+        builder = builder.worker_cmd(cmd);
+    }
+    for endpoint in connect {
+        builder = builder.connect(endpoint);
+    }
+    let fleet_report = builder.run();
+    if !quiet {
+        for o in &fleet_report.outcomes {
+            match &o.oracle {
+                Some(outcome) => {
+                    let verdict = if outcome.divergences.is_empty() { "ok" } else { "DIVERGED" };
+                    println!(
+                        "{:24} {} executions, {} states checked, {} alarms: {verdict}",
+                        o.name,
+                        outcome.executions,
+                        outcome.states_checked,
+                        outcome.alarms.values().sum::<u64>(),
+                    );
+                }
+                None => {
+                    println!("{:24} {}: {}", o.name, o.status, o.detail.as_deref().unwrap_or("-"))
+                }
+            }
         }
-        let verdict = if outcome.divergences.is_empty() { "ok" } else { "DIVERGED" };
-        println!(
-            "{:24} {} executions, {} states checked, {} alarms: {verdict}",
-            outcome.spec.label(),
-            outcome.executions,
-            outcome.states_checked,
-            outcome.alarms.values().sum::<u64>(),
-        );
-    });
+    }
+    let campaign = fleet::campaign_from_outcomes(&jobs, &fleet_report.outcomes);
     for d in &campaign.divergences {
         let what = match &d.kind {
             DivergenceKind::Escape { cell, value, abs } => {

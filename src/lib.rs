@@ -21,7 +21,10 @@
 //!   store, `astree-serve/1` wire protocol)
 //! - [`oracle`] — the differential soundness oracle (corpus fuzzing of
 //!   concrete executions against claimed invariants, `astree-campaign/1`)
-//! - [`batch`] — fleet analysis on top of the scheduler
+//! - [`fleet`] — distributed fleet sharding: the process-level coordinator
+//!   with work stealing and a shared warm store, behind the unified
+//!   `FleetSession` API (`astree-fleet/1` wire protocol)
+//! - [`batch`] — deprecated aliases for the fleet job types
 //! - [`options`] — the shared CLI run options (`--jobs`, `--metrics`,
 //!   `--trace`, `--cache`)
 
@@ -30,6 +33,7 @@ pub mod options;
 
 pub use astree_core as core;
 pub use astree_domains as domains;
+pub use astree_fleet as fleet;
 pub use astree_float as float;
 pub use astree_frontend as frontend;
 pub use astree_gen as gen;

@@ -4,8 +4,8 @@
 //! sequential one — the same alarm list (order included) and the same main
 //! loop invariant.
 
-use astree::batch::{analyze_fleet, FleetJob};
 use astree::core::{AnalysisConfig, AnalysisResult, AnalysisSession};
+use astree::fleet::{FleetSession, JobSpec, JobStatus};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use std::time::Duration;
@@ -181,23 +181,20 @@ fn nested_slicing_splits_fat_branches() {
 fn batch_isolates_a_panicking_job() {
     // A worker panic (here: a deliberately poisoned job) must fail that job
     // only; the remaining jobs complete and report normally.
-    let mut fleet: Vec<FleetJob> = vec![
-        FleetJob {
-            name: "clean".into(),
-            source: generate(&GenConfig { channels: 1, seed: 1, bug: None }),
-        },
-        FleetJob {
-            name: "buggy".into(),
-            source: generate(&GenConfig { channels: 1, seed: 2, bug: Some(BugKind::DivByZero) }),
-        },
+    let mut fleet: Vec<JobSpec> = vec![
+        JobSpec::new("clean", generate(&GenConfig { channels: 1, seed: 1, bug: None })),
+        JobSpec::new(
+            "buggy",
+            generate(&GenConfig { channels: 1, seed: 2, bug: Some(BugKind::DivByZero) }),
+        ),
     ];
-    fleet.insert(1, FleetJob { name: "poison".into(), source: "int x; @!#".into() });
+    fleet.insert(1, JobSpec::new("poison", "int x; @!#"));
 
-    let report = analyze_fleet(fleet, &AnalysisConfig::default(), 2, None);
+    let report = FleetSession::builder().jobs(fleet).threads(2).run();
     assert_eq!(report.outcomes.len(), 3);
     assert_eq!(report.outcomes[0].name, "clean");
     assert_eq!(report.outcomes[0].alarms, Some(0), "{:?}", report.outcomes[0]);
-    assert_ne!(report.outcomes[1].status, "done");
+    assert_ne!(report.outcomes[1].status, JobStatus::Done);
     assert_eq!(report.outcomes[2].name, "buggy");
     assert!(report.outcomes[2].alarms.unwrap_or(0) >= 1, "{:?}", report.outcomes[2]);
     assert_eq!(report.completed(), 2);
@@ -205,11 +202,9 @@ fn batch_isolates_a_panicking_job() {
 
 #[test]
 fn batch_timeout_is_honored() {
-    let fleet = vec![FleetJob {
-        name: "big".into(),
-        source: generate(&GenConfig { channels: 12, seed: 5, bug: None }),
-    }];
-    let report = analyze_fleet(fleet, &AnalysisConfig::default(), 1, Some(Duration::from_nanos(1)));
-    assert_eq!(report.outcomes[0].status, "timed-out");
+    let fleet =
+        vec![JobSpec::new("big", generate(&GenConfig { channels: 12, seed: 5, bug: None }))];
+    let report = FleetSession::builder().jobs(fleet).timeout(Some(Duration::from_nanos(1))).run();
+    assert_eq!(report.outcomes[0].status, JobStatus::TimedOut);
     assert_eq!(report.completed(), 0);
 }

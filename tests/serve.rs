@@ -5,6 +5,7 @@
 //! never take the daemon down.
 
 use astree::core::{AnalysisConfig, AnalysisSession};
+use astree::fleet::JobSpec;
 use astree::frontend::Frontend;
 use astree::gen::{generate, GenConfig};
 use astree::obs::Json;
@@ -252,10 +253,10 @@ fn batch_requests_return_per_job_outcomes() {
     let endpoint = server.endpoint().clone();
     let handle = server.spawn();
 
-    let jobs: Vec<(String, String)> = vec![
-        ("clean".into(), generate(&GenConfig { channels: 1, seed: 1, bug: None })),
-        ("poison".into(), "int x; @!#".into()),
-        ("clean-2".into(), generate(&GenConfig { channels: 2, seed: 7, bug: None })),
+    let jobs: Vec<JobSpec> = vec![
+        JobSpec::new("clean", generate(&GenConfig { channels: 1, seed: 1, bug: None })),
+        JobSpec::new("poison", "int x; @!#"),
+        JobSpec::new("clean-2", generate(&GenConfig { channels: 2, seed: 7, bug: None })),
     ];
     let mut client = Client::connect(&endpoint).expect("connect");
     let frame = client.batch(&jobs).expect("batch");
@@ -264,9 +265,9 @@ fn batch_requests_return_per_job_outcomes() {
     };
     assert_eq!(outcomes.len(), 3);
     let status = |i: usize| outcomes[i].get("status").and_then(Json::as_str).unwrap();
-    assert_eq!(status(0), "ok");
-    assert_eq!(status(1), "bad_request", "a poisoned job fails alone");
-    assert_eq!(status(2), "ok", "jobs after the failure still run");
+    assert_eq!(status(0), "done");
+    assert_eq!(status(1), "failed", "a poisoned job fails alone");
+    assert_eq!(status(2), "done", "jobs after the failure still run");
     client.shutdown().expect("shutdown");
     handle.join().expect("clean daemon exit");
 }

@@ -2,8 +2,8 @@
 //! must observe the fixpoint engine, the domains, the parallel scheduler and
 //! the batch runner without changing any analysis result.
 
-use astree::batch::{analyze_fleet_recorded, FleetJob};
 use astree::core::{AnalysisConfig, AnalysisSession};
+use astree::fleet::{FleetSession, JobSpec, JobStatus};
 use astree::frontend::Frontend;
 use astree::gen::{generate, BugKind, GenConfig};
 use astree::obs::{Collector, Json, Metrics, SCHEMA};
@@ -168,19 +168,16 @@ fn panicking_slice_falls_back_to_identical_sequential_replay() {
 #[test]
 fn batch_metrics_record_job_outcomes_with_reasons() {
     let fleet = vec![
-        FleetJob {
-            name: "clean".into(),
-            source: generate(&GenConfig { channels: 1, seed: 1, bug: None }),
-        },
-        FleetJob { name: "poison".into(), source: "int x; @!#".into() },
-        FleetJob {
-            name: "buggy".into(),
-            source: generate(&GenConfig { channels: 1, seed: 2, bug: Some(BugKind::DivByZero) }),
-        },
+        JobSpec::new("clean", generate(&GenConfig { channels: 1, seed: 1, bug: None })),
+        JobSpec::new("poison", "int x; @!#"),
+        JobSpec::new(
+            "buggy",
+            generate(&GenConfig { channels: 1, seed: 2, bug: Some(BugKind::DivByZero) }),
+        ),
     ];
     let collector = Arc::new(Collector::new());
     let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
-    let report = analyze_fleet_recorded(fleet, &AnalysisConfig::default(), 2, None, rec, None);
+    let report = FleetSession::builder().jobs(fleet).threads(2).recorder(rec).run();
     assert_eq!(report.outcomes.len(), 3);
 
     let m = collector.snapshot();
@@ -195,21 +192,16 @@ fn batch_metrics_record_job_outcomes_with_reasons() {
 
 #[test]
 fn batch_metrics_record_timeouts() {
-    let fleet = vec![FleetJob {
-        name: "big".into(),
-        source: generate(&GenConfig { channels: 12, seed: 5, bug: None }),
-    }];
+    let fleet =
+        vec![JobSpec::new("big", generate(&GenConfig { channels: 12, seed: 5, bug: None }))];
     let collector = Arc::new(Collector::new());
     let rec: Arc<dyn astree::obs::Recorder> = Arc::clone(&collector) as _;
-    let report = analyze_fleet_recorded(
-        fleet,
-        &AnalysisConfig::default(),
-        1,
-        Some(Duration::from_nanos(1)),
-        rec,
-        None,
-    );
-    assert_eq!(report.outcomes[0].status, "timed-out");
+    let report = FleetSession::builder()
+        .jobs(fleet)
+        .timeout(Some(Duration::from_nanos(1)))
+        .recorder(rec)
+        .run();
+    assert_eq!(report.outcomes[0].status, JobStatus::TimedOut);
     let m = collector.snapshot();
     assert_eq!(m.scheduler.batch_jobs[0].status, "timed-out");
 }
