@@ -1,0 +1,214 @@
+//! `relational_hotpath` — wall-time effect of the half-matrix DBM layout,
+//! the small-pack closure kernels, and the slab allocator behind pmap.
+//!
+//! Runs each family member at `--jobs 1` twice: once with the specialized
+//! small-pack octagon kernels (the default) and once with
+//! `debug_generic_kernels` forcing the generic half-matrix path. The two
+//! modes share every layout and allocator change, differing only in kernel
+//! dispatch, and must produce bit-identical alarms, main-loop census and
+//! rendered main invariant — the binary panics otherwise. Because the
+//! specialized kernels are instantiations of the same inlined bodies, the
+//! pmap allocation counters must also match exactly across modes.
+//!
+//! With a pre-change `BENCH_state_sharing.json` (same family generator,
+//! same seed, same default config at jobs=1) passed as the baseline, the
+//! document additionally reports the wall-time reduction and the
+//! fresh-node-memory reduction against the old binary: the baseline's
+//! every node allocation was an individual global-allocator round trip,
+//! while this binary recycles dropped nodes through the slab free lists,
+//! so fresh allocations are `nodes_allocated - nodes_recycled`.
+//!
+//! ```text
+//! cargo run --release -p astree-bench --bin relational_hotpath \
+//!     [seed] [out.json] [baseline_state_sharing.json]
+//! ```
+
+use astree_bench::{family_kloc, family_program};
+use astree_core::{AnalysisConfig, AnalysisResult, AnalysisSession};
+use astree_ir::Program;
+use astree_obs::{Collector, Json, PmapCounters};
+use std::time::Instant;
+
+/// Timed repetitions per mode; the fastest is reported.
+const ITERATIONS: usize = 5;
+
+/// Family sizes (generator channel counts) on the measurement ladder.
+const CHANNELS: [usize; 3] = [12, 24, 46];
+
+struct ModeRun {
+    wall: f64,
+    pmap: PmapCounters,
+    result: AnalysisResult,
+}
+
+/// Best-of-`ITERATIONS` analysis at jobs=1 with the specialized kernels on
+/// or off; counters come from the fastest repetition (they are
+/// deterministic per mode).
+fn run_mode(program: &Program, generic_kernels: bool) -> ModeRun {
+    let mut best: Option<ModeRun> = None;
+    for _ in 0..ITERATIONS {
+        let mut cfg = AnalysisConfig::default();
+        cfg.jobs = 1;
+        cfg.debug_generic_kernels = generic_kernels;
+        let c = Collector::new();
+        let t0 = Instant::now();
+        let result = AnalysisSession::builder(program).config(cfg).recorder(&c).build().run();
+        let wall = t0.elapsed().as_secs_f64();
+        if best.as_ref().is_none_or(|b| wall < b.wall) {
+            best = Some(ModeRun { wall, pmap: c.snapshot().pmap, result });
+        }
+    }
+    best.expect("at least one iteration ran")
+}
+
+fn pmap_json(p: &PmapCounters) -> Json {
+    Json::obj([
+        ("nodes_allocated", Json::UInt(p.nodes_allocated)),
+        ("nodes_recycled", Json::UInt(p.nodes_recycled)),
+        ("fresh_allocations", Json::UInt(p.nodes_allocated.saturating_sub(p.nodes_recycled))),
+        ("slab_bytes_allocated", Json::UInt(p.slab_bytes_allocated)),
+        ("slab_bytes_freed", Json::UInt(p.slab_bytes_freed)),
+        ("bytes_live", Json::UInt(p.bytes_live())),
+        ("merge_calls", Json::UInt(p.merge_calls)),
+        ("identity_preserved", Json::UInt(p.identity_preserved)),
+    ])
+}
+
+/// Per-channel `(sharing_wall_s, sharing nodes_allocated)` from a pre-change
+/// `BENCH_state_sharing.json` (its sharing mode is this bench's
+/// configuration: default config, jobs=1, fast paths on).
+fn load_baseline(path: &str) -> Vec<(u64, f64, u64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("relational_hotpath: cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("relational_hotpath: baseline {path} is not JSON: {e}"));
+    let Some(Json::Arr(sizes)) = doc.get("sizes") else {
+        panic!("relational_hotpath: baseline {path} has no sizes array");
+    };
+    sizes
+        .iter()
+        .map(|s| {
+            let channels = s.get("channels").and_then(Json::as_u64).expect("baseline channels");
+            let wall = match s.get("sharing_wall_s") {
+                Some(Json::Float(w)) => *w,
+                other => panic!("baseline sharing_wall_s missing or not a float: {other:?}"),
+            };
+            let nodes = s
+                .get("sharing_pmap")
+                .and_then(|p| p.get("nodes_allocated"))
+                .and_then(Json::as_u64)
+                .expect("baseline nodes_allocated");
+            (channels, wall, nodes)
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let out_path = args.next().unwrap_or_else(|| "BENCH_relational_hotpath.json".into());
+    let baseline = args.next().map(|p| load_baseline(&p));
+
+    let mut sizes = Vec::new();
+    let mut summary = None;
+    for channels in CHANNELS {
+        let program = family_program(channels, seed);
+        let kloc = family_kloc(channels, seed);
+
+        let spec = run_mode(&program, false);
+        let generic = run_mode(&program, true);
+
+        // The differential contract: the specialized kernels are
+        // instantiations of the generic bodies, so disabling them must not
+        // change a single observable bit.
+        let alarms_spec: Vec<String> = spec.result.alarms.iter().map(|a| a.to_string()).collect();
+        let alarms_gen: Vec<String> = generic.result.alarms.iter().map(|a| a.to_string()).collect();
+        assert_eq!(
+            alarms_spec, alarms_gen,
+            "channels={channels}: debug_generic_kernels changed the alarm list"
+        );
+        assert_eq!(
+            spec.result.main_census, generic.result.main_census,
+            "channels={channels}: debug_generic_kernels changed the main-loop census"
+        );
+        assert_eq!(
+            spec.result.main_invariant.as_ref().map(|s| format!("{s}")),
+            generic.result.main_invariant.as_ref().map(|s| format!("{s}")),
+            "channels={channels}: debug_generic_kernels changed the main invariant"
+        );
+        // Kernel dispatch must not change what the state algebra allocates.
+        assert_eq!(
+            spec.pmap.nodes_allocated, generic.pmap.nodes_allocated,
+            "channels={channels}: debug_generic_kernels changed pmap allocation counts"
+        );
+        assert!(
+            spec.pmap.nodes_recycled > 0,
+            "channels={channels}: slab recycled no nodes"
+        );
+
+        let base = baseline.as_ref().and_then(|b| b.iter().find(|(c, _, _)| *c == channels as u64));
+        let mut row = vec![
+            ("channels", Json::UInt(channels as u64)),
+            ("kloc", Json::Float(kloc)),
+            ("alarms", Json::UInt(alarms_spec.len() as u64)),
+            ("loop_iterations", Json::UInt(spec.result.stats.loop_iterations)),
+            ("specialized_wall_s", Json::Float(spec.wall)),
+            ("generic_wall_s", Json::Float(generic.wall)),
+            ("kernel_speedup", Json::Float(generic.wall / spec.wall)),
+            ("specialized_pmap", pmap_json(&spec.pmap)),
+            ("generic_pmap", pmap_json(&generic.pmap)),
+        ];
+        let mut base_note = String::new();
+        if let Some(&(_, base_wall, base_nodes)) = base {
+            let wall_speedup = base_wall / spec.wall;
+            let fresh = spec.pmap.nodes_allocated.saturating_sub(spec.pmap.nodes_recycled);
+            let fresh_reduction = 1.0 - fresh as f64 / base_nodes as f64;
+            row.push(("baseline_wall_s", Json::Float(base_wall)));
+            row.push(("baseline_nodes_allocated", Json::UInt(base_nodes)));
+            row.push(("wall_speedup_vs_baseline", Json::Float(wall_speedup)));
+            row.push(("fresh_alloc_reduction_vs_baseline", Json::Float(fresh_reduction)));
+            summary = Some((channels, wall_speedup, fresh_reduction));
+            base_note = format!(
+                ", vs baseline {base_wall:.3}s = {wall_speedup:.2}x \
+                 ({:.1}% fewer fresh node allocations)",
+                fresh_reduction * 100.0
+            );
+        }
+        sizes.push(Json::obj(row));
+        eprintln!(
+            "channels={channels}: specialized {:.3}s vs generic {:.3}s ({:.2}x), \
+             recycled {}/{} nodes{base_note}",
+            spec.wall,
+            generic.wall,
+            generic.wall / spec.wall,
+            spec.pmap.nodes_recycled,
+            spec.pmap.nodes_allocated,
+        );
+    }
+
+    let summary_json = match summary {
+        Some((channels, wall_speedup, fresh_reduction)) => Json::obj([
+            ("channels", Json::UInt(channels as u64)),
+            ("wall_speedup_vs_baseline", Json::Float(wall_speedup)),
+            ("fresh_alloc_reduction_vs_baseline", Json::Float(fresh_reduction)),
+        ]),
+        None => Json::Null,
+    };
+    let doc = Json::obj([
+        ("experiment", Json::str("relational_hotpath")),
+        (
+            "host_cpus",
+            Json::UInt(std::thread::available_parallelism().map_or(1, |n| n.get() as u64)),
+        ),
+        ("seed", Json::UInt(seed)),
+        ("iterations", Json::UInt(ITERATIONS as u64)),
+        ("sizes", Json::Arr(sizes)),
+        ("summary", summary_json),
+    ]);
+    let rendered = doc.to_string();
+    if let Err(e) = std::fs::write(&out_path, &rendered) {
+        eprintln!("relational_hotpath: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("{rendered}");
+}

@@ -311,6 +311,7 @@ impl<'a> AnalysisSession<'a> {
         // the test harness) are not affected. The flag never changes results
         // — it is excluded from the cache fingerprint.
         let prev_shortcuts = astree_pmap::set_ptr_shortcuts(!self.config.debug_no_ptr_shortcuts);
+        let prev_kernels = astree_domains::set_generic_kernels(self.config.debug_generic_kernels);
 
         let mut iter = Iter::with_recorder(self.program, &layout, &packs, &self.config, rec);
         iter.pool = pool;
@@ -328,6 +329,7 @@ impl<'a> AnalysisSession<'a> {
         let mut pmap_stats = astree_pmap::take_stats();
         pmap_stats.absorb(&iter.pmap_worker_stats);
         astree_pmap::set_ptr_shortcuts(prev_shortcuts);
+        astree_domains::set_generic_kernels(prev_kernels);
         if rec.enabled() {
             rec.phase_time("iterate", time_iterate.as_nanos() as u64);
             rec.phase_time("check", time_check.as_nanos() as u64);
@@ -340,7 +342,12 @@ impl<'a> AnalysisSession<'a> {
                 root_shortcut_hits: pmap_stats.root_shortcut_hits,
                 interior_shortcut_hits: pmap_stats.interior_shortcut_hits,
                 identity_preserved: pmap_stats.identity_preserved,
+                nodes_recycled: pmap_stats.nodes_recycled,
+                slab_bytes_allocated: pmap_stats.slab_bytes_allocated,
+                slab_bytes_freed: pmap_stats.slab_bytes_freed,
             });
+            let oct_sizes: Vec<usize> = packs.octagons.iter().map(|p| p.cells.len()).collect();
+            rec.pack_sizes(&oct_sizes);
             if let Some(pool) = pool {
                 let s = match &pool_before {
                     Some(before) => pool.stats().since(before),

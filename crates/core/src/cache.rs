@@ -71,6 +71,9 @@ pub const CACHE_FORMAT: &str = "astree-cache/1";
 /// bit-identical to the sequential analysis, enforced by `tests/parallel`)
 /// and the `debug_panic_slice` / `debug_force_steal` fault injections
 /// (replayed stages and forced-steal placements are bit-identical too).
+/// `debug_no_ptr_shortcuts` and `debug_generic_kernels` are likewise
+/// excluded: both disable pure fast paths (pointer shortcuts, specialized
+/// octagon kernels) whose results are bit-identical by contract.
 pub fn config_fingerprint(config: &AnalysisConfig) -> u64 {
     let mut h = Fnv::new();
     h.str("astree-config");
@@ -1059,6 +1062,14 @@ mod tests {
             fp,
             config_fingerprint(&no_shortcuts),
             "debug_no_ptr_shortcuts is excluded (results identical)"
+        );
+
+        let mut generic = AnalysisConfig::default();
+        generic.debug_generic_kernels = true;
+        assert_eq!(
+            fp,
+            config_fingerprint(&generic),
+            "debug_generic_kernels is excluded (results identical)"
         );
 
         let mut widen = AnalysisConfig::default();

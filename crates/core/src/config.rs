@@ -108,6 +108,15 @@ pub struct AnalysisConfig {
     /// excluded from the cache fingerprint.
     #[doc(hidden)]
     pub debug_no_ptr_shortcuts: bool,
+    /// Disables the monomorphized small-pack octagon kernels (closure /
+    /// `leq` / `join` / `widen` for 2–3-variable packs), forcing the generic
+    /// half-matrix path everywhere. The specialized kernels are
+    /// instantiations of the same inlined bodies — identical float-operation
+    /// order — so alarms, census and invariants must stay bit-identical to
+    /// the default run; CI diffs both modes. Purely a validation knob: it is
+    /// excluded from the cache fingerprint.
+    #[doc(hidden)]
+    pub debug_generic_kernels: bool,
     /// Records the joined abstract state observed at *every* statement during
     /// the Check pass (not just loop heads) into
     /// [`AnalysisResult::stmt_invariants`]. Used by the differential
@@ -151,6 +160,7 @@ impl Default for AnalysisConfig {
             debug_force_steal: None,
             debug_inline_slices: false,
             debug_no_ptr_shortcuts: false,
+            debug_generic_kernels: false,
             collect_stmt_invariants: false,
         }
     }

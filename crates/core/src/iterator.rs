@@ -472,6 +472,7 @@ impl<'a> Iter<'a> {
                 // sharing flag: align it with the session's configuration on
                 // every slice (the session only sets the caller's thread).
                 astree_pmap::set_ptr_shortcuts(!config.debug_no_ptr_shortcuts);
+                astree_domains::set_generic_kernels(config.debug_generic_kernels);
                 let t0 = Instant::now();
                 let mut w = Iter::new(program, layout, packs, config);
                 w.par_enabled = false;

@@ -7,6 +7,30 @@
 //! sweep plus the octagon strengthening step) is cubic in the number of
 //! variables — affordable because packs stay small (Sect. 7.2.1).
 //!
+//! # Half-matrix storage
+//!
+//! Every DBM this module produces is *coherent*: `m[i][j] = m[ȷ̄][ī]` with
+//! `k̄ = k^1` (swapping a constraint's two node views yields the same
+//! constraint). Rather than storing both copies in a `(2n)×(2n)` matrix, only
+//! the coherent lower triangle is kept — the canonical slots `(i, j)` with
+//! `j ≤ (i|1)`, laid out row-contiguously at `j + (i+1)²/2`, which is
+//! `2n(n+1)` entries instead of `4n²`. Packs of ≤ 3 variables (the common
+//! case from pack discovery) fit the 24-slot inline buffer and never touch
+//! the heap. The closure loops iterate canonical rows contiguously and read
+//! mirrors through the coherence map, so the inner loops stay branch-light
+//! and vectorizable.
+//!
+//! # Small-pack kernels
+//!
+//! `close_full`, `join`, `widen` and `leq` dispatch on the pack size to
+//! monomorphized kernels for n = 2 and n = 3 (fully unrolled, no runtime
+//! index arithmetic). The kernels are const-generic instantiations of the
+//! *same* `#[inline(always)]` body as the generic path, so they perform the
+//! identical float operations in the identical order — results are bitwise
+//! equal by construction. [`set_generic_kernels`] disables the dispatch on
+//! the current thread (the `--debug-generic-kernels` differential), and a
+//! property test asserts the bitwise agreement on random constraint streams.
+//!
 //! Soundness with floats: the abstract element denotes a subset of `ℝⁿ`
 //! (invariants are interpreted in the real field, per the paper's two-step
 //! design), and every bound addition rounds *up*, so closure and transfer
@@ -27,6 +51,13 @@ thread_local! {
     /// count without synchronization; drained per-slice by the iterator
     /// and reported through `domain_op_n("octagon", "closure_saved", …)`.
     static SAVED_CLOSURES: Cell<u64> = const { Cell::new(0) };
+
+    /// When set, the small-pack specialized kernels are bypassed and every
+    /// operation runs the generic body (the `--debug-generic-kernels`
+    /// differential). Thread-local for the same reason as the pmap
+    /// `ptr_shortcuts` flag: parallel slice workers arm it per slice
+    /// without synchronization.
+    static GENERIC_KERNELS: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Drains this thread's saved-closure counter (see [`Octagon::leq_ref`]).
@@ -37,6 +68,287 @@ pub fn take_saved_closures() -> u64 {
 fn note_saved_closure() {
     SAVED_CLOSURES.with(|c| c.set(c.get() + 1));
 }
+
+/// Disables (`true`) or re-enables (`false`) the small-pack specialized
+/// kernels on the current thread, returning the previous setting. The
+/// specialized and generic paths are bitwise identical by construction
+/// (same inlined body), so this is a validation knob, not a semantics
+/// switch — `--debug-generic-kernels` arms it to prove exactly that.
+pub fn set_generic_kernels(generic: bool) -> bool {
+    GENERIC_KERNELS.with(|c| c.replace(generic))
+}
+
+#[inline]
+fn specialized_enabled() -> bool {
+    GENERIC_KERNELS.with(|c| !c.get())
+}
+
+// ---------------------------------------------------------------------------
+// Half-matrix layout
+// ---------------------------------------------------------------------------
+
+/// Number of canonical (stored) slots for an `n`-variable octagon.
+#[inline(always)]
+const fn hm_len(n: usize) -> usize {
+    2 * n * (n + 1)
+}
+
+/// Flat index of the canonical slot `(i, j)`; requires `j ≤ (i|1)`.
+/// Row `i`'s slots are contiguous starting at `(i+1)²/2`.
+#[inline(always)]
+fn hm_idx(i: usize, j: usize) -> usize {
+    debug_assert!(j <= (i | 1));
+    j + ((i + 1) * (i + 1)) / 2
+}
+
+/// Flat index of the slot holding the full-matrix entry `(i, j)`: the
+/// canonical slot itself, or its coherent mirror `(ȷ̄, ī)`.
+#[inline(always)]
+fn hm_slot(i: usize, j: usize) -> usize {
+    if j <= (i | 1) {
+        hm_idx(i, j)
+    } else {
+        hm_idx(j ^ 1, i ^ 1)
+    }
+}
+
+/// Reads the full-matrix entry `(i, j)` from the half matrix.
+#[inline(always)]
+fn g(m: &[f64], i: usize, j: usize) -> f64 {
+    m[hm_slot(i, j)]
+}
+
+/// Largest pack (2·3 nodes → 24 slots) stored inline without heap
+/// allocation. Pack discovery shows 2–3 variables is the dominant case.
+const INLINE_SLOTS: usize = 24;
+
+/// The bound storage: a fixed inline buffer for small packs, a boxed slice
+/// above. Only the first [`hm_len`]`(n)` slots are meaningful; inline tail
+/// slots are never read or compared.
+#[derive(Debug, Clone)]
+enum Buf {
+    Inline([f64; INLINE_SLOTS]),
+    Heap(Box<[f64]>),
+}
+
+impl Buf {
+    /// An uninitialized-content buffer of the right class for `n` variables
+    /// (callers overwrite every live slot).
+    fn raw(n: usize) -> Buf {
+        let len = hm_len(n);
+        if len <= INLINE_SLOTS {
+            Buf::Inline([INF; INLINE_SLOTS])
+        } else {
+            Buf::Heap(vec![INF; len].into_boxed_slice())
+        }
+    }
+}
+
+/// Runs `f` on a zeroed scratch row of `dim` entries — stack-allocated for
+/// every realistic pack, heap fallback above (packs are capped well below
+/// 32 variables in practice, but nothing here should depend on that).
+#[inline(always)]
+fn with_scratch<R>(dim: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    if dim <= 64 {
+        let mut stack = [0.0f64; 64];
+        f(&mut stack[..dim])
+    } else {
+        let mut heap = vec![0.0f64; dim];
+        f(&mut heap)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+//
+// Each kernel is written once as an `#[inline(always)]` body over a runtime
+// dimension and instantiated twice: through a generic wrapper (dimension
+// stays a runtime value) and through const-generic wrappers for the n = 2
+// and n = 3 pack sizes (the dimension becomes a compile-time constant, so
+// the loops fully unroll and the coherence-map branches const-fold away).
+// Both instantiations execute the identical float operations in the
+// identical order, so their results are bitwise equal by construction —
+// the property test below and the `--debug-generic-kernels` differential
+// in CI both enforce it end to end.
+
+/// Relaxes every canonical slot through the node pair `{2t, 2t+1}` whose
+/// rows are snapshotted in `rowk`/`rowk1` (snapshots taken before the pass,
+/// i.e. the post-previous-pair state — the textbook read-old-values
+/// formulation, which keeps the inner loop on contiguous scratch rows).
+///
+/// On the half matrix a canonical slot stands for a full entry *and* its
+/// coherent mirror, and the mirror's path through node `k` is the slot's
+/// path through `k̄ = k^1` — so single-node Floyd–Warshall steps would
+/// relax mirrors through `2t+1` one step early. Processing the pair as one
+/// combined step (Miné's strong-closure formulation: reach `k` either
+/// directly or via `k̄`, then leave through either row) covers all four
+/// path shapes at once and restores the Floyd–Warshall invariant at pair
+/// granularity for both the entry and its mirror.
+#[inline(always)]
+fn relax_through_pair(
+    m: &mut [f64],
+    dim: usize,
+    k: usize,
+    rowk: &[f64],
+    rowk1: &[f64],
+    mut keep: impl FnMut(usize, usize) -> bool,
+) {
+    let k1 = k + 1;
+    let mkk1 = rowk[k1]; // m[2t][2t+1]
+    let mk1k = rowk1[k]; // m[2t+1][2t]
+    for i in 0..dim {
+        let ik = g(m, i, k);
+        let ik1 = g(m, i, k1);
+        // Best way to reach node k (directly, or via k+1) and node k+1.
+        let mut bk = ik;
+        let via = round::add_up(ik1, mk1k);
+        if via < bk {
+            bk = via;
+        }
+        let mut bk1 = ik1;
+        let via = round::add_up(ik, mkk1);
+        if via < bk1 {
+            bk1 = via;
+        }
+        if bk == INF && bk1 == INF {
+            continue;
+        }
+        let base = ((i + 1) * (i + 1)) / 2;
+        for j in 0..=(i | 1) {
+            if !keep(i, j) {
+                continue;
+            }
+            let v = round::add_up(bk, rowk[j]);
+            if v < m[base + j] {
+                m[base + j] = v;
+            }
+            let v = round::add_up(bk1, rowk1[j]);
+            if v < m[base + j] {
+                m[base + j] = v;
+            }
+        }
+    }
+}
+
+/// Floyd–Warshall over the half matrix (pair-combined steps, see
+/// [`relax_through_pair`]) plus one strengthening pass.
+#[inline(always)]
+fn close_full_body(m: &mut [f64], dim: usize) {
+    with_scratch(2 * dim, |rows| {
+        let (rowk, rowk1) = rows.split_at_mut(dim);
+        for t in 0..dim / 2 {
+            let k = 2 * t;
+            for j in 0..dim {
+                rowk[j] = g(m, k, j);
+                rowk1[j] = g(m, k + 1, j);
+            }
+            relax_through_pair(m, dim, k, rowk, rowk1, |_, _| true);
+        }
+    });
+    strengthen_body(m, dim);
+}
+
+/// Octagon strengthening: combine the two unary chains
+/// (`m[i][j] ← min(m[i][j], (m[i][ī] + m[ȷ̄][j])/2)`).
+///
+/// The unary slots read here are only ever self-relaxed by the writes this
+/// pass performs (`(x + x)/2 = x` exactly), so snapshotting them first is
+/// bitwise equal to the in-place formulation.
+#[inline(always)]
+fn strengthen_body(m: &mut [f64], dim: usize) {
+    with_scratch(dim, |udiag| {
+        for (j, u) in udiag.iter_mut().enumerate() {
+            *u = m[hm_idx(j ^ 1, j)];
+        }
+        for i in 0..dim {
+            let ui = m[hm_idx(i, i ^ 1)];
+            if ui == INF {
+                continue;
+            }
+            let base = ((i + 1) * (i + 1)) / 2;
+            for j in 0..=(i | 1) {
+                let v = round::add_up(ui, udiag[j]) / 2.0;
+                if v < m[base + j] {
+                    m[base + j] = v;
+                }
+            }
+        }
+    });
+}
+
+/// Generic (runtime-dimension) instantiation of the closure body.
+fn close_full_generic(m: &mut [f64], dim: usize) {
+    close_full_body(m, dim);
+}
+
+/// Monomorphized closure for a compile-time pack size: the body inlines
+/// with `DIM` constant, unrolling every loop and const-folding the slot
+/// arithmetic and coherence branches.
+fn close_full_kernel<const DIM: usize>(m: &mut [f64]) {
+    close_full_body(m, DIM);
+}
+
+/// Entrywise combine over the live half slices.
+#[inline(always)]
+fn zip_body(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64 + Copy) {
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b)) {
+        *o = f(*x, *y);
+    }
+}
+
+/// Monomorphized entrywise combine for a compile-time slot count.
+fn zip_kernel<const LEN: usize>(
+    out: &mut [f64],
+    a: &[f64],
+    b: &[f64],
+    f: impl Fn(f64, f64) -> f64 + Copy,
+) {
+    let out: &mut [f64; LEN] = (&mut out[..LEN]).try_into().unwrap();
+    let a: &[f64; LEN] = (&a[..LEN]).try_into().unwrap();
+    let b: &[f64; LEN] = (&b[..LEN]).try_into().unwrap();
+    zip_body(out, a, b, f);
+}
+
+/// Entrywise combine with small-pack dispatch (n = 2 → 12 slots,
+/// n = 3 → 24 slots).
+fn zip_dispatch(out: &mut [f64], a: &[f64], b: &[f64], f: impl Fn(f64, f64) -> f64 + Copy) {
+    if specialized_enabled() {
+        match out.len() {
+            12 => return zip_kernel::<12>(out, a, b, f),
+            24 => return zip_kernel::<24>(out, a, b, f),
+            _ => {}
+        }
+    }
+    zip_body(out, a, b, f);
+}
+
+/// Entrywise `≤` over the live half slices.
+#[inline(always)]
+fn leq_body(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+fn leq_kernel<const LEN: usize>(a: &[f64], b: &[f64]) -> bool {
+    let a: &[f64; LEN] = (&a[..LEN]).try_into().unwrap();
+    let b: &[f64; LEN] = (&b[..LEN]).try_into().unwrap();
+    leq_body(a, b)
+}
+
+fn leq_dispatch(a: &[f64], b: &[f64]) -> bool {
+    if specialized_enabled() {
+        match a.len() {
+            12 => return leq_kernel::<12>(a, b),
+            24 => return leq_kernel::<24>(a, b),
+            _ => {}
+        }
+    }
+    leq_body(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// Closure bookkeeping
+// ---------------------------------------------------------------------------
 
 /// Closure bookkeeping: which part of the matrix may violate strong
 /// closure. `DirtyVars` is the incremental-closure fast path — the matrix
@@ -70,18 +382,31 @@ enum Closure {
 #[derive(Debug, Clone)]
 pub struct Octagon {
     n: usize,
-    /// Row-major `(2n)×(2n)` bound matrix.
-    m: Vec<f64>,
+    /// Canonical lower triangle of the coherent `(2n)×(2n)` bound matrix
+    /// (see the module docs for the layout).
+    buf: Buf,
     closure: Closure,
 }
 
-/// Equality compares the matrix and whether strong closure holds — the
-/// same observable distinction the former boolean `closed` flag made (the
-/// two dirty flavors are interchangeable: both just mean "must re-close").
+/// Equality compares the bound matrix *numerically* and whether strong
+/// closure holds — the same observable distinction the former boolean
+/// `closed` flag made (the two dirty flavors are interchangeable: both just
+/// mean "must re-close").
+///
+/// Numeric equality is deliberate and correct **only because nothing
+/// identity-sensitive uses it**: `PartialEq` serves tests and assertions,
+/// where `-0.0 == 0.0` is the right notion of "same constraints". Every
+/// sharing/identity decision in the analyzer (pmap `insert_if_changed`,
+/// aligned-roots merges) goes through the bitwise [`Octagon::same`]
+/// instead — substituting a `PartialEq`-equal octagon with different
+/// `-0.0` bit patterns (or treating two NaN-shaped bounds as unequal)
+/// would silently change downstream bit patterns. The
+/// `partial_eq_is_numeric_same_is_bitwise` regression test pins both
+/// behaviors.
 impl PartialEq for Octagon {
     fn eq(&self, other: &Octagon) -> bool {
         self.n == other.n
-            && self.m == other.m
+            && self.hm() == other.hm()
             && (self.closure == Closure::Closed) == (other.closure == Closure::Closed)
     }
 }
@@ -89,12 +414,15 @@ impl PartialEq for Octagon {
 impl Octagon {
     /// The unconstrained octagon over `n` variables.
     pub fn top(n: usize) -> Octagon {
-        let dim = 2 * n;
-        let mut m = vec![INF; dim * dim];
-        for i in 0..dim {
-            m[i * dim + i] = 0.0;
+        let mut buf = Buf::raw(n);
+        let m = match &mut buf {
+            Buf::Inline(a) => &mut a[..],
+            Buf::Heap(b) => b,
+        };
+        for i in 0..2 * n {
+            m[hm_idx(i, i)] = 0.0;
         }
-        Octagon { n, m, closure: Closure::Closed }
+        Octagon { n, buf, closure: Closure::Closed }
     }
 
     /// Number of variables in the pack.
@@ -102,24 +430,74 @@ impl Octagon {
         self.n
     }
 
+    /// The live canonical slots.
+    #[inline(always)]
+    fn hm(&self) -> &[f64] {
+        match &self.buf {
+            Buf::Inline(a) => &a[..hm_len(self.n)],
+            Buf::Heap(b) => b,
+        }
+    }
+
+    /// The live canonical slots, mutably.
+    #[inline(always)]
+    fn hm_mut(&mut self) -> &mut [f64] {
+        match &mut self.buf {
+            Buf::Inline(a) => &mut a[..hm_len(self.n)],
+            Buf::Heap(b) => b,
+        }
+    }
+
+    /// Whether the bounds live in the no-heap inline buffer (small packs).
+    #[cfg(test)]
+    fn is_inline(&self) -> bool {
+        matches!(self.buf, Buf::Inline(_))
+    }
+
     /// The raw representation `(n, bound matrix, closed)`, for serialization.
     ///
-    /// The matrix is the row-major `(2n)×(2n)` difference-bound matrix; the
-    /// `closed` flag records whether strong closure has been applied. Feeding
-    /// these three values back through [`Octagon::from_raw`] reconstructs a
-    /// physically identical element.
-    pub fn to_raw(&self) -> (usize, &[f64], bool) {
-        (self.n, &self.m, self.closure == Closure::Closed)
+    /// The matrix is the row-major `(2n)×(2n)` difference-bound matrix
+    /// (expanded from the stored half matrix through coherence — the
+    /// on-disk `astree-cache/1` codec predates the half-matrix storage and
+    /// stays format-compatible); the `closed` flag records whether strong
+    /// closure has been applied. Feeding these three values back through
+    /// [`Octagon::from_raw`] reconstructs a physically identical element.
+    pub fn to_raw(&self) -> (usize, Vec<f64>, bool) {
+        let dim = 2 * self.n;
+        let m = self.hm();
+        let mut full = vec![0.0; dim * dim];
+        for i in 0..dim {
+            for j in 0..dim {
+                full[i * dim + j] = g(m, i, j);
+            }
+        }
+        (self.n, full, self.closure == Closure::Closed)
     }
 
     /// Rebuilds an octagon from its raw representation (see
     /// [`Octagon::to_raw`]). Returns `None` if the matrix length is not
     /// `(2n)²`.
+    ///
+    /// Only the canonical lower triangle of `m` is read: every matrix the
+    /// analyzer (of any version) ever serialized is coherent, so this loses
+    /// nothing — old warm stores replay byte-for-byte.
     pub fn from_raw(n: usize, m: Vec<f64>, closed: bool) -> Option<Octagon> {
         if m.len() != 4 * n * n {
             return None;
         }
-        Some(Octagon { n, m, closure: if closed { Closure::Closed } else { Closure::Dirty } })
+        let dim = 2 * n;
+        let mut buf = Buf::raw(n);
+        let half = match &mut buf {
+            Buf::Inline(a) => &mut a[..],
+            Buf::Heap(b) => b,
+        };
+        for i in 0..dim {
+            let base = ((i + 1) * (i + 1)) / 2;
+            for j in 0..=(i | 1) {
+                half[base + j] = m[i * dim + j];
+            }
+        }
+        Some(Octagon { n, buf, closure: if closed { Closure::Closed } else { Closure::Dirty } })
     }
 
     /// Marks variable `v`'s rows/columns as modified since the last strong
@@ -139,19 +517,14 @@ impl Octagon {
 
     #[inline]
     fn at(&self, i: usize, j: usize) -> f64 {
-        self.m[i * 2 * self.n + j]
-    }
-
-    #[inline]
-    fn set(&mut self, i: usize, j: usize, v: f64) {
-        let dim = 2 * self.n;
-        self.m[i * dim + j] = v;
+        self.hm()[hm_slot(i, j)]
     }
 
     #[inline]
     fn tighten(&mut self, i: usize, j: usize, v: f64) {
-        if v < self.at(i, j) {
-            self.set(i, j, v);
+        let s = hm_slot(i, j);
+        if v < self.hm()[s] {
+            self.hm_mut()[s] = v;
             self.taint_var(i / 2);
             self.taint_var(j / 2);
         }
@@ -174,7 +547,8 @@ impl Octagon {
     /// Panics if `i == j`.
     pub fn add_diff_le(&mut self, i: usize, j: usize, c: f64) {
         assert_ne!(i, j, "difference constraint needs two distinct variables");
-        // x_i − x_j ≤ c  ⇔  V_{2i} − V_{2j} ≤ c.
+        // x_i − x_j ≤ c  ⇔  V_{2i} − V_{2j} ≤ c (and its coherent mirror,
+        // which is the same stored slot).
         self.tighten(2 * j, 2 * i, c);
         self.tighten(2 * i + 1, 2 * j + 1, c);
     }
@@ -242,25 +616,20 @@ impl Octagon {
         }
     }
 
-    /// Full strong closure (cubic Floyd–Warshall + strengthening).
+    /// Full strong closure (cubic Floyd–Warshall + strengthening), with
+    /// small-pack kernel dispatch.
     fn close_full(&mut self) {
         let dim = 2 * self.n;
-        // Floyd–Warshall over all 2n nodes.
-        for k in 0..dim {
-            for i in 0..dim {
-                let mik = self.at(i, k);
-                if mik == INF {
-                    continue;
-                }
-                for j in 0..dim {
-                    let v = round::add_up(mik, self.at(k, j));
-                    if v < self.at(i, j) {
-                        self.set(i, j, v);
-                    }
-                }
+        let m = self.hm_mut();
+        if specialized_enabled() {
+            match dim {
+                4 => close_full_kernel::<4>(m),
+                6 => close_full_kernel::<6>(m),
+                _ => close_full_generic(m, dim),
             }
+        } else {
+            close_full_generic(m, dim);
         }
-        self.strengthen();
         self.closure = Closure::Closed;
     }
 
@@ -274,61 +643,41 @@ impl Octagon {
     /// paths, so they stay valid), phase 1 brings every pair touching V̂
     /// up to date through all intermediates, and phase 2 routes every pair
     /// through the modified nodes. One strengthening pass then restores
-    /// strong closure exactly as in the full algorithm.
+    /// strong closure exactly as in the full algorithm. On the half matrix
+    /// a canonical slot stands for a full entry *and* its mirror; the
+    /// touched-node set is closed under the bar map, so "slot touches V̂"
+    /// is exactly the full-matrix "row or column touches V̂".
     fn close_incremental(&mut self, mask: u32) {
-        let dim = 2 * self.n;
-        let nodes: Vec<usize> = (0..self.n.min(32))
-            .filter(|v| mask & (1 << v) != 0)
-            .flat_map(|v| [2 * v, 2 * v + 1])
-            .collect();
+        let n = self.n;
+        let dim = 2 * n;
+        let m = self.hm_mut();
         let touched = |node: usize| mask & (1 << (node / 2)) != 0;
-        // Phase 1: relax every pair with a modified row or column through
-        // every intermediate node.
-        for k in 0..dim {
-            for &i in &nodes {
-                let mik = self.at(i, k);
-                if mik == INF {
-                    continue;
-                }
+        with_scratch(2 * dim, |rows| {
+            let (rowk, rowk1) = rows.split_at_mut(dim);
+            // Phase 1: relax every canonical slot with a touched endpoint
+            // through every intermediate pair.
+            for t in 0..n {
+                let k = 2 * t;
                 for j in 0..dim {
-                    let v = round::add_up(mik, self.at(k, j));
-                    if v < self.at(i, j) {
-                        self.set(i, j, v);
-                    }
+                    rowk[j] = g(m, k, j);
+                    rowk1[j] = g(m, k + 1, j);
                 }
+                relax_through_pair(m, dim, k, rowk, rowk1, |i, j| touched(i) || touched(j));
             }
-            for i in 0..dim {
-                if touched(i) {
+            // Phase 2: route every canonical slot through the touched pairs.
+            for t in 0..n.min(32) {
+                if mask & (1 << t) == 0 {
                     continue;
                 }
-                let mik = self.at(i, k);
-                if mik == INF {
-                    continue;
-                }
-                for &j in &nodes {
-                    let v = round::add_up(mik, self.at(k, j));
-                    if v < self.at(i, j) {
-                        self.set(i, j, v);
-                    }
-                }
-            }
-        }
-        // Phase 2: route every pair through the modified nodes.
-        for &k in &nodes {
-            for i in 0..dim {
-                let mik = self.at(i, k);
-                if mik == INF {
-                    continue;
-                }
+                let k = 2 * t;
                 for j in 0..dim {
-                    let v = round::add_up(mik, self.at(k, j));
-                    if v < self.at(i, j) {
-                        self.set(i, j, v);
-                    }
+                    rowk[j] = g(m, k, j);
+                    rowk1[j] = g(m, k + 1, j);
                 }
+                relax_through_pair(m, dim, k, rowk, rowk1, |_, _| true);
             }
-        }
-        self.strengthen();
+        });
+        strengthen_body(m, dim);
         self.closure = Closure::Closed;
     }
 
@@ -342,39 +691,37 @@ impl Octagon {
         }
     }
 
-    /// Octagon strengthening: combine the two unary chains.
-    fn strengthen(&mut self) {
-        let dim = 2 * self.n;
-        for i in 0..dim {
-            for j in 0..dim {
-                let v = round::add_up(self.at(i, i ^ 1), self.at(j ^ 1, j)) / 2.0;
-                if v < self.at(i, j) {
-                    self.set(i, j, v);
-                }
-            }
-        }
-    }
-
     /// `true` when the constraints are unsatisfiable.
     pub fn is_bottom(&mut self) -> bool {
         self.close();
         let dim = 2 * self.n;
-        (0..dim).any(|i| self.at(i, i) < 0.0)
+        let m = self.hm();
+        (0..dim).any(|i| m[hm_idx(i, i)] < 0.0)
     }
 
     /// Drops every constraint involving `x_i` (other constraints are
-    /// preserved through prior closure).
+    /// preserved through prior closure). Each canonical slot on `x_i`'s
+    /// rows/columns is visited exactly once: rows `2i`/`2i+1` hold the
+    /// slots with `x_i` as the first endpoint, later rows' `2i`/`2i+1`
+    /// columns the rest (earlier rows' entries are mirrors of the former).
     pub fn forget(&mut self, i: usize) {
         self.close();
         let dim = 2 * self.n;
-        for r in [2 * i, 2 * i + 1] {
-            for j in 0..dim {
-                self.set(r, j, INF);
-                self.set(j, r, INF);
+        let (p, q) = (2 * i, 2 * i + 1);
+        let m = self.hm_mut();
+        for r in [p, q] {
+            let base = ((r + 1) * (r + 1)) / 2;
+            for j in 0..=(r | 1) {
+                m[base + j] = INF;
             }
         }
-        self.set(2 * i, 2 * i, 0.0);
-        self.set(2 * i + 1, 2 * i + 1, 0.0);
+        for r in (q + 1)..dim {
+            let base = ((r + 1) * (r + 1)) / 2;
+            m[base + p] = INF;
+            m[base + q] = INF;
+        }
+        m[hm_idx(p, p)] = 0.0;
+        m[hm_idx(q, q)] = 0.0;
     }
 
     /// `x_i := [lo, hi]` (non-relational assignment).
@@ -413,65 +760,72 @@ impl Octagon {
     }
 
     /// In-place `x_i := x_i + [clo, chi]`.
+    ///
+    /// Under coherence a slot with exactly one endpoint on `x_i` stands
+    /// for a row entry *and* the mirror column entry, which the full-matrix
+    /// formulation adjusted by the same amount — so each canonical slot is
+    /// adjusted exactly once: row `2i` slots and later rows' `2i+1` column
+    /// (bounds mentioning `−x_i`) loosen by `−clo`; row `2i+1` slots and
+    /// later rows' `2i` column (bounds mentioning `+x_i`) loosen by `+chi`.
     fn shift(&mut self, i: usize, clo: f64, chi: f64) {
         let dim = 2 * self.n;
         let (p, q) = (2 * i, 2 * i + 1);
-        for j in 0..dim {
-            if j != p && j != q {
-                // Row p: bounds on V_j − x_i → loosen by −clo.
-                let v = self.at(p, j);
-                if v != INF {
-                    self.set(p, j, round::add_up(v, -clo));
-                }
-                // Column p: bounds on x_i − V_j → loosen by +chi.
-                let v = self.at(j, p);
-                if v != INF {
-                    self.set(j, p, round::add_up(v, chi));
-                }
-                // Row q: bounds on V_j + x_i → loosen by +chi.
-                let v = self.at(q, j);
-                if v != INF {
-                    self.set(q, j, round::add_up(v, chi));
-                }
-                // Column q: bounds on −x_i − V_j → loosen by −clo.
-                let v = self.at(j, q);
-                if v != INF {
-                    self.set(j, q, round::add_up(v, -clo));
-                }
+        let m = self.hm_mut();
+        let bp = ((p + 1) * (p + 1)) / 2;
+        let bq = ((q + 1) * (q + 1)) / 2;
+        for j in 0..p {
+            let v = m[bp + j]; // V_j − x_i ≤ v
+            if v != INF {
+                m[bp + j] = round::add_up(v, -clo);
+            }
+            let v = m[bq + j]; // V_j + x_i ≤ v
+            if v != INF {
+                m[bq + j] = round::add_up(v, chi);
+            }
+        }
+        for r in (q + 1)..dim {
+            let base = ((r + 1) * (r + 1)) / 2;
+            let v = m[base + p]; // x_i − V_r ≤ v
+            if v != INF {
+                m[base + p] = round::add_up(v, chi);
+            }
+            let v = m[base + q]; // −x_i − V_r ≤ v
+            if v != INF {
+                m[base + q] = round::add_up(v, -clo);
             }
         }
         // The two unary entries move by twice the shift.
-        let v = self.at(p, q); // −2x_i ≤ v
+        let v = m[bp + q]; // −2x_i ≤ v
         if v != INF {
-            self.set(p, q, round::add_up(v, -2.0 * clo));
+            m[bp + q] = round::add_up(v, -2.0 * clo);
         }
-        let v = self.at(q, p); // 2x_i ≤ v
+        let v = m[bq + p]; // 2x_i ≤ v
         if v != INF {
-            self.set(q, p, round::add_up(v, 2.0 * chi));
+            m[bq + p] = round::add_up(v, 2.0 * chi);
         }
         self.taint_var(i);
     }
 
     /// In-place `x_i := −x_i`: swaps the positive and negative nodes.
+    /// Swapping rows `2i`/`2i+1` slot-for-slot also realizes the mirror
+    /// column swaps for earlier columns; later rows swap their two `x_i`
+    /// columns explicitly.
     fn negate_var(&mut self, i: usize) {
         let dim = 2 * self.n;
         let (p, q) = (2 * i, 2 * i + 1);
-        for j in 0..dim {
-            if j != p && j != q {
-                let a = self.at(p, j);
-                let b = self.at(q, j);
-                self.set(p, j, b);
-                self.set(q, j, a);
-                let a = self.at(j, p);
-                let b = self.at(j, q);
-                self.set(j, p, b);
-                self.set(j, q, a);
-            }
+        let m = self.hm_mut();
+        let bp = ((p + 1) * (p + 1)) / 2;
+        let bq = ((q + 1) * (q + 1)) / 2;
+        for j in 0..p {
+            m.swap(bp + j, bq + j);
         }
-        let a = self.at(p, q);
-        let b = self.at(q, p);
-        self.set(p, q, b);
-        self.set(q, p, a);
+        // The unary pair swaps; the diagonal entries stay put (matching
+        // the historical full-matrix formulation, which left them alone).
+        m.swap(bp + q, bq + p);
+        for r in (q + 1)..dim {
+            let base = ((r + 1) * (r + 1)) / 2;
+            m.swap(base + p, base + q);
+        }
         self.taint_var(i);
     }
 
@@ -479,12 +833,13 @@ impl Octagon {
     fn is_bottom_closed(&self) -> bool {
         debug_assert_eq!(self.closure, Closure::Closed);
         let dim = 2 * self.n;
-        (0..dim).any(|i| self.at(i, i) < 0.0)
+        let m = self.hm();
+        (0..dim).any(|i| m[hm_idx(i, i)] < 0.0)
     }
 
     /// Bitwise identity: same pack size, same closure bookkeeping, and
-    /// every matrix entry bit-identical (`to_bits`, which distinguishes
-    /// `-0.0` from `0.0` and is reflexive on infinities). The
+    /// every stored entry bit-identical (`to_bits`, which distinguishes
+    /// `-0.0` from `0.0` and is reflexive on infinities and NaNs). The
     /// sharing-preserving state merges use this to decide "keep the
     /// original octagon" — it must be bitwise, because substituting a
     /// `PartialEq`-equal octagon with a different `-0.0`/closure state
@@ -492,8 +847,18 @@ impl Octagon {
     pub fn same(&self, other: &Octagon) -> bool {
         self.n == other.n
             && self.closure == other.closure
-            && self.m.len() == other.m.len()
-            && self.m.iter().zip(&other.m).all(|(a, b)| a.to_bits() == b.to_bits())
+            && self.hm().iter().zip(other.hm()).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+
+    /// Builds a result octagon by combining the operands' live slots.
+    fn zip_with(&self, other: &Octagon, closure: Closure, f: impl Fn(f64, f64) -> f64 + Copy) -> Octagon {
+        let mut buf = Buf::raw(self.n);
+        let out = match &mut buf {
+            Buf::Inline(a) => &mut a[..hm_len(self.n)],
+            Buf::Heap(b) => &mut b[..],
+        };
+        zip_dispatch(out, self.hm(), other.hm(), f);
+        Octagon { n: self.n, buf, closure }
     }
 
     /// Least upper bound of immutable operands. Operands that are already
@@ -512,9 +877,7 @@ impl Octagon {
             if other.is_bottom_closed() {
                 return self.clone();
             }
-            let m =
-                self.m.iter().zip(&other.m).map(|(a, b)| astree_float::max_total(*a, *b)).collect();
-            return Octagon { n: self.n, m, closure: Closure::Closed };
+            return self.zip_with(other, Closure::Closed, astree_float::max_total);
         }
         let mut a = self.clone();
         let mut b = other.clone();
@@ -529,13 +892,13 @@ impl Octagon {
         assert_eq!(self.n, other.n, "pack size mismatch");
         if other.closure == Closure::Closed {
             note_saved_closure();
-            let m = self
-                .m
-                .iter()
-                .zip(&other.m)
-                .map(|(a, b)| if b > a { thresholds.above(*b) } else { *a })
-                .collect();
-            return Octagon { n: self.n, m, closure: Closure::Dirty };
+            return self.zip_with(other, Closure::Dirty, |a, b| {
+                if b > a {
+                    thresholds.above(b)
+                } else {
+                    a
+                }
+            });
         }
         let mut b = other.clone();
         self.widen(&mut b, thresholds)
@@ -548,7 +911,7 @@ impl Octagon {
         assert_eq!(self.n, other.n, "pack size mismatch");
         if self.closure == Closure::Closed {
             note_saved_closure();
-            return self.m.iter().zip(&other.m).all(|(a, b)| a <= b);
+            return leq_dispatch(self.hm(), other.hm());
         }
         let mut a = self.clone();
         a.leq(other)
@@ -566,16 +929,14 @@ impl Octagon {
         if other.is_bottom() {
             return self.clone();
         }
-        let m = self.m.iter().zip(&other.m).map(|(a, b)| astree_float::max_total(*a, *b)).collect();
-        Octagon { n: self.n, m, closure: Closure::Closed }
+        self.zip_with(other, Closure::Closed, astree_float::max_total)
     }
 
     /// Greatest lower bound (entrywise min).
     #[must_use]
     pub fn meet(&self, other: &Octagon) -> Octagon {
         assert_eq!(self.n, other.n, "pack size mismatch");
-        let m = self.m.iter().zip(&other.m).map(|(a, b)| astree_float::min_total(*a, *b)).collect();
-        Octagon { n: self.n, m, closure: Closure::Dirty }
+        self.zip_with(other, Closure::Dirty, astree_float::min_total)
     }
 
     /// Widening: entries that grew jump to the next threshold (then +∞).
@@ -587,20 +948,14 @@ impl Octagon {
     pub fn widen(&self, other: &mut Octagon, thresholds: &Thresholds) -> Octagon {
         assert_eq!(self.n, other.n, "pack size mismatch");
         other.close();
-        let m = self
-            .m
-            .iter()
-            .zip(&other.m)
-            .map(|(a, b)| if b > a { thresholds.above(*b) } else { *a })
-            .collect();
-        Octagon { n: self.n, m, closure: Closure::Dirty }
+        self.zip_with(other, Closure::Dirty, |a, b| if b > a { thresholds.above(b) } else { a })
     }
 
     /// Inclusion test `γ(self) ⊆ γ(other)`.
     pub fn leq(&mut self, other: &Octagon) -> bool {
         assert_eq!(self.n, other.n, "pack size mismatch");
         self.close();
-        self.m.iter().zip(&other.m).all(|(a, b)| a <= b)
+        leq_dispatch(self.hm(), other.hm())
     }
 
     /// Intersects interval information into the octagon (reduction from the
@@ -795,7 +1150,7 @@ mod tests {
         // Widening again with included element is stable.
         let mut same = wc.clone();
         let w2 = w.widen(&mut same, &t);
-        assert_eq!(w.m, w2.m);
+        assert!(w.same(&w2), "widening an included element must be a fixpoint");
     }
 
     #[test]
@@ -821,6 +1176,78 @@ mod tests {
         assert!(!o.is_bottom());
     }
 
+    #[test]
+    fn small_packs_are_heap_free_and_roundtrip() {
+        // n ≤ 3 fits the inline buffer; n = 4 spills to the heap.
+        assert!(Octagon::top(1).is_inline());
+        assert!(Octagon::top(2).is_inline());
+        assert!(Octagon::top(3).is_inline());
+        assert!(!Octagon::top(4).is_inline());
+        // Join/meet/widen results inherit the storage class.
+        let a = Octagon::top(3);
+        let b = Octagon::top(3);
+        assert!(a.join_ref(&b).is_inline());
+        assert!(a.meet(&b).is_inline());
+        // to_raw expands to the full coherent matrix; from_raw compresses
+        // back to a physically identical element.
+        for n in [1usize, 2, 3, 4, 6] {
+            let mut o = Octagon::top(n);
+            o.assign_interval(0, FloatItv::new(-1.5, 2.5));
+            if n > 1 {
+                o.add_diff_le(0, 1, 3.25);
+            }
+            o.close();
+            let (rn, full, closed) = o.to_raw();
+            assert_eq!(full.len(), 4 * n * n);
+            // The expansion is coherent: m[i][j] == m[j^1][i^1] bitwise.
+            let dim = 2 * n;
+            for i in 0..dim {
+                for j in 0..dim {
+                    assert_eq!(
+                        full[i * dim + j].to_bits(),
+                        full[(j ^ 1) * dim + (i ^ 1)].to_bits(),
+                        "expansion must be coherent at ({i},{j})"
+                    );
+                }
+            }
+            let back = Octagon::from_raw(rn, full, closed).unwrap();
+            assert!(o.same(&back), "to_raw/from_raw must roundtrip bitwise (n={n})");
+        }
+    }
+
+    /// `PartialEq` is numeric (observational: `-0.0 == 0.0`, NaN-shaped
+    /// bounds never equal), `same` is bitwise (identity: `-0.0 ≠ 0.0`,
+    /// reflexive on NaNs). Sharing decisions must use `same`; this pins
+    /// both behaviors so identity-preservation can never silently start
+    /// depending on `PartialEq`.
+    #[test]
+    fn partial_eq_is_numeric_same_is_bitwise() {
+        let mut plus = Octagon::top(1);
+        plus.add_upper(0, 0.0);
+        let mut minus = Octagon::top(1);
+        minus.add_upper(0, -0.0); // 2·-0.0 = -0.0: same constraint, different bits
+        assert_eq!(plus, minus, "-0.0 and 0.0 bounds are numerically equal");
+        assert!(!plus.same(&minus), "same() must distinguish -0.0 from 0.0");
+
+        // NaN-shaped bounds (never produced by the analyzer, but the
+        // discipline must hold even for them): PartialEq is irreflexive,
+        // same() still recognizes the identical element.
+        let nan = Octagon::from_raw(1, vec![f64::NAN; 4], false).unwrap();
+        let nan2 = nan.clone();
+        assert_ne!(nan, nan2, "NaN bounds are numerically unequal even to themselves");
+        assert!(nan.same(&nan2), "same() must be reflexive on NaN bounds");
+
+        // Closure bookkeeping: PartialEq only observes closed-vs-dirty;
+        // same() distinguishes the exact bookkeeping.
+        let mut a = Octagon::top(2);
+        a.add_upper(0, 1.0);
+        let dirty_vars = a.clone(); // DirtyVars(0b01)
+        let mut dirty = a.clone();
+        dirty.closure = Closure::Dirty;
+        assert_eq!(dirty_vars, dirty, "both are observably 'must re-close'");
+        assert!(!dirty_vars.same(&dirty), "same() distinguishes the dirty flavors");
+    }
+
     /// Deterministic 64-bit LCG (no external randomness in tests).
     struct Lcg(u64);
 
@@ -838,17 +1265,19 @@ mod tests {
         }
     }
 
-    /// Applies one seeded random mutation to both octagons identically.
-    /// `int_consts` keeps every constant an exact small integer, so the
-    /// incremental and full closures must agree *bitwise* (all f64
-    /// arithmetic on the derived bounds is exact).
-    fn random_mutation(
-        rng: &mut Lcg,
-        a: &mut Octagon,
-        b: &mut Octagon,
-        n: usize,
-        int_consts: bool,
-    ) {
+    /// One seeded random mutation, drawn once and applicable to any number
+    /// of octagons (see [`apply_mutation`]). `int_consts` keeps every
+    /// constant an exact small integer, so closure algorithms that are
+    /// order-sensitive only through rounding must agree *bitwise*.
+    #[derive(Clone, Copy)]
+    struct Mutation {
+        op: u64,
+        i: usize,
+        j: usize,
+        c: f64,
+    }
+
+    fn draw_mutation(rng: &mut Lcg, n: usize, int_consts: bool) -> Mutation {
         let op = rng.below(11);
         let i = rng.below(n as u64) as usize;
         let mut j = rng.below(n as u64) as usize;
@@ -860,56 +1289,33 @@ mod tests {
         } else {
             (rng.below(4001) as f64 - 2000.0) / 64.0 + 0.1
         };
+        Mutation { op, i, j, c }
+    }
+
+    fn apply_mutation(o: &mut Octagon, m: Mutation) {
+        let Mutation { op, i, j, c } = m;
         match op {
-            0 => {
-                a.add_upper(i, c);
-                b.add_upper(i, c);
-            }
-            1 => {
-                a.add_lower(i, c);
-                b.add_lower(i, c);
-            }
-            2 => {
-                a.add_diff_le(i, j, c);
-                b.add_diff_le(i, j, c);
-            }
-            3 => {
-                a.add_sum_le(i, j, c);
-                b.add_sum_le(i, j, c);
-            }
-            4 => {
-                a.add_neg_sum_le(i, j, c);
-                b.add_neg_sum_le(i, j, c);
-            }
-            5 => {
-                let itv = FloatItv::new(c - 4.0, c + 4.0);
-                a.assign_interval(i, itv);
-                b.assign_interval(i, itv);
-            }
-            6 => {
-                a.assign_var_plus_const(i, j, c - 1.0, c + 1.0);
-                b.assign_var_plus_const(i, j, c - 1.0, c + 1.0);
-            }
-            7 => {
-                a.assign_neg_var_plus_const(i, j, c - 1.0, c + 1.0);
-                b.assign_neg_var_plus_const(i, j, c - 1.0, c + 1.0);
-            }
-            8 => {
-                // In-place shift: x_i := x_i + [c-1, c+1].
-                a.assign_var_plus_const(i, i, c - 1.0, c + 1.0);
-                b.assign_var_plus_const(i, i, c - 1.0, c + 1.0);
-            }
-            9 => {
-                // In-place negation + shift: x_i := −x_i + [c-1, c+1].
-                a.assign_neg_var_plus_const(i, i, c - 1.0, c + 1.0);
-                b.assign_neg_var_plus_const(i, i, c - 1.0, c + 1.0);
-            }
-            _ => {
-                let itv = FloatItv::new(c - 8.0, c + 8.0);
-                a.refine_with_interval(i, itv);
-                b.refine_with_interval(i, itv);
-            }
+            0 => o.add_upper(i, c),
+            1 => o.add_lower(i, c),
+            2 => o.add_diff_le(i, j, c),
+            3 => o.add_sum_le(i, j, c),
+            4 => o.add_neg_sum_le(i, j, c),
+            5 => o.assign_interval(i, FloatItv::new(c - 4.0, c + 4.0)),
+            6 => o.assign_var_plus_const(i, j, c - 1.0, c + 1.0),
+            7 => o.assign_neg_var_plus_const(i, j, c - 1.0, c + 1.0),
+            // In-place shift: x_i := x_i + [c-1, c+1].
+            8 => o.assign_var_plus_const(i, i, c - 1.0, c + 1.0),
+            // In-place negation + shift: x_i := −x_i + [c-1, c+1].
+            9 => o.assign_neg_var_plus_const(i, i, c - 1.0, c + 1.0),
+            _ => o.refine_with_interval(i, FloatItv::new(c - 8.0, c + 8.0)),
         }
+    }
+
+    /// Applies one seeded random mutation to both octagons identically.
+    fn random_mutation(rng: &mut Lcg, a: &mut Octagon, b: &mut Octagon, n: usize, int_consts: bool) {
+        let m = draw_mutation(rng, n, int_consts);
+        apply_mutation(a, m);
+        apply_mutation(b, m);
     }
 
     /// Bottom test on raw entries (no mutation): a closed inconsistent
@@ -1008,7 +1414,7 @@ mod tests {
                     }
                     let (_, mi, _) = inc.to_raw();
                     let (_, mf, _) = full.to_raw();
-                    for (a, b) in mi.iter().zip(mf) {
+                    for (a, b) in mi.iter().zip(&mf) {
                         if a.is_finite() || b.is_finite() {
                             let scale = 1.0 + a.abs().max(b.abs());
                             assert!(
@@ -1021,10 +1427,62 @@ mod tests {
             }
             // Idempotence: closing a closed matrix changes nothing.
             inc.close();
-            let before = inc.to_raw().1.to_vec();
+            let before = inc.to_raw().1;
             inc.close();
             assert_eq!(before, inc.to_raw().1);
         }
+    }
+
+    /// The `--debug-generic-kernels` contract at the domain level: the
+    /// monomorphized n=2/n=3 kernels produce bitwise-identical elements to
+    /// the generic path on random constraint streams — including float
+    /// constants, because both paths execute the same inlined body.
+    #[test]
+    fn specialized_kernels_are_bitwise_identical_to_generic() {
+        let prev = set_generic_kernels(false);
+        for n in [2usize, 3] {
+            for seed in 0..48u64 {
+                let mut rng = Lcg(seed.wrapping_mul(0x517c_c1b7_2722_0a95) + 11);
+                let mut spec = Octagon::top(n);
+                let mut generic = Octagon::top(n);
+                for step in 0..40 {
+                    let m = draw_mutation(&mut rng, n, false);
+                    // Mutations themselves may close (forget → close), so
+                    // the flag wraps every operation, not just close().
+                    set_generic_kernels(false);
+                    apply_mutation(&mut spec, m);
+                    set_generic_kernels(true);
+                    apply_mutation(&mut generic, m);
+                    if rng.below(3) == 0 {
+                        set_generic_kernels(false);
+                        spec.close();
+                        set_generic_kernels(true);
+                        generic.close();
+                    }
+                    assert!(
+                        spec.same(&generic),
+                        "n={n} seed {seed} step {step}: specialized kernels diverged"
+                    );
+                    // Exercise the entrywise kernel dispatch too.
+                    if rng.below(5) == 0 {
+                        let t = Thresholds::geometric(1.0, 100.0, 4);
+                        set_generic_kernels(false);
+                        let js = spec.join_ref(&spec.clone());
+                        let ws = spec.widen_ref(&spec.clone(), &t);
+                        let ls = spec.leq_ref(&js);
+                        set_generic_kernels(true);
+                        let jg = generic.join_ref(&generic.clone());
+                        let wg = generic.widen_ref(&generic.clone(), &t);
+                        let lg = generic.leq_ref(&jg);
+                        assert!(js.same(&jg), "n={n} seed {seed}: join diverged");
+                        assert!(ws.same(&wg), "n={n} seed {seed}: widen diverged");
+                        assert_eq!(ls, lg, "n={n} seed {seed}: leq diverged");
+                    }
+                }
+            }
+        }
+        set_generic_kernels(prev);
+        let _ = take_saved_closures();
     }
 
     #[test]

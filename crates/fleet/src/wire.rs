@@ -144,6 +144,7 @@ pub fn config_to_json(c: &AnalysisConfig) -> Json {
         ("nested_slicing", Json::Bool(c.nested_slicing)),
         ("nested_cost_fraction", f64_bits(c.nested_cost_fraction)),
         ("debug_no_ptr_shortcuts", Json::Bool(c.debug_no_ptr_shortcuts)),
+        ("debug_generic_kernels", Json::Bool(c.debug_generic_kernels)),
         ("collect_stmt_invariants", Json::Bool(c.collect_stmt_invariants)),
     ])
 }
@@ -216,6 +217,7 @@ pub fn config_from_json(j: &Json) -> Result<AnalysisConfig, String> {
     c.nested_slicing = get_bool(j, "nested_slicing")?;
     c.nested_cost_fraction = get_f64_bits(j, "nested_cost_fraction")?;
     c.debug_no_ptr_shortcuts = get_bool(j, "debug_no_ptr_shortcuts")?;
+    c.debug_generic_kernels = get_bool(j, "debug_generic_kernels")?;
     c.collect_stmt_invariants = get_bool(j, "collect_stmt_invariants")?;
     Ok(c)
 }

@@ -227,6 +227,13 @@ pub struct PmapCounters {
     /// Public operations that returned an input physically unchanged
     /// (no-op inserts, merges whose result is one of the operands).
     pub identity_preserved: u64,
+    /// Node allocations served from the slab allocator's free lists
+    /// instead of fresh chunk memory.
+    pub nodes_recycled: u64,
+    /// Bytes handed out by the node slab (fresh and recycled alike).
+    pub slab_bytes_allocated: u64,
+    /// Bytes returned to the node slab's free lists.
+    pub slab_bytes_freed: u64,
 }
 
 impl PmapCounters {
@@ -237,6 +244,15 @@ impl PmapCounters {
         self.root_shortcut_hits += o.root_shortcut_hits;
         self.interior_shortcut_hits += o.interior_shortcut_hits;
         self.identity_preserved += o.identity_preserved;
+        self.nodes_recycled += o.nodes_recycled;
+        self.slab_bytes_allocated += o.slab_bytes_allocated;
+        self.slab_bytes_freed += o.slab_bytes_freed;
+    }
+
+    /// Approximate live slab bytes over the recorded window (allocations
+    /// minus frees, clamped at zero).
+    pub fn bytes_live(&self) -> u64 {
+        self.slab_bytes_allocated.saturating_sub(self.slab_bytes_freed)
     }
 }
 
@@ -420,6 +436,11 @@ pub trait Recorder: Send + Sync {
     /// per run by the analysis session).
     fn pmap(&self, _c: &PmapCounters) {}
 
+    /// Octagon pack sizes (variable count per discovered pack), emitted
+    /// once per run right after pack discovery. Feeds the pack-size
+    /// histogram that backs the small-pack kernel dispatch policy.
+    fn pack_sizes(&self, _sizes: &[usize]) {}
+
     /// Free-form trace line (only meaningful when [`Recorder::tracing`]).
     fn trace(&self, _line: &str) {}
 }
@@ -563,6 +584,10 @@ pub struct Metrics {
     pub cache: CacheCounters,
     /// Persistent-map sharing counters, summed across recorded runs.
     pub pmap: PmapCounters,
+    /// Octagon pack-size histogram (variables per pack → pack count),
+    /// summed across recorded runs. The mass at 2–3 variables is what
+    /// justifies the specialized small-pack closure kernels.
+    pub pack_size_histogram: BTreeMap<usize, u64>,
     /// Fleet coordinator counters (absent when no fleet ran; the last
     /// reported run wins).
     pub fleet: Option<FleetCounters>,
@@ -729,7 +754,20 @@ impl Metrics {
             ("root_shortcut_hits", Json::UInt(p.root_shortcut_hits)),
             ("interior_shortcut_hits", Json::UInt(p.interior_shortcut_hits)),
             ("identity_preserved", Json::UInt(p.identity_preserved)),
+            ("nodes_recycled", Json::UInt(p.nodes_recycled)),
+            ("slab_bytes_allocated", Json::UInt(p.slab_bytes_allocated)),
+            ("slab_bytes_freed", Json::UInt(p.slab_bytes_freed)),
+            ("bytes_live", Json::UInt(p.bytes_live())),
         ]);
+        let packs = Json::obj([(
+            "octagon_size_histogram",
+            Json::Obj(
+                self.pack_size_histogram
+                    .iter()
+                    .map(|(size, count)| (size.to_string(), Json::UInt(*count)))
+                    .collect(),
+            ),
+        )]);
         let fleet = self.fleet.as_ref().map_or(Json::Null, |f| {
             Json::obj([
                 ("workers", Json::UInt(f.workers)),
@@ -767,6 +805,7 @@ impl Metrics {
             ("scheduler", scheduler),
             ("cache", cache),
             ("pmap", pmap),
+            ("packs", packs),
             ("fleet", fleet),
         ])
     }
@@ -1020,13 +1059,28 @@ impl Recorder for Collector {
         }
         if self.trace_on {
             self.push_trace(format!(
-                "pmap: allocated={} merges={} root_hits={} interior_hits={} identity={}",
+                "pmap: allocated={} recycled={} merges={} root_hits={} interior_hits={} \
+                 identity={} bytes_live={}",
                 c.nodes_allocated,
+                c.nodes_recycled,
                 c.merge_calls,
                 c.root_shortcut_hits,
                 c.interior_shortcut_hits,
                 c.identity_preserved,
+                c.bytes_live(),
             ));
+        }
+    }
+
+    fn pack_sizes(&self, sizes: &[usize]) {
+        {
+            let mut m = self.metrics.lock().expect("collector poisoned");
+            for &s in sizes {
+                *m.pack_size_histogram.entry(s).or_insert(0) += 1;
+            }
+        }
+        if self.trace_on {
+            self.push_trace(format!("packs: octagon_sizes={sizes:?}"));
         }
     }
 
@@ -1165,7 +1219,15 @@ mod tests {
             alarms: Some(1),
         });
         c.cache(&CacheCounters { full_hits: 1, saved_nanos: 500, ..CacheCounters::default() });
-        c.pmap(&PmapCounters { nodes_allocated: 10, identity_preserved: 3, ..Default::default() });
+        c.pmap(&PmapCounters {
+            nodes_allocated: 10,
+            identity_preserved: 3,
+            nodes_recycled: 4,
+            slab_bytes_allocated: 640,
+            slab_bytes_freed: 128,
+            ..Default::default()
+        });
+        c.pack_sizes(&[2, 2, 3, 2]);
         c.fleet(&FleetCounters {
             workers: 2,
             processes: true,
@@ -1176,15 +1238,29 @@ mod tests {
         });
         let j = c.to_json();
         assert_eq!(j.get("schema"), Some(&Json::str(SCHEMA)));
-        for key in
-            ["functions", "domains", "phases", "alarms", "scheduler", "cache", "pmap", "fleet"]
-        {
+        for key in [
+            "functions",
+            "domains",
+            "phases",
+            "alarms",
+            "scheduler",
+            "cache",
+            "pmap",
+            "packs",
+            "fleet",
+        ] {
             assert!(j.get(key).is_some(), "missing {key}");
         }
         let rendered = j.to_string();
         assert!(rendered.contains("\"div_by_zero\""));
         assert!(rendered.contains("\"batch_jobs\""));
         assert!(rendered.contains("\"store_full_hits\""));
+        assert!(rendered.contains("\"nodes_recycled\": 4"));
+        assert!(rendered.contains("\"bytes_live\": 512"));
+        // Histogram: three packs of 2 variables, one of 3.
+        assert!(rendered.contains("\"octagon_size_histogram\""));
+        assert!(rendered.contains("\"2\": 3"));
+        assert!(rendered.contains("\"3\": 1"));
         // The document round-trips through a strict JSON reader shape: no
         // trailing commas, balanced braces.
         assert_eq!(rendered.matches('{').count(), rendered.matches('}').count());

@@ -3,7 +3,7 @@
 use crate::stats;
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::Arc;
+use crate::arc::PArc;
 
 /// A shared AVL node. Balancing follows the classic OCaml `Map` invariant:
 /// sibling heights differ by at most 2.
@@ -16,7 +16,7 @@ struct Node<K, V> {
     right: Link<K, V>,
 }
 
-type Link<K, V> = Option<Arc<Node<K, V>>>;
+type Link<K, V> = Option<PArc<Node<K, V>>>;
 
 fn height<K, V>(t: &Link<K, V>) -> u8 {
     t.as_ref().map_or(0, |n| n.height)
@@ -33,7 +33,7 @@ fn create<K, V>(key: K, value: V, left: Link<K, V>, right: Link<K, V>) -> Link<K
     stats::note_node_alloc();
     let height = height(&left).max(height(&right)) + 1;
     let size = size(&left) + size(&right) + 1;
-    Some(Arc::new(Node { key, value, height, size, left, right }))
+    Some(PArc::new(Node { key, value, height, size, left, right }))
 }
 
 /// Rebalances after one insertion/removal: `left` and `right` may differ in
@@ -113,14 +113,14 @@ fn join<K: Clone, V: Clone>(key: K, value: V, left: Link<K, V>, right: Link<K, V
     }
 }
 
-fn min_binding<K, V>(t: &Arc<Node<K, V>>) -> (&K, &V) {
+fn min_binding<K, V>(t: &PArc<Node<K, V>>) -> (&K, &V) {
     match &t.left {
         None => (&t.key, &t.value),
         Some(l) => min_binding(l),
     }
 }
 
-fn remove_min<K: Clone, V: Clone>(t: &Arc<Node<K, V>>) -> Link<K, V> {
+fn remove_min<K: Clone, V: Clone>(t: &PArc<Node<K, V>>) -> Link<K, V> {
     match &t.left {
         None => t.right.clone(),
         Some(l) => balance(t.key.clone(), t.value.clone(), remove_min(l), t.right.clone()),
@@ -219,7 +219,7 @@ fn split<K: Clone + Ord, V: Clone>(t: &Link<K, V>, key: &K) -> (Link<K, V>, Opti
 fn links_eq<K, V>(a: &Link<K, V>, b: &Link<K, V>) -> bool {
     match (a, b) {
         (None, None) => true,
-        (Some(x), Some(y)) => Arc::ptr_eq(x, y),
+        (Some(x), Some(y)) => PArc::ptr_eq(x, y),
         _ => false,
     }
 }
@@ -725,7 +725,7 @@ impl<K: Clone + Ord, V: Clone> PMap<K, V> {
         fn go<K: Clone, V: Clone>(t: &Link<K, V>, f: &mut impl FnMut(&K, &V) -> V) -> Link<K, V> {
             t.as_ref().map(|n| {
                 stats::note_node_alloc();
-                Arc::new(Node {
+                PArc::new(Node {
                     key: n.key.clone(),
                     value: f(&n.key, &n.value),
                     height: n.height,

@@ -25,6 +25,9 @@ thread_local! {
     static ROOT_SHORTCUT_HITS: Cell<u64> = const { Cell::new(0) };
     static INTERIOR_SHORTCUT_HITS: Cell<u64> = const { Cell::new(0) };
     static IDENTITY_PRESERVED: Cell<u64> = const { Cell::new(0) };
+    static NODES_RECYCLED: Cell<u64> = const { Cell::new(0) };
+    static SLAB_BYTES_ALLOCATED: Cell<u64> = const { Cell::new(0) };
+    static SLAB_BYTES_FREED: Cell<u64> = const { Cell::new(0) };
     static PTR_SHORTCUTS: Cell<bool> = const { Cell::new(true) };
 }
 
@@ -42,6 +45,13 @@ pub struct PmapStats {
     /// Operations that returned an *input* tree unchanged without the root
     /// shortcut: identity-preserving merges and no-op inserts.
     pub identity_preserved: u64,
+    /// Node allocations served from a slab free list instead of fresh
+    /// chunk (or global-allocator) memory.
+    pub nodes_recycled: u64,
+    /// Bytes handed out by the slab (fresh and recycled alike).
+    pub slab_bytes_allocated: u64,
+    /// Bytes returned to the slab free lists.
+    pub slab_bytes_freed: u64,
 }
 
 impl PmapStats {
@@ -52,6 +62,16 @@ impl PmapStats {
         self.root_shortcut_hits += other.root_shortcut_hits;
         self.interior_shortcut_hits += other.interior_shortcut_hits;
         self.identity_preserved += other.identity_preserved;
+        self.nodes_recycled += other.nodes_recycled;
+        self.slab_bytes_allocated += other.slab_bytes_allocated;
+        self.slab_bytes_freed += other.slab_bytes_freed;
+    }
+
+    /// Approximate live slab bytes over the drained window: allocations
+    /// minus frees, clamped at zero (a window can free nodes allocated
+    /// before it started — e.g. warm-store state dropped mid-run).
+    pub fn bytes_live(&self) -> u64 {
+        self.slab_bytes_allocated.saturating_sub(self.slab_bytes_freed)
     }
 }
 
@@ -63,6 +83,9 @@ pub fn take_stats() -> PmapStats {
         root_shortcut_hits: ROOT_SHORTCUT_HITS.with(|c| c.replace(0)),
         interior_shortcut_hits: INTERIOR_SHORTCUT_HITS.with(|c| c.replace(0)),
         identity_preserved: IDENTITY_PRESERVED.with(|c| c.replace(0)),
+        nodes_recycled: NODES_RECYCLED.with(|c| c.replace(0)),
+        slab_bytes_allocated: SLAB_BYTES_ALLOCATED.with(|c| c.replace(0)),
+        slab_bytes_freed: SLAB_BYTES_FREED.with(|c| c.replace(0)),
     }
 }
 
@@ -95,4 +118,16 @@ pub(crate) fn note_interior_shortcut() {
 
 pub(crate) fn note_identity_preserved() {
     IDENTITY_PRESERVED.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_node_recycled() {
+    NODES_RECYCLED.with(|c| c.set(c.get() + 1));
+}
+
+pub(crate) fn note_slab_alloc(bytes: u64) {
+    SLAB_BYTES_ALLOCATED.with(|c| c.set(c.get() + bytes));
+}
+
+pub(crate) fn note_slab_free(bytes: u64) {
+    SLAB_BYTES_FREED.with(|c| c.set(c.get() + bytes));
 }
