@@ -141,10 +141,7 @@ fn main() {
             spec.pmap.nodes_allocated, generic.pmap.nodes_allocated,
             "channels={channels}: debug_generic_kernels changed pmap allocation counts"
         );
-        assert!(
-            spec.pmap.nodes_recycled > 0,
-            "channels={channels}: slab recycled no nodes"
-        );
+        assert!(spec.pmap.nodes_recycled > 0, "channels={channels}: slab recycled no nodes");
 
         let base = baseline.as_ref().and_then(|b| b.iter().find(|(c, _, _)| *c == channels as u64));
         let mut row = vec![

@@ -5,7 +5,8 @@
 
 use crate::alarms::Alarm;
 use crate::cache::{
-    config_fingerprint, loops_in_preorder, packs_fingerprint, InvariantStore, StoreKey,
+    config_fingerprint, loops_in_preorder, packs_fingerprint, InvariantStore, Seed, SeedOrigin,
+    StoreKey,
 };
 use crate::census::Census;
 use crate::config::AnalysisConfig;
@@ -13,7 +14,8 @@ use crate::iterator::{Iter, Mode};
 use crate::packs::Packs;
 use crate::state::AbsState;
 use astree_ir::{
-    func_fingerprints, globals_fingerprint, program_fingerprint, LoopId, Program, StmtId,
+    channel_tag, func_fingerprints, globals_fingerprint, loop_fingerprints,
+    parametric_fingerprints, program_fingerprint, FuncId, LoopId, Program, StmtId,
 };
 use astree_memory::{CellLayout, LayoutConfig};
 use astree_obs::{CacheCounters, PmapCounters, PoolCounters, Recorder, NULL};
@@ -59,8 +61,17 @@ pub struct AnalysisStats {
     pub parallel_slices: u64,
     /// Loops solved by fixpoint iteration in *this* run.
     pub loops_solved: u64,
-    /// Loops whose invariant was reused from a verified cache seed.
+    /// Loops whose invariant was reused from a verified whole-function
+    /// cache seed.
     pub loops_replayed: u64,
+    /// Loops seeded from a per-loop or cross-member candidate that passed
+    /// the post-fixpoint acceptance check (edited functions whose loops did
+    /// not change, or another family member's converged invariants).
+    pub loops_seeded: u64,
+    /// The subset of [`AnalysisStats::loops_seeded`] whose candidate came
+    /// from *another family member* via the portable (channel-parametric)
+    /// seed store.
+    pub seed_hits: u64,
     /// Loops re-solved during the checking pass because the stored
     /// invariant did not cover the arriving context (nested loops are
     /// re-solved per outer iteration in iteration mode, so the stored
@@ -219,7 +230,7 @@ impl<'a> AnalysisSession<'a> {
 
         let mut report = CacheReport { enabled: self.cache.is_some(), ..CacheReport::default() };
         let mut run_counters = CacheCounters::default();
-        let mut seeds: HashMap<LoopId, AbsState> = HashMap::new();
+        let mut seeds: HashMap<LoopId, Seed> = HashMap::new();
         let mut cache_ctx: Option<(StoreKey, u64, Vec<u64>, CacheCounters)> = None;
 
         if let Some(store) = &self.cache {
@@ -252,6 +263,7 @@ impl<'a> AnalysisSession<'a> {
                 run_counters.bytes_read += io.bytes_read;
                 run_counters.bytes_written += io.bytes_written;
                 run_counters.corrupt_files += io.corrupt_files;
+                run_counters.evictions += io.evictions;
                 if rec.enabled() {
                     rec.phase_time("replay", time_replay.as_nanos() as u64);
                     rec.cache(&run_counters);
@@ -267,6 +279,7 @@ impl<'a> AnalysisSession<'a> {
             }
             run_counters.misses = 1;
             let fps = func_fingerprints(self.program);
+            let param_fps = parametric_fingerprints(self.program);
             let had_seeds = store.has_seeds(&key);
             for (fi, func) in self.program.funcs.iter().enumerate() {
                 match store.lookup_seeds(&key, fps[fi], &layout, &packs) {
@@ -274,13 +287,49 @@ impl<'a> AnalysisSession<'a> {
                         let loop_ids = loops_in_preorder(func);
                         for (ordinal, st) in stored {
                             if let Some(&lid) = loop_ids.get(ordinal as usize) {
-                                seeds.insert(lid, st);
+                                seeds.insert(lid, Seed::Full(st, SeedOrigin::Func));
                             }
                         }
                         report.seeded_functions += 1;
                     }
-                    None if had_seeds => report.invalidated_functions += 1,
-                    None => {}
+                    None => {
+                        if had_seeds {
+                            report.invalidated_functions += 1;
+                        }
+                        // The function (or a callee) changed. Fall back to
+                        // its loops whose local fingerprint still matches,
+                        // then to another family member's portable seeds for
+                        // anything still cold.
+                        let loop_ids = loops_in_preorder(func);
+                        if loop_ids.is_empty() {
+                            continue;
+                        }
+                        let loop_fps = loop_fingerprints(self.program, FuncId(fi as u32), &fps);
+                        for (ordinal, &lid) in loop_ids.iter().enumerate() {
+                            let Some(&lfp) = loop_fps.get(ordinal) else {
+                                continue;
+                            };
+                            if let Some(st) = store.lookup_loop_seed(&key, lfp, &layout, &packs) {
+                                seeds.insert(lid, Seed::Full(st, SeedOrigin::Loop));
+                            }
+                        }
+                        let tag = channel_tag(&func.name);
+                        if let Some(stored) = store.lookup_portable_seeds(
+                            key.config_fp,
+                            param_fps[fi],
+                            tag,
+                            &layout,
+                            &packs,
+                        ) {
+                            for (ordinal, patch) in stored {
+                                if let Some(&lid) = loop_ids.get(ordinal as usize) {
+                                    seeds
+                                        .entry(lid)
+                                        .or_insert_with(|| Seed::Portable(Arc::new(patch)));
+                                }
+                            }
+                        }
+                    }
                 }
             }
             run_counters.seeded_functions = report.seeded_functions as u64;
@@ -389,6 +438,8 @@ impl<'a> AnalysisSession<'a> {
             parallel_slices: iter.stats.par_slices,
             loops_solved: iter.loops_solved,
             loops_replayed: iter.loops_replayed,
+            loops_seeded: iter.loops_seeded,
+            seed_hits: iter.seed_hits,
             loops_rechecked: iter.loops_rechecked,
         };
         report.loops_solved_by_function = std::mem::take(&mut iter.solved_by_func);
@@ -397,14 +448,32 @@ impl<'a> AnalysisSession<'a> {
 
         if let (Some(store), Some((key, program_fp, fps, store_before))) = (&self.cache, cache_ctx)
         {
+            let param_fps = parametric_fingerprints(self.program);
             let mut seeds_out: Vec<(u64, Vec<(u32, AbsState)>)> =
                 Vec::with_capacity(self.program.funcs.len());
+            let mut loop_seeds_out: Vec<(u64, AbsState)> = Vec::new();
+            let mut portable_out: Vec<(u64, String, Vec<(u32, AbsState)>)> = Vec::new();
             for (fi, func) in self.program.funcs.iter().enumerate() {
+                let loop_ids = loops_in_preorder(func);
                 let mut loops = Vec::new();
-                for (ordinal, lid) in loops_in_preorder(func).iter().enumerate() {
+                for (ordinal, lid) in loop_ids.iter().enumerate() {
                     if let Some(inv) = iter.invariants.get(lid) {
                         loops.push((ordinal as u32, inv.clone()));
                     }
+                }
+                if !loop_ids.is_empty() {
+                    let loop_fps = loop_fingerprints(self.program, FuncId(fi as u32), &fps);
+                    for (ordinal, lid) in loop_ids.iter().enumerate() {
+                        if let (Some(inv), Some(&lfp)) =
+                            (iter.invariants.get(lid), loop_fps.get(ordinal))
+                        {
+                            loop_seeds_out.push((lfp, inv.clone()));
+                        }
+                    }
+                }
+                if !loops.is_empty() {
+                    let tag = channel_tag(&func.name).to_string();
+                    portable_out.push((param_fps[fi], tag, loops.clone()));
                 }
                 seeds_out.push((fps[fi], loops));
             }
@@ -416,14 +485,19 @@ impl<'a> AnalysisSession<'a> {
                 main_invariant.as_ref(),
                 &stats,
                 &seeds_out,
+                &loop_seeds_out,
             );
+            store.update_portable(key.config_fp, &layout, &packs, &portable_out);
             run_counters.loops_replayed = stats.loops_replayed;
             run_counters.loops_solved = stats.loops_solved;
+            run_counters.loops_seeded = stats.loops_seeded;
+            run_counters.seed_hits = stats.seed_hits;
             let io = store.counters().since(&store_before);
             store.absorb_run(&run_counters);
             run_counters.bytes_read += io.bytes_read;
             run_counters.bytes_written += io.bytes_written;
             run_counters.corrupt_files += io.corrupt_files;
+            run_counters.evictions += io.evictions;
             if rec.enabled() {
                 rec.cache(&run_counters);
             }

@@ -17,6 +17,7 @@
 //! inside user-selected functions until the function's return point.
 
 use crate::alarms::AlarmSink;
+use crate::cache::{Seed, SeedOrigin};
 use crate::config::AnalysisConfig;
 use crate::packs::Packs;
 use crate::state::{float_view, meet_cell_with_float, AbsState, PackEnv};
@@ -82,7 +83,11 @@ pub struct Iter<'a> {
     /// Candidate loop invariants from the incremental cache. A candidate is
     /// accepted iff one body pass proves it is still a post-fixpoint
     /// (`entry ⊔ F(seed) ⊑ seed`); otherwise the loop is solved cold.
-    pub seeds: HashMap<LoopId, AbsState>,
+    /// Per-loop and cross-member candidates get one rescue attempt: the
+    /// failed pass's iterate `entry ⊔ F(seed)` is itself re-checked with
+    /// the same predicate (one Kleene step absorbs drift in cells the
+    /// candidate could not carry, e.g. member-specific temporaries).
+    pub seeds: HashMap<LoopId, Seed>,
     /// Per-loop *coverage witness*: the post-unroll entry iterate (`base`)
     /// of the **last** iteration-mode visit, recorded alongside the stored
     /// invariant. The checking pass replays a loop against the stored
@@ -106,6 +111,12 @@ pub struct Iter<'a> {
     pub loops_solved: u64,
     /// Loops whose cached invariant was verified by a single body pass.
     pub loops_replayed: u64,
+    /// Loops seeded from a per-loop or cross-member candidate that passed
+    /// the acceptance check.
+    pub loops_seeded: u64,
+    /// The subset of [`Iter::loops_seeded`] whose candidate came from
+    /// another family member (portable store).
+    pub seed_hits: u64,
     /// Loops re-solved during the checking pass because the stored
     /// invariant did not cover the arriving context (see
     /// [`Iter::recheck_invariant`]).
@@ -182,6 +193,8 @@ struct SliceOut {
     pmap_stats: astree_pmap::PmapStats,
     loops_solved: u64,
     loops_replayed: u64,
+    loops_seeded: u64,
+    seed_hits: u64,
     loops_rechecked: u64,
     solved_by_func: BTreeMap<String, u64>,
     replayed_by_func: BTreeMap<String, u64>,
@@ -223,6 +236,8 @@ impl<'a> Iter<'a> {
             stmt_invariants: HashMap::new(),
             loops_solved: 0,
             loops_replayed: 0,
+            loops_seeded: 0,
+            seed_hits: 0,
             loops_rechecked: 0,
             solved_by_func: BTreeMap::new(),
             replayed_by_func: BTreeMap::new(),
@@ -511,6 +526,8 @@ impl<'a> Iter<'a> {
                     pmap_stats: astree_pmap::take_stats(),
                     loops_solved: w.loops_solved,
                     loops_replayed: w.loops_replayed,
+                    loops_seeded: w.loops_seeded,
+                    seed_hits: w.seed_hits,
                     loops_rechecked: w.loops_rechecked,
                     solved_by_func: w.solved_by_func,
                     replayed_by_func: w.replayed_by_func,
@@ -576,6 +593,8 @@ impl<'a> Iter<'a> {
                 }
                 self.loops_solved += out.loops_solved;
                 self.loops_replayed += out.loops_replayed;
+                self.loops_seeded += out.loops_seeded;
+                self.seed_hits += out.seed_hits;
                 for (k, v) in out.solved_by_func {
                     *self.solved_by_func.entry(k).or_insert(0) += v;
                 }
@@ -785,29 +804,49 @@ impl<'a> Iter<'a> {
         // candidate costs one pass and falls back to cold iteration.
         if self.mode == Mode::Iterate {
             if let Some(seed) = self.seeds.get(&id).cloned() {
-                let body_in = self.state_guard(&seed, cond, true);
-                let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
-                let fval = base.join(&body_out, self.layout, self.packs);
-                if Self::post_fixpoint(&fval, &seed) {
-                    self.loops_replayed += 1;
-                    let f = self.cur_func().to_string();
-                    *self.replayed_by_func.entry(f).or_insert(0) += 1;
-                    if self.rec_on {
-                        self.rec.loop_done(&LoopDoneEvent {
-                            func: self.cur_func(),
-                            loop_id: id.0,
-                            iterations: 1,
-                            stabilized_at: 1,
-                        });
+                let (mut cand, origin) = match seed {
+                    Seed::Full(st, o) => (st, o),
+                    Seed::Portable(p) => (p.apply(&base), SeedOrigin::Portable),
+                };
+                // A whole-function candidate either fits verbatim or not;
+                // per-loop and cross-member candidates get the one-step
+                // rescue (see the `seeds` field).
+                let attempts = if origin == SeedOrigin::Func { 1 } else { 2 };
+                for attempt in 0..attempts {
+                    let body_in = self.state_guard(&cand, cond, true);
+                    let body_out = self.exec_loop_body(body_in, body, ret_target, depth);
+                    let fval = base.join(&body_out, self.layout, self.packs);
+                    if Self::post_fixpoint(&fval, &cand) {
+                        match origin {
+                            SeedOrigin::Func => {
+                                self.loops_replayed += 1;
+                                let f = self.cur_func().to_string();
+                                *self.replayed_by_func.entry(f).or_insert(0) += 1;
+                            }
+                            SeedOrigin::Loop => self.loops_seeded += 1,
+                            SeedOrigin::Portable => {
+                                self.loops_seeded += 1;
+                                self.seed_hits += 1;
+                            }
+                        }
+                        if self.rec_on {
+                            self.rec.loop_done(&LoopDoneEvent {
+                                func: self.cur_func(),
+                                loop_id: id.0,
+                                iterations: (attempt + 1) as u64,
+                                stabilized_at: 1,
+                            });
+                        }
+                        self.invariants.insert(id, cand.clone());
+                        // The acceptance test proved `base ⊑ cand`.
+                        self.cover.insert(id, base.clone());
+                        return exits.join(
+                            &self.state_guard(&cand, cond, false),
+                            self.layout,
+                            self.packs,
+                        );
                     }
-                    self.invariants.insert(id, seed.clone());
-                    // The acceptance test proved `base ⊑ seed`.
-                    self.cover.insert(id, base.clone());
-                    return exits.join(
-                        &self.state_guard(&seed, cond, false),
-                        self.layout,
-                        self.packs,
-                    );
+                    cand = fval;
                 }
             }
             self.loops_solved += 1;
@@ -1139,7 +1178,8 @@ impl<'a> Iter<'a> {
         // slice touches). Letting those solves bump the widening counters
         // would break the bit-identical parallel-vs-sequential contract.
         let saved_stats = self.stats.clone();
-        let saved_solved = (self.loops_solved, self.loops_replayed);
+        let saved_solved =
+            (self.loops_solved, self.loops_replayed, self.loops_seeded, self.seed_hits);
         let saved_solved_func = self.solved_by_func.clone();
         let saved_replayed_func = self.replayed_by_func.clone();
         let prev_rec = self.rec_on;
@@ -1153,7 +1193,7 @@ impl<'a> Iter<'a> {
         self.invariants = saved_invariants;
         self.cover = saved_cover;
         self.stats = saved_stats;
-        (self.loops_solved, self.loops_replayed) = saved_solved;
+        (self.loops_solved, self.loops_replayed, self.loops_seeded, self.seed_hits) = saved_solved;
         self.solved_by_func = saved_solved_func;
         self.replayed_by_func = saved_replayed_func;
         self.loops_rechecked += 1;

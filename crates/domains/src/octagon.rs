@@ -851,7 +851,12 @@ impl Octagon {
     }
 
     /// Builds a result octagon by combining the operands' live slots.
-    fn zip_with(&self, other: &Octagon, closure: Closure, f: impl Fn(f64, f64) -> f64 + Copy) -> Octagon {
+    fn zip_with(
+        &self,
+        other: &Octagon,
+        closure: Closure,
+        f: impl Fn(f64, f64) -> f64 + Copy,
+    ) -> Octagon {
         let mut buf = Buf::raw(self.n);
         let out = match &mut buf {
             Buf::Inline(a) => &mut a[..hm_len(self.n)],
@@ -1312,7 +1317,13 @@ mod tests {
     }
 
     /// Applies one seeded random mutation to both octagons identically.
-    fn random_mutation(rng: &mut Lcg, a: &mut Octagon, b: &mut Octagon, n: usize, int_consts: bool) {
+    fn random_mutation(
+        rng: &mut Lcg,
+        a: &mut Octagon,
+        b: &mut Octagon,
+        n: usize,
+        int_consts: bool,
+    ) {
         let m = draw_mutation(rng, n, int_consts);
         apply_mutation(a, m);
         apply_mutation(b, m);

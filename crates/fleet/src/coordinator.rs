@@ -5,18 +5,23 @@
 //! socket — through the `astree-fleet/1` conversation:
 //!
 //! ```text
-//! coordinator → worker   init  {proto, config, cache_dir, crash_on}
-//! worker → coordinator   ready {pid}
-//! coordinator → worker   job   {seq, spec}        (repeated)
-//! worker → coordinator   done  {seq, outcome}     (one per job)
+//! coordinator → worker   init        {proto, config, cache_dir, store_sync, crash_on}
+//! worker → coordinator   ready       {pid}
+//! coordinator → worker   job         {seq, spec}          (repeated)
+//! worker → coordinator   store_get   {seq, have}          (syncing workers, before the solve)
+//! coordinator → worker   store_files {seq, files}
+//! worker → coordinator   store_put   {seq, files}         (after the solve, when changed)
+//! worker → coordinator   done        {seq, outcome}       (one per job)
 //! coordinator → worker   bye
 //! ```
 //!
 //! Scheduling is deterministic in *outcome*, not in placement: jobs are
-//! scattered round-robin, an idle lane steals from the back of the richest
-//! queue, and results land in a slot table indexed by submission order, so
-//! the report is byte-identical at any worker count even though which lane
-//! ran which job is timing-dependent.
+//! scattered to the least-loaded lane (an EWMA of per-lane service time
+//! weights queue depth; with no history it degenerates to round-robin), an
+//! idle lane steals from the back of the richest queue, and results land
+//! in a slot table indexed by submission order, so the report is
+//! byte-identical at any worker count even though which lane ran which job
+//! is timing-dependent.
 //!
 //! Isolation policy: a worker that misses its deadline is killed and its
 //! job reported [`JobStatus::TimedOut`]; a worker that dies mid-job has the
@@ -25,18 +30,19 @@
 //! exhausted and the job is reported [`JobStatus::Crashed`].
 
 use crate::job::{JobOutcome, JobSpec, JobStatus};
-use crate::proto::{read_frame, write_frame, Endpoint, FLEET_PROTO};
-use crate::wire::{config_to_json, outcome_from_json, spec_to_json};
-use astree_core::AnalysisConfig;
+use crate::proto::{read_frame, write_frame, Endpoint, FLEET_PROTO, SYNC_BYTES_CAP};
+use crate::wire::{config_to_json, content_fingerprint, outcome_from_json, spec_to_json};
+use astree_core::{AnalysisConfig, InvariantStore};
 use astree_obs::{FleetCounters, FleetWorkerCounters, Json};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, Read, Write};
 use std::net::{Shutdown, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{mpsc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long a freshly started worker gets to answer `init` with `ready`.
@@ -184,8 +190,15 @@ impl Transport for SocketTransport {
 pub struct FleetConfig<'a> {
     /// Base analysis configuration shipped to every worker's `init` frame.
     pub config: &'a AnalysisConfig,
-    /// Directory of the shared invariant store, if the fleet has one.
+    /// Directory of the shared invariant store, if the fleet has one and
+    /// workers can reach it through the filesystem.
     pub cache_dir: Option<PathBuf>,
+    /// The coordinator's own open invariant store, when workers should
+    /// sync against it over the wire instead of a shared filesystem
+    /// (`store_get`/`store_put` frames). Mutually exclusive with
+    /// `cache_dir` in practice: a worker that can see the directory skips
+    /// the wire exchange.
+    pub store: Option<Arc<InvariantStore>>,
     /// Per-job deadline; a worker that misses it is killed.
     pub timeout: Option<Duration>,
     /// How many times a crashed job is re-scattered before giving up.
@@ -204,11 +217,34 @@ struct Shared {
     completed: usize,
     total: usize,
     counters: FleetCounters,
+    /// Exponentially-weighted moving average of each lane's job service
+    /// time in nanoseconds (α = 0.3); zero until the lane completes its
+    /// first job.
+    ewma: Vec<u64>,
+}
+
+/// The lane a fresh job should land on: the least-loaded live lane, where
+/// load is queued depth weighted by the lane's EWMA service time. Before
+/// any job completes every EWMA is zero and this degenerates to shortest
+/// queue (round-robin at fill time).
+fn scatter_lane(s: &Shared, exclude: Option<usize>) -> Option<usize> {
+    (0..s.queues.len())
+        .filter(|&l| s.live[l] && Some(l) != exclude)
+        .min_by_key(|&l| (s.queues[l].len() as u64 + 1) * s.ewma[l].max(1))
 }
 
 struct Board {
     state: Mutex<Shared>,
     cv: Condvar,
+    /// Monotonic generation of the coordinator store's contents, bumped on
+    /// every wire import that changed a file (starts at 1 so a worker's
+    /// initial `gen: 0` never matches). A `store_get` carrying the current
+    /// generation is answered empty without touching the disk.
+    store_gen: AtomicU64,
+    /// Cached content fingerprints of the coordinator store's files,
+    /// refreshed per file on import, so repeated pulls only re-read files
+    /// they actually ship.
+    store_fps: Mutex<HashMap<String, u64>>,
 }
 
 /// Runs `jobs` across the given worker lanes and returns their outcomes in
@@ -223,9 +259,13 @@ pub fn run_fleet(
 ) -> (Vec<JobOutcome>, FleetCounters) {
     let lanes = transports.len();
     assert!(lanes > 0, "run_fleet needs at least one transport");
+    // Initial scatter: least-loaded lane. With no timing history yet this
+    // is exactly round-robin; the EWMA weighting matters when a job is
+    // re-scattered mid-run (see `scatter_lane`).
     let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); lanes];
     for i in 0..jobs.len() {
-        queues[i % lanes].push_back(i);
+        let lane = (0..lanes).min_by_key(|&l| queues[l].len()).unwrap();
+        queues[lane].push_back(i);
     }
     let counters = FleetCounters {
         workers: lanes as u64,
@@ -243,8 +283,11 @@ pub fn run_fleet(
             completed: 0,
             total: jobs.len(),
             counters,
+            ewma: vec![0; lanes],
         }),
         cv: Condvar::new(),
+        store_gen: AtomicU64::new(1),
+        store_fps: Mutex::new(HashMap::new()),
     };
 
     std::thread::scope(|scope| {
@@ -279,8 +322,114 @@ fn init_frame(cfg: &FleetConfig<'_>, crash_on: Option<&str>) -> Json {
             "cache_dir",
             cfg.cache_dir.as_ref().map_or(Json::Null, |p| Json::str(p.display().to_string())),
         ),
+        ("store_sync", Json::Bool(cfg.store.is_some())),
         ("crash_on", crash_on.map_or(Json::Null, Json::str)),
     ])
+}
+
+/// Answers a worker's `store_get`: every coordinator store file whose
+/// content fingerprint differs from what the worker reports holding,
+/// bounded by [`SYNC_BYTES_CAP`] per reply (`complete: false` tells the
+/// worker to pull again for the remainder). A worker already at the
+/// current store generation gets an empty reply without any disk reads.
+fn store_files_reply(frame: &Json, cfg: &FleetConfig<'_>, board: &Board) -> Json {
+    let seq = frame.get("seq").and_then(Json::as_u64).unwrap_or(0);
+    // Read the generation before walking the directory: a concurrent
+    // import makes the worker record a stale generation and simply pull
+    // again next job.
+    let gen_now = board.store_gen.load(Ordering::SeqCst);
+    let reply = |files: Vec<Json>, complete: bool| {
+        Json::obj([
+            ("frame", Json::str("store_files")),
+            ("seq", Json::UInt(seq)),
+            ("gen", Json::UInt(gen_now)),
+            ("complete", Json::Bool(complete)),
+            ("files", Json::Arr(files)),
+        ])
+    };
+    if frame.get("gen").and_then(Json::as_u64) == Some(gen_now) {
+        return reply(Vec::new(), true);
+    }
+    let mut have: HashMap<&str, u64> = HashMap::new();
+    if let Some(Json::Arr(items)) = frame.get("have") {
+        for item in items {
+            if let Json::Arr(kv) = item {
+                if let (Some(name), Some(fp)) =
+                    (kv.first().and_then(Json::as_str), kv.get(1).and_then(Json::as_u64))
+                {
+                    have.insert(name, fp);
+                }
+            }
+        }
+    }
+    let mut files = Vec::new();
+    let mut bytes = 0usize;
+    let mut complete = true;
+    if let Some(store) = &cfg.store {
+        let mut fps = board.store_fps.lock().unwrap();
+        for name in store.file_names() {
+            let mut text = None;
+            let fp = match fps.get(&name).copied() {
+                Some(fp) => fp,
+                None => {
+                    let Some(t) = store.export_file(&name) else { continue };
+                    let fp = content_fingerprint(&t);
+                    fps.insert(name.clone(), fp);
+                    text = Some(t);
+                    fp
+                }
+            };
+            if have.get(name.as_str()) == Some(&fp) {
+                continue;
+            }
+            let Some(text) = text.or_else(|| store.export_file(&name)) else { continue };
+            if bytes + text.len() > SYNC_BYTES_CAP {
+                complete = false;
+                continue;
+            }
+            bytes += text.len();
+            files.push(Json::Arr(vec![Json::str(&name), Json::str(text)]));
+        }
+    }
+    if !files.is_empty() {
+        board.state.lock().unwrap().counters.store_gets += files.len() as u64;
+    }
+    reply(files, complete)
+}
+
+/// Handles a worker's `store_put`: merges each shipped file into the
+/// coordinator's store (the store's own import dedup makes replays free)
+/// and, when anything changed, refreshes the fingerprint cache and bumps
+/// the store generation so other workers' pulls see the new content.
+fn store_import(frame: &Json, cfg: &FleetConfig<'_>, board: &Board) {
+    let Some(store) = &cfg.store else { return };
+    let mut imported = 0u64;
+    if let Some(Json::Arr(items)) = frame.get("files") {
+        for item in items {
+            if let Json::Arr(kv) = item {
+                if let (Some(name), Some(text)) =
+                    (kv.first().and_then(Json::as_str), kv.get(1).and_then(Json::as_str))
+                {
+                    if store.import_file(name, text) {
+                        imported += 1;
+                        // Fingerprint the merged on-disk bytes, not the
+                        // shipped text — the import may have merged.
+                        let mut fps = board.store_fps.lock().unwrap();
+                        match store.export_file(name) {
+                            Some(merged) => {
+                                fps.insert(name.to_string(), content_fingerprint(&merged))
+                            }
+                            None => fps.remove(name),
+                        };
+                    }
+                }
+            }
+        }
+    }
+    if imported > 0 {
+        board.store_gen.fetch_add(1, Ordering::SeqCst);
+        board.state.lock().unwrap().counters.store_puts += imported;
+    }
 }
 
 /// Starts the transport, spawns a dedicated reader thread, performs the
@@ -346,6 +495,10 @@ fn complete(idx: usize, job_idx: usize, mut outcome: JobOutcome, busy: Duration,
     outcome.resent = s.retries[job_idx];
     s.counters.per_worker[idx].jobs += 1;
     s.counters.per_worker[idx].busy_nanos += busy.as_nanos() as u64;
+    let busy_nanos = busy.as_nanos() as u64;
+    s.ewma[idx] =
+        if s.ewma[idx] == 0 { busy_nanos } else { (3 * busy_nanos + 7 * s.ewma[idx]) / 10 };
+    s.counters.per_worker[idx].ewma_nanos = s.ewma[idx];
     s.outcomes[job_idx] = Some(outcome);
     s.completed += 1;
     board.cv.notify_all();
@@ -357,7 +510,7 @@ fn lane_dead(idx: usize, jobs: &[JobSpec], board: &Board, reason: &str) {
     let mut s = board.state.lock().unwrap();
     s.live[idx] = false;
     let orphans: Vec<usize> = s.queues[idx].drain(..).collect();
-    let target = (0..s.live.len()).find(|&l| s.live[l]);
+    let target = scatter_lane(&s, None);
     for i in orphans {
         match target {
             Some(t) => s.queues[t].push_back(i),
@@ -399,11 +552,31 @@ fn lane(
             ("seq", Json::UInt(job_idx as u64)),
             ("spec", spec_to_json(&jobs[job_idx])),
         ]);
+        // Wait for the job's `done`, servicing store-sync frames as they
+        // arrive (a syncing worker sends `store_get` before solving and
+        // `store_put` after, both inside the job's deadline).
         let reply = match transport.send(&frame) {
-            Ok(()) => match cfg.timeout {
-                Some(t) => rx.recv_timeout(t),
-                None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            },
+            Ok(()) => {
+                let deadline = cfg.timeout.map(|t| Instant::now() + t);
+                loop {
+                    let next = match deadline {
+                        Some(d) => rx.recv_timeout(d.saturating_duration_since(Instant::now())),
+                        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                    };
+                    match next {
+                        Ok(f) => match f.get("frame").and_then(Json::as_str) {
+                            Some("store_get") => {
+                                if transport.send(&store_files_reply(&f, cfg, board)).is_err() {
+                                    break Err(RecvTimeoutError::Disconnected);
+                                }
+                            }
+                            Some("store_put") => store_import(&f, cfg, board),
+                            _ => break Ok(f),
+                        },
+                        Err(e) => break Err(e),
+                    }
+                }
+            }
             Err(_) => Err(RecvTimeoutError::Disconnected),
         };
         match reply {
@@ -505,10 +678,11 @@ fn crash_recover(
             s.outcomes[job_idx] = Some(out);
             s.completed += 1;
         } else {
-            // Front of another live lane's queue so the orphan runs next;
-            // fall back to our own queue (we are about to respawn).
+            // Front of the least-loaded other lane's queue so the orphan
+            // runs next where it waits the shortest (EWMA-weighted); fall
+            // back to our own queue (we are about to respawn).
             s.counters.resent += 1;
-            let target = (0..s.live.len()).find(|&l| l != idx && s.live[l]).unwrap_or(idx);
+            let target = scatter_lane(&s, Some(idx)).unwrap_or(idx);
             s.queues[target].push_front(job_idx);
         }
         board.cv.notify_all();

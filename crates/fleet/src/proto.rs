@@ -30,6 +30,14 @@ pub const FLEET_PROTO: &str = "astree-fleet/1";
 /// any real request, small enough to bound a hostile allocation).
 pub const MAX_FRAME: usize = 64 << 20;
 
+/// Upper bound on store-file bytes in flight per `store_files`/`store_put`
+/// frame. Files that would overflow the bound stay behind and ride a later
+/// exchange; the sync degrades to extra cold solves, never to an oversized
+/// frame. Sized so JSON string escaping (worst case ~2x) cannot push a
+/// frame past [`MAX_FRAME`], while single large-member entries (a few MiB
+/// each) still ship in one exchange.
+pub const SYNC_BYTES_CAP: usize = 24 << 20;
+
 /// Where a server listens or a client connects.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Endpoint {

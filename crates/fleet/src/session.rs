@@ -43,6 +43,7 @@ impl FleetSession {
             timeout: None,
             retry_budget: 2,
             cache: None,
+            cache_wire: false,
             recorder: None,
             pool: None,
             crash_on: None,
@@ -61,6 +62,7 @@ pub struct FleetSessionBuilder<'p> {
     timeout: Option<Duration>,
     retry_budget: u32,
     cache: Option<Arc<InvariantStore>>,
+    cache_wire: bool,
     recorder: Option<Arc<dyn Recorder>>,
     pool: Option<&'p WorkerPool>,
     crash_on: Option<String>,
@@ -131,6 +133,16 @@ impl<'p> FleetSessionBuilder<'p> {
         self
     }
 
+    /// Syncs the store to fleet workers over the wire instead of a shared
+    /// filesystem: workers never see the cache directory; they pull the
+    /// coordinator's store files before each solve (`store_get`) and push
+    /// what they changed back (`store_put`). No-op without a cache or for
+    /// in-process runs (which share the store in memory anyway).
+    pub fn cache_wire(mut self, on: bool) -> Self {
+        self.cache_wire = on;
+        self
+    }
+
     /// Telemetry recorder: receives per-job `BatchJobEvent`s, fleet
     /// counters, and (in-process only) each analysis's own events.
     pub fn recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
@@ -162,6 +174,8 @@ impl<'p> FleetSessionBuilder<'p> {
             self.run_distributed()
         };
         counters.store_full_hits = outcomes.iter().filter(|o| o.cache_full_hit).count() as u64;
+        counters.loops_seeded = outcomes.iter().map(|o| o.loops_seeded).sum();
+        counters.seed_hits = outcomes.iter().map(|o| o.seed_hits).sum();
 
         if let Some(rec) = &recorder {
             if rec.enabled() {
@@ -195,7 +209,12 @@ impl<'p> FleetSessionBuilder<'p> {
         }
         let cfg = FleetConfig {
             config: &self.config,
-            cache_dir: self.cache.as_ref().map(|s| s.dir().to_path_buf()),
+            cache_dir: if self.cache_wire {
+                None
+            } else {
+                self.cache.as_ref().map(|s| s.dir().to_path_buf())
+            },
+            store: if self.cache_wire { self.cache.clone() } else { None },
             timeout: self.timeout,
             retry_budget: self.retry_budget,
             crash_on: self.crash_on.clone(),

@@ -23,7 +23,10 @@ pub mod stmt;
 pub mod types;
 
 pub use expr::{Access, Binop, Expr, FloatBits, Lvalue, Unop};
-pub use fingerprint::{func_fingerprints, globals_fingerprint, program_fingerprint, Fnv};
+pub use fingerprint::{
+    canon_ident, channel_tag, expand_ident, func_fingerprints, globals_fingerprint,
+    loop_fingerprints, parametric_fingerprints, program_fingerprint, Fnv,
+};
 pub use interp::{
     is_persistent, CellKey, ExecError, InputProvider, Interp, InterpConfig, RuntimeEvent,
     SeededInputs, Store, Value,

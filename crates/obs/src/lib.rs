@@ -160,6 +160,15 @@ pub struct CacheCounters {
     pub loops_replayed: u64,
     /// Loop invariants recomputed by fixpoint iteration.
     pub loops_solved: u64,
+    /// Loops warm-started from a per-loop or cross-member seed (the
+    /// function's closure fingerprint missed, but a finer-grained stored
+    /// invariant verified as a post-fixpoint).
+    pub loops_seeded: u64,
+    /// Loops warm-started specifically from a *cross-member* (portable,
+    /// channel-canonicalized) seed; a subset of `loops_seeded`.
+    pub seed_hits: u64,
+    /// Cache files evicted to keep the store under its size bound.
+    pub evictions: u64,
     /// Cache files rejected as corrupt or truncated (clean cold fallback).
     pub corrupt_files: u64,
     /// Bytes read from cache files.
@@ -181,6 +190,9 @@ impl CacheCounters {
         self.invalidated_functions += o.invalidated_functions;
         self.loops_replayed += o.loops_replayed;
         self.loops_solved += o.loops_solved;
+        self.loops_seeded += o.loops_seeded;
+        self.seed_hits += o.seed_hits;
+        self.evictions += o.evictions;
         self.corrupt_files += o.corrupt_files;
         self.bytes_read += o.bytes_read;
         self.bytes_written += o.bytes_written;
@@ -200,6 +212,9 @@ impl CacheCounters {
                 .saturating_sub(earlier.invalidated_functions),
             loops_replayed: self.loops_replayed.saturating_sub(earlier.loops_replayed),
             loops_solved: self.loops_solved.saturating_sub(earlier.loops_solved),
+            loops_seeded: self.loops_seeded.saturating_sub(earlier.loops_seeded),
+            seed_hits: self.seed_hits.saturating_sub(earlier.seed_hits),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
             corrupt_files: self.corrupt_files.saturating_sub(earlier.corrupt_files),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
@@ -284,6 +299,10 @@ pub struct FleetWorkerCounters {
     pub steals: u64,
     /// Wall time the worker spent executing jobs.
     pub busy_nanos: u64,
+    /// Exponentially-weighted moving average of this lane's job service
+    /// time, in nanoseconds (0 until the lane completes its first job).
+    /// Drives the latency-aware scatter.
+    pub ewma_nanos: u64,
 }
 
 /// Process-fleet coordinator counters for one fleet run.
@@ -312,6 +331,15 @@ pub struct FleetCounters {
     pub respawns: u64,
     /// Jobs answered verbatim by the shared invariant store.
     pub store_full_hits: u64,
+    /// `store_get` requests served to remote workers syncing cache files
+    /// over the wire.
+    pub store_gets: u64,
+    /// `store_put` uploads accepted from remote workers.
+    pub store_puts: u64,
+    /// Cross-member (portable) seed verifications across all jobs.
+    pub seed_hits: u64,
+    /// Per-loop and cross-member warm starts across all jobs.
+    pub loops_seeded: u64,
     /// Per-worker breakdown, indexed by lane.
     pub per_worker: Vec<FleetWorkerCounters>,
 }
@@ -741,6 +769,9 @@ impl Metrics {
             ("invalidated_functions", Json::UInt(c.invalidated_functions)),
             ("loops_replayed", Json::UInt(c.loops_replayed)),
             ("loops_solved", Json::UInt(c.loops_solved)),
+            ("loops_seeded", Json::UInt(c.loops_seeded)),
+            ("seed_hits", Json::UInt(c.seed_hits)),
+            ("evictions", Json::UInt(c.evictions)),
             ("corrupt_files", Json::UInt(c.corrupt_files)),
             ("bytes_read", Json::UInt(c.bytes_read)),
             ("bytes_written", Json::UInt(c.bytes_written)),
@@ -779,6 +810,10 @@ impl Metrics {
                 ("timeouts", Json::UInt(f.timeouts)),
                 ("respawns", Json::UInt(f.respawns)),
                 ("store_full_hits", Json::UInt(f.store_full_hits)),
+                ("store_gets", Json::UInt(f.store_gets)),
+                ("store_puts", Json::UInt(f.store_puts)),
+                ("seed_hits", Json::UInt(f.seed_hits)),
+                ("loops_seeded", Json::UInt(f.loops_seeded)),
                 (
                     "per_worker",
                     Json::Arr(
@@ -789,6 +824,7 @@ impl Metrics {
                                     ("jobs", Json::UInt(w.jobs)),
                                     ("steals", Json::UInt(w.steals)),
                                     ("busy_nanos", Json::UInt(w.busy_nanos)),
+                                    ("ewma_nanos", Json::UInt(w.ewma_nanos)),
                                 ])
                             })
                             .collect(),
@@ -1041,12 +1077,16 @@ impl Recorder for Collector {
         }
         if self.trace_on {
             self.push_trace(format!(
-                "cache: full_hits={} misses={} seeded={} replayed={} solved={} corrupt={}",
+                "cache: full_hits={} misses={} seeded={} replayed={} solved={} loop_seeded={} \
+                 seed_hits={} evictions={} corrupt={}",
                 c.full_hits,
                 c.misses,
                 c.seeded_functions,
                 c.loops_replayed,
                 c.loops_solved,
+                c.loops_seeded,
+                c.seed_hits,
+                c.evictions,
                 c.corrupt_files,
             ));
         }
@@ -1091,8 +1131,17 @@ impl Recorder for Collector {
         }
         if self.trace_on {
             self.push_trace(format!(
-                "fleet: workers={} jobs={} steals={} resent={} crashes={} store_hits={}",
-                c.workers, c.jobs, c.steals, c.resent, c.crashes, c.store_full_hits,
+                "fleet: workers={} jobs={} steals={} resent={} crashes={} store_hits={} \
+                 store_gets={} store_puts={} seed_hits={}",
+                c.workers,
+                c.jobs,
+                c.steals,
+                c.resent,
+                c.crashes,
+                c.store_full_hits,
+                c.store_gets,
+                c.store_puts,
+                c.seed_hits,
             ));
         }
     }
@@ -1233,7 +1282,12 @@ mod tests {
             processes: true,
             jobs: 3,
             steals: 1,
-            per_worker: vec![FleetWorkerCounters { jobs: 2, steals: 1, busy_nanos: 9 }],
+            per_worker: vec![FleetWorkerCounters {
+                jobs: 2,
+                steals: 1,
+                busy_nanos: 9,
+                ewma_nanos: 5,
+            }],
             ..FleetCounters::default()
         });
         let j = c.to_json();

@@ -1,9 +1,9 @@
 //! The persistent AVL map.
 
+use crate::arc::PArc;
 use crate::stats;
 use std::cmp::Ordering;
 use std::fmt;
-use crate::arc::PArc;
 
 /// A shared AVL node. Balancing follows the classic OCaml `Map` invariant:
 /// sibling heights differ by at most 2.

@@ -56,7 +56,7 @@ pub(crate) fn class_of(layout: Layout) -> Option<usize> {
     if layout.align() > SLAB_ALIGN || layout.size() > MAX_CLASS_BYTES || layout.size() == 0 {
         return None;
     }
-    Some((layout.size() + GRANULE - 1) / GRANULE - 1)
+    Some(layout.size().div_ceil(GRANULE) - 1)
 }
 
 /// Slot size of a class in bytes.
@@ -244,7 +244,8 @@ thread_local! {
 pub(crate) fn alloc_class(class: usize) -> NonNull<u8> {
     stats::note_slab_alloc(class_bytes(class) as u64);
     SLAB.try_with(|s| s.borrow_mut().alloc(class)).unwrap_or_else(|_| {
-        let layout = Layout::from_size_align(class_bytes(class), SLAB_ALIGN).expect("static layout");
+        let layout =
+            Layout::from_size_align(class_bytes(class), SLAB_ALIGN).expect("static layout");
         let p = unsafe { alloc(layout) };
         NonNull::new(p).unwrap_or_else(|| handle_alloc_error(layout))
     })

@@ -261,6 +261,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut workers = 0usize;
     let mut worker_cmd: Option<Vec<String>> = None;
     let mut connect: Vec<Endpoint> = Vec::new();
+    let mut cache_wire = false;
     let mut retry_budget = 2u32;
     let mut crash_on: Option<String> = None;
     let mut report_path: Option<String> = None;
@@ -285,7 +286,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                      \x20      [--workers N] [--worker-cmd CMD] [--connect ADDR]\n\
                      \x20      [--retry-budget N] [--report FILE] [--analysis-jobs N]\n\
                      \x20      [--json] [--metrics FILE] [--metrics-stream FILE]\n\
-                     \x20      [--trace] [--cache DIR]\n\
+                     \x20      [--trace] [--cache DIR] [--cache-wire]\n\
                      analyzes each input file, plus N generated family members\n\
                      (--gen, cycling --channels), as independent jobs; a panicking\n\
                      or timed-out job fails alone. --jobs N shards over N threads\n\
@@ -297,6 +298,9 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                      deterministic fleet report to FILE. --analysis-jobs\n\
                      additionally parallelizes inside each analysis; --cache\n\
                      shares one invariant store across all jobs and workers.\n\
+                     --cache-wire syncs the store to worker processes over the\n\
+                     fleet protocol instead of a shared directory (workers on\n\
+                     other machines warm up without any shared filesystem).\n\
                      {RUN_OPTIONS_HELP}\n\
                      exit status: 0 = all jobs clean, 1 = alarms or failures"
                 );
@@ -323,6 +327,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                 worker_cmd = Some(cmd);
             }
             "--connect" => connect.push(Endpoint::parse(&value(&mut i)?)),
+            "--cache-wire" => cache_wire = true,
             "--retry-budget" => {
                 retry_budget = value(&mut i)?.parse().map_err(|e| format!("{e}"))?
             }
@@ -362,6 +367,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
         .workers(workers)
         .timeout(timeout)
         .retry_budget(retry_budget)
+        .cache_wire(cache_wire)
         .crash_on(crash_on);
     if let Some(cmd) = worker_cmd {
         builder = builder.worker_cmd(cmd);
@@ -423,6 +429,13 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
                  {} store hit(s)",
                 c.steals, c.resent, c.crashes, c.timeouts, c.respawns, c.store_full_hits
             );
+            if c.store_gets + c.store_puts > 0 {
+                println!(
+                    "  wire sync: {} file(s) shipped to workers, {} imported back, \
+                     {} loop seed(s), {} cross-member hit(s)",
+                    c.store_gets, c.store_puts, c.loops_seeded, c.seed_hits
+                );
+            }
         }
         for (w, pw) in c.per_worker.iter().enumerate() {
             println!(
@@ -510,18 +523,30 @@ fn batch_report_json(report: &fleet::FleetReport) -> String {
     let c = &report.counters;
     out.push_str(&format!(
         "  \"fleet\": {{\"processes\": {}, \"steals\": {}, \"resent\": {}, \"crashes\": {}, \
-         \"timeouts\": {}, \"respawns\": {}, \"store_full_hits\": {}}},\n",
-        c.processes, c.steals, c.resent, c.crashes, c.timeouts, c.respawns, c.store_full_hits
+         \"timeouts\": {}, \"respawns\": {}, \"store_full_hits\": {}, \"store_gets\": {}, \
+         \"store_puts\": {}, \"loops_seeded\": {}, \"seed_hits\": {}}},\n",
+        c.processes,
+        c.steals,
+        c.resent,
+        c.crashes,
+        c.timeouts,
+        c.respawns,
+        c.store_full_hits,
+        c.store_gets,
+        c.store_puts,
+        c.loops_seeded,
+        c.seed_hits
     ));
     let per_worker: Vec<String> = c
         .per_worker
         .iter()
         .map(|w| {
             format!(
-                "{{\"jobs\": {}, \"steals\": {}, \"busy_s\": {:.6}}}",
+                "{{\"jobs\": {}, \"steals\": {}, \"busy_s\": {:.6}, \"ewma_nanos\": {}}}",
                 w.jobs,
                 w.steals,
-                Duration::from_nanos(w.busy_nanos).as_secs_f64()
+                Duration::from_nanos(w.busy_nanos).as_secs_f64(),
+                w.ewma_nanos
             )
         })
         .collect();
@@ -883,6 +908,8 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
     let mut workers = 0usize;
     let mut worker_cmd: Option<Vec<String>> = None;
     let mut connect: Vec<Endpoint> = Vec::new();
+    let mut cache_dir: Option<String> = None;
+    let mut cache_wire = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -896,6 +923,7 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                     "usage: astree fuzz [--members N] [--seeds N] [--ticks N]\n\
                      \x20      [--channels-max N] [--no-bugs] [--no-shrink] [--quiet]\n\
                      \x20      [--jobs N] [--workers N] [--worker-cmd CMD] [--connect ADDR]\n\
+                     \x20      [--cache DIR] [--cache-wire]\n\
                      \x20      [--report FILE] [--baseline FILE]\n\
                      Generates a corpus of family members, analyzes each with\n\
                      per-statement invariant collection, then fuzzes the concrete\n\
@@ -907,7 +935,9 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                      through the astree-campaign/1 JSON schema. Members are fleet\n\
                      jobs: --jobs shards over threads, --workers over worker\n\
                      processes, --connect over remote workers; the campaign is\n\
-                     identical for every sharding.\n\
+                     identical for every sharding. --cache warms member analyses\n\
+                     from a shared invariant store; --cache-wire ships it to\n\
+                     workers over the fleet protocol (no shared filesystem).\n\
                      --baseline FILE adds an alarm-census delta vs a prior report\n\
                      exit status: 0 = no divergence, 1 = divergences found"
                 );
@@ -933,6 +963,8 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
                 worker_cmd = Some(cmd);
             }
             "--connect" => connect.push(Endpoint::parse(&value(&mut i)?)),
+            "--cache" => cache_dir = Some(value(&mut i)?),
+            "--cache-wire" => cache_wire = true,
             "--report" => report = Some(value(&mut i)?),
             "--baseline" => baseline = Some(value(&mut i)?),
             other => return Err(format!("unknown option {other}")),
@@ -951,7 +983,13 @@ fn cmd_fuzz(args: &[String]) -> Result<ExitCode, String> {
         .jobs(jobs.clone())
         .config(cfg.analysis.clone())
         .threads(threads)
-        .workers(workers);
+        .workers(workers)
+        .cache_wire(cache_wire);
+    if let Some(dir) = &cache_dir {
+        let store =
+            astree::core::InvariantStore::open(dir).map_err(|e| format!("--cache {dir}: {e}"))?;
+        builder = builder.cache(Arc::new(store));
+    }
     if let Some(cmd) = worker_cmd {
         builder = builder.worker_cmd(cmd);
     }

@@ -24,11 +24,9 @@
 //! - [`fleet`] — distributed fleet sharding: the process-level coordinator
 //!   with work stealing and a shared warm store, behind the unified
 //!   `FleetSession` API (`astree-fleet/1` wire protocol)
-//! - [`batch`] — deprecated aliases for the fleet job types
 //! - [`options`] — the shared CLI run options (`--jobs`, `--metrics`,
 //!   `--trace`, `--cache`)
 
-pub mod batch;
 pub mod options;
 
 pub use astree_core as core;

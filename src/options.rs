@@ -15,7 +15,8 @@ pub const RUN_OPTIONS_HELP: &str =
      --metrics FILE writes the astree-metrics/1 JSON document\n\
      --metrics-stream FILE appends astree-events/1 JSONL records as they happen\n\
      --trace prints the per-iteration fixpoint log to stderr\n\
-     --cache DIR reuses invariants across runs from the given directory";
+     --cache DIR reuses invariants across runs from the given directory\n\
+     --cache-max-mb N bounds the cache directory, evicting oldest entries";
 
 /// The cross-cutting options shared by `analyze` and `batch`.
 #[derive(Debug, Default, Clone)]
@@ -32,6 +33,9 @@ pub struct RunOptions {
     pub trace: bool,
     /// `--cache DIR`: persist and reuse invariants across runs.
     pub cache_dir: Option<String>,
+    /// `--cache-max-mb N`: bound the cache directory to N mebibytes,
+    /// evicting the oldest entries (by mtime) past the limit.
+    pub cache_max_mb: Option<u64>,
 }
 
 impl RunOptions {
@@ -56,6 +60,13 @@ impl RunOptions {
             "--metrics-stream" => self.metrics_stream = Some(value()?),
             "--trace" => self.trace = true,
             "--cache" => self.cache_dir = Some(value()?),
+            "--cache-max-mb" => {
+                let n: u64 = value()?.parse().map_err(|e| format!("--cache-max-mb: {e}"))?;
+                if n == 0 {
+                    return Err("--cache-max-mb must be at least 1".into());
+                }
+                self.cache_max_mb = Some(n);
+            }
             _ => return Ok(false),
         }
         Ok(true)
@@ -104,14 +115,24 @@ impl RunOptions {
         }
     }
 
-    /// Opens the invariant store when `--cache` was given.
+    /// Opens the invariant store when `--cache` was given, bounded when
+    /// `--cache-max-mb` was too.
     pub fn open_store(&self) -> Result<Option<Arc<InvariantStore>>, String> {
         match &self.cache_dir {
             Some(dir) => {
-                let store = InvariantStore::open(dir).map_err(|e| format!("--cache {dir}: {e}"))?;
+                let store = match self.cache_max_mb {
+                    Some(mb) => InvariantStore::open_bounded(dir, mb * (1 << 20)),
+                    None => InvariantStore::open(dir),
+                }
+                .map_err(|e| format!("--cache {dir}: {e}"))?;
                 Ok(Some(Arc::new(store)))
             }
-            None => Ok(None),
+            None => {
+                if self.cache_max_mb.is_some() {
+                    return Err("--cache-max-mb needs --cache DIR".into());
+                }
+                Ok(None)
+            }
         }
     }
 
@@ -149,11 +170,22 @@ mod tests {
 
     #[test]
     fn shared_flags_parse_and_leave_the_rest() {
-        let (run, rest) =
-            parse_all(&["a.c", "--jobs", "4", "--trace", "--cache", "/tmp/c", "--census"]).unwrap();
+        let (run, rest) = parse_all(&[
+            "a.c",
+            "--jobs",
+            "4",
+            "--trace",
+            "--cache",
+            "/tmp/c",
+            "--cache-max-mb",
+            "64",
+            "--census",
+        ])
+        .unwrap();
         assert_eq!(run.jobs, Some(4));
         assert!(run.trace);
         assert_eq!(run.cache_dir.as_deref(), Some("/tmp/c"));
+        assert_eq!(run.cache_max_mb, Some(64));
         assert_eq!(run.metrics_path, None);
         assert_eq!(rest, vec!["a.c", "--census"]);
         assert!(run.record());
@@ -165,6 +197,13 @@ mod tests {
         assert!(parse_all(&["--metrics"]).is_err());
         assert!(parse_all(&["--metrics-stream"]).is_err());
         assert!(parse_all(&["--cache"]).is_err());
+        assert!(parse_all(&["--cache-max-mb", "0"]).is_err());
+    }
+
+    #[test]
+    fn cache_max_mb_without_cache_dir_is_rejected_at_open() {
+        let (run, _) = parse_all(&["--cache-max-mb", "8"]).unwrap();
+        assert!(run.open_store().is_err());
     }
 
     #[test]

@@ -181,6 +181,119 @@ fn corrupt_cache_files_fall_back_to_a_clean_cold_run() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+const TAILED: &str = r#"
+    int a; int b; int i; int j; int t;
+    void f(void) {
+        for (i = 0; i < 1000; i++) { a = a + 1; if (a > 100) { a = 0; } }
+        t = TAIL;
+        t = 1;
+    }
+    void g(void) {
+        for (j = 0; j < 1000; j++) { b = b + 1; if (b > 200) { b = 0; } }
+    }
+    void main(void) {
+        while (1) { f(); g(); __astree_wait(); }
+    }
+"#;
+
+fn tailed(tail: &str) -> Program {
+    let src = TAILED.replace("TAIL", tail);
+    Frontend::new().compile_str(&src).expect("compiles")
+}
+
+/// Editing a function *outside* its loop invalidates the function-level seed
+/// but not the loop-level one: the loop's stored invariant is re-verified and
+/// installed without iterating, and the analyzer's output (alarms, census)
+/// matches a cold run of the edited program bit for bit.
+#[test]
+fn per_loop_seeds_survive_edits_outside_the_loop() {
+    let dir = temp_dir("loop-seed");
+    let store = Arc::new(InvariantStore::open(&dir).expect("opens"));
+    let before = tailed("2");
+    run_cached(&before, &store);
+
+    // The edit changes f's closure fingerprint (so the whole-function seed
+    // misses) but leaves the loop body and every value flowing into the loop
+    // head untouched (the edited temporary is squashed to 1 before f
+    // returns), so the loop fingerprint still matches.
+    let after = tailed("3");
+    let store = Arc::new(InvariantStore::open(&dir).expect("reopens"));
+    let (warm, _) = run_cached(&after, &store);
+    assert!(!warm.cache.full_hit);
+    assert_eq!(warm.cache.seeded_functions, 1, "only g keeps its seed: {:?}", warm.cache);
+    assert!(warm.stats.loops_seeded > 0, "f's loop must be seeded: {:?}", warm.stats);
+    let f_solved = warm.cache.loops_solved_by_function.get("f").copied().unwrap_or(0);
+
+    let cold_edited = AnalysisSession::builder(&after).build().run();
+    let f_solved_cold = cold_edited.stats.loops_solved; // whole-program, upper bound
+    assert!(f_solved < f_solved_cold, "seeding must save solves: {f_solved} vs {f_solved_cold}");
+    assert_eq!(warm.alarms, cold_edited.alarms, "seeded run must match cold bit for bit");
+    assert_eq!(warm.main_census, cold_edited.main_census);
+    // The internal invariant may differ from the cold trajectory — seeding
+    // converges the reactive loop in fewer widening steps, which here lands
+    // the mission clock on a *tighter* threshold than the cold overshoot.
+    // Soundness is what the acceptance check guarantees; the alarm and
+    // census equality above pin the observable output.
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Converged seeds from a small family member warm the per-function solves of
+/// a larger member of the same family: the channel-count-parametric
+/// fingerprint matches across members, the channel tag is re-expanded on the
+/// way in, and the transplanted invariants are accepted by the same
+/// post-fixpoint check as native seeds.
+#[test]
+fn cross_member_seeds_transfer_between_channel_counts() {
+    let dir = temp_dir("portable");
+    let store = Arc::new(InvariantStore::open(&dir).expect("opens"));
+    let donor_src = generate(&GenConfig { channels: 4, seed: 9, bug: None });
+    let donor = Frontend::new().compile_str(&donor_src).expect("compiles");
+    run_cached(&donor, &store);
+
+    let target_src = generate(&GenConfig { channels: 8, seed: 9, bug: None });
+    let target = Frontend::new().compile_str(&target_src).expect("compiles");
+    let store = Arc::new(InvariantStore::open(&dir).expect("reopens"));
+    let (warm, _) = run_cached(&target, &store);
+    assert!(!warm.cache.full_hit, "different member must not replay verbatim");
+    assert!(
+        warm.stats.seed_hits > 0,
+        "4-channel seeds must warm the 8-channel member: {:?}",
+        warm.stats
+    );
+
+    // Soundness cross-check: transplanted seeds only ever tighten the work,
+    // never the answer.
+    let cold = AnalysisSession::builder(&target).build().run();
+    assert_eq!(warm.alarms, cold.alarms);
+    assert_eq!(warm.main_census, cold.main_census);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A store bounded far below the working set evicts old entries instead of
+/// growing, and a rerun through the evicted store degrades to (at worst) a
+/// cold miss — never a wrong answer.
+#[test]
+fn tiny_cache_bound_evicts_and_still_yields_correct_results() {
+    let dir = temp_dir("bounded");
+    let program = two_workers("2");
+    let baseline = AnalysisSession::builder(&program).build().run();
+
+    let store = Arc::new(InvariantStore::open_bounded(&dir, 1024).expect("opens"));
+    let (first, _) = run_cached(&program, &store);
+    assert_eq!(first.alarms, baseline.alarms);
+    assert!(store.counters().evictions >= 1, "1 KiB bound must evict: {:?}", store.counters());
+
+    let store = Arc::new(InvariantStore::open_bounded(&dir, 1024).expect("reopens"));
+    let (again, _) = run_cached(&program, &store);
+    assert!(!again.cache.full_hit, "the evicted entry must miss");
+    assert_eq!(again.alarms, baseline.alarms);
+    assert_eq!(again.main_census, baseline.main_census);
+    let again_inv = again.main_invariant.as_ref().map(|s| s.to_string());
+    let base_inv = baseline.main_invariant.as_ref().map(|s| s.to_string());
+    assert_eq!(again_inv, base_inv);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The metrics document grows a `cache` section with the run's counters.
 #[test]
 fn metrics_document_reports_cache_counters() {

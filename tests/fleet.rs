@@ -131,6 +131,60 @@ fn shared_store_warms_across_worker_processes() {
 }
 
 #[test]
+fn wire_synced_store_warms_workers_without_a_shared_filesystem() {
+    // `--cache-wire` keeps the invariant store private to the coordinator:
+    // workers pull entries over `store_get`/`store_files` frames before a
+    // cold solve and push converged entries back with `store_put`. Pass 2
+    // must replay every member from the wire-synced store even though no
+    // worker ever sees the cache directory.
+    let dir = temp_dir("wire-store");
+    let cache = dir.join("store");
+    let cache_arg = cache.to_str().unwrap();
+    let report1 = dir.join("report-cold.txt");
+    let report2 = dir.join("report-warm.txt");
+    let args = |report: &str| {
+        vec![
+            "--gen".to_string(),
+            "4".into(),
+            "--channels".into(),
+            "1,2".into(),
+            "--workers".into(),
+            "2".into(),
+            "--cache".into(),
+            cache_arg.to_string(),
+            "--cache-wire".into(),
+            "--json".into(),
+            "--report".into(),
+            report.to_string(),
+        ]
+    };
+    let cold_args = args(report1.to_str().unwrap());
+    let (stdout1, ok1) = run_batch(&cold_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(ok1, "cold wire-synced pass succeeds\n{stdout1}");
+    let warm_args = args(report2.to_str().unwrap());
+    let (stdout2, ok2) = run_batch(&warm_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(ok2, "warm wire-synced pass succeeds\n{stdout2}");
+
+    let fleet_count = |stdout: &str, key: &str| -> u64 {
+        let json_start = stdout.find('{').expect("json in output");
+        let j = Json::parse(&stdout[json_start..]).expect("batch --json output parses");
+        j.get("fleet").and_then(|f| f.get(key)).and_then(Json::as_u64).unwrap_or(0)
+    };
+    // Cold pass: nothing to replay, but workers ship their converged
+    // entries back to the coordinator's store.
+    assert_eq!(fleet_count(&stdout1, "store_full_hits"), 0, "cold pass\n{stdout1}");
+    assert!(fleet_count(&stdout1, "store_puts") > 0, "workers push entries back\n{stdout1}");
+    // Warm pass: every member replays from entries pulled over the wire.
+    assert_eq!(fleet_count(&stdout2, "store_full_hits"), 4, "warm pass replays all\n{stdout2}");
+    assert!(fleet_count(&stdout2, "store_gets") > 0, "coordinator ships files out\n{stdout2}");
+    // The determinism contract holds across cold and warm.
+    let cold = std::fs::read_to_string(&report1).expect("cold report");
+    let warm = std::fs::read_to_string(&report2).expect("warm report");
+    assert_eq!(cold, warm, "warm wire-synced report matches cold");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn remote_workers_over_a_unix_socket_agree_with_in_process() {
     // A long-lived `astree worker --socket` process serves coordinators
     // over a Unix socket: `--connect` fleets must produce the same stable
